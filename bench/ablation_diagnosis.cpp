@@ -1,0 +1,118 @@
+// Ablation A3 — the value of offline diagnosis (§4.2/§5.1): replay a
+// sequence of link failures (each rooted at one genuinely faulty
+// interface) and compare backup-pool consumption with and without the
+// background diagnosis that exonerates the healthy side.
+//
+// Without diagnosis every link failure permanently consumes TWO backups
+// (both endpoints replaced); with it, only the faulty side's backup
+// stays consumed, doubling the number of link failures a group can ride
+// out — the paper's "n independent link failures per failure group".
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "control/controller.hpp"
+#include "sharebackup/fabric.hpp"
+#include "util/rng.hpp"
+
+using namespace sbk;
+
+namespace {
+
+struct Outcome {
+  std::size_t link_failures_attempted = 0;
+  std::size_t recovered = 0;
+  std::size_t first_exhaustion = 0;  ///< failure # at first pool miss
+};
+
+Outcome replay(bool with_diagnosis, int k, int n, std::size_t events,
+               std::uint64_t seed) {
+  sharebackup::FabricParams p;
+  p.fat_tree.k = k;
+  p.backups_per_group = n;
+  sharebackup::Fabric fabric(p);
+  control::Controller ctrl(fabric, control::ControllerConfig{});
+  Rng rng(seed);
+  Outcome out;
+
+  for (std::size_t e = 0; e < events; ++e) {
+    ++out.link_failures_attempted;
+    // A random edge-agg link fails; the faulty side alternates randomly.
+    int pod = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k)));
+    int ei = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k / 2)));
+    int ai = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k / 2)));
+    net::NodeId edge = fabric.fat_tree().edge(pod, ei);
+    net::NodeId agg = fabric.fat_tree().agg(pod, ai);
+    net::LinkId link = *fabric.network().find_link(edge, agg);
+    std::size_t cs = fabric.cs_of_link(link);
+    bool edge_faulty = rng.bernoulli(0.5);
+    net::NodeId culprit = edge_faulty ? edge : agg;
+    auto dev = fabric.device_at(*fabric.position_of_node(culprit));
+    fabric.set_interface_health({dev, cs}, false);
+    fabric.network().fail_link(link);
+
+    ctrl.set_time(static_cast<Seconds>(e) * 60.0);  // one per minute
+    auto result = ctrl.on_link_failure(link);
+    if (result.recovered) {
+      ++out.recovered;
+    } else if (out.first_exhaustion == 0) {
+      out.first_exhaustion = e + 1;
+    }
+    if (!result.recovered) {
+      // Clean up the unrecoverable failure so later events stand alone.
+      fabric.set_interface_health({dev, cs}, true);
+      fabric.network().restore_link(link);
+    }
+    if (with_diagnosis) {
+      ctrl.run_pending_diagnosis();
+      // The confirmed-faulty device is repaired off the critical path and
+      // becomes a backup again; without diagnosis everything stays out.
+      for (sharebackup::DeviceUid d = 0; d < fabric.switch_device_count();
+           ++d) {
+        if (fabric.device_state(d) == sharebackup::DeviceState::kOut) {
+          ctrl.on_device_repaired(d);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int k = static_cast<int>(bench::arg_int(argc, argv, "k", 8));
+  const int n = static_cast<int>(bench::arg_int(argc, argv, "n", 1));
+  const auto events =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "events", 40));
+
+  bench::banner("A3 / ablation — offline diagnosis on/off",
+                "Sequence of link failures, each rooted at one faulty "
+                "interface (k=" + std::to_string(k) + ", n=" +
+                    std::to_string(n) + ").");
+
+  std::printf("%-36s %10s %11s %18s\n", "configuration", "events",
+              "recovered", "first exhaustion");
+  for (bool with_diagnosis : {true, false}) {
+    const char* label = with_diagnosis
+                            ? "diagnosis + background repair"
+                            : "no diagnosis (suspects stay out)";
+    Outcome o = replay(with_diagnosis, k, n, events, 42);
+    std::string exhaustion =
+        o.first_exhaustion == 0
+            ? std::string("never")
+            : "event " + std::to_string(o.first_exhaustion);
+    std::printf("%-36s %10zu %11zu %18s\n", label,
+                o.link_failures_attempted, o.recovered, exhaustion.c_str());
+    bench::csv_row({label, std::to_string(o.link_failures_attempted),
+                    std::to_string(o.recovered),
+                    std::to_string(o.first_exhaustion)});
+  }
+
+  std::printf(
+      "\nReading: with diagnosis (and the repair loop it enables) the pool\n"
+      "replenishes and every link failure recovers. Without it, each\n"
+      "event permanently burns two backups — the pool dies after ~n\n"
+      "events per touched group, and recovery starts failing almost\n"
+      "immediately.\n");
+  return 0;
+}

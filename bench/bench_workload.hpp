@@ -1,0 +1,47 @@
+// Shared experiment setup for the Figure 1 reproductions: the paper maps
+// the Facebook coflow trace (150 racks, 10:1 oversubscribed) onto a
+// similar-sized k=16 fat-tree (128 racks) with the same edge
+// oversubscription, routed with ECMP.
+#pragma once
+
+#include <vector>
+
+#include "sim/flow.hpp"
+#include "topo/fat_tree.hpp"
+#include "util/rng.hpp"
+#include "workload/coflow_gen.hpp"
+
+namespace sbk::bench {
+
+inline topo::FatTreeParams paper_fat_tree(
+    int k = 16, topo::Wiring wiring = topo::Wiring::kPlain) {
+  topo::FatTreeParams p{.k = k, .wiring = wiring};
+  p.hosts_per_edge = 1;  // one rack-aggregate host per edge switch
+  // 10:1 oversubscription at the edge: rack NIC = 10x uplink budget.
+  p.host_link_capacity = 10.0 * (k / 2);
+  return p;
+}
+
+inline workload::CoflowWorkloadParams paper_workload(int racks,
+                                                     std::size_t coflows,
+                                                     Seconds duration) {
+  workload::CoflowWorkloadParams wp;
+  wp.racks = racks;
+  wp.coflows = coflows;
+  wp.duration = duration;
+  return wp;
+}
+
+inline std::vector<sim::FlowSpec> make_flows(const topo::FatTree& ft,
+                                             std::size_t coflows,
+                                             Seconds duration,
+                                             std::uint64_t seed) {
+  Rng rng(seed);
+  auto trace =
+      workload::generate_coflows(paper_workload(ft.host_count(), coflows,
+                                                duration),
+                                 rng);
+  return workload::expand_to_flows(ft, trace);
+}
+
+}  // namespace sbk::bench

@@ -1,0 +1,41 @@
+// Experiment E5 — Figure 5: additional cost of ShareBackup (n=1, n=4),
+// Aspen Tree, and 1:1 backup relative to fat-tree, across network scales,
+// for electrical and optical data centers. Expected shape: 1:1 >> Aspen
+// >> ShareBackup, with ShareBackup's relative cost shrinking as k grows.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cost/cost_model.hpp"
+
+using namespace sbk;
+using namespace sbk::cost;
+
+int main() {
+  bench::banner("E5 / Figure 5 — additional cost relative to fat-tree",
+                "Series: ShareBackup n=1, n=4; Aspen Tree; 1:1 backup. "
+                "x-axis: k (hosts = k^3/4).");
+  std::vector<int> ks{8, 16, 24, 32, 40, 48, 56, 64};
+  for (Medium m : {Medium::kElectrical, Medium::kOptical}) {
+    const char* label = m == Medium::kElectrical ? "E-DC" : "O-DC";
+    std::printf("\n--- %s ---\n", label);
+    std::printf("%-4s %9s %14s %14s %12s %12s\n", "k", "hosts", "SB(n=1)",
+                "SB(n=4)", "Aspen", "1:1");
+    for (const CostCurvePoint& pt : cost_curves(ks, m)) {
+      std::printf("%-4d %9lld %13.1f%% %13.1f%% %11.1f%% %11.1f%%\n", pt.k,
+                  pt.hosts, pt.sharebackup_n1 * 100, pt.sharebackup_n4 * 100,
+                  pt.aspen * 100, pt.one_to_one * 100);
+      bench::csv_row({label, std::to_string(pt.k), std::to_string(pt.hosts),
+                      bench::fmt(pt.sharebackup_n1),
+                      bench::fmt(pt.sharebackup_n4), bench::fmt(pt.aspen),
+                      bench::fmt(pt.one_to_one)});
+    }
+  }
+  std::printf("\nScalability (§5.3): with 32-port 2D-MEMS circuit switches "
+              "(k/2+n+2 <= 32):\n");
+  for (int n : {1, 2, 4, 6}) {
+    int k = max_k_for_ports(32, n);
+    std::printf("  n=%d -> max k=%d (%d hosts), backup ratio %s\n", n, k,
+                k * k * k / 4, bench::fmt_pct(backup_ratio(k, n), 2).c_str());
+  }
+  return 0;
+}

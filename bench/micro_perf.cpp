@@ -1,0 +1,217 @@
+// Experiment E10 — google-benchmark micro-benchmarks of the library's
+// hot paths: max-min allocation, path enumeration and routing, fabric
+// failover, offline diagnosis, table lookups, and whole fluid-sim runs.
+#include <benchmark/benchmark.h>
+
+#include "control/diagnosis.hpp"
+#include "pktsim/packet_sim.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/global_reroute.hpp"
+#include "routing/impersonation.hpp"
+#include "sharebackup/fabric.hpp"
+#include "sharebackup/leaf_spine.hpp"
+#include "sim/fluid_sim.hpp"
+#include "sim/max_min.hpp"
+#include "topo/fat_tree.hpp"
+#include "util/rng.hpp"
+#include "workload/coflow_gen.hpp"
+
+using namespace sbk;
+
+namespace {
+
+void BM_FatTreeBuild(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    topo::FatTree ft(topo::FatTreeParams{.k = k});
+    benchmark::DoNotOptimize(ft.network().link_count());
+  }
+}
+BENCHMARK(BM_FatTreeBuild)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FabricBuild(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sharebackup::FabricParams p;
+    p.fat_tree.k = k;
+    p.backups_per_group = 1;
+    sharebackup::Fabric fabric(p);
+    benchmark::DoNotOptimize(fabric.circuit_switch_count());
+  }
+}
+BENCHMARK(BM_FabricBuild)->Arg(8)->Arg(16);
+
+void BM_EcmpRoute(benchmark::State& state) {
+  topo::FatTree ft(topo::FatTreeParams{.k = static_cast<int>(state.range(0))});
+  routing::EcmpRouter router(ft);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    net::Path p = router.route(ft.network(), ft.host(0),
+                               ft.host(ft.host_count() / 2), id++, nullptr);
+    benchmark::DoNotOptimize(p.hops());
+  }
+}
+BENCHMARK(BM_EcmpRoute)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GlobalRerouteAffected(benchmark::State& state) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 16});
+  routing::EcmpWithGlobalRerouteRouter router(ft);
+  routing::LinkLoads loads(ft.network().link_count());
+  ft.network().fail_node(ft.core(0));
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    net::Path p = router.route(ft.network(), ft.host(0),
+                               ft.host(ft.host_count() - 1), id++, &loads);
+    benchmark::DoNotOptimize(p.hops());
+  }
+}
+BENCHMARK(BM_GlobalRerouteAffected);
+
+void BM_MaxMinAllocation(benchmark::State& state) {
+  const auto flows = static_cast<std::size_t>(state.range(0));
+  topo::FatTree ft(topo::FatTreeParams{.k = 16});
+  routing::EcmpRouter router(ft);
+  Rng rng(1);
+  std::vector<sim::Demand> demands;
+  for (std::size_t f = 0; f < flows; ++f) {
+    net::NodeId src = ft.host(static_cast<int>(rng.uniform_index(
+        static_cast<std::size_t>(ft.host_count()))));
+    net::NodeId dst = ft.host(static_cast<int>(rng.uniform_index(
+        static_cast<std::size_t>(ft.host_count()))));
+    if (src == dst) continue;
+    net::Path p = router.route(ft.network(), src, dst, f, nullptr);
+    demands.push_back(sim::Demand{p.directed_links(ft.network())});
+  }
+  for (auto _ : state) {
+    auto rates = sim::max_min_rates(ft.network(), demands);
+    benchmark::DoNotOptimize(rates.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(demands.size()));
+}
+BENCHMARK(BM_MaxMinAllocation)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FabricFailover(benchmark::State& state) {
+  sharebackup::FabricParams p;
+  p.fat_tree.k = 16;
+  p.backups_per_group = 1;
+  sharebackup::Fabric fabric(p);
+  topo::SwitchPosition pos{topo::Layer::kAgg, 0, 0};
+  for (auto _ : state) {
+    auto r = fabric.fail_over(pos);
+    benchmark::DoNotOptimize(r->circuit_switches_touched);
+    // Undo so the pool never exhausts: the replaced device is "repaired".
+    fabric.return_to_pool(r->failed_device);
+  }
+}
+BENCHMARK(BM_FabricFailover);
+
+void BM_OfflineDiagnosis(benchmark::State& state) {
+  sharebackup::FabricParams p;
+  p.fat_tree.k = 8;
+  p.backups_per_group = 2;
+  sharebackup::Fabric fabric(p);
+  control::DiagnosisEngine engine(fabric);
+  // Take an edge/agg pair offline once; diagnose repeatedly.
+  auto fe = fabric.fail_over({topo::Layer::kEdge, 0, 0});
+  auto fa = fabric.fail_over({topo::Layer::kAgg, 0, 0});
+  std::size_t cs = fabric.cs_index(2, 0, 0);
+  for (auto _ : state) {
+    auto r = engine.diagnose_link(fe->failed_device, fa->failed_device, cs);
+    benchmark::DoNotOptimize(r.circuit_operations);
+  }
+}
+BENCHMARK(BM_OfflineDiagnosis);
+
+void BM_CombinedTableLookup(benchmark::State& state) {
+  routing::TwoLevelTableBuilder builder(64);
+  routing::TwoLevelTable table = builder.combined_edge_table(0);
+  int h = 0;
+  for (auto _ : state) {
+    auto port = table.lookup(routing::HostAddr{5, 3, h++ % 32}, h % 32,
+                             /*require_tag_match=*/true);
+    benchmark::DoNotOptimize(port);
+  }
+}
+BENCHMARK(BM_CombinedTableLookup);
+
+void BM_ForwardingWalk(benchmark::State& state) {
+  routing::ImpersonationStore store(16, 1);
+  routing::ForwardingSim sim(store);
+  int i = 0;
+  for (auto _ : state) {
+    auto t = sim.walk(routing::HostAddr{0, 0, i % 8},
+                      routing::HostAddr{15, 7, (i + 3) % 8});
+    benchmark::DoNotOptimize(t.delivered);
+    ++i;
+  }
+}
+BENCHMARK(BM_ForwardingWalk);
+
+void BM_FluidSimCoflowTrace(benchmark::State& state) {
+  const auto coflows = static_cast<std::size_t>(state.range(0));
+  topo::FatTreeParams ftp{.k = 8};
+  ftp.hosts_per_edge = 1;
+  ftp.host_link_capacity = 40.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    topo::FatTree ft(ftp);
+    routing::EcmpRouter router(ft);
+    workload::CoflowWorkloadParams wp;
+    wp.racks = ft.host_count();
+    wp.coflows = coflows;
+    wp.duration = 60.0;
+    Rng rng(5);
+    auto flows =
+        workload::expand_to_flows(ft, workload::generate_coflows(wp, rng));
+    sim::FluidSimulator simulator(ft.network(), router, sim::SimConfig{});
+    simulator.add_flows(flows);
+    state.ResumeTiming();
+    auto results = simulator.run();
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_FluidSimCoflowTrace)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_PacketSimThroughput(benchmark::State& state) {
+  // Packets simulated per second of wall time for one bulk transfer.
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  std::int64_t packets = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    routing::EcmpRouter router(ft);
+    pktsim::PktSimConfig cfg;
+    cfg.unit_bytes_per_second = 1.25e8;
+    cfg.min_rto = milliseconds(10);
+    pktsim::PacketSimulator sim(ft.network(), router, cfg);
+    sim.add_flow(sim::FlowSpec{1, ft.host(0), ft.host(8), 4e6, 0.0});
+    state.ResumeTiming();
+    auto results = sim.run();
+    benchmark::DoNotOptimize(results.size());
+    packets += static_cast<std::int64_t>(sim.stats().data_packets_sent +
+                                         sim.stats().acks_sent);
+  }
+  state.SetItemsProcessed(packets);  // simulated packets per wall second
+}
+BENCHMARK(BM_PacketSimThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_LeafSpineFailover(benchmark::State& state) {
+  sharebackup::LeafSpineParams p;
+  p.leaves = 16;
+  p.spines = 8;
+  p.hosts_per_leaf = 8;
+  p.group_size = 8;
+  p.backups_per_group = 1;
+  sharebackup::LeafSpineFabric fabric(p);
+  sharebackup::LsPosition pos{sharebackup::LsTier::kLeaf, 3};
+  for (auto _ : state) {
+    auto r = fabric.fail_over(pos);
+    benchmark::DoNotOptimize(r->circuit_switches_touched);
+    fabric.return_to_pool(r->failed_device);
+  }
+}
+BENCHMARK(BM_LeafSpineFailover);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,123 @@
+// Experiment E11 — §4.1 operationally: a day-in-the-life run of the
+// assembled control plane (keep-alive + link-probe detection, replicated
+// controllers, table mirroring, background diagnosis, parked-recovery
+// retry) under a compressed failure storm, reporting the distribution of
+// *measured* outage durations per failure — the operational quantity the
+// paper's recovery-latency argument (§5.3) is about.
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_util.hpp"
+#include "control/control_plane.hpp"
+#include "net/algo.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+using namespace sbk;
+
+int main(int argc, char** argv) {
+  const int k = static_cast<int>(bench::arg_int(argc, argv, "k", 8));
+  const auto horizon =
+      static_cast<double>(bench::arg_int(argc, argv, "seconds", 120));
+  const auto mean_gap_ms =
+      static_cast<double>(bench::arg_int(argc, argv, "gap-ms", 2000));
+
+  bench::banner("E11 / §4.1 — operational control-plane run",
+                "k=" + std::to_string(k) + " fabric, n=2; " +
+                    std::to_string(static_cast<int>(horizon)) +
+                    " s with a failure every ~" +
+                    std::to_string(static_cast<int>(mean_gap_ms)) +
+                    " ms; 1 ms probes; measured outage = injection to "
+                    "position restored.");
+
+  sharebackup::FabricParams fp;
+  fp.fat_tree.k = k;
+  fp.backups_per_group = 2;
+  sharebackup::Fabric fabric(fp);
+  sim::EventQueue q;
+  control::ControlPlaneConfig cfg;
+  cfg.detector.probe_interval = milliseconds(1);
+  cfg.diagnosis_delay = 0.2;
+  control::ControlPlane plane(fabric, q, cfg);
+  plane.start(horizon);
+
+  // Outage bookkeeping: injection time per node, closed at recovery.
+  std::unordered_map<net::NodeId, Seconds> open_outages;
+  Summary outage_ms;
+  plane.on_recovery([&](const control::RecoveryOutcome& out, Seconds t) {
+    if (!out.recovered) return;
+    for (const auto& fo : out.failovers) {
+      net::NodeId node = fabric.node_at(fo.position);
+      auto it = open_outages.find(node);
+      if (it != open_outages.end()) {
+        outage_ms.add((t + out.control_latency - it->second) * 1e3);
+        open_outages.erase(it);
+      }
+    }
+  });
+
+  Rng rng(1234);
+  Seconds t = 0.5;
+  std::size_t injected = 0;
+  const int half = k / 2;
+  while (t < horizon - 5.0) {
+    t += rng.exponential(1000.0 / mean_gap_ms);
+    topo::SwitchPosition pos;
+    double layer = rng.uniform_real(0.0, 1.0);
+    if (layer < 0.4) {
+      pos = {topo::Layer::kEdge, static_cast<int>(rng.uniform_index(k)),
+             static_cast<int>(rng.uniform_index(half))};
+    } else if (layer < 0.8) {
+      pos = {topo::Layer::kAgg, static_cast<int>(rng.uniform_index(k)),
+             static_cast<int>(rng.uniform_index(half))};
+    } else {
+      pos = {topo::Layer::kCore, -1,
+             static_cast<int>(rng.uniform_index(half * half))};
+    }
+    ++injected;
+    q.schedule_at(t, [&fabric, &open_outages, pos, &q] {
+      net::NodeId node = fabric.node_at(pos);
+      if (fabric.network().node_failed(node)) return;
+      fabric.network().fail_node(node);
+      open_outages[node] = q.now();
+    });
+    // Repair crew sweeps 10 s after each event.
+    q.schedule_at(t + 10.0, [&fabric, &plane] {
+      for (sharebackup::DeviceUid d = 0; d < fabric.switch_device_count();
+           ++d) {
+        if (fabric.device_state(d) == sharebackup::DeviceState::kOut) {
+          plane.controller().on_device_repaired(d);
+        }
+      }
+    });
+  }
+  q.run();
+  plane.controller().run_pending_diagnosis();
+
+  const auto& stats = plane.controller().stats();
+  std::printf("injected ~%zu failure events\n", injected);
+  std::printf("failovers: %zu | transient pool exhaustions: %zu | pending "
+              "at end: %zu\n",
+              stats.failovers, stats.recoveries_failed_pool_exhausted,
+              plane.controller().pending_recoveries());
+  if (!outage_ms.empty()) {
+    std::printf("measured outage per failure (injection -> restored):\n");
+    std::printf("  n=%zu  mean=%.2f ms  p50=%.2f ms  p99=%.2f ms  "
+                "max=%.2f ms\n",
+                outage_ms.count(), outage_ms.mean(), outage_ms.median(),
+                outage_ms.percentile(99), outage_ms.max());
+    bench::csv_row({"outage-ms", bench::fmt(outage_ms.mean()),
+                    bench::fmt(outage_ms.median()),
+                    bench::fmt(outage_ms.percentile(99)),
+                    bench::fmt(outage_ms.max())});
+  }
+  std::printf("network whole at end: %s (failed nodes: %zu)\n",
+              net::live_component_count(fabric.network()) == 1 ? "yes" : "no",
+              fabric.network().failed_node_count());
+  std::printf(
+      "\nReading: with 1 ms probes and 3-miss detection, the fabric\n"
+      "restores each failed position within a few ms (p99 includes the\n"
+      "rare parked recoveries that waited for a repair). Compare §5.3's\n"
+      "component model in bench/sec53_recovery_latency.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Experiment E4 — Table 2: cost equations of fat-tree, ShareBackup,
+// Aspen Tree, and 1:1 backup, evaluated with the paper's market prices
+// for electrical (E-DC) and optical (O-DC) data centers.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cost/cost_model.hpp"
+
+using namespace sbk;
+using namespace sbk::cost;
+
+namespace {
+
+void print_medium(Medium medium, const char* label) {
+  PriceSet p = PriceSet::for_medium(medium);
+  std::printf("\n--- %s (a=$%.0f/circuit port, b=$%.0f/packet port, "
+              "c=$%.0f/link) ---\n",
+              label, p.circuit_port_a, p.packet_port_b, p.link_c);
+  std::printf("%-6s %-4s %16s %18s %16s %16s\n", "k", "n", "fat-tree ($)",
+              "ShareBackup(+$)", "AspenTree(+$)", "1:1 backup(+$)");
+  for (int k : {16, 32, 48, 64}) {
+    for (int n : {1, 4}) {
+      CostBreakdown base = fat_tree_cost(k, p);
+      CostBreakdown sb = sharebackup_additional(k, n, p);
+      CostBreakdown aspen = aspen_additional(k, p);
+      CostBreakdown one = one_to_one_additional(k, p);
+      std::printf("%-6d %-4d %16.0f %18.0f %16.0f %16.0f\n", k, n,
+                  base.total(), sb.total(), aspen.total(), one.total());
+      bench::csv_row({label, std::to_string(k), std::to_string(n),
+                      bench::fmt(base.total(), 10), bench::fmt(sb.total(), 10),
+                      bench::fmt(aspen.total(), 10),
+                      bench::fmt(one.total(), 10)});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("E4 / Table 2 — architecture cost model",
+                "Cost equations evaluated with the paper's market prices. "
+                "Check: k=48, n=1 gives ShareBackup +6.7% (E-DC) and "
+                "+13.3% (O-DC) over fat-tree.");
+  print_medium(Medium::kElectrical, "E-DC");
+  print_medium(Medium::kOptical, "O-DC");
+
+  std::printf("\nHeadline ratios (k=48, n=1):\n");
+  for (Medium m : {Medium::kElectrical, Medium::kOptical}) {
+    PriceSet p = PriceSet::for_medium(m);
+    auto base = fat_tree_cost(48, p);
+    auto sb = sharebackup_additional(48, 1, p);
+    auto aspen = aspen_additional(48, p);
+    std::printf("  %s: ShareBackup additional = %s of fat-tree; "
+                "Aspen additional = %.1fx ShareBackup's\n",
+                m == Medium::kElectrical ? "E-DC" : "O-DC",
+                bench::fmt_pct(relative_additional(sb, base), 1).c_str(),
+                aspen.total() / sb.total());
+  }
+  std::printf("\nStructural counts behind the ShareBackup terms (k=48, n=1):\n");
+  auto counts = sharebackup_counts(48, 1);
+  std::printf("  backup switches: %lld (= 5/2 kn), circuit switches: %lld "
+              "(= 3/2 k^2),\n  priced circuit ports: %lld "
+              "(= 3/2 k^2 (k/2+n+2)), extra cables: %.0f (= 5/4 k^2 n)\n",
+              counts.backup_switches, counts.circuit_switches,
+              counts.priced_circuit_ports, counts.extra_cables);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Sharable backup beyond fat-tree (§6): a leaf-spine fabric with
+// per-tier failure groups. Kills a leaf (an entire rack's uplink) and a
+// spine, recovers both from shared backups, and shows the topology is
+// bit-for-bit restored.
+//
+//   $ ./build/examples/leaf_spine_demo
+#include <cstdio>
+
+#include "net/algo.hpp"
+#include "routing/generic_ecmp.hpp"
+#include "sharebackup/leaf_spine.hpp"
+
+using namespace sbk;
+using sharebackup::LeafSpineFabric;
+using sharebackup::LeafSpineParams;
+using sharebackup::LsPosition;
+using sharebackup::LsTier;
+
+int main() {
+  LeafSpineParams params;
+  params.leaves = 8;
+  params.spines = 4;
+  params.hosts_per_leaf = 4;
+  params.group_size = 4;        // 2 leaf groups + 1 spine group
+  params.backups_per_group = 1;
+  LeafSpineFabric fabric(params);
+
+  auto census = fabric.census();
+  std::printf("Leaf-spine ShareBackup: %d leaves, %d spines, %d hosts\n",
+              params.leaves, params.spines, fabric.host_count());
+  std::printf("  %zu failure groups (size %d), %zu backup switches, %zu "
+              "circuit switches\n\n",
+              census.failure_groups, params.group_size,
+              census.backup_switches, census.circuit_switches);
+
+  routing::GenericEcmpRouter router(1);
+  net::NodeId src = fabric.host(0);          // rack of leaf 0
+  net::NodeId dst = fabric.host(31);         // rack of leaf 7
+  net::Path before = router.route(fabric.network(), src, dst, 7, nullptr);
+  std::printf("baseline path: %s\n\n",
+              net::to_string(fabric.network(), before).c_str());
+
+  // A leaf dies: in a plain leaf-spine its whole rack goes dark.
+  LsPosition leaf_pos{LsTier::kLeaf, 0};
+  fabric.network().fail_node(fabric.node_at(leaf_pos));
+  std::printf("LEAF0 down: rack reachable? %s\n",
+              net::reachable(fabric.network(), src, dst) ? "yes" : "no");
+  auto r1 = fabric.fail_over(leaf_pos);
+  std::printf("failover -> backup (%zu circuit switches reconfigured): "
+              "rack reachable? %s\n",
+              r1->circuit_switches_touched,
+              net::reachable(fabric.network(), src, dst) ? "yes" : "no");
+
+  // A spine dies: bandwidth loss in a plain leaf-spine; here, none.
+  LsPosition spine_pos{LsTier::kSpine, 2};
+  fabric.network().fail_node(fabric.node_at(spine_pos));
+  auto r2 = fabric.fail_over(spine_pos);
+  std::printf("SPINE2 down -> backup (%zu circuit switches): shortest "
+              "paths per host pair = %zu (of %d spines)\n",
+              r2->circuit_switches_touched,
+              net::all_shortest_paths(fabric.network(), src, dst).size(),
+              params.spines);
+
+  fabric.check_invariants();
+  std::printf("\ninvariants OK; realized circuits == leaf-spine links: %s\n",
+              fabric.realized_adjacency().size() ==
+                      fabric.network().link_count()
+                  ? "yes"
+                  : "no");
+  std::printf("\nThe same building blocks (failure groups + circuit layers +"
+              "\nshared backups) carry over from fat-tree — §6's claim.\n");
+  return 0;
+}

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Full local verification: configure, build, run every test, then run
+# every experiment harness (the micro-benchmarks in reduced mode).
+# Usage: scripts/check.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+cmake -B "$BUILD" -G Ninja
+cmake --build "$BUILD"
+ctest --test-dir "$BUILD" --output-on-failure
+
+for b in "$BUILD"/bench/*; do
+  [ -x "$b" ] || continue
+  name="$(basename "$b")"
+  echo "=== $name ==="
+  if [ "$name" = micro_perf ]; then
+    "$b" --benchmark_min_time=0.05
+  else
+    "$b"
+  fi
+done

@@ -1,0 +1,79 @@
+#include "control/control_plane.hpp"
+
+#include "util/assert.hpp"
+
+namespace sbk::control {
+
+ControlPlane::ControlPlane(sharebackup::Fabric& fabric,
+                           sim::EventQueue& queue, ControlPlaneConfig config)
+    : fabric_(&fabric), queue_(&queue), config_(config),
+      controller_(fabric, config.controller),
+      detector_(queue, fabric.network(), config.detector) {
+  if (config_.cluster_members > 0) {
+    ClusterConfig cc = config_.cluster;
+    cc.members = config_.cluster_members;
+    cluster_.emplace(queue, cc);
+  }
+  if (config_.manage_tables) {
+    tables_.emplace(fabric);
+    controller_.attach_table_manager(&*tables_);
+  }
+
+  controller_.set_retry_listener(
+      [this](const RecoveryOutcome& out, std::optional<net::NodeId> node,
+             std::optional<net::LinkId> link) {
+        if (out.recovered) {
+          if (node.has_value()) detector_.rearm_node(*node);
+          if (link.has_value()) detector_.rearm_link(*link);
+        }
+        if (observer_) observer_(out, queue_->now());
+      });
+
+  detector_.on_node_failure([this](net::NodeId node, Seconds t) {
+    if (!controller_available()) {
+      ++reports_dropped_;
+      return;
+    }
+    auto pos = fabric_->position_of_node(node);
+    SBK_ASSERT_MSG(pos.has_value(), "hosts are not watched for keep-alives");
+    controller_.set_time(t);
+    RecoveryOutcome out = controller_.on_switch_failure(*pos);
+    if (out.recovered) detector_.rearm_node(node);
+    if (controller_.pending_diagnosis() > 0) {
+      queue_->schedule_in(config_.diagnosis_delay,
+                          [this] { controller_.run_pending_diagnosis(); });
+    }
+    if (observer_) observer_(out, t);
+  });
+  detector_.on_link_failure([this](net::LinkId link, Seconds t) {
+    if (!controller_available()) {
+      ++reports_dropped_;
+      return;
+    }
+    controller_.set_time(t);
+    RecoveryOutcome out = controller_.on_link_failure(link);
+    if (out.recovered) detector_.rearm_link(link);
+    if (controller_.pending_diagnosis() > 0) {
+      queue_->schedule_in(config_.diagnosis_delay,
+                          [this] { controller_.run_pending_diagnosis(); });
+    }
+    if (observer_) observer_(out, t);
+  });
+}
+
+bool ControlPlane::controller_available() const {
+  return !cluster_.has_value() || cluster_->available();
+}
+
+void ControlPlane::start(Seconds horizon) {
+  for (net::NodeId sw : fabric_->fat_tree().all_switches()) {
+    detector_.watch_node(sw, horizon);
+  }
+  for (std::size_t i = 0; i < fabric_->network().link_count(); ++i) {
+    detector_.watch_link(
+        net::LinkId(static_cast<net::LinkId::value_type>(i)), horizon);
+  }
+  if (cluster_.has_value()) cluster_->start(horizon);
+}
+
+}  // namespace sbk::control

@@ -1,0 +1,88 @@
+// The assembled ShareBackup control plane: failure detector + controller
+// + routing-table mirror + (optional) controller cluster, wired over one
+// discrete-event queue. This is the component a deployment would run;
+// the pieces remain independently usable and tested.
+//
+// Event flow (all on the shared EventQueue):
+//   keep-alive miss ──> node-failure report ──┐
+//   link-probe miss ──> link-failure report ──┤ (dropped while no
+//                                             │  primary controller)
+//                                   controller acts: failover /
+//                                   dual-replace / host policy
+//                                             │
+//                       diagnosis scheduled after `diagnosis_delay`
+//                       (strictly background, §4.2)
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "control/controller.hpp"
+#include "control/controller_cluster.hpp"
+#include "control/failure_detector.hpp"
+#include "control/table_manager.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sbk::control {
+
+struct ControlPlaneConfig {
+  ControllerConfig controller;
+  DetectorConfig detector;
+  /// Controllers in the replicated cluster; 0 disables replication (a
+  /// single, never-failing controller).
+  std::size_t cluster_members = 3;
+  ClusterConfig cluster;
+  /// Delay before a queued offline diagnosis runs (it is background
+  /// work; the paper only requires it off the critical path).
+  Seconds diagnosis_delay = 1.0;
+  /// Mirror failovers into an ImpersonationStore (§4.3 tables).
+  bool manage_tables = true;
+};
+
+/// Everything §4 describes, assembled and self-driving.
+class ControlPlane {
+ public:
+  ControlPlane(sharebackup::Fabric& fabric, sim::EventQueue& queue,
+               ControlPlaneConfig config);
+
+  /// Starts watching every switch and every link until `horizon`.
+  void start(Seconds horizon);
+
+  // --- component access -------------------------------------------------------
+  [[nodiscard]] Controller& controller() noexcept { return controller_; }
+  [[nodiscard]] const Controller& controller() const noexcept {
+    return controller_;
+  }
+  [[nodiscard]] FailureDetector& detector() noexcept { return detector_; }
+  [[nodiscard]] ControllerCluster* cluster() noexcept {
+    return cluster_ ? &*cluster_ : nullptr;
+  }
+  [[nodiscard]] const TableManager* tables() const noexcept {
+    return tables_ ? &*tables_ : nullptr;
+  }
+
+  /// Reports dropped because no primary controller was available.
+  [[nodiscard]] std::size_t reports_dropped() const noexcept {
+    return reports_dropped_;
+  }
+
+  /// Observer hook: called after every handled failure event.
+  using RecoveryObserver =
+      std::function<void(const RecoveryOutcome&, Seconds)>;
+  void on_recovery(RecoveryObserver cb) { observer_ = std::move(cb); }
+
+ private:
+  [[nodiscard]] bool controller_available() const;
+
+  sharebackup::Fabric* fabric_;
+  sim::EventQueue* queue_;
+  ControlPlaneConfig config_;
+  Controller controller_;
+  FailureDetector detector_;
+  std::optional<ControllerCluster> cluster_;
+  std::optional<TableManager> tables_;
+  RecoveryObserver observer_;
+  std::size_t reports_dropped_ = 0;
+};
+
+}  // namespace sbk::control

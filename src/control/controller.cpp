@@ -1,0 +1,319 @@
+#include "control/controller.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace sbk::control {
+
+using sharebackup::DeviceState;
+using sharebackup::DeviceUid;
+using sharebackup::Fabric;
+using sharebackup::InterfaceRef;
+using sharebackup::SwitchPosition;
+
+Controller::Controller(Fabric& fabric, ControllerConfig config)
+    : fabric_(&fabric), config_(config), engine_(fabric) {
+  SBK_EXPECTS(config_.probe_interval > 0.0);
+  SBK_EXPECTS(config_.miss_threshold >= 1);
+  SBK_EXPECTS(config_.watchdog_threshold >= 1);
+}
+
+Seconds Controller::control_path_latency() const {
+  return config_.report_latency + config_.processing_latency +
+         config_.command_latency +
+         sharebackup::reconfiguration_latency(fabric_->technology());
+}
+
+Seconds Controller::end_to_end_recovery_latency() const {
+  // Worst-case detection: the element dies right after a probe, and
+  // miss_threshold consecutive probes must be missed.
+  Seconds detection =
+      static_cast<double>(config_.miss_threshold) * config_.probe_interval;
+  return detection + control_path_latency();
+}
+
+void Controller::mirror_failover(
+    const sharebackup::Fabric::FailoverReport& report) {
+  if (tables_ != nullptr) tables_->on_fail_over(report);
+}
+
+void Controller::mirror_return(DeviceUid dev) {
+  if (tables_ != nullptr) tables_->on_return_to_pool(dev);
+}
+
+void Controller::audit(std::string event, std::string detail) {
+  audit_.push_back(AuditEntry{now_, std::move(event), std::move(detail)});
+}
+
+void Controller::park_node(SwitchPosition pos) {
+  if (std::find(pending_nodes_.begin(), pending_nodes_.end(), pos) ==
+      pending_nodes_.end()) {
+    pending_nodes_.push_back(pos);
+  }
+}
+
+void Controller::park_link(net::LinkId link) {
+  if (std::find(pending_links_.begin(), pending_links_.end(), link) ==
+      pending_links_.end()) {
+    pending_links_.push_back(link);
+  }
+}
+
+void Controller::retry_pending() {
+  if (retrying_) return;  // a retried recovery replenished a pool itself
+  retrying_ = true;
+  std::vector<SwitchPosition> nodes = std::move(pending_nodes_);
+  pending_nodes_.clear();
+  std::vector<net::LinkId> links = std::move(pending_links_);
+  pending_links_.clear();
+
+  for (SwitchPosition pos : nodes) {
+    if (!fabric_->network().node_failed(fabric_->node_at(pos))) continue;
+    RecoveryOutcome out = on_switch_failure(pos);
+    if (retry_listener_) {
+      retry_listener_(out, fabric_->node_at(pos), std::nullopt);
+    }
+  }
+  for (net::LinkId link : links) {
+    if (!fabric_->network().link_failed(link)) continue;
+    RecoveryOutcome out = on_link_failure(link);
+    if (retry_listener_) retry_listener_(out, std::nullopt, link);
+  }
+  retrying_ = false;
+}
+
+RecoveryOutcome Controller::on_switch_failure(SwitchPosition pos) {
+  RecoveryOutcome outcome;
+  ++stats_.node_failures_handled;
+  if (watchdog_tripped_) {
+    outcome.detail = "watchdog tripped: awaiting human intervention";
+    return outcome;
+  }
+  // Stale-report guard: keep-alives race recovery, so a report may
+  // arrive for a position that is already served by healthy hardware.
+  // A second failover would burn a backup for nothing.
+  if (!fabric_->network().node_failed(fabric_->node_at(pos))) {
+    outcome.recovered = true;
+    outcome.detail = "stale report: position already healthy";
+    return outcome;
+  }
+  std::optional<Fabric::FailoverReport> report = fabric_->fail_over(pos);
+  if (!report.has_value()) {
+    ++stats_.recoveries_failed_pool_exhausted;
+    park_node(pos);
+    outcome.detail = "backup pool exhausted for failure group";
+    return outcome;
+  }
+  ++stats_.failovers;
+  mirror_failover(*report);
+  audit("failover", fabric_->device(report->failed_device).name + " -> " +
+                        fabric_->device(report->replacement).name);
+  outcome.recovered = true;
+  outcome.failovers.push_back(*report);
+  outcome.control_latency = control_path_latency();
+  outcome.detail = "switch replaced by backup";
+  return outcome;
+}
+
+void Controller::note_link_report_for_watchdog(std::size_t cs) {
+  recent_link_reports_.emplace_back(now_, cs);
+  // Evict reports that fell out of the window, then count this switch's.
+  Seconds cutoff = now_ - config_.watchdog_window;
+  std::erase_if(recent_link_reports_,
+                [cutoff](const auto& r) { return r.first < cutoff; });
+  std::size_t count = static_cast<std::size_t>(
+      std::count_if(recent_link_reports_.begin(), recent_link_reports_.end(),
+                    [cs](const auto& r) { return r.second == cs; }));
+  if (count >= config_.watchdog_threshold && !watchdog_tripped_) {
+    watchdog_tripped_ = true;
+    ++stats_.watchdog_trips;
+    SBK_LOG_WARN("controller",
+                 "suspected circuit switch failure at "
+                     << fabric_->circuit_switch(cs).name() << " (" << count
+                     << " link reports in window); requesting human "
+                        "intervention");
+  }
+}
+
+RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
+  RecoveryOutcome outcome;
+  const net::Network& net = fabric_->network();
+  const net::Link& l = net.link(link);
+  std::size_t cs = fabric_->cs_of_link(link);
+  note_link_report_for_watchdog(cs);
+  if (watchdog_tripped_) {
+    outcome.detail = "watchdog tripped: awaiting human intervention";
+    return outcome;
+  }
+
+  std::optional<SwitchPosition> pos_a = fabric_->position_of_node(l.a);
+  std::optional<SwitchPosition> pos_b = fabric_->position_of_node(l.b);
+
+  // Re-probe before acting: an earlier recovery may already have fixed
+  // this link — e.g. one sick switch rooting several simultaneous link
+  // failures is cured by a single replacement (§5.1's "up to kn link
+  // failures rooted at n switches" capacity argument).
+  auto endpoint_device = [&](net::NodeId node,
+                             std::optional<SwitchPosition> pos) {
+    return pos.has_value() ? fabric_->device_at(*pos)
+                           : fabric_->device_of_host(node);
+  };
+  bool currently_healthy =
+      fabric_->interface_healthy(
+          InterfaceRef{endpoint_device(l.a, pos_a), cs}) &&
+      fabric_->interface_healthy(
+          InterfaceRef{endpoint_device(l.b, pos_b), cs});
+  if (!net.link_failed(link)) {
+    outcome.recovered = true;
+    outcome.detail = "stale report: link already healthy";
+    return outcome;
+  }
+  if (currently_healthy) {
+    fabric_->network().restore_link(link);
+    outcome.recovered = true;
+    outcome.control_latency = control_path_latency();
+    outcome.detail = "re-probe found link healthy (already repaired)";
+    return outcome;
+  }
+
+  if (pos_a.has_value() && pos_b.has_value()) {
+    // Switch-switch link: replace both sides for fast recovery, then let
+    // offline diagnosis sort out blame (§4.1).
+    ++stats_.link_failures_handled;
+    DeviceUid dev_a = fabric_->device_at(*pos_a);
+    DeviceUid dev_b = fabric_->device_at(*pos_b);
+    std::optional<Fabric::FailoverReport> ra = fabric_->fail_over(*pos_a);
+    std::optional<Fabric::FailoverReport> rb = fabric_->fail_over(*pos_b);
+    if (!ra.has_value() || !rb.has_value()) {
+      // Roll back nothing: a half-recovered link keeps its replacement
+      // (harmless — the new switch serves the position fine); but the
+      // link cannot be restored without both ends replaced.
+      ++stats_.recoveries_failed_pool_exhausted;
+      if (ra.has_value()) {
+        mirror_failover(*ra);
+        outcome.failovers.push_back(*ra);
+      }
+      if (rb.has_value()) {
+        mirror_failover(*rb);
+        outcome.failovers.push_back(*rb);
+      }
+      stats_.failovers += outcome.failovers.size();
+      park_link(link);
+      outcome.detail = "backup pool exhausted; link not recovered";
+      return outcome;
+    }
+    stats_.failovers += 2;
+    mirror_failover(*ra);
+    mirror_failover(*rb);
+    audit("link-failover",
+          fabric_->device(ra->failed_device).name + " & " +
+              fabric_->device(rb->failed_device).name + " replaced");
+    outcome.failovers = {*ra, *rb};
+    fabric_->network().fail_link(link);  // idempotent if already failed
+    fabric_->network().restore_link(link);
+    diagnosis_queue_.push_back(PendingDiagnosis{dev_a, dev_b, cs});
+    outcome.recovered = true;
+    outcome.control_latency = control_path_latency();
+    outcome.detail = "both endpoints replaced; diagnosis queued";
+    return outcome;
+  }
+
+  // Host-edge link: replace the switch side only (§4.2).
+  ++stats_.host_link_failures_handled;
+  std::optional<SwitchPosition> sw_pos =
+      pos_a.has_value() ? pos_a : pos_b;
+  SBK_EXPECTS_MSG(sw_pos.has_value(),
+                  "a failed link must touch at least one switch");
+  net::NodeId host = pos_a.has_value() ? l.b : l.a;
+
+  DeviceUid old_dev = fabric_->device_at(*sw_pos);
+  std::optional<Fabric::FailoverReport> report = fabric_->fail_over(*sw_pos);
+  if (!report.has_value()) {
+    ++stats_.recoveries_failed_pool_exhausted;
+    park_link(link);
+    outcome.detail = "backup pool exhausted; host link not recovered";
+    return outcome;
+  }
+  ++stats_.failovers;
+  mirror_failover(*report);
+  outcome.failovers.push_back(*report);
+
+  // Re-test the link with the fresh switch: if the host side is at
+  // fault, the failure persists.
+  DeviceUid host_dev = fabric_->device_of_host(host);
+  bool host_side_healthy =
+      fabric_->interface_healthy(InterfaceRef{host_dev, cs});
+
+  if (host_side_healthy) {
+    fabric_->network().restore_link(link);
+    outcome.recovered = true;
+    outcome.detail = "edge switch replaced; host link recovered";
+    // The replaced switch is presumed faulty; it can still be diagnosed
+    // offline against backups (not against the host).
+    diagnosis_queue_.push_back(
+        PendingDiagnosis{old_dev, sharebackup::kNoDeviceUid, cs});
+  } else {
+    // Failure persists: the switch was not the problem. Redress it and
+    // flag the host for troubleshooting (§4.2).
+    fabric_->return_to_pool(old_dev);
+    mirror_return(old_dev);
+    ++stats_.switches_exonerated;
+    audit("host-flagged",
+          fabric_->network().node(host).name + " (switch redressed)");
+    retry_pending();
+    flagged_hosts_.push_back(host);
+    ++stats_.hosts_flagged;
+    outcome.recovered = false;
+    outcome.detail = "failure persists after replacement: host flagged";
+  }
+  outcome.control_latency = control_path_latency();
+  return outcome;
+}
+
+std::size_t Controller::run_pending_diagnosis() {
+  std::size_t processed = 0;
+  while (!diagnosis_queue_.empty()) {
+    PendingDiagnosis job = diagnosis_queue_.front();
+    diagnosis_queue_.pop_front();
+    ++processed;
+    ++stats_.diagnoses_run;
+
+    auto handle_verdict = [this](const SuspectVerdict& v) {
+      if (v.device == sharebackup::kNoDeviceUid) return;
+      if (v.healthy) {
+        fabric_->return_to_pool(v.device);
+        mirror_return(v.device);
+        ++stats_.switches_exonerated;
+        audit("diagnosis", fabric_->device(v.device).name + " exonerated");
+      } else {
+        ++stats_.switches_confirmed_faulty;
+        audit("diagnosis",
+              fabric_->device(v.device).name + " confirmed faulty");
+      }
+    };
+
+    if (job.b == sharebackup::kNoDeviceUid) {
+      SuspectVerdict v = engine_.diagnose_interface(job.a, job.cs);
+      handle_verdict(v);
+    } else {
+      DiagnosisResult r = engine_.diagnose_link(job.a, job.b, job.cs);
+      handle_verdict(r.first);
+      handle_verdict(r.second);
+    }
+  }
+  if (processed > 0) retry_pending();
+  return processed;
+}
+
+void Controller::on_device_repaired(DeviceUid dev) {
+  SBK_EXPECTS(fabric_->device_state(dev) == DeviceState::kOut);
+  fabric_->heal_device(dev);
+  fabric_->return_to_pool(dev);
+  mirror_return(dev);
+  audit("repair", fabric_->device(dev).name + " healed, back in pool");
+  retry_pending();
+}
+
+}  // namespace sbk::control

@@ -1,0 +1,201 @@
+// The logically centralized ShareBackup network controller (§4).
+//
+// Responsibilities implemented here:
+//   * node-failure recovery: allocate a backup from the failure group and
+//     reconfigure the group's circuit switches (§4.1);
+//   * link-failure recovery: replace the switches on *both* sides
+//     immediately, then queue offline diagnosis to exonerate the healthy
+//     one and return it to the pool (§4.1-4.2);
+//   * host-link policy: hosts cannot be probed offline, so the edge
+//     switch is assumed at fault; if the failure persists after the
+//     replacement, the switch is redressed healthy and the host flagged
+//     for troubleshooting (§4.2);
+//   * circuit-switch watchdog: a burst of link-failure reports localized
+//     to one circuit switch stops automatic recovery and requests human
+//     intervention (§5.1);
+//   * recovery-latency accounting (§5.3): detection + notification +
+//     processing + circuit reconfiguration.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "control/diagnosis.hpp"
+#include "control/table_manager.hpp"
+#include "sharebackup/fabric.hpp"
+#include "util/time.hpp"
+
+namespace sbk::control {
+
+struct ControllerConfig {
+  /// Keep-alive / link-probe interval (same as F10 and Aspen Tree, §5.3).
+  Seconds probe_interval = milliseconds(1);
+  /// Consecutive misses before a failure is declared.
+  int miss_threshold = 3;
+  /// One-way switch-to-controller report latency ("sub-ms with an
+  /// efficient kernel-module implementation", §5.3).
+  Seconds report_latency = microseconds(100);
+  /// Controller decision time per failure event.
+  Seconds processing_latency = microseconds(50);
+  /// One-way controller-to-circuit-switch command latency.
+  Seconds command_latency = microseconds(100);
+  /// Link-failure reports attributable to one circuit switch within the
+  /// window before recovery halts and humans are paged (§5.1).
+  std::size_t watchdog_threshold = 4;
+  Seconds watchdog_window = 1.0;
+};
+
+/// What the controller did about one failure event.
+struct RecoveryOutcome {
+  bool recovered = false;
+  /// Failovers executed (2 for a switch-switch link failure).
+  std::vector<sharebackup::Fabric::FailoverReport> failovers;
+  /// Report arrival to circuits reconfigured (excludes detection time;
+  /// see RecoveryLatencyModel for end-to-end numbers).
+  Seconds control_latency = 0.0;
+  std::string detail;
+};
+
+/// One entry of the controller's append-only audit trail: everything an
+/// operator needs to reconstruct what the control plane did and when.
+struct AuditEntry {
+  Seconds at = 0.0;
+  std::string event;   ///< e.g. "failover", "diagnosis", "repair"
+  std::string detail;  ///< human-readable specifics
+};
+
+/// Aggregate controller statistics.
+struct ControllerStats {
+  std::size_t node_failures_handled = 0;
+  std::size_t link_failures_handled = 0;
+  std::size_t host_link_failures_handled = 0;
+  std::size_t failovers = 0;
+  std::size_t recoveries_failed_pool_exhausted = 0;
+  std::size_t diagnoses_run = 0;
+  std::size_t switches_exonerated = 0;
+  std::size_t switches_confirmed_faulty = 0;
+  std::size_t hosts_flagged = 0;
+  std::size_t watchdog_trips = 0;
+};
+
+class Controller {
+ public:
+  Controller(sharebackup::Fabric& fabric, ControllerConfig config);
+
+  [[nodiscard]] const ControllerConfig& config() const noexcept {
+    return config_;
+  }
+
+  // --- failure handling ------------------------------------------------------
+  /// Handles a detected switch (node) failure at `pos`. The caller (the
+  /// failure detector or a test) must already have failed the position's
+  /// node in the Network; recovery restores it.
+  RecoveryOutcome on_switch_failure(sharebackup::SwitchPosition pos);
+
+  /// Handles a detected link failure. For switch-switch links both
+  /// endpoints are replaced and diagnosis is queued; for host-edge links
+  /// only the edge switch is replaced, with the host-policy fallback.
+  RecoveryOutcome on_link_failure(net::LinkId link);
+
+  // --- background work --------------------------------------------------------
+  /// Runs all queued offline diagnoses; exonerated devices return to
+  /// their pools. Returns the number processed.
+  std::size_t run_pending_diagnosis();
+  [[nodiscard]] std::size_t pending_diagnosis() const noexcept {
+    return diagnosis_queue_.size();
+  }
+
+  /// A technician repaired a confirmed-faulty device: heal its interfaces
+  /// and return it to the pool as a backup (the paper keeps roles fluid).
+  void on_device_repaired(sharebackup::DeviceUid dev);
+
+  /// Failures that could not be recovered (pool exhausted) are parked and
+  /// automatically retried whenever a device returns to a pool. The
+  /// listener fires for each retried recovery so the caller (e.g.
+  /// ControlPlane) can re-arm detectors and notify observers.
+  using RetryListener = std::function<void(
+      const RecoveryOutcome&, std::optional<net::NodeId> node,
+      std::optional<net::LinkId> link)>;
+  void set_retry_listener(RetryListener listener) {
+    retry_listener_ = std::move(listener);
+  }
+  [[nodiscard]] std::size_t pending_recoveries() const noexcept {
+    return pending_nodes_.size() + pending_links_.size();
+  }
+
+  // --- watchdog / status -------------------------------------------------------
+  [[nodiscard]] bool human_intervention_required() const noexcept {
+    return watchdog_tripped_;
+  }
+  /// Clears the watchdog after manual service (e.g. circuit switch
+  /// rebooted and re-synced from the controller).
+  void acknowledge_intervention() noexcept { watchdog_tripped_ = false; }
+
+  [[nodiscard]] const ControllerStats& stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] const std::vector<net::NodeId>& flagged_hosts() const noexcept {
+    return flagged_hosts_;
+  }
+  /// Append-only operations log (timestamps from set_time()).
+  [[nodiscard]] const std::vector<AuditEntry>& audit_log() const noexcept {
+    return audit_;
+  }
+
+  /// End-to-end recovery latency for one failure under this config:
+  /// detection (worst-case probe misses) + report + processing + command
+  /// + circuit reconfiguration.
+  [[nodiscard]] Seconds end_to_end_recovery_latency() const;
+
+  /// Advances the watchdog's notion of time (reports are timestamped with
+  /// it). Tests and the control-plane simulation drive this.
+  void set_time(Seconds now) noexcept { now_ = now; }
+
+  /// Attaches the §4.3 routing-table mirror: every failover / pool
+  /// return the controller performs is reflected in the manager's
+  /// ImpersonationStore, keeping preloaded-table assignment in sync with
+  /// the physical devices. Optional; pass nullptr to detach. The manager
+  /// must outlive the controller.
+  void attach_table_manager(TableManager* tables) noexcept {
+    tables_ = tables;
+  }
+
+ private:
+  struct PendingDiagnosis {
+    sharebackup::DeviceUid a;
+    sharebackup::DeviceUid b;
+    std::size_t cs;
+  };
+
+  void note_link_report_for_watchdog(std::size_t cs);
+  [[nodiscard]] Seconds control_path_latency() const;
+
+  void mirror_failover(const sharebackup::Fabric::FailoverReport& report);
+  void mirror_return(sharebackup::DeviceUid dev);
+  void park_node(sharebackup::SwitchPosition pos);
+  void park_link(net::LinkId link);
+  void audit(std::string event, std::string detail);
+  /// Re-attempts parked recoveries after a pool replenishment.
+  void retry_pending();
+
+  sharebackup::Fabric* fabric_;
+  ControllerConfig config_;
+  DiagnosisEngine engine_;
+  TableManager* tables_ = nullptr;
+  std::deque<PendingDiagnosis> diagnosis_queue_;
+  std::vector<sharebackup::SwitchPosition> pending_nodes_;
+  std::vector<net::LinkId> pending_links_;
+  RetryListener retry_listener_;
+  bool retrying_ = false;
+  std::vector<std::pair<Seconds, std::size_t>> recent_link_reports_;
+  std::vector<net::NodeId> flagged_hosts_;
+  std::vector<AuditEntry> audit_;
+  ControllerStats stats_;
+  bool watchdog_tripped_ = false;
+  Seconds now_ = 0.0;
+};
+
+}  // namespace sbk::control

@@ -1,0 +1,108 @@
+#include "control/controller_cluster.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace sbk::control {
+
+ControllerCluster::ControllerCluster(sim::EventQueue& queue,
+                                     ClusterConfig config)
+    : queue_(&queue), config_(config), alive_(config.members, true) {
+  SBK_EXPECTS(config_.members >= 1);
+  SBK_EXPECTS(config_.heartbeat_interval > 0.0);
+  SBK_EXPECTS(config_.miss_threshold >= 1);
+  // Highest id wins elections; the initial primary is the highest id.
+  primary_ = config_.members - 1;
+}
+
+void ControllerCluster::start(Seconds horizon) {
+  Seconds first = queue_->now() + config_.heartbeat_interval;
+  if (first <= horizon) {
+    queue_->schedule_at(first, [this, horizon] { heartbeat_tick(horizon); });
+  }
+}
+
+void ControllerCluster::track_availability() {
+  bool avail = available();
+  if (!avail && !unavailable_since_.has_value()) {
+    unavailable_since_ = queue_->now();
+  } else if (avail && unavailable_since_.has_value()) {
+    downtime_ += queue_->now() - *unavailable_since_;
+    unavailable_since_.reset();
+  }
+}
+
+void ControllerCluster::heartbeat_tick(Seconds horizon) {
+  if (!election_in_progress_) {
+    bool primary_ok =
+        primary_.has_value() && alive_[*primary_];
+    if (primary_ok) {
+      primary_misses_ = 0;
+    } else {
+      ++primary_misses_;
+      if (primary_misses_ >= config_.miss_threshold) start_election();
+    }
+  }
+  Seconds next = queue_->now() + config_.heartbeat_interval;
+  if (next <= horizon) {
+    queue_->schedule_at(next, [this, horizon] { heartbeat_tick(horizon); });
+  }
+}
+
+void ControllerCluster::start_election() {
+  if (election_in_progress_) return;
+  election_in_progress_ = true;
+  primary_.reset();
+  track_availability();
+  queue_->schedule_in(config_.election_duration,
+                      [this] { finish_election(); });
+}
+
+void ControllerCluster::finish_election() {
+  election_in_progress_ = false;
+  primary_misses_ = 0;
+  ++term_;
+  // Highest live id wins.
+  primary_.reset();
+  for (std::size_t i = alive_.size(); i-- > 0;) {
+    if (alive_[i]) {
+      primary_ = i;
+      break;
+    }
+  }
+  track_availability();
+  if (primary_.has_value()) {
+    SBK_LOG_INFO("cluster", "term " << term_ << ": controller " << *primary_
+                                    << " elected primary");
+    if (election_cb_) election_cb_(*primary_, term_, queue_->now());
+  } else {
+    SBK_LOG_WARN("cluster", "term " << term_ << ": no live controllers");
+  }
+}
+
+void ControllerCluster::fail_member(std::size_t id) {
+  SBK_EXPECTS(id < alive_.size());
+  alive_[id] = false;
+  track_availability();
+}
+
+void ControllerCluster::repair_member(std::size_t id) {
+  SBK_EXPECTS(id < alive_.size());
+  alive_[id] = true;
+  // A repaired member rejoins as a follower; if there is no primary and
+  // no election running, the next heartbeat tick will start one.
+}
+
+std::optional<std::size_t> ControllerCluster::primary() const {
+  if (primary_.has_value() && alive_[*primary_]) return primary_;
+  return std::nullopt;
+}
+
+bool ControllerCluster::member_alive(std::size_t id) const {
+  SBK_EXPECTS(id < alive_.size());
+  return alive_[id];
+}
+
+}  // namespace sbk::control

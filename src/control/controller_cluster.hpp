@@ -1,0 +1,81 @@
+// Controller replication (§5.1): the logically centralized controller is
+// a small cluster; switches report to all members; a primary is elected
+// to act on failures, and a replacement is elected when the primary dies.
+//
+// The election is a term-based bully variant over a heartbeat discrete-
+// event simulation: every member heartbeats; when a member misses the
+// primary's heartbeats, it starts an election for the next term; the
+// highest-id live member wins. This is intentionally simple — the paper
+// leaves controller coordination as an open question (§6) — but it
+// demonstrates the availability property the architecture assumes:
+// failure reactions continue after any minority of controllers die.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+namespace sbk::control {
+
+struct ClusterConfig {
+  std::size_t members = 3;
+  Seconds heartbeat_interval = milliseconds(10);
+  int miss_threshold = 3;
+  /// Time to complete an election once started.
+  Seconds election_duration = milliseconds(5);
+};
+
+class ControllerCluster {
+ public:
+  ControllerCluster(sim::EventQueue& queue, ClusterConfig config);
+
+  /// Starts heartbeating until `horizon`.
+  void start(Seconds horizon);
+
+  /// Crash / repair a member (by id in [0, members)).
+  void fail_member(std::size_t id);
+  void repair_member(std::size_t id);
+
+  [[nodiscard]] std::optional<std::size_t> primary() const;
+  [[nodiscard]] bool member_alive(std::size_t id) const;
+  [[nodiscard]] std::size_t term() const noexcept { return term_; }
+  /// True while an election is in flight (no primary to act on failures).
+  [[nodiscard]] bool election_in_progress() const noexcept {
+    return election_in_progress_;
+  }
+  /// Can the cluster currently react to network failures?
+  [[nodiscard]] bool available() const {
+    return primary().has_value() && !election_in_progress_;
+  }
+
+  using ElectionCallback =
+      std::function<void(std::size_t new_primary, std::size_t term,
+                         Seconds at)>;
+  void on_election(ElectionCallback cb) { election_cb_ = std::move(cb); }
+
+  /// Total unavailability (no usable primary) accumulated up to now.
+  [[nodiscard]] Seconds downtime() const noexcept { return downtime_; }
+
+ private:
+  void heartbeat_tick(Seconds horizon);
+  void start_election();
+  void finish_election();
+  void track_availability();
+
+  sim::EventQueue* queue_;
+  ClusterConfig config_;
+  std::vector<bool> alive_;
+  std::optional<std::size_t> primary_;
+  std::size_t term_ = 0;
+  int primary_misses_ = 0;
+  bool election_in_progress_ = false;
+  ElectionCallback election_cb_;
+  Seconds downtime_ = 0.0;
+  std::optional<Seconds> unavailable_since_;
+};
+
+}  // namespace sbk::control

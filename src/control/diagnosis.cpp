@@ -1,0 +1,173 @@
+#include "control/diagnosis.hpp"
+
+#include "sharebackup/circuit_switch.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace sbk::control {
+
+using sharebackup::Attachment;
+using sharebackup::CircuitSwitch;
+using sharebackup::DeviceState;
+using sharebackup::PortClass;
+
+bool DiagnosisEngine::port_is_testable(std::size_t cs, int port) const {
+  const CircuitSwitch& sw = fabric_->circuit_switch(cs);
+  if (sw.is_matched(port)) return false;  // carrying a live circuit
+  const Attachment& a = sw.attachment(port);
+  if (a.kind != Attachment::Kind::kDeviceInterface) return false;
+  const sharebackup::PhysicalDevice& dev = fabric_->device(a.device);
+  if (dev.is_host) return false;  // hosts are always in use (§4.2)
+  // Diagnosis may only involve devices out of service or idle backups.
+  return fabric_->device_state(a.device) != DeviceState::kInService;
+}
+
+std::vector<DiagnosisEngine::TestTarget> DiagnosisEngine::enumerate_targets(
+    InterfaceRef suspect, DeviceUid other_suspect) {
+  std::vector<TestTarget> targets;
+  const CircuitSwitch& sw = fabric_->circuit_switch(suspect.cs);
+  const int suspect_port = fabric_->device_port_on(suspect.device, suspect.cs);
+
+  // (1) The other suspect's interface on the same circuit switch.
+  if (other_suspect != sharebackup::kNoDeviceUid) {
+    if (auto p = sw.port_of_device(other_suspect);
+        p.has_value() && port_is_testable(suspect.cs, *p)) {
+      targets.push_back(TestTarget{suspect.cs, *p});
+    }
+  }
+
+  // (2) Idle backup (or other offline) interfaces on the same switch.
+  for (int p = 0; p < sw.port_count() && targets.size() < 3; ++p) {
+    if (p == suspect_port) continue;
+    if (!port_is_testable(suspect.cs, p)) continue;
+    const Attachment& a = sw.attachment(p);
+    if (a.device == suspect.device || a.device == other_suspect) continue;
+    targets.push_back(TestTarget{suspect.cs, p});
+    break;  // one same-switch backup target is enough for this config
+  }
+
+  // (3) Through the side-port ring: an interface on a neighboring
+  // circuit switch — preferably the suspect device's own (Fig. 4's
+  // "interfaces on the same switch"), else any testable one.
+  for (PortClass side : {PortClass::kSideRight, PortClass::kSideLeft}) {
+    if (targets.size() >= 3) break;
+    const Attachment& cable = sw.attachment(sw.port(side));
+    if (cable.kind != Attachment::Kind::kSidePeer) continue;  // no ring
+    auto neighbor = static_cast<std::size_t>(cable.peer_cs);
+    const CircuitSwitch& nsw = fabric_->circuit_switch(neighbor);
+    // Own interface first.
+    if (auto p = nsw.port_of_device(suspect.device);
+        p.has_value() && port_is_testable(neighbor, *p)) {
+      targets.push_back(TestTarget{neighbor, *p});
+      continue;
+    }
+    for (int p = 0; p < nsw.port_count(); ++p) {
+      if (!port_is_testable(neighbor, p)) continue;
+      const Attachment& a = nsw.attachment(p);
+      if (a.device == suspect.device) continue;
+      targets.push_back(TestTarget{neighbor, p});
+      break;
+    }
+  }
+
+  if (targets.size() > 3) targets.resize(3);
+  return targets;
+}
+
+bool DiagnosisEngine::run_configuration(InterfaceRef suspect,
+                                        const TestTarget& target,
+                                        std::size_t* ops) {
+  CircuitSwitch& sw = fabric_->circuit_switch(suspect.cs);
+  const int suspect_port = fabric_->device_port_on(suspect.device, suspect.cs);
+  SBK_EXPECTS_MSG(!sw.is_matched(suspect_port),
+                  "suspect must be offline with idle ports");
+
+  if (target.cs == suspect.cs) {
+    sw.connect(suspect_port, target.port);
+    bool ok = fabric_->probe(suspect);
+    sw.disconnect(suspect_port);
+    *ops += 2;
+    return ok;
+  }
+
+  // One ring hop: suspect_port <-> side port, neighbor side port <->
+  // target port.
+  CircuitSwitch& nsw = fabric_->circuit_switch(target.cs);
+  int side = -1;
+  int neighbor_side = -1;
+  for (PortClass cls : {PortClass::kSideRight, PortClass::kSideLeft}) {
+    int p = sw.port(cls);
+    const Attachment& a = sw.attachment(p);
+    if (a.kind == Attachment::Kind::kSidePeer &&
+        static_cast<std::size_t>(a.peer_cs) == target.cs &&
+        !sw.is_matched(p) && !nsw.is_matched(a.peer_port)) {
+      side = p;
+      neighbor_side = a.peer_port;
+      break;
+    }
+  }
+  if (side < 0) return false;  // ring unavailable; treat as failed config
+
+  sw.connect(suspect_port, side);
+  nsw.connect(neighbor_side, target.port);
+  bool ok = fabric_->probe(suspect);
+  sw.disconnect(suspect_port);
+  nsw.disconnect(neighbor_side);
+  *ops += 4;
+  return ok;
+}
+
+SuspectVerdict DiagnosisEngine::diagnose_interface(DeviceUid dev,
+                                                   std::size_t cs) {
+  SBK_EXPECTS_MSG(fabric_->device_state(dev) == DeviceState::kOut,
+                  "diagnosis runs only on devices taken offline");
+  SuspectVerdict verdict;
+  verdict.device = dev;
+  std::size_t ops = 0;
+  InterfaceRef iface{dev, cs};
+  for (const TestTarget& t :
+       enumerate_targets(iface, sharebackup::kNoDeviceUid)) {
+    ++verdict.configurations_built;
+    if (run_configuration(iface, t, &ops)) ++verdict.configurations_passed;
+  }
+  verdict.healthy = verdict.configurations_passed > 0;
+  return verdict;
+}
+
+DiagnosisResult DiagnosisEngine::diagnose_link(DeviceUid a, DeviceUid b,
+                                               std::size_t cs) {
+  SBK_EXPECTS(a != b);
+  SBK_EXPECTS_MSG(fabric_->device_state(a) == DeviceState::kOut &&
+                      fabric_->device_state(b) == DeviceState::kOut,
+                  "both suspects must be offline before diagnosis");
+  DiagnosisResult result;
+  std::size_t ops = 0;
+
+  auto diagnose_one = [&](DeviceUid dev, DeviceUid other) {
+    SuspectVerdict verdict;
+    verdict.device = dev;
+    InterfaceRef iface{dev, cs};
+    for (const TestTarget& t : enumerate_targets(iface, other)) {
+      ++verdict.configurations_built;
+      if (run_configuration(iface, t, &ops)) {
+        ++verdict.configurations_passed;
+      }
+    }
+    verdict.healthy = verdict.configurations_passed > 0;
+    return verdict;
+  };
+
+  result.first = diagnose_one(a, b);
+  result.second = diagnose_one(b, a);
+  result.circuit_operations = ops;
+  SBK_LOG_INFO("diagnosis",
+               "link diagnosis: " << fabric_->device(a).name
+                                  << (result.first.healthy ? " healthy"
+                                                           : " FAULTY")
+                                  << ", " << fabric_->device(b).name
+                                  << (result.second.healthy ? " healthy"
+                                                            : " FAULTY"));
+  return result;
+}
+
+}  // namespace sbk::control

@@ -1,0 +1,80 @@
+// Offline failure diagnosis (§4.2). After a link failure both endpoint
+// switches are replaced immediately; this engine later determines which
+// "suspect interface" actually caused the failure, using circuit
+// reconfiguration only among devices that are out of service — the
+// production network is never touched (asserted).
+//
+// Per Figure 4, each suspect interface is tested under up to three
+// circuit configurations connecting it to three different interfaces:
+//   (1) the other suspect's interface on the same circuit switch;
+//   (2) an idle backup switch's interface on the same circuit switch;
+//   (3) the suspect device's *own* interface on a neighboring circuit
+//       switch, reached through the side-port ring.
+// An interface with connectivity in at least one configuration is
+// redressed healthy, and so is its switch. If no configuration can even
+// be built (no testable peer), the switch is conservatively considered
+// faulty — the paper's "both sides need at least one healthy interface"
+// condition.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sharebackup/fabric.hpp"
+
+namespace sbk::control {
+
+using sharebackup::DeviceUid;
+using sharebackup::Fabric;
+using sharebackup::InterfaceRef;
+
+/// Verdict for one suspect switch.
+struct SuspectVerdict {
+  DeviceUid device = sharebackup::kNoDeviceUid;
+  bool healthy = false;
+  int configurations_built = 0;
+  int configurations_passed = 0;
+};
+
+/// Outcome of diagnosing one failed link.
+struct DiagnosisResult {
+  SuspectVerdict first;
+  SuspectVerdict second;  ///< unset (kNoDeviceUid) for host-side failures
+  std::size_t circuit_operations = 0;  ///< connect/disconnect ops used
+};
+
+class DiagnosisEngine {
+ public:
+  explicit DiagnosisEngine(Fabric& fabric) : fabric_(&fabric) {}
+
+  /// Diagnoses the failed link whose circuit lived on `cs`, between the
+  /// two now-offline devices `a` and `b`. Preconditions: both devices are
+  /// kOut; their ports are idle.
+  [[nodiscard]] DiagnosisResult diagnose_link(DeviceUid a, DeviceUid b,
+                                              std::size_t cs);
+
+  /// Diagnoses a single offline device's interface on `cs` against
+  /// whatever idle peers exist (used for host-link suspects, where the
+  /// host side cannot be probed).
+  [[nodiscard]] SuspectVerdict diagnose_interface(DeviceUid dev,
+                                                  std::size_t cs);
+
+ private:
+  /// Builds a circuit from `suspect`'s port on its switch to `target`,
+  /// probes, tears the circuit down, and returns the probe result.
+  /// Targets may live on the same switch or one ring hop away.
+  struct TestTarget {
+    std::size_t cs;
+    int port;
+  };
+  [[nodiscard]] bool run_configuration(InterfaceRef suspect,
+                                       const TestTarget& target,
+                                       std::size_t* ops);
+  [[nodiscard]] std::vector<TestTarget> enumerate_targets(
+      InterfaceRef suspect, DeviceUid other_suspect);
+  [[nodiscard]] bool port_is_testable(std::size_t cs, int port) const;
+
+  Fabric* fabric_;
+};
+
+}  // namespace sbk::control

@@ -1,0 +1,93 @@
+#include "control/failure_detector.hpp"
+
+#include "util/assert.hpp"
+
+namespace sbk::control {
+
+FailureDetector::FailureDetector(sim::EventQueue& queue,
+                                 const net::Network& net,
+                                 DetectorConfig config)
+    : queue_(&queue), net_(&net), config_(config) {
+  SBK_EXPECTS(config_.probe_interval > 0.0);
+  SBK_EXPECTS(config_.miss_threshold >= 1);
+  SBK_EXPECTS(config_.phase >= 0.0);
+}
+
+void FailureDetector::watch_node(net::NodeId node, Seconds horizon) {
+  node_misses_[node] = 0;
+  node_reported_[node] = false;
+  Seconds first = queue_->now() + config_.phase + config_.probe_interval;
+  if (first <= horizon) {
+    queue_->schedule_at(first, [this, node, horizon] {
+      probe_node(node, horizon);
+    });
+  }
+}
+
+void FailureDetector::watch_link(net::LinkId link, Seconds horizon) {
+  link_misses_[link] = 0;
+  link_reported_[link] = false;
+  Seconds first = queue_->now() + config_.phase + config_.probe_interval;
+  if (first <= horizon) {
+    queue_->schedule_at(first, [this, link, horizon] {
+      probe_link(link, horizon);
+    });
+  }
+}
+
+void FailureDetector::probe_node(net::NodeId node, Seconds horizon) {
+  // The keep-alive arrives iff the node is up.
+  if (net_->node_failed(node)) {
+    int& misses = node_misses_[node];
+    ++misses;
+    if (misses >= config_.miss_threshold && !node_reported_[node]) {
+      node_reported_[node] = true;
+      if (node_cb_) node_cb_(node, queue_->now());
+    }
+  } else {
+    node_misses_[node] = 0;
+  }
+  Seconds next = queue_->now() + config_.probe_interval;
+  if (next <= horizon) {
+    queue_->schedule_at(next, [this, node, horizon] {
+      probe_node(node, horizon);
+    });
+  }
+}
+
+void FailureDetector::probe_link(net::LinkId link, Seconds horizon) {
+  // A link probe succeeds iff the link and both endpoints are up. A dead
+  // endpoint is detected by the node keep-alives; the link path still
+  // fails its probes, but a node-failure report takes precedence at the
+  // controller, so we only report when both endpoints are alive.
+  const net::Link& l = net_->link(link);
+  bool endpoints_up = !net_->node_failed(l.a) && !net_->node_failed(l.b);
+  if (net_->link_failed(link) && endpoints_up) {
+    int& misses = link_misses_[link];
+    ++misses;
+    if (misses >= config_.miss_threshold && !link_reported_[link]) {
+      link_reported_[link] = true;
+      if (link_cb_) link_cb_(link, queue_->now());
+    }
+  } else if (!net_->link_failed(link)) {
+    link_misses_[link] = 0;
+  }
+  Seconds next = queue_->now() + config_.probe_interval;
+  if (next <= horizon) {
+    queue_->schedule_at(next, [this, link, horizon] {
+      probe_link(link, horizon);
+    });
+  }
+}
+
+void FailureDetector::rearm_node(net::NodeId node) {
+  node_misses_[node] = 0;
+  node_reported_[node] = false;
+}
+
+void FailureDetector::rearm_link(net::LinkId link) {
+  link_misses_[link] = 0;
+  link_reported_[link] = false;
+}
+
+}  // namespace sbk::control

@@ -1,0 +1,65 @@
+// Discrete-event failure detection (§4.1): switches send keep-alive
+// messages to the controller every probe interval; adjacent devices probe
+// their links the same way (the F10 rapid-detection mechanism the paper
+// adopts). A failure is declared after `miss_threshold` consecutive
+// missed probes, and the registered callback fires with the detection
+// timestamp — which the recovery-latency experiments compare against the
+// injection timestamp.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/network.hpp"
+#include "sim/event_queue.hpp"
+#include "util/time.hpp"
+
+namespace sbk::control {
+
+struct DetectorConfig {
+  Seconds probe_interval = milliseconds(1);
+  int miss_threshold = 3;
+  /// Phase offset of the first probe (probes at phase, phase+interval, ...).
+  Seconds phase = 0.0;
+};
+
+/// Watches nodes (keep-alives) and links (pairwise probes) of a Network
+/// and reports failures. The Network's failure flags are the ground
+/// truth a probe observes.
+class FailureDetector {
+ public:
+  FailureDetector(sim::EventQueue& queue, const net::Network& net,
+                  DetectorConfig config);
+
+  /// Starts watching a node / link. Probing events are scheduled up to
+  /// `horizon`.
+  void watch_node(net::NodeId node, Seconds horizon);
+  void watch_link(net::LinkId link, Seconds horizon);
+
+  using NodeCallback = std::function<void(net::NodeId, Seconds)>;
+  using LinkCallback = std::function<void(net::LinkId, Seconds)>;
+  void on_node_failure(NodeCallback cb) { node_cb_ = std::move(cb); }
+  void on_link_failure(LinkCallback cb) { link_cb_ = std::move(cb); }
+
+  /// A recovered element is re-armed for future detections.
+  void rearm_node(net::NodeId node);
+  void rearm_link(net::LinkId link);
+
+ private:
+  void probe_node(net::NodeId node, Seconds horizon);
+  void probe_link(net::LinkId link, Seconds horizon);
+
+  sim::EventQueue* queue_;
+  const net::Network* net_;
+  DetectorConfig config_;
+  std::unordered_map<net::NodeId, int> node_misses_;
+  std::unordered_map<net::LinkId, int> link_misses_;
+  std::unordered_map<net::NodeId, bool> node_reported_;
+  std::unordered_map<net::LinkId, bool> link_reported_;
+  NodeCallback node_cb_;
+  LinkCallback link_cb_;
+};
+
+}  // namespace sbk::control

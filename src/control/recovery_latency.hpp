@@ -1,0 +1,61 @@
+// Recovery-latency component model (§5.3). The paper argues ShareBackup
+// recovers as fast as the most responsive local-rerouting schemes (F10,
+// Aspen Tree): both pay the same failure-detection time; after that,
+// rerouting needs at least one forwarding-rule update (~1 ms via SDN,
+// He et al. SOSR'15), while ShareBackup needs controller round-trips
+// (sub-ms with a kernel-module controller) plus a circuit reset (70 ns
+// crosspoint / 40 us 2D-MEMS).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sharebackup/circuit_switch.hpp"
+#include "util/time.hpp"
+
+namespace sbk::control {
+
+struct LatencyBreakdown {
+  std::string scheme;
+  Seconds detection = 0.0;      ///< probe misses until declared
+  Seconds notification = 0.0;   ///< switch -> controller (0 for local)
+  Seconds decision = 0.0;       ///< controller / switch-local processing
+  Seconds reconfiguration = 0.0;///< circuit reset or rule installation
+  [[nodiscard]] Seconds total() const noexcept {
+    return detection + notification + decision + reconfiguration;
+  }
+};
+
+struct LatencyModelParams {
+  Seconds probe_interval = milliseconds(1);
+  int miss_threshold = 3;
+  /// One-way switch->controller and controller->circuit-switch latency
+  /// (sub-ms, §5.3).
+  Seconds control_channel_one_way = microseconds(100);
+  Seconds controller_processing = microseconds(50);
+  /// SDN forwarding-rule modification latency (~1 ms, [17]).
+  Seconds sdn_rule_update = milliseconds(1);
+  /// Local rerouting decision on the switch data plane.
+  Seconds local_decision = microseconds(10);
+};
+
+/// ShareBackup end-to-end recovery for the given circuit technology.
+[[nodiscard]] LatencyBreakdown sharebackup_latency(
+    const LatencyModelParams& p, sharebackup::CircuitTechnology tech);
+
+/// F10 / Aspen-style local rerouting: detection + local decision + one
+/// forwarding-rule change.
+[[nodiscard]] LatencyBreakdown local_reroute_latency(
+    const LatencyModelParams& p, const std::string& scheme = "f10-local");
+
+/// Fat-tree global rerouting: detection + failure propagation to the
+/// controller + rule updates at `rule_updates` upstream switches
+/// (sequential pipeline bound by the slowest path).
+[[nodiscard]] LatencyBreakdown global_reroute_latency(
+    const LatencyModelParams& p, int rule_updates);
+
+/// All schemes side by side (the §5.3 comparison).
+[[nodiscard]] std::vector<LatencyBreakdown> latency_comparison(
+    const LatencyModelParams& p);
+
+}  // namespace sbk::control

@@ -1,0 +1,77 @@
+#include "control/table_manager.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sbk::control {
+
+using sharebackup::Fabric;
+using topo::Layer;
+using topo::SwitchPosition;
+
+TableManager::TableManager(const Fabric& fabric)
+    : store_(fabric.k(),
+             std::max({fabric.n(), 0})) {
+  const int k = fabric.k();
+  const int half = k / 2;
+
+  auto map_group = [&](Layer layer, int group) {
+    for (int slot = 0; slot < half; ++slot) {
+      SwitchPosition pos{layer, layer == Layer::kCore ? -1 : group,
+                         layer == Layer::kCore ? slot * half + group : slot};
+      to_store_[fabric.device_at(pos)] = store_.device_at(pos);
+    }
+    auto fabric_spares = fabric.spares(layer, group);
+    auto store_spares = store_.spares(layer, group);
+    SBK_EXPECTS_MSG(fabric_spares.size() <= store_spares.size(),
+                    "store must provision at least the fabric's backups");
+    for (std::size_t i = 0; i < fabric_spares.size(); ++i) {
+      to_store_[fabric_spares[i]] = store_spares[i];
+    }
+  };
+  for (int pod = 0; pod < k; ++pod) {
+    map_group(Layer::kEdge, pod);
+    map_group(Layer::kAgg, pod);
+  }
+  for (int u = 0; u < half; ++u) map_group(Layer::kCore, u);
+}
+
+void TableManager::on_fail_over(const Fabric::FailoverReport& report) {
+  auto mirrored = store_.fail_over(report.position);
+  SBK_ENSURES(mirrored.has_value());
+  SBK_ENSURES(mirrored->failed == store_device(report.failed_device));
+  to_store_[report.replacement] = mirrored->replacement;
+}
+
+void TableManager::on_return_to_pool(sharebackup::DeviceUid fabric_device) {
+  store_.return_to_pool(store_device(fabric_device));
+}
+
+routing::DeviceUid TableManager::store_device(
+    sharebackup::DeviceUid fabric_device) const {
+  auto it = to_store_.find(fabric_device);
+  SBK_EXPECTS_MSG(it != to_store_.end(),
+                  "fabric device has no mirrored table-store device");
+  return it->second;
+}
+
+void TableManager::check_mirrored(const Fabric& fabric) const {
+  const int k = fabric.k();
+  const int half = k / 2;
+  auto check_pos = [&](SwitchPosition pos) {
+    SBK_ENSURES(store_device(fabric.device_at(pos)) ==
+                store_.device_at(pos));
+  };
+  for (int pod = 0; pod < k; ++pod) {
+    for (int j = 0; j < half; ++j) {
+      check_pos({Layer::kEdge, pod, j});
+      check_pos({Layer::kAgg, pod, j});
+    }
+  }
+  for (int c = 0; c < half * half; ++c) {
+    check_pos({Layer::kCore, -1, c});
+  }
+}
+
+}  // namespace sbk::control

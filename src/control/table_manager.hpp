@@ -1,0 +1,51 @@
+// Glue between the physical fabric and the §4.3 routing state: keeps an
+// ImpersonationStore's device/position assignment mirrored to the
+// Fabric's, so tests and operators can verify at any time that the
+// device serving each position holds the right (preloaded) table and
+// that forwarding is unchanged by recoveries.
+//
+// The store and the fabric intentionally have independent device-uid
+// spaces (tables are a control-plane concern; cables are physical); the
+// manager maintains the bijection between them per failure group.
+#pragma once
+
+#include <unordered_map>
+
+#include "routing/impersonation.hpp"
+#include "sharebackup/fabric.hpp"
+
+namespace sbk::control {
+
+class TableManager {
+ public:
+  /// Builds a store matching the fabric's geometry (same k; per-layer
+  /// backup counts are mirrored by the maximum, since the store only
+  /// checks pool bounds per group).
+  explicit TableManager(const sharebackup::Fabric& fabric);
+
+  [[nodiscard]] const routing::ImpersonationStore& store() const noexcept {
+    return store_;
+  }
+
+  /// Mirrors a fabric failover: the store's device at `pos` is replaced
+  /// by a spare, and the mapping fabric-device <-> store-device updated.
+  void on_fail_over(const sharebackup::Fabric::FailoverReport& report);
+
+  /// Mirrors a device returning to the pool (repair / exoneration).
+  void on_return_to_pool(sharebackup::DeviceUid fabric_device);
+
+  /// The store-side device mirroring a fabric device.
+  [[nodiscard]] routing::DeviceUid store_device(
+      sharebackup::DeviceUid fabric_device) const;
+
+  /// Verifies the full mirror: for every position, the store's device at
+  /// that position corresponds to the fabric's device there. Throws
+  /// ContractViolation on divergence.
+  void check_mirrored(const sharebackup::Fabric& fabric) const;
+
+ private:
+  routing::ImpersonationStore store_;
+  std::unordered_map<sharebackup::DeviceUid, routing::DeviceUid> to_store_;
+};
+
+}  // namespace sbk::control

@@ -1,0 +1,105 @@
+#include "cost/cost_model.hpp"
+
+#include "util/assert.hpp"
+
+namespace sbk::cost {
+
+namespace {
+double cube(int k) { return static_cast<double>(k) * k * k; }
+double square(int k) { return static_cast<double>(k) * k; }
+
+void check_k(int k) {
+  SBK_EXPECTS_MSG(k >= 4 && k % 2 == 0, "k must be even and >= 4");
+}
+}  // namespace
+
+CostBreakdown fat_tree_cost(int k, const PriceSet& p) {
+  check_k(k);
+  CostBreakdown c;
+  c.packet_ports = 1.25 * cube(k) * p.packet_port_b;
+  c.links = 0.5 * cube(k) * p.link_c;
+  return c;
+}
+
+CostBreakdown sharebackup_additional(int k, int n, const PriceSet& p) {
+  check_k(k);
+  SBK_EXPECTS(n >= 0);
+  CostBreakdown c;
+  c.circuit_ports =
+      1.5 * square(k) * (k / 2.0 + n + 2.0) * p.circuit_port_a;
+  c.packet_ports = 2.5 * square(k) * n * p.packet_port_b;
+  c.links = 1.25 * square(k) * n * p.link_c;
+  return c;
+}
+
+CostBreakdown aspen_additional(int k, const PriceSet& p) {
+  check_k(k);
+  CostBreakdown c;
+  c.packet_ports = 0.5 * cube(k) * p.packet_port_b;
+  c.links = 0.25 * cube(k) * p.link_c;
+  return c;
+}
+
+CostBreakdown one_to_one_additional(int k, const PriceSet& p) {
+  check_k(k);
+  CostBreakdown c;
+  c.packet_ports = 3.75 * cube(k) * p.packet_port_b;
+  c.links = 1.5 * cube(k) * p.link_c;
+  return c;
+}
+
+double relative_additional(const CostBreakdown& additional,
+                           const CostBreakdown& fat_tree) {
+  SBK_EXPECTS(fat_tree.total() > 0.0);
+  return additional.total() / fat_tree.total();
+}
+
+ShareBackupCounts sharebackup_counts(int k, int n) {
+  check_k(k);
+  ShareBackupCounts counts;
+  // k edge groups + k agg groups + k/2 core groups, n backups each.
+  counts.backup_switches = static_cast<long long>(5LL * k * n) / 2;
+  // 3 sets of k/2 circuit switches per pod.
+  counts.circuit_switches = static_cast<long long>(3LL * k * k) / 2;
+  counts.priced_circuit_ports =
+      counts.circuit_switches * static_cast<long long>(k / 2 + n + 2);
+  // Each backup switch has k ports, each cabled to a circuit switch with
+  // half a link's worth of hardware.
+  counts.extra_cables = 1.25 * square(k) * n;
+  return counts;
+}
+
+std::vector<CostCurvePoint> cost_curves(const std::vector<int>& ks,
+                                        Medium medium) {
+  PriceSet p = PriceSet::for_medium(medium);
+  std::vector<CostCurvePoint> out;
+  out.reserve(ks.size());
+  for (int k : ks) {
+    CostBreakdown base = fat_tree_cost(k, p);
+    CostCurvePoint pt;
+    pt.k = k;
+    pt.hosts = static_cast<long long>(k) * k * k / 4;
+    pt.sharebackup_n1 =
+        relative_additional(sharebackup_additional(k, 1, p), base);
+    pt.sharebackup_n4 =
+        relative_additional(sharebackup_additional(k, 4, p), base);
+    pt.aspen = relative_additional(aspen_additional(k, p), base);
+    pt.one_to_one = relative_additional(one_to_one_additional(k, p), base);
+    out.push_back(pt);
+  }
+  return out;
+}
+
+double backup_ratio(int k, int n) {
+  check_k(k);
+  return static_cast<double>(n) / (k / 2.0);
+}
+
+int max_k_for_ports(int ports, int n) {
+  SBK_EXPECTS(ports > n + 2);
+  // k/2 + n + 2 <= ports  =>  k <= 2*(ports - n - 2)
+  int k = 2 * (ports - n - 2);
+  return k;
+}
+
+}  // namespace sbk::cost

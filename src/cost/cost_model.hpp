@@ -1,0 +1,103 @@
+// Cost model of Table 2 and Figure 5. All quantities are closed-form
+// functions of the fat-tree parameter k and the per-group backup count n,
+// priced with the paper's market prices:
+//
+//   a: per-port cost of circuit switches ($3 electrical crosspoint,
+//      $10 2D-MEMS optical);
+//   b: per-port cost of packet switches ($60: $3000 for a 48-port 10 GbE
+//      bare-metal switch);
+//   c: cost per link ($81 DAC copper; $40 = 2 transceivers + fiber).
+//
+// Equations (Table 2):
+//   fat-tree          = (5/4)k^3 b + (k^3/2) c
+//   ShareBackup extra = (3/2)k^2 (k/2+n+2) a + (5/2)k^2 n b + (5/4)k^2 n c
+//   Aspen Tree extra  = (k^3/2) b + (k^3/4) c
+//   1:1 backup extra  = (15/4)k^3 b + (3/2)k^3 c
+//
+// Structural counts behind the ShareBackup terms (§5.2) — validated
+// against the built Fabric in tests:
+//   backup switches        = (5/2) k n      (k edge groups + k agg groups
+//                                            + k/2 core groups, n each)
+//   extra cables           = (5/4) k^2 n    (in whole-link equivalents;
+//                                            each backup switch port adds
+//                                            half a link)
+//   circuit switch count   = (3/2) k^2      (3 sets of k/2 per pod)
+//   priced CS ports/switch = k/2 + n + 2    (the crossbar dimension)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sbk::cost {
+
+/// Transmission technology of the data center (Table 2's E-DC / O-DC).
+enum class Medium { kElectrical, kOptical };
+
+struct PriceSet {
+  double circuit_port_a = 0.0;
+  double packet_port_b = 0.0;
+  double link_c = 0.0;
+
+  [[nodiscard]] static PriceSet electrical() { return {3.0, 60.0, 81.0}; }
+  [[nodiscard]] static PriceSet optical() { return {10.0, 60.0, 40.0}; }
+  [[nodiscard]] static PriceSet for_medium(Medium m) {
+    return m == Medium::kElectrical ? electrical() : optical();
+  }
+};
+
+/// A cost split by component, in dollars.
+struct CostBreakdown {
+  double circuit_ports = 0.0;
+  double packet_ports = 0.0;
+  double links = 0.0;
+
+  [[nodiscard]] double total() const noexcept {
+    return circuit_ports + packet_ports + links;
+  }
+};
+
+/// Base fat-tree cost.
+[[nodiscard]] CostBreakdown fat_tree_cost(int k, const PriceSet& p);
+
+/// Additional (on top of fat-tree) cost of each robust architecture.
+[[nodiscard]] CostBreakdown sharebackup_additional(int k, int n,
+                                                   const PriceSet& p);
+[[nodiscard]] CostBreakdown aspen_additional(int k, const PriceSet& p);
+[[nodiscard]] CostBreakdown one_to_one_additional(int k, const PriceSet& p);
+
+/// Figure 5's y-axis: additional cost relative to the fat-tree cost.
+[[nodiscard]] double relative_additional(const CostBreakdown& additional,
+                                         const CostBreakdown& fat_tree);
+
+/// Structural counts (§5.2), for cross-validation against the Fabric.
+struct ShareBackupCounts {
+  long long backup_switches = 0;
+  long long circuit_switches = 0;
+  long long priced_circuit_ports = 0;  ///< (3/2)k^2 (k/2+n+2)
+  double extra_cables = 0.0;           ///< whole-link equivalents
+};
+[[nodiscard]] ShareBackupCounts sharebackup_counts(int k, int n);
+
+/// One row of the Figure 5 sweep.
+struct CostCurvePoint {
+  int k = 0;
+  long long hosts = 0;
+  double sharebackup_n1 = 0.0;  ///< relative additional cost
+  double sharebackup_n4 = 0.0;
+  double aspen = 0.0;
+  double one_to_one = 0.0;
+};
+
+/// Sweeps k over the given values for one medium.
+[[nodiscard]] std::vector<CostCurvePoint> cost_curves(
+    const std::vector<int>& ks, Medium medium);
+
+/// Backup ratio n / (k/2) (§5.1).
+[[nodiscard]] double backup_ratio(int k, int n);
+
+/// Largest even k supported by circuit switches with `ports` ports per
+/// side, i.e. k/2 + n + 2 <= ports (§5.3; 32-port 2D MEMS -> k = 58 at
+/// n = 1).
+[[nodiscard]] int max_k_for_ports(int ports, int n);
+
+}  // namespace sbk::cost

@@ -1,0 +1,202 @@
+#include "net/algo.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/assert.hpp"
+
+namespace sbk::net {
+
+namespace {
+
+/// Whether BFS may expand *through* `node` (not merely end there).
+bool can_transit(const Network& net, NodeId node, NodeId src, NodeId dst,
+                 const TraversalOptions& opts) {
+  const Node& n = net.node(node);
+  if (opts.avoid_failures && n.failed) return false;
+  if (opts.hosts_are_endpoints_only && n.kind == NodeKind::kHost &&
+      node != src && node != dst) {
+    return false;
+  }
+  return true;
+}
+
+bool can_use_link(const Network& net, LinkId link,
+                  const TraversalOptions& opts) {
+  return !opts.avoid_failures || !net.link_failed(link);
+}
+
+}  // namespace
+
+std::vector<std::size_t> bfs_distances(const Network& net, NodeId src,
+                                       const TraversalOptions& opts) {
+  SBK_EXPECTS(src.valid() && src.index() < net.node_count());
+  std::vector<std::size_t> dist(net.node_count(), kInvalidDistance);
+  if (opts.avoid_failures && net.node_failed(src)) return dist;
+  dist[src.index()] = 0;
+  std::deque<NodeId> queue{src};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    // A non-transit node (e.g. a host mid-network) gets a distance but is
+    // not expanded. We pass src as both endpoints here because transit
+    // eligibility of u only depends on u being an endpoint; endpoints were
+    // enqueued explicitly.
+    if (u != src && !can_transit(net, u, src, src, opts)) continue;
+    for (const Adjacency& adj : net.adjacent(u)) {
+      if (!can_use_link(net, adj.link, opts)) continue;
+      if (opts.avoid_failures && net.node_failed(adj.peer)) continue;
+      if (dist[adj.peer.index()] == kInvalidDistance) {
+        dist[adj.peer.index()] = dist[u.index()] + 1;
+        queue.push_back(adj.peer);
+      }
+    }
+  }
+  return dist;
+}
+
+Path shortest_path(const Network& net, NodeId src, NodeId dst,
+                   const TraversalOptions& opts) {
+  SBK_EXPECTS(src.valid() && dst.valid());
+  if (src == dst) return Path{{src}, {}};
+  if (opts.avoid_failures &&
+      (net.node_failed(src) || net.node_failed(dst))) {
+    return {};
+  }
+
+  // BFS from src with parent pointers; ties resolved by adjacency order
+  // (stable because adjacency is append-only).
+  std::vector<LinkId> parent_link(net.node_count());
+  std::vector<NodeId> parent_node(net.node_count());
+  std::vector<std::size_t> dist(net.node_count(), kInvalidDistance);
+  dist[src.index()] = 0;
+  std::deque<NodeId> queue{src};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    if (u == dst) break;
+    if (u != src && !can_transit(net, u, src, dst, opts)) continue;
+    for (const Adjacency& adj : net.adjacent(u)) {
+      if (!can_use_link(net, adj.link, opts)) continue;
+      if (opts.avoid_failures && net.node_failed(adj.peer)) continue;
+      if (dist[adj.peer.index()] == kInvalidDistance) {
+        dist[adj.peer.index()] = dist[u.index()] + 1;
+        parent_link[adj.peer.index()] = adj.link;
+        parent_node[adj.peer.index()] = u;
+        queue.push_back(adj.peer);
+      }
+    }
+  }
+  if (dist[dst.index()] == kInvalidDistance) return {};
+
+  Path path;
+  NodeId cur = dst;
+  while (cur != src) {
+    path.nodes.push_back(cur);
+    path.links.push_back(parent_link[cur.index()]);
+    cur = parent_node[cur.index()];
+  }
+  path.nodes.push_back(src);
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+std::vector<Path> all_shortest_paths(const Network& net, NodeId src,
+                                     NodeId dst, std::size_t max_paths,
+                                     const TraversalOptions& opts) {
+  std::vector<Path> out;
+  if (opts.avoid_failures &&
+      (net.node_failed(src) || net.node_failed(dst))) {
+    return out;
+  }
+  if (src == dst) {
+    out.push_back(Path{{src}, {}});
+    return out;
+  }
+
+  // Distances from dst let us walk only along strictly-decreasing-distance
+  // edges from src, enumerating every shortest path via DFS.
+  TraversalOptions rev = opts;
+  std::vector<std::size_t> dist_to_dst = bfs_distances(net, dst, rev);
+  if (dist_to_dst[src.index()] == kInvalidDistance) return out;
+
+  Path partial;
+  partial.nodes.push_back(src);
+
+  // Iterative DFS with an explicit stack of adjacency cursors to avoid
+  // recursion depth issues on large networks.
+  struct Frame {
+    NodeId node;
+    std::size_t next_adjacent = 0;
+  };
+  std::vector<Frame> stack{{src, 0}};
+  while (!stack.empty() && out.size() < max_paths) {
+    Frame& frame = stack.back();
+    NodeId u = frame.node;
+    if (u == dst) {
+      out.push_back(partial);
+      stack.pop_back();
+      if (!partial.links.empty()) {
+        partial.nodes.pop_back();
+        partial.links.pop_back();
+      }
+      continue;
+    }
+    auto adj = net.adjacent(u);
+    bool descended = false;
+    while (frame.next_adjacent < adj.size()) {
+      const Adjacency& a = adj[frame.next_adjacent++];
+      if (!can_use_link(net, a.link, opts)) continue;
+      if (opts.avoid_failures && net.node_failed(a.peer)) continue;
+      if (a.peer != dst && !can_transit(net, a.peer, src, dst, opts)) continue;
+      if (dist_to_dst[a.peer.index()] == kInvalidDistance) continue;
+      if (dist_to_dst[a.peer.index()] + 1 != dist_to_dst[u.index()]) continue;
+      partial.nodes.push_back(a.peer);
+      partial.links.push_back(a.link);
+      stack.push_back({a.peer, 0});
+      descended = true;
+      break;
+    }
+    if (!descended && frame.next_adjacent >= adj.size()) {
+      stack.pop_back();
+      if (!partial.links.empty()) {
+        partial.nodes.pop_back();
+        partial.links.pop_back();
+      }
+    }
+  }
+  return out;
+}
+
+bool reachable(const Network& net, NodeId src, NodeId dst,
+               const TraversalOptions& opts) {
+  if (src == dst) return !(opts.avoid_failures && net.node_failed(src));
+  return !shortest_path(net, src, dst, opts).empty();
+}
+
+std::size_t live_component_count(const Network& net) {
+  std::vector<bool> visited(net.node_count(), false);
+  std::size_t components = 0;
+  for (std::size_t i = 0; i < net.node_count(); ++i) {
+    NodeId start(static_cast<NodeId::value_type>(i));
+    if (visited[i] || net.node_failed(start)) continue;
+    ++components;
+    std::deque<NodeId> queue{start};
+    visited[i] = true;
+    while (!queue.empty()) {
+      NodeId u = queue.front();
+      queue.pop_front();
+      for (const Adjacency& adj : net.adjacent(u)) {
+        if (net.link_failed(adj.link) || net.node_failed(adj.peer)) continue;
+        if (!visited[adj.peer.index()]) {
+          visited[adj.peer.index()] = true;
+          queue.push_back(adj.peer);
+        }
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace sbk::net

@@ -1,0 +1,47 @@
+// Graph algorithms over Network: BFS distances, shortest-path extraction,
+// and enumeration of all equal-cost shortest paths (bounded), which ECMP
+// and the rerouting baselines build on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/path.hpp"
+
+namespace sbk::net {
+
+/// Options controlling which elements an algorithm may traverse.
+struct TraversalOptions {
+  /// Skip failed nodes/links (and links with failed endpoints).
+  bool avoid_failures = true;
+  /// Hosts never forward traffic; only allow hosts as path endpoints.
+  bool hosts_are_endpoints_only = true;
+};
+
+/// Hop distances from `src` to every node (kInvalidDistance if
+/// unreachable).
+inline constexpr std::size_t kInvalidDistance = static_cast<std::size_t>(-1);
+[[nodiscard]] std::vector<std::size_t> bfs_distances(
+    const Network& net, NodeId src, const TraversalOptions& opts = {});
+
+/// One shortest path from src to dst, or an empty path if disconnected.
+/// Deterministic: prefers lower link ids on ties.
+[[nodiscard]] Path shortest_path(const Network& net, NodeId src, NodeId dst,
+                                 const TraversalOptions& opts = {});
+
+/// All distinct shortest paths from src to dst, up to `max_paths`
+/// (fat-tree host pairs have at most (k/2)^2, so the bound is a safety
+/// valve, not a truncation in practice). Deterministic order.
+[[nodiscard]] std::vector<Path> all_shortest_paths(
+    const Network& net, NodeId src, NodeId dst, std::size_t max_paths = 4096,
+    const TraversalOptions& opts = {});
+
+/// True iff dst is reachable from src under the traversal options.
+[[nodiscard]] bool reachable(const Network& net, NodeId src, NodeId dst,
+                             const TraversalOptions& opts = {});
+
+/// Number of connected components among live nodes (failed nodes ignored).
+[[nodiscard]] std::size_t live_component_count(const Network& net);
+
+}  // namespace sbk::net

@@ -1,0 +1,63 @@
+// Strongly-typed identifiers for network elements. Wrapping the raw index
+// prevents the classic bug of passing a link id where a node id is
+// expected (Core Guidelines I.4: make interfaces precisely typed).
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace sbk::net {
+
+namespace detail {
+/// CRTP-free tagged index. Tag makes distinct id types incompatible.
+template <typename Tag>
+class TaggedId {
+ public:
+  using value_type = std::uint32_t;
+  static constexpr value_type kInvalid =
+      std::numeric_limits<value_type>::max();
+
+  constexpr TaggedId() noexcept = default;
+  constexpr explicit TaggedId(value_type v) noexcept : value_(v) {}
+
+  [[nodiscard]] constexpr value_type value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::size_t index() const noexcept {
+    return static_cast<std::size_t>(value_);
+  }
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value_ != kInvalid;
+  }
+
+  friend constexpr auto operator<=>(TaggedId, TaggedId) noexcept = default;
+
+ private:
+  value_type value_ = kInvalid;
+};
+}  // namespace detail
+
+struct NodeTag {};
+struct LinkTag {};
+
+/// Identifies a node (host, packet switch, or circuit switch) in a Network.
+using NodeId = detail::TaggedId<NodeTag>;
+/// Identifies an undirected link in a Network.
+using LinkId = detail::TaggedId<LinkTag>;
+
+}  // namespace sbk::net
+
+template <>
+struct std::hash<sbk::net::NodeId> {
+  std::size_t operator()(sbk::net::NodeId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};
+
+template <>
+struct std::hash<sbk::net::LinkId> {
+  std::size_t operator()(sbk::net::LinkId id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

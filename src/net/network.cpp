@@ -1,0 +1,174 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sbk::net {
+
+const char* to_string(NodeKind kind) noexcept {
+  switch (kind) {
+    case NodeKind::kHost: return "host";
+    case NodeKind::kEdgeSwitch: return "edge";
+    case NodeKind::kAggSwitch: return "agg";
+    case NodeKind::kCoreSwitch: return "core";
+  }
+  return "?";
+}
+
+bool is_switch(NodeKind kind) noexcept { return kind != NodeKind::kHost; }
+
+NodeId Network::add_node(NodeKind kind, std::string name, std::int32_t pod,
+                         std::int32_t index) {
+  nodes_.push_back(Node{kind, std::move(name), pod, index, false});
+  adjacency_.emplace_back();
+  return NodeId(static_cast<NodeId::value_type>(nodes_.size() - 1));
+}
+
+LinkId Network::add_link(NodeId a, NodeId b, double capacity) {
+  SBK_EXPECTS(a.valid() && a.index() < nodes_.size());
+  SBK_EXPECTS(b.valid() && b.index() < nodes_.size());
+  SBK_EXPECTS_MSG(a != b, "self-loops are not meaningful links");
+  SBK_EXPECTS(capacity > 0.0);
+  links_.push_back(Link{a, b, capacity, false});
+  auto id = LinkId(static_cast<LinkId::value_type>(links_.size() - 1));
+  adjacency_[a.index()].push_back({id, b});
+  adjacency_[b.index()].push_back({id, a});
+  return id;
+}
+
+const Node& Network::node(NodeId id) const {
+  SBK_EXPECTS(id.valid() && id.index() < nodes_.size());
+  return nodes_[id.index()];
+}
+
+const Link& Network::link(LinkId id) const {
+  SBK_EXPECTS(id.valid() && id.index() < links_.size());
+  return links_[id.index()];
+}
+
+Node& Network::mutable_node(NodeId id) {
+  SBK_EXPECTS(id.valid() && id.index() < nodes_.size());
+  return nodes_[id.index()];
+}
+
+Link& Network::mutable_link(LinkId id) {
+  SBK_EXPECTS(id.valid() && id.index() < links_.size());
+  return links_[id.index()];
+}
+
+std::span<const Adjacency> Network::adjacent(NodeId id) const {
+  SBK_EXPECTS(id.valid() && id.index() < adjacency_.size());
+  return adjacency_[id.index()];
+}
+
+NodeId Network::head(DirectedLink dl) const {
+  const Link& l = link(dl.link);
+  return dl.forward ? l.b : l.a;
+}
+
+NodeId Network::tail(DirectedLink dl) const {
+  const Link& l = link(dl.link);
+  return dl.forward ? l.a : l.b;
+}
+
+std::optional<LinkId> Network::find_link(NodeId a, NodeId b) const {
+  for (const Adjacency& adj : adjacent(a)) {
+    if (adj.peer == b) return adj.link;
+  }
+  return std::nullopt;
+}
+
+DirectedLink Network::directed(LinkId id, NodeId from) const {
+  const Link& l = link(id);
+  SBK_EXPECTS_MSG(from == l.a || from == l.b,
+                  "`from` must be an endpoint of the link");
+  return DirectedLink{id, from == l.a};
+}
+
+std::vector<NodeId> Network::nodes_of_kind(NodeKind kind) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].kind == kind)
+      out.push_back(NodeId(static_cast<NodeId::value_type>(i)));
+  }
+  return out;
+}
+
+std::size_t Network::count_of_kind(NodeKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes_.begin(), nodes_.end(),
+                    [kind](const Node& n) { return n.kind == kind; }));
+}
+
+void Network::fail_node(NodeId id) {
+  Node& n = mutable_node(id);
+  if (!n.failed) {
+    n.failed = true;
+    ++failed_nodes_;
+  }
+}
+
+void Network::restore_node(NodeId id) {
+  Node& n = mutable_node(id);
+  if (n.failed) {
+    n.failed = false;
+    --failed_nodes_;
+  }
+}
+
+void Network::fail_link(LinkId id) {
+  Link& l = mutable_link(id);
+  if (!l.failed) {
+    l.failed = true;
+    ++failed_links_;
+  }
+}
+
+void Network::restore_link(LinkId id) {
+  Link& l = mutable_link(id);
+  if (l.failed) {
+    l.failed = false;
+    --failed_links_;
+  }
+}
+
+bool Network::usable(LinkId id) const {
+  const Link& l = link(id);
+  return !l.failed && !node(l.a).failed && !node(l.b).failed;
+}
+
+void Network::clear_failures() {
+  for (Node& n : nodes_) n.failed = false;
+  for (Link& l : links_) l.failed = false;
+  failed_nodes_ = 0;
+  failed_links_ = 0;
+}
+
+void Network::retarget_link(LinkId id, NodeId from, NodeId to) {
+  Link& l = mutable_link(id);
+  SBK_EXPECTS_MSG(from == l.a || from == l.b,
+                  "`from` must be a current endpoint");
+  SBK_EXPECTS_MSG(to != l.a && to != l.b, "`to` is already an endpoint");
+  SBK_EXPECTS(to.valid() && to.index() < nodes_.size());
+
+  // Remove the adjacency entry at `from`, add one at `to`.
+  auto& from_adj = adjacency_[from.index()];
+  auto it = std::find_if(from_adj.begin(), from_adj.end(),
+                         [id](const Adjacency& a) { return a.link == id; });
+  SBK_ASSERT(it != from_adj.end());
+  NodeId other = it->peer;
+  from_adj.erase(it);
+  adjacency_[to.index()].push_back({id, other});
+
+  // Fix the peer's adjacency entry to point at the new endpoint.
+  auto& other_adj = adjacency_[other.index()];
+  auto oit = std::find_if(other_adj.begin(), other_adj.end(),
+                          [id](const Adjacency& a) { return a.link == id; });
+  SBK_ASSERT(oit != other_adj.end());
+  oit->peer = to;
+
+  if (l.a == from) l.a = to; else l.b = to;
+}
+
+}  // namespace sbk::net

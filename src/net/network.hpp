@@ -1,0 +1,137 @@
+// The physical packet network substrate: nodes (hosts and packet
+// switches), full-duplex capacitated links, and failure state. Topology
+// builders (src/topo) produce Network instances; routing and the flow
+// simulator consume them.
+//
+// Circuit switches are deliberately NOT nodes of this graph: they are
+// transparent at the packet layer. The ShareBackup module models them
+// separately and *rewrites* Network links when circuits are reconfigured.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ids.hpp"
+
+namespace sbk::net {
+
+/// Layer of a node in the (fat-tree style) network.
+enum class NodeKind : std::uint8_t {
+  kHost,
+  kEdgeSwitch,
+  kAggSwitch,
+  kCoreSwitch,
+};
+
+[[nodiscard]] const char* to_string(NodeKind kind) noexcept;
+[[nodiscard]] bool is_switch(NodeKind kind) noexcept;
+
+/// A node of the packet network.
+struct Node {
+  NodeKind kind = NodeKind::kHost;
+  std::string name;      ///< human-readable, e.g. "E[2,1]" or "H37"
+  std::int32_t pod = -1; ///< pod index for edge/agg/host, -1 otherwise
+  std::int32_t index = -1; ///< in-pod index (edge/agg), global (host/core)
+  bool failed = false;
+};
+
+/// A full-duplex link. `capacity` applies independently to each direction.
+struct Link {
+  NodeId a;
+  NodeId b;
+  double capacity = 1.0;  ///< in abstract bandwidth units (e.g. Gbps)
+  bool failed = false;
+};
+
+/// One hop in a node's adjacency list.
+struct Adjacency {
+  LinkId link;
+  NodeId peer;
+};
+
+/// A directed use of a full-duplex link: `forward` means a -> b.
+struct DirectedLink {
+  LinkId link;
+  bool forward = true;
+
+  friend constexpr bool operator==(DirectedLink, DirectedLink) noexcept =
+      default;
+};
+
+/// Mutable multigraph with failure state. Node and link ids are dense
+/// indices; removal is not supported (failures are flags), so ids stay
+/// stable for the lifetime of the network — routing tables and the
+/// simulator rely on this.
+class Network {
+ public:
+  Network() = default;
+
+  // --- construction -----------------------------------------------------
+  NodeId add_node(NodeKind kind, std::string name, std::int32_t pod = -1,
+                  std::int32_t index = -1);
+  /// Adds a full-duplex link between distinct existing nodes.
+  LinkId add_link(NodeId a, NodeId b, double capacity);
+
+  // --- structure queries -------------------------------------------------
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::size_t link_count() const noexcept {
+    return links_.size();
+  }
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] std::span<const Adjacency> adjacent(NodeId id) const;
+  /// The node reached by traversing `dl` (its head).
+  [[nodiscard]] NodeId head(DirectedLink dl) const;
+  /// The node `dl` departs from (its tail).
+  [[nodiscard]] NodeId tail(DirectedLink dl) const;
+  /// The link between a and b, if any (first match on multigraphs).
+  [[nodiscard]] std::optional<LinkId> find_link(NodeId a, NodeId b) const;
+  /// Directed traversal of `link` departing from `from`; from must be an
+  /// endpoint.
+  [[nodiscard]] DirectedLink directed(LinkId link, NodeId from) const;
+
+  /// All node ids of a given kind, in id order.
+  [[nodiscard]] std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+  [[nodiscard]] std::size_t count_of_kind(NodeKind kind) const;
+
+  // --- failure state ------------------------------------------------------
+  void fail_node(NodeId id);
+  void restore_node(NodeId id);
+  void fail_link(LinkId id);
+  void restore_link(LinkId id);
+  [[nodiscard]] bool node_failed(NodeId id) const { return node(id).failed; }
+  [[nodiscard]] bool link_failed(LinkId id) const { return link(id).failed; }
+  /// A link is usable iff itself and both endpoints are up.
+  [[nodiscard]] bool usable(LinkId id) const;
+  [[nodiscard]] std::size_t failed_node_count() const noexcept {
+    return failed_nodes_;
+  }
+  [[nodiscard]] std::size_t failed_link_count() const noexcept {
+    return failed_links_;
+  }
+  void clear_failures();
+
+  // --- surgery (used by ShareBackup circuit reconfiguration) --------------
+  /// Re-targets one endpoint of a link: the endpoint equal to `from`
+  /// becomes `to`. Capacity and the id are preserved. This models a
+  /// circuit switch moving a physical circuit from a failed switch to its
+  /// backup. `to` must not already be an endpoint.
+  void retarget_link(LinkId id, NodeId from, NodeId to);
+
+ private:
+  [[nodiscard]] Node& mutable_node(NodeId id);
+  [[nodiscard]] Link& mutable_link(LinkId id);
+
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+  std::vector<std::vector<Adjacency>> adjacency_;
+  std::size_t failed_nodes_ = 0;
+  std::size_t failed_links_ = 0;
+};
+
+}  // namespace sbk::net

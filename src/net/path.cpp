@@ -1,0 +1,82 @@
+#include "net/path.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace sbk::net {
+
+NodeId Path::src() const {
+  SBK_EXPECTS(!nodes.empty());
+  return nodes.front();
+}
+
+NodeId Path::dst() const {
+  SBK_EXPECTS(!nodes.empty());
+  return nodes.back();
+}
+
+std::vector<DirectedLink> Path::directed_links(const Network& net) const {
+  std::vector<DirectedLink> out;
+  out.reserve(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    out.push_back(net.directed(links[i], nodes[i]));
+  }
+  return out;
+}
+
+bool is_valid_path(const Network& net, const Path& path) {
+  if (!is_valid_walk(net, path)) return false;
+  std::unordered_set<NodeId> seen;
+  for (NodeId n : path.nodes) {
+    if (!seen.insert(n).second) return false;  // repeated node
+  }
+  return true;
+}
+
+bool is_valid_walk(const Network& net, const Path& path) {
+  if (path.nodes.empty()) return path.links.empty();
+  if (path.nodes.size() != path.links.size() + 1) return false;
+  for (NodeId n : path.nodes) {
+    if (!n.valid() || n.index() >= net.node_count()) return false;
+  }
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    const Link& l = net.link(path.links[i]);
+    NodeId a = path.nodes[i];
+    NodeId b = path.nodes[i + 1];
+    bool joins = (l.a == a && l.b == b) || (l.a == b && l.b == a);
+    if (!joins) return false;
+  }
+  return true;
+}
+
+bool is_live_path(const Network& net, const Path& path) {
+  for (NodeId n : path.nodes) {
+    if (net.node_failed(n)) return false;
+  }
+  return std::all_of(path.links.begin(), path.links.end(),
+                     [&net](LinkId l) { return !net.link_failed(l); });
+}
+
+bool path_uses_node(const Path& path, NodeId node) {
+  return std::find(path.nodes.begin(), path.nodes.end(), node) !=
+         path.nodes.end();
+}
+
+bool path_uses_link(const Path& path, LinkId link) {
+  return std::find(path.links.begin(), path.links.end(), link) !=
+         path.links.end();
+}
+
+std::string to_string(const Network& net, const Path& path) {
+  if (path.empty()) return "<no route>";
+  std::string out;
+  for (std::size_t i = 0; i < path.nodes.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += net.node(path.nodes[i]).name;
+  }
+  return out;
+}
+
+}  // namespace sbk::net

@@ -1,0 +1,53 @@
+// Paths through a Network as alternating node/link sequences, plus
+// validation helpers used as invariants by routing tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/network.hpp"
+
+namespace sbk::net {
+
+/// A simple path: nodes.size() == links.size() + 1, links[i] joins
+/// nodes[i] and nodes[i+1]. An empty path (no nodes) is the "no route"
+/// sentinel.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+
+  [[nodiscard]] bool empty() const noexcept { return nodes.empty(); }
+  /// Number of links (hops). 0 for empty or single-node paths.
+  [[nodiscard]] std::size_t hops() const noexcept { return links.size(); }
+  [[nodiscard]] NodeId src() const;
+  [[nodiscard]] NodeId dst() const;
+
+  /// Directed traversal of each hop, in order.
+  [[nodiscard]] std::vector<DirectedLink> directed_links(
+      const Network& net) const;
+
+  friend bool operator==(const Path&, const Path&) = default;
+};
+
+/// True iff the path is structurally consistent with `net`: sizes match,
+/// each link joins its adjacent nodes, and no node repeats.
+[[nodiscard]] bool is_valid_path(const Network& net, const Path& path);
+
+/// Like is_valid_path but permits node revisits — a *walk*. Table-driven
+/// forwarding legitimately produces one such case: intra-edge traffic
+/// bounces host -> edge -> agg -> edge -> host under the §4.3 combined
+/// tables, revisiting the edge switch.
+[[nodiscard]] bool is_valid_walk(const Network& net, const Path& path);
+
+/// True iff every node and link on the path is currently up.
+[[nodiscard]] bool is_live_path(const Network& net, const Path& path);
+
+/// True iff the path traverses the given node / link.
+[[nodiscard]] bool path_uses_node(const Path& path, NodeId node);
+[[nodiscard]] bool path_uses_link(const Path& path, LinkId link);
+
+/// Human-readable rendering, e.g. "H0 -> E[0,0] -> A[0,1] -> ...".
+[[nodiscard]] std::string to_string(const Network& net, const Path& path);
+
+}  // namespace sbk::net

@@ -1,0 +1,20 @@
+#include "routing/ecmp.hpp"
+
+#include "routing/fat_tree_paths.hpp"
+#include "util/assert.hpp"
+
+namespace sbk::routing {
+
+net::Path EcmpRouter::route(const net::Network& net, net::NodeId src,
+                            net::NodeId dst, std::uint64_t flow_id,
+                            const LinkLoads* /*loads*/) {
+  SBK_EXPECTS_MSG(&net == &ft_->network(),
+                  "router is bound to a different network instance");
+  std::vector<net::Path> candidates = candidate_paths(*ft_, src, dst,
+                                                      /*live_only=*/true);
+  if (candidates.empty()) return {};
+  std::uint64_t h = mix64(flow_id ^ mix64(salt_));
+  return candidates[h % candidates.size()];
+}
+
+}  // namespace sbk::routing

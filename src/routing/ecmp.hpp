@@ -1,0 +1,27 @@
+// Hash-based ECMP over live shortest fat-tree paths, the paper's routing
+// scheme for both fat-tree and F10 in normal operation (§2.2).
+#pragma once
+
+#include "routing/router.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace sbk::routing {
+
+class EcmpRouter final : public Router {
+ public:
+  /// `salt` varies the hash function across experiment repetitions.
+  explicit EcmpRouter(const topo::FatTree& ft, std::uint64_t salt = 0)
+      : ft_(&ft), salt_(salt) {}
+
+  [[nodiscard]] net::Path route(const net::Network& net, net::NodeId src,
+                                net::NodeId dst, std::uint64_t flow_id,
+                                const LinkLoads* loads) override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "ecmp"; }
+
+ private:
+  const topo::FatTree* ft_;
+  std::uint64_t salt_;
+};
+
+}  // namespace sbk::routing

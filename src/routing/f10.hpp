@@ -1,0 +1,40 @@
+// F10-style local rerouting (Liu et al., NSDI'13), the paper's second
+// baseline (§2.2). Routing is ECMP in normal operation. Under failures,
+// decisions stay local to the switch adjacent to the failure:
+//
+//   * upward hops simply pick among the live uplinks (a purely local
+//     choice, same as fat-tree);
+//   * a broken downward hop is patched with F10's 3-hop detour: the
+//     switch pushes the packet one level down to a sibling's child, back
+//     up through an alternate parent, and down the originally intended
+//     level — lengthening the path by 2 hops. The AB wiring guarantees an
+//     alternate parent reaching a *different* aggregation switch of the
+//     destination pod exists, which plain fat-tree wiring does not.
+//
+// The router expects a fat-tree built with Wiring::kAb; it also operates
+// on plain wiring but will find fewer detours (and returns empty paths
+// when none exists), mirroring reality.
+#pragma once
+
+#include "routing/router.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace sbk::routing {
+
+class F10Router final : public Router {
+ public:
+  explicit F10Router(const topo::FatTree& ft, std::uint64_t salt = 0)
+      : ft_(&ft), salt_(salt) {}
+
+  [[nodiscard]] net::Path route(const net::Network& net, net::NodeId src,
+                                net::NodeId dst, std::uint64_t flow_id,
+                                const LinkLoads* loads) override;
+
+  [[nodiscard]] const char* name() const noexcept override { return "f10"; }
+
+ private:
+  const topo::FatTree* ft_;
+  std::uint64_t salt_;
+};
+
+}  // namespace sbk::routing

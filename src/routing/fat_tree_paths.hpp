@@ -1,0 +1,25 @@
+// Structural enumeration of fat-tree host-to-host paths. Faster and more
+// precise than generic graph search: candidate sets follow directly from
+// the fat-tree structure (choice of aggregation switch, choice of core).
+#pragma once
+
+#include <vector>
+
+#include "net/path.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace sbk::routing {
+
+/// All structurally shortest host-to-host paths in `ft`, optionally
+/// restricted to paths whose every node and link is currently up.
+/// For src == dst returns the single trivial path.
+[[nodiscard]] std::vector<net::Path> candidate_paths(
+    const topo::FatTree& ft, net::NodeId src, net::NodeId dst,
+    bool live_only);
+
+/// Shortest-path hop count between two distinct hosts in a healthy
+/// fat-tree: 2 (same edge), 4 (same pod), 6 (inter-pod).
+[[nodiscard]] std::size_t structural_hops(const topo::FatTree& ft,
+                                          net::NodeId src, net::NodeId dst);
+
+}  // namespace sbk::routing

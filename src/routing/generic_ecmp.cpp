@@ -1,0 +1,16 @@
+#include "routing/generic_ecmp.hpp"
+
+#include "net/algo.hpp"
+
+namespace sbk::routing {
+
+net::Path GenericEcmpRouter::route(const net::Network& net, net::NodeId src,
+                                   net::NodeId dst, std::uint64_t flow_id,
+                                   const LinkLoads* /*loads*/) {
+  std::vector<net::Path> candidates = net::all_shortest_paths(net, src, dst);
+  if (candidates.empty()) return {};
+  std::uint64_t h = mix64(flow_id ^ mix64(salt_));
+  return candidates[h % candidates.size()];
+}
+
+}  // namespace sbk::routing

@@ -1,0 +1,27 @@
+// Topology-agnostic ECMP: hashes over all live shortest paths found by
+// graph search. Slower than the structural fat-tree routers but works on
+// any Network — used for the 1:1 backup architecture, whose activated
+// shadows are not fat-tree positions.
+#pragma once
+
+#include "routing/router.hpp"
+
+namespace sbk::routing {
+
+class GenericEcmpRouter final : public Router {
+ public:
+  explicit GenericEcmpRouter(std::uint64_t salt = 0) : salt_(salt) {}
+
+  [[nodiscard]] net::Path route(const net::Network& net, net::NodeId src,
+                                net::NodeId dst, std::uint64_t flow_id,
+                                const LinkLoads* loads) override;
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "generic-ecmp";
+  }
+
+ private:
+  std::uint64_t salt_;
+};
+
+}  // namespace sbk::routing

@@ -1,0 +1,202 @@
+#include "routing/impersonation.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sbk::routing {
+
+ImpersonationStore::ImpersonationStore(int k, int n_backups)
+    : k_(k), n_(n_backups) {
+  SBK_EXPECTS_MSG(k >= 4 && k % 2 == 0, "k must be even and >= 4");
+  SBK_EXPECTS(n_backups >= 0);
+  const int half = k / 2;
+  TwoLevelTableBuilder builder(k);
+
+  DeviceUid next = 0;
+  auto make_group = [&](TwoLevelTable table, Layer layer,
+                        int group_id) -> Group {
+    Group g;
+    g.table = std::move(table);
+    for (int s = 0; s < half; ++s) {
+      g.assigned.push_back(next);
+      device_layer_.push_back(layer);
+      device_group_.push_back(group_id);
+      ++next;
+    }
+    for (int s = 0; s < n_; ++s) {
+      g.spare.push_back(next);
+      device_layer_.push_back(layer);
+      device_group_.push_back(group_id);
+      ++next;
+    }
+    return g;
+  };
+
+  for (int pod = 0; pod < k; ++pod) {
+    edge_groups_.push_back(
+        make_group(builder.combined_edge_table(pod), Layer::kEdge, pod));
+  }
+  for (int pod = 0; pod < k; ++pod) {
+    agg_groups_.push_back(
+        make_group(builder.agg_table(pod), Layer::kAgg, pod));
+  }
+  for (int u = 0; u < half; ++u) {
+    core_groups_.push_back(
+        make_group(builder.core_table(), Layer::kCore, u));
+  }
+}
+
+int ImpersonationStore::group_of(SwitchPosition pos) const {
+  return topo::failure_group_of(k_, pos);
+}
+
+int ImpersonationStore::group_count(Layer layer) const {
+  return topo::failure_group_count(k_, layer);
+}
+
+int ImpersonationStore::position_slot(SwitchPosition pos) const {
+  return topo::group_slot_of(k_, pos);
+}
+
+ImpersonationStore::Group& ImpersonationStore::group(Layer layer, int id) {
+  switch (layer) {
+    case Layer::kEdge:
+      SBK_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < edge_groups_.size());
+      return edge_groups_[static_cast<std::size_t>(id)];
+    case Layer::kAgg:
+      SBK_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < agg_groups_.size());
+      return agg_groups_[static_cast<std::size_t>(id)];
+    case Layer::kCore:
+      SBK_EXPECTS(id >= 0 && static_cast<std::size_t>(id) < core_groups_.size());
+      return core_groups_[static_cast<std::size_t>(id)];
+  }
+  SBK_UNREACHABLE("bad layer");
+}
+
+const ImpersonationStore::Group& ImpersonationStore::group(Layer layer,
+                                                           int id) const {
+  return const_cast<ImpersonationStore*>(this)->group(layer, id);
+}
+
+DeviceUid ImpersonationStore::device_at(SwitchPosition pos) const {
+  const Group& g = group(pos.layer, group_of(pos));
+  return g.assigned[static_cast<std::size_t>(position_slot(pos))];
+}
+
+std::vector<DeviceUid> ImpersonationStore::spares(Layer layer,
+                                                  int grp) const {
+  return group(layer, grp).spare;
+}
+
+std::optional<ImpersonationStore::Failover> ImpersonationStore::fail_over(
+    SwitchPosition pos) {
+  Group& g = group(pos.layer, group_of(pos));
+  if (g.spare.empty()) return std::nullopt;
+  std::size_t slot = static_cast<std::size_t>(position_slot(pos));
+  DeviceUid failed = g.assigned[slot];
+  DeviceUid replacement = g.spare.front();
+  g.spare.erase(g.spare.begin());
+  g.assigned[slot] = replacement;
+  g.out.push_back(failed);
+  return Failover{failed, replacement};
+}
+
+void ImpersonationStore::return_to_pool(DeviceUid dev) {
+  SBK_EXPECTS(dev < device_layer_.size());
+  Group& g = group(device_layer_[dev], device_group_[dev]);
+  auto it = std::find(g.out.begin(), g.out.end(), dev);
+  SBK_EXPECTS_MSG(it != g.out.end(),
+                  "device must be out of service to return to the pool");
+  g.out.erase(it);
+  g.spare.push_back(dev);
+}
+
+const TwoLevelTable& ImpersonationStore::table_of(DeviceUid dev) const {
+  SBK_EXPECTS(dev < device_layer_.size());
+  return group(device_layer_[dev], device_group_[dev]).table;
+}
+
+Layer ImpersonationStore::layer_of(DeviceUid dev) const {
+  SBK_EXPECTS(dev < device_layer_.size());
+  return device_layer_[dev];
+}
+
+ForwardingTrace ForwardingSim::walk(HostAddr src, HostAddr dst) const {
+  const ImpersonationStore& store = *store_;
+  const int k = store.k();
+  const int half = k / 2;
+  ForwardingTrace trace;
+
+  SBK_EXPECTS(src.pod >= 0 && src.pod < k && src.edge >= 0 &&
+              src.edge < half && src.host >= 0 && src.host < half);
+  SBK_EXPECTS(dst.pod >= 0 && dst.pod < k && dst.edge >= 0 &&
+              dst.edge < half && dst.host >= 0 && dst.host < half);
+
+  const int vlan = src.edge;  // hosts tag with their edge position's VLAN
+  constexpr std::size_t kMaxHops = 16;  // generous loop guard
+
+  SwitchPosition pos{Layer::kEdge, src.pod, src.edge};
+  bool from_host_side = true;
+
+  while (trace.positions.size() < kMaxHops) {
+    DeviceUid dev = store.device_at(pos);
+    trace.positions.push_back(pos);
+    trace.devices.push_back(dev);
+    const TwoLevelTable& table = store.table_of(dev);
+
+    std::optional<int> port;
+    switch (pos.layer) {
+      case Layer::kEdge:
+        // Host-facing ingress consults the VLAN-selected out-bound set;
+        // fabric-facing ingress consults the shared untagged in-bound set.
+        port = from_host_side
+                   ? table.lookup(dst, vlan, /*require_tag_match=*/true)
+                   : table.lookup(dst, kNoVlan);
+        break;
+      case Layer::kAgg:
+      case Layer::kCore:
+        port = table.lookup(dst, vlan);
+        break;
+    }
+    if (!port.has_value()) return trace;  // black hole: not delivered
+
+    switch (pos.layer) {
+      case Layer::kEdge: {
+        if (*port < half) {
+          // Down to a host: delivered iff it is the destination.
+          trace.delivered = (pos.pod == dst.pod && pos.index == dst.edge &&
+                             *port == dst.host);
+          return trace;
+        }
+        int a = *port - half;
+        SBK_ASSERT(a >= 0 && a < half);
+        pos = SwitchPosition{Layer::kAgg, pos.pod, a};
+        from_host_side = false;
+        break;
+      }
+      case Layer::kAgg: {
+        if (*port < half) {
+          pos = SwitchPosition{Layer::kEdge, pos.pod, *port};
+        } else {
+          int i = *port - half;
+          SBK_ASSERT(i >= 0 && i < half);
+          // Plain wiring: agg a's i-th uplink reaches core a*half + i.
+          int c = pos.index * half + i;
+          pos = SwitchPosition{Layer::kCore, -1, c};
+        }
+        break;
+      }
+      case Layer::kCore: {
+        SBK_ASSERT(*port >= 0 && *port < k);
+        // Plain wiring: core row r attaches to agg r in every pod.
+        int r = pos.index / half;
+        pos = SwitchPosition{Layer::kAgg, *port, r};
+        break;
+      }
+    }
+  }
+  return trace;  // loop guard tripped: not delivered
+}
+
+}  // namespace sbk::routing

@@ -1,0 +1,126 @@
+// Live impersonation of failed switches (§4.3): every physical switch in
+// a failure group preloads the group's routing state, so a backup brought
+// online by circuit reconfiguration forwards correctly immediately — no
+// rule installation on the critical path.
+//
+//   * Edge failure group (a pod's k/2 edges): the *combined* table —
+//     the k/2 shared in-bound entries plus the k^2/4 VLAN-tagged
+//     out-bound entries of all edges in the pod.
+//   * Aggregation failure group (a pod's k/2 aggs): the pod's common
+//     aggregation table.
+//   * Core failure group: the common core table.
+//
+// This module tracks which physical device currently serves each logical
+// switch position, hands out the preloaded table of any device, and — via
+// ForwardingSim — walks packets through logical positions consulting the
+// table of the device *currently* at each position. Tests verify that
+// forwarding is invariant under arbitrary sequences of failovers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "routing/two_level.hpp"
+#include "topo/position.hpp"
+
+namespace sbk::routing {
+
+using topo::Layer;
+using topo::SwitchPosition;
+
+/// Opaque physical device handle (unique across the fabric).
+using DeviceUid = std::uint32_t;
+inline constexpr DeviceUid kNoDevice = static_cast<DeviceUid>(-1);
+
+/// Tracks device<->position assignment and preloaded tables for every
+/// failure group of a k-ary fat-tree with n backups per group.
+class ImpersonationStore {
+ public:
+  ImpersonationStore(int k, int n_backups);
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] int backups_per_group() const noexcept { return n_; }
+
+  /// Failure groups: per pod one edge group and one agg group; core
+  /// groups by core index mod k/2. Group key below is (layer, group_id).
+  [[nodiscard]] int group_of(SwitchPosition pos) const;
+  [[nodiscard]] int group_count(Layer layer) const;
+
+  /// Device currently serving a position.
+  [[nodiscard]] DeviceUid device_at(SwitchPosition pos) const;
+  /// Idle spare devices of a group (initially the n backups).
+  [[nodiscard]] std::vector<DeviceUid> spares(Layer layer, int group) const;
+
+  /// Replaces the device at `pos` with an idle spare of its group.
+  /// Returns {failed_device, new_device} or nullopt if the group's pool
+  /// is exhausted. The failed device leaves service (not a spare).
+  struct Failover {
+    DeviceUid failed;
+    DeviceUid replacement;
+  };
+  [[nodiscard]] std::optional<Failover> fail_over(SwitchPosition pos);
+
+  /// Returns a previously failed-over (or exonerated) device to its
+  /// group's spare pool — the paper's "repaired switches become backups".
+  void return_to_pool(DeviceUid dev);
+
+  /// Preloaded routing table of a device (the group-wide table described
+  /// above). Identical for all devices of one group by construction.
+  [[nodiscard]] const TwoLevelTable& table_of(DeviceUid dev) const;
+
+  [[nodiscard]] Layer layer_of(DeviceUid dev) const;
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return device_layer_.size();
+  }
+
+ private:
+  struct Group {
+    std::vector<DeviceUid> assigned;  ///< by position-in-group index
+    std::vector<DeviceUid> spare;
+    std::vector<DeviceUid> out;       ///< failed, awaiting repair
+    TwoLevelTable table;
+  };
+
+  [[nodiscard]] Group& group(Layer layer, int id);
+  [[nodiscard]] const Group& group(Layer layer, int id) const;
+  [[nodiscard]] int position_slot(SwitchPosition pos) const;
+
+  int k_;
+  int n_;
+  std::vector<Group> edge_groups_;  // by pod
+  std::vector<Group> agg_groups_;   // by pod
+  std::vector<Group> core_groups_;  // by core index mod k/2
+  std::vector<Layer> device_layer_;
+  std::vector<int> device_group_;
+};
+
+/// Result of walking one packet through the fabric.
+struct ForwardingTrace {
+  bool delivered = false;
+  /// Positions visited, edge ingress to edge egress (switch hops only).
+  std::vector<SwitchPosition> positions;
+  /// Devices that served each position at walk time.
+  std::vector<DeviceUid> devices;
+
+  [[nodiscard]] std::size_t switch_hops() const noexcept {
+    return positions.size();
+  }
+};
+
+/// Packet walker over logical positions + current device tables. Uses the
+/// plain-wiring adjacency (edge j <-> every agg; agg a <-> cores
+/// a*k/2..a*k/2+k/2-1; core row r <-> agg r of every pod).
+class ForwardingSim {
+ public:
+  explicit ForwardingSim(const ImpersonationStore& store) : store_(&store) {}
+
+  /// Walks a packet from src to dst. Hosts tag packets with their edge
+  /// position's VLAN (the position index, not the device).
+  [[nodiscard]] ForwardingTrace walk(HostAddr src, HostAddr dst) const;
+
+ private:
+  const ImpersonationStore* store_;
+};
+
+}  // namespace sbk::routing

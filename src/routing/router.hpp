@@ -1,0 +1,69 @@
+// Router abstraction used by the flow-level simulator. A Router maps a
+// flow (src host, dst host, flow id) to a Path under the network's current
+// failure state. Different subclasses realize the paper's compared
+// policies:
+//   * EcmpRouter            — hash-based ECMP over live shortest paths
+//                             (fat-tree / F10 in normal operation);
+//   * MinCongestionRouter   — the paper's "global optimal rerouting"
+//                             baseline for fat-tree under failures;
+//   * F10Router             — F10's local rerouting with 3-hop detours;
+//   * ShareBackup           — needs no router changes: the fabric swaps
+//                             hardware and paths are unchanged.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/path.hpp"
+
+namespace sbk::routing {
+
+/// Current traffic intensity per directed link, maintained by the
+/// simulator: index = link.index()*2 + (forward ? 0 : 1). The unit is
+/// "number of flows" — sufficient for congestion-aware path choice.
+class LinkLoads {
+ public:
+  explicit LinkLoads(std::size_t link_count) : load_(link_count * 2, 0.0) {}
+
+  [[nodiscard]] double get(net::DirectedLink dl) const {
+    return load_[slot(dl)];
+  }
+  void add(net::DirectedLink dl, double amount) { load_[slot(dl)] += amount; }
+  [[nodiscard]] std::size_t size() const noexcept { return load_.size() / 2; }
+
+ private:
+  [[nodiscard]] static std::size_t slot(net::DirectedLink dl) {
+    return dl.link.index() * 2 + (dl.forward ? 0 : 1);
+  }
+  std::vector<double> load_;
+};
+
+/// Stateless-per-flow routing policy. Implementations must be
+/// deterministic in (network state, flow id) so experiments reproduce.
+class Router {
+ public:
+  virtual ~Router() = default;
+
+  /// Returns a live path from src to dst for the given flow, or an empty
+  /// path if the destination is unreachable under this policy. `loads`
+  /// may be null; congestion-aware routers fall back to hashing then.
+  [[nodiscard]] virtual net::Path route(const net::Network& net,
+                                        net::NodeId src, net::NodeId dst,
+                                        std::uint64_t flow_id,
+                                        const LinkLoads* loads) = 0;
+
+  /// Policy name for reports.
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+};
+
+/// 64-bit mix used for ECMP-style deterministic hashing (splitmix64
+/// finalizer).
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace sbk::routing

@@ -1,0 +1,117 @@
+#include "routing/table_forwarding.hpp"
+
+#include "util/assert.hpp"
+
+namespace sbk::routing {
+
+TableForwarding::TableForwarding(const topo::FatTree& ft)
+    : ft_(&ft), builder_(ft.k()) {
+  SBK_EXPECTS_MSG(ft.params().wiring == topo::Wiring::kPlain,
+                  "two-level tables assume plain fat-tree wiring");
+  SBK_EXPECTS_MSG(ft.hosts_per_edge() <= ft.half_k(),
+                  "the address scheme limits hosts per edge to k/2");
+  for (int pod = 0; pod < ft.pods(); ++pod) {
+    edge_tables_.push_back(builder_.combined_edge_table(pod));
+    agg_tables_.push_back(builder_.agg_table(pod));
+  }
+  core_table_ = builder_.core_table();
+}
+
+HostAddr TableForwarding::addr_of_host(net::NodeId host) const {
+  int global = ft_->host_global_index(host);
+  int per_pod = ft_->half_k() * ft_->hosts_per_edge();
+  return HostAddr{global / per_pod,
+                  (global % per_pod) / ft_->hosts_per_edge(),
+                  global % ft_->hosts_per_edge()};
+}
+
+TableForwarding::WalkResult TableForwarding::walk(net::NodeId src,
+                                                  net::NodeId dst) const {
+  const net::Network& net = ft_->network();
+  SBK_EXPECTS(net.node(src).kind == net::NodeKind::kHost);
+  SBK_EXPECTS(net.node(dst).kind == net::NodeKind::kHost);
+  const int half = ft_->half_k();
+
+  WalkResult result;
+  result.path.nodes.push_back(src);
+  if (src == dst) {
+    result.delivered = true;
+    return result;
+  }
+
+  HostAddr s = addr_of_host(src);
+  HostAddr d = addr_of_host(dst);
+  const int vlan = s.edge;  // the host tags with its edge position's VLAN
+
+  auto step_to = [&](net::NodeId next) {
+    auto link = net.find_link(result.path.nodes.back(), next);
+    SBK_ASSERT_MSG(link.has_value(),
+                   "table egress must map onto a physical link");
+    if (!net.usable(*link)) return false;  // blackhole
+    result.path.nodes.push_back(next);
+    result.path.links.push_back(*link);
+    return true;
+  };
+
+  // Ingress at the source edge switch.
+  net::NodeId cur = ft_->edge(s.pod, s.edge);
+  if (net.node_failed(cur) || !step_to(cur)) return result;
+  bool from_host_side = true;
+
+  constexpr int kMaxHops = 8;
+  for (int hop = 0; hop < kMaxHops; ++hop) {
+    const net::Node& node = net.node(cur);
+    std::optional<int> port;
+    switch (node.kind) {
+      case net::NodeKind::kEdgeSwitch:
+        port = from_host_side
+                   ? edge_tables_[static_cast<std::size_t>(node.pod)].lookup(
+                         d, vlan, /*require_tag_match=*/true)
+                   : edge_tables_[static_cast<std::size_t>(node.pod)].lookup(
+                         d, kNoVlan);
+        break;
+      case net::NodeKind::kAggSwitch:
+        port = agg_tables_[static_cast<std::size_t>(node.pod)].lookup(d, vlan);
+        break;
+      case net::NodeKind::kCoreSwitch:
+        port = core_table_.lookup(d, vlan);
+        break;
+      case net::NodeKind::kHost:
+        SBK_UNREACHABLE("hosts do not forward");
+    }
+    if (!port.has_value()) return result;  // table black hole
+
+    net::NodeId next;
+    switch (node.kind) {
+      case net::NodeKind::kEdgeSwitch:
+        if (*port < half) {
+          // Host port h: deliver iff the host slot exists and is `dst`.
+          if (*port >= ft_->hosts_per_edge()) return result;
+          next = ft_->host(node.pod, node.index, *port);
+          if (!step_to(next)) return result;
+          result.delivered = (next == dst);
+          return result;
+        }
+        next = ft_->agg(node.pod, *port - half);
+        from_host_side = false;
+        break;
+      case net::NodeKind::kAggSwitch:
+        next = *port < half
+                   ? ft_->edge(node.pod, *port)
+                   : ft_->core(node.index * half + (*port - half));
+        break;
+      case net::NodeKind::kCoreSwitch: {
+        int row = node.index / half;
+        next = ft_->agg(*port, row);
+        break;
+      }
+      default:
+        return result;
+    }
+    if (net.node_failed(next) || !step_to(next)) return result;
+    cur = next;
+  }
+  return result;  // loop guard: not delivered
+}
+
+}  // namespace sbk::routing

@@ -1,0 +1,149 @@
+#include "routing/two_level.hpp"
+
+#include <algorithm>
+
+namespace sbk::routing {
+
+bool TableEntry::matches(HostAddr dst, int packet_vlan,
+                         bool require_tag_match) const noexcept {
+  if (vlan == kNoVlan) {
+    if (require_tag_match) return false;
+  } else if (vlan != packet_vlan) {
+    return false;
+  }
+  if (kind == EntryKind::kPrefix) {
+    if (pod != -1 && pod != dst.pod) return false;
+    if (edge != -1 && edge != dst.edge) return false;
+    if (host != -1 && host != dst.host) return false;
+    return true;
+  }
+  return suffix == dst.host;
+}
+
+void TwoLevelTable::add_prefix(int vlan, int pod, int edge, int host,
+                               int egress_port) {
+  SBK_EXPECTS(egress_port >= 0);
+  SBK_EXPECTS_MSG(!(pod == -1 && edge == -1 && host == -1),
+                  "a fully wildcarded prefix entry is a default route; use "
+                  "suffix entries for fall-through");
+  TableEntry e{EntryKind::kPrefix, vlan, pod, edge, host, -1, egress_port};
+  // More specific entries sort first so a linear scan is longest-match.
+  auto specificity = [](const TableEntry& t) {
+    return (t.pod != -1) + (t.edge != -1) + (t.host != -1);
+  };
+  auto it = std::find_if(prefix_.begin(), prefix_.end(),
+                         [&](const TableEntry& t) {
+                           return specificity(t) < specificity(e);
+                         });
+  prefix_.insert(it, e);
+}
+
+void TwoLevelTable::add_suffix(int vlan, int suffix, int egress_port) {
+  SBK_EXPECTS(egress_port >= 0);
+  SBK_EXPECTS(suffix >= 0);
+  suffix_.push_back(
+      TableEntry{EntryKind::kSuffix, vlan, -1, -1, -1, suffix, egress_port});
+}
+
+std::optional<int> TwoLevelTable::lookup(HostAddr dst, int packet_vlan,
+                                         bool require_tag_match) const {
+  for (const TableEntry& e : prefix_) {
+    if (e.matches(dst, packet_vlan, require_tag_match)) {
+      return e.egress_port;
+    }
+  }
+  for (const TableEntry& e : suffix_) {
+    if (e.matches(dst, packet_vlan, require_tag_match)) {
+      return e.egress_port;
+    }
+  }
+  return std::nullopt;
+}
+
+namespace {
+bool same_entry(const TableEntry& a, const TableEntry& b) {
+  return a.kind == b.kind && a.vlan == b.vlan && a.pod == b.pod &&
+         a.edge == b.edge && a.host == b.host && a.suffix == b.suffix &&
+         a.egress_port == b.egress_port;
+}
+}  // namespace
+
+void TwoLevelTable::merge(const TwoLevelTable& other) {
+  for (const TableEntry& e : other.prefix_) {
+    bool dup = std::any_of(
+        prefix_.begin(), prefix_.end(),
+        [&](const TableEntry& x) { return same_entry(x, e); });
+    if (!dup) add_prefix(e.vlan, e.pod, e.edge, e.host, e.egress_port);
+  }
+  for (const TableEntry& e : other.suffix_) {
+    bool dup = std::any_of(
+        suffix_.begin(), suffix_.end(),
+        [&](const TableEntry& x) { return same_entry(x, e); });
+    if (!dup) suffix_.push_back(e);
+  }
+}
+
+TwoLevelTableBuilder::TwoLevelTableBuilder(int k) : k_(k) {
+  SBK_EXPECTS_MSG(k >= 4 && k % 2 == 0, "k must be even and >= 4");
+}
+
+int edge_uplink_for(int k, int e, int host_suffix) {
+  return (host_suffix + e) % (k / 2);
+}
+
+int agg_uplink_for(int k, int host_suffix) { return host_suffix % (k / 2); }
+
+TwoLevelTable TwoLevelTableBuilder::edge_table(int pod, int e) const {
+  SBK_EXPECTS(pod >= 0 && pod < k_ && e >= 0 && e < k_ / 2);
+  TwoLevelTable t;
+  const int half = k_ / 2;
+  for (int h = 0; h < half; ++h) {
+    // Shared in-bound entries: untagged, consulted for packets arriving
+    // from the aggregation layer.
+    t.add_suffix(kNoVlan, h, /*egress_port=*/h);
+  }
+  for (int h = 0; h < half; ++h) {
+    // Out-bound entries, tagged with this edge position's VLAN.
+    t.add_suffix(e, h, /*egress_port=*/half + edge_uplink_for(k_, e, h));
+  }
+  return t;
+}
+
+TwoLevelTable TwoLevelTableBuilder::agg_table(int pod) const {
+  SBK_EXPECTS(pod >= 0 && pod < k_);
+  TwoLevelTable t;
+  const int half = k_ / 2;
+  for (int e = 0; e < half; ++e) {
+    t.add_prefix(kNoVlan, pod, e, -1, /*egress_port=*/e);
+  }
+  for (int h = 0; h < half; ++h) {
+    t.add_suffix(kNoVlan, h, /*egress_port=*/half + agg_uplink_for(k_, h));
+  }
+  return t;
+}
+
+TwoLevelTable TwoLevelTableBuilder::core_table() const {
+  TwoLevelTable t;
+  for (int pod = 0; pod < k_; ++pod) {
+    t.add_prefix(kNoVlan, pod, -1, -1, /*egress_port=*/pod);
+  }
+  return t;
+}
+
+TwoLevelTable TwoLevelTableBuilder::combined_edge_table(int pod) const {
+  SBK_EXPECTS(pod >= 0 && pod < k_);
+  TwoLevelTable combined;
+  const int half = k_ / 2;
+  for (int h = 0; h < half; ++h) {
+    combined.add_suffix(kNoVlan, h, /*egress_port=*/h);
+  }
+  for (int e = 0; e < half; ++e) {
+    for (int h = 0; h < half; ++h) {
+      combined.add_suffix(e, h,
+                          /*egress_port=*/half + edge_uplink_for(k_, e, h));
+    }
+  }
+  return combined;
+}
+
+}  // namespace sbk::routing

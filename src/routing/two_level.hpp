@@ -1,0 +1,143 @@
+// Al-Fares Two-Level Routing tables (§4.3 of the paper), modeled at the
+// level of logical switch positions and logical ports so that
+// ShareBackup's live impersonation can be expressed and verified exactly:
+// a backup switch preloaded with the failure group's combined table must
+// forward identically to the switch it replaces.
+//
+// Addressing follows the fat-tree convention: a host address is the
+// triple (pod, edge, host) — think 10.pod.edge.host.
+//
+// Logical port conventions (position-relative, survive device swaps):
+//   * edge switch (pod, e):   down port h in [0,k/2) -> host h;
+//                             up   port k/2+a        -> agg (pod, a).
+//   * agg switch (pod, a):    down port e in [0,k/2) -> edge (pod, e);
+//                             up   port k/2+i        -> core a*k/2+i
+//                             (plain wiring).
+//   * core switch c:          port p in [0,k)        -> its agg in pod p.
+//
+// VLAN scheme (paper §4.3): every edge switch of a pod has a unique VLAN
+// id (its in-pod index). Hosts tag all outgoing packets with their edge
+// switch's VLAN. Edge switches consult the VLAN-tagged out-bound entries
+// for packets arriving on host-facing ports and the shared untagged
+// in-bound entries for packets arriving on aggregation-facing ports —
+// which is what makes one combined table correct for every edge position
+// in the failure group.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sbk::routing {
+
+/// A fat-tree host address.
+struct HostAddr {
+  int pod = 0;
+  int edge = 0;
+  int host = 0;
+
+  friend constexpr bool operator==(HostAddr, HostAddr) noexcept = default;
+};
+
+/// VLAN id carried by packets. kNoVlan marks untagged entries (match any
+/// packet) and untagged lookups.
+inline constexpr int kNoVlan = -1;
+
+/// Role of a table entry, mirroring the two-level scheme.
+enum class EntryKind : std::uint8_t {
+  kPrefix,  ///< matches (pod[, edge[, host]]) — downward routing
+  kSuffix,  ///< matches host id suffix — upward spreading / local delivery
+};
+
+/// One TCAM entry. Prefix entries use pod/edge/host with -1 as wildcard;
+/// suffix entries use `suffix`.
+struct TableEntry {
+  EntryKind kind = EntryKind::kPrefix;
+  int vlan = kNoVlan;
+  int pod = -1;
+  int edge = -1;
+  int host = -1;
+  int suffix = -1;
+  int egress_port = -1;
+
+  /// `require_tag_match`: skip untagged entries (used for lookups on
+  /// host-facing ingress, where only the VLAN-selected out-bound set
+  /// applies).
+  [[nodiscard]] bool matches(HostAddr dst, int packet_vlan,
+                             bool require_tag_match) const noexcept;
+};
+
+/// A two-level routing table: prefix entries take precedence over suffix
+/// entries (the suffix table hangs off the prefix table's fall-through).
+class TwoLevelTable {
+ public:
+  void add_prefix(int vlan, int pod, int edge, int host, int egress_port);
+  void add_suffix(int vlan, int suffix, int egress_port);
+
+  /// Longest-match lookup: most specific matching prefix entry first,
+  /// then suffix entries in insertion order. Returns the egress port.
+  [[nodiscard]] std::optional<int> lookup(
+      HostAddr dst, int packet_vlan,
+      bool require_tag_match = false) const;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return prefix_.size() + suffix_.size();
+  }
+  [[nodiscard]] std::size_t prefix_entries() const noexcept {
+    return prefix_.size();
+  }
+  [[nodiscard]] std::size_t suffix_entries() const noexcept {
+    return suffix_.size();
+  }
+  [[nodiscard]] const std::vector<TableEntry>& prefix() const noexcept {
+    return prefix_;
+  }
+  [[nodiscard]] const std::vector<TableEntry>& suffix() const noexcept {
+    return suffix_;
+  }
+
+  /// Merges another table's entries, dropping exact duplicates (used to
+  /// build combined failure-group tables).
+  void merge(const TwoLevelTable& other);
+
+ private:
+  std::vector<TableEntry> prefix_;
+  std::vector<TableEntry> suffix_;
+};
+
+/// Builds the canonical per-position tables for a k-ary fat-tree with
+/// plain wiring (ShareBackup's base network).
+class TwoLevelTableBuilder {
+ public:
+  explicit TwoLevelTableBuilder(int k);
+
+  [[nodiscard]] int k() const noexcept { return k_; }
+
+  /// Edge switch (pod, e): k/2 shared untagged in-bound suffix entries
+  /// (suffix h -> host port h) plus k/2 out-bound suffix entries tagged
+  /// with VLAN e (suffix h -> uplink (h+e) mod k/2).
+  [[nodiscard]] TwoLevelTable edge_table(int pod, int e) const;
+  /// Aggregation switch in `pod` (identical for every agg of the pod):
+  /// k/2 in-pod prefix entries plus k/2 suffix entries to core uplinks.
+  [[nodiscard]] TwoLevelTable agg_table(int pod) const;
+  /// Core switch (identical for all cores): k pod prefix entries.
+  [[nodiscard]] TwoLevelTable core_table() const;
+
+  /// Combined table stored on every member of an edge failure group
+  /// (§4.3): k/2 shared in-bound entries + k^2/4 VLAN-tagged out-bound
+  /// entries (= 1056 total at k = 64).
+  [[nodiscard]] TwoLevelTable combined_edge_table(int pod) const;
+
+ private:
+  int k_;
+};
+
+/// Upward egress chosen by the canonical tables: edge (pod,e) sends
+/// suffix h to agg (h+e) mod k/2; every agg sends suffix h to its h-th
+/// core uplink.
+[[nodiscard]] int edge_uplink_for(int k, int e, int host_suffix);
+[[nodiscard]] int agg_uplink_for(int k, int host_suffix);
+
+}  // namespace sbk::routing

@@ -1,0 +1,31 @@
+// Physical device identities shared by the ShareBackup fabrics (fat-tree
+// and leaf-spine): uid handles and lifecycle states.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topo/position.hpp"
+
+namespace sbk::sharebackup {
+
+using DeviceUid = std::uint32_t;
+inline constexpr DeviceUid kNoDeviceUid = static_cast<DeviceUid>(-1);
+
+/// A physical box: a packet switch (possibly a backup) or a host.
+struct PhysicalDevice {
+  DeviceUid uid = kNoDeviceUid;
+  bool is_host = false;
+  topo::Layer layer = topo::Layer::kEdge;  ///< meaningless for hosts
+  int group = -1;                          ///< failure group id; -1 for hosts
+  std::string name;
+};
+
+/// Where a physical device currently stands.
+enum class DeviceState : std::uint8_t {
+  kInService,  ///< serving a position
+  kSpare,      ///< idle backup, available for failover
+  kOut,        ///< failed / taken offline, awaiting repair or exoneration
+};
+
+}  // namespace sbk::sharebackup

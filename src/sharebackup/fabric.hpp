@@ -1,0 +1,233 @@
+// The ShareBackup fabric (§3): a plain-wired fat-tree whose adjacent
+// layers are joined through small circuit switches, with n shared backup
+// switches per failure group.
+//
+// Modeling choices (see DESIGN.md):
+//   * The packet Network contains one node per *logical position* (hosts,
+//     edge/agg/core slots). Physical devices — including backups — are
+//     tracked by the fabric, not as graph nodes; a failover re-points the
+//     circuits of a position from the failed device to a spare, after
+//     which the position node is healthy again with its original links.
+//     This matches the paper exactly: the backup impersonates the failed
+//     switch, and the packet topology after recovery is indistinguishable
+//     from the pre-failure topology.
+//   * Circuit switches carry fixed cables to physical devices; the
+//     reconfigurable state is the per-switch port matching.
+//   * Default matchings realize the fat-tree adjacency:
+//       layer 1 (host-edge):  straight-through (south j <-> north j);
+//       layer 2 (edge-agg):   rotation by the switch index m
+//                             (south e <-> north (e+m) mod k/2), which
+//                             yields the complete bipartite pod wiring;
+//       layer 3 (agg-core):   straight-through, with the m-th switch of a
+//                             pod serving the cores ≡ m (mod k/2).
+//   * Interface health is ground truth for fault injection and offline
+//     diagnosis: an interface is the (device, circuit switch) cable end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "sharebackup/circuit_switch.hpp"
+#include "sharebackup/device.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/position.hpp"
+#include "util/time.hpp"
+
+namespace sbk::sharebackup {
+
+using topo::Layer;
+using topo::SwitchPosition;
+
+struct FabricParams {
+  topo::FatTreeParams fat_tree;  ///< wiring must be Wiring::kPlain
+  int backups_per_group = 1;     ///< the paper's n
+  /// Non-uniform failure groups (§6: "more backup on critical devices,
+  /// less on unimportant ones"): per-layer overrides of n; -1 means use
+  /// backups_per_group. Circuit switches are sized for the largest n in
+  /// the layers they serve.
+  int backups_edge = -1;
+  int backups_agg = -1;
+  int backups_core = -1;
+  CircuitTechnology technology = CircuitTechnology::kElectricalCrosspoint;
+
+  [[nodiscard]] int backups_for(Layer layer) const {
+    switch (layer) {
+      case Layer::kEdge: return backups_edge >= 0 ? backups_edge : backups_per_group;
+      case Layer::kAgg: return backups_agg >= 0 ? backups_agg : backups_per_group;
+      case Layer::kCore: return backups_core >= 0 ? backups_core : backups_per_group;
+    }
+    return backups_per_group;
+  }
+};
+
+/// Identifies one device interface (= one cable end at a circuit switch).
+struct InterfaceRef {
+  DeviceUid device = kNoDeviceUid;
+  std::size_t cs = 0;  ///< global circuit-switch index
+
+  friend constexpr bool operator==(InterfaceRef, InterfaceRef) noexcept =
+      default;
+};
+
+class Fabric {
+ public:
+  explicit Fabric(const FabricParams& params);
+
+  // --- topology access ----------------------------------------------------
+  [[nodiscard]] const topo::FatTree& fat_tree() const noexcept { return ft_; }
+  [[nodiscard]] topo::FatTree& fat_tree() noexcept { return ft_; }
+  [[nodiscard]] const net::Network& network() const noexcept {
+    return ft_.network();
+  }
+  [[nodiscard]] net::Network& network() noexcept { return ft_.network(); }
+  [[nodiscard]] int k() const noexcept { return ft_.k(); }
+  [[nodiscard]] int half_k() const noexcept { return ft_.half_k(); }
+  [[nodiscard]] int n() const noexcept { return params_.backups_per_group; }
+  [[nodiscard]] CircuitTechnology technology() const noexcept {
+    return params_.technology;
+  }
+
+  // --- positions and devices ------------------------------------------------
+  [[nodiscard]] net::NodeId node_at(SwitchPosition pos) const;
+  [[nodiscard]] std::optional<SwitchPosition> position_of_node(
+      net::NodeId node) const;
+  [[nodiscard]] DeviceUid device_at(SwitchPosition pos) const;
+  [[nodiscard]] const PhysicalDevice& device(DeviceUid uid) const;
+  [[nodiscard]] DeviceState device_state(DeviceUid uid) const;
+  [[nodiscard]] std::vector<DeviceUid> spares(Layer layer, int group) const;
+  [[nodiscard]] std::size_t switch_device_count() const noexcept {
+    return switch_devices_;
+  }
+  /// Position currently served by an in-service device.
+  [[nodiscard]] std::optional<SwitchPosition> position_of_device(
+      DeviceUid uid) const;
+  /// Physical device representing a host node (hosts never fail over).
+  [[nodiscard]] DeviceUid device_of_host(net::NodeId host) const;
+
+  // --- circuit switches ---------------------------------------------------
+  [[nodiscard]] std::size_t circuit_switch_count() const noexcept {
+    return switches_.size();
+  }
+  [[nodiscard]] const CircuitSwitch& circuit_switch(std::size_t idx) const;
+  [[nodiscard]] CircuitSwitch& circuit_switch(std::size_t idx);
+  /// Global index of circuit switch CS_{cs_layer, pod, m}; cs_layer is the
+  /// paper's l in {1,2,3}. For layer 1, m ranges over hosts_per_edge; for
+  /// layers 2-3 over k/2.
+  [[nodiscard]] std::size_t cs_index(int cs_layer, int pod, int m) const;
+  /// Circuit switches a device is cabled to, with its port on each.
+  struct DevicePort {
+    std::size_t cs;
+    int port;
+  };
+  [[nodiscard]] const std::vector<DevicePort>& ports_of_device(
+      DeviceUid uid) const;
+
+  // --- interface health (ground truth for fault injection) -----------------
+  [[nodiscard]] bool interface_healthy(InterfaceRef iface) const;
+  void set_interface_health(InterfaceRef iface, bool healthy);
+  /// Heals every interface of a device (models repair).
+  void heal_device(DeviceUid uid);
+
+  // --- failover -------------------------------------------------------------
+  struct FailoverReport {
+    SwitchPosition position;
+    DeviceUid failed_device = kNoDeviceUid;
+    DeviceUid replacement = kNoDeviceUid;
+    /// Circuit switches whose matching changed (reconfigured in parallel).
+    std::size_t circuit_switches_touched = 0;
+    /// Physical-layer latency of the reconfiguration (per technology; the
+    /// switches reconfigure concurrently).
+    Seconds reconfiguration_latency = 0.0;
+  };
+
+  /// Replaces the device at `pos` with a spare of its failure group.
+  /// Rewrites the circuit matchings and marks the position node healthy
+  /// (its links are served by fresh hardware). Returns nullopt when the
+  /// group's pool is exhausted. The replaced device becomes kOut.
+  [[nodiscard]] std::optional<FailoverReport> fail_over(SwitchPosition pos);
+
+  /// Puts an out-of-service device back into the spare pool (after repair
+  /// or exoneration) — the paper's "replaced switches become backups".
+  void return_to_pool(DeviceUid uid);
+
+  // --- circuit tracing / probing (offline diagnosis support) ---------------
+  /// Follows the circuit starting at `port` of switch `cs` through
+  /// matchings and side-ring cables until it terminates at a device
+  /// interface or dead-ends. Bounded by the ring length.
+  [[nodiscard]] std::optional<InterfaceRef> trace_circuit(std::size_t cs,
+                                                          int port) const;
+  /// True iff a test message injected at `from` comes back on the circuit
+  /// — i.e. the circuit terminates at some interface and both end
+  /// interfaces are healthy. `from` must be matched.
+  [[nodiscard]] bool probe(InterfaceRef from) const;
+  /// The device's port on the given circuit switch (it must be cabled).
+  [[nodiscard]] int device_port_on(DeviceUid uid, std::size_t cs) const;
+  /// The circuit switch through which a packet-layer link is realized
+  /// (derived structurally from the endpoints' positions).
+  [[nodiscard]] std::size_t cs_of_link(net::LinkId link) const;
+
+  // --- structural census (validated against the Table 2 formulas) ----------
+  struct Census {
+    std::size_t backup_switches = 0;
+    std::size_t circuit_switches = 0;
+    std::size_t circuit_switch_physical_ports = 0;
+    std::size_t backup_device_cables = 0;  ///< backup-switch-to-CS cables
+    std::size_t failure_groups = 0;
+  };
+  [[nodiscard]] Census census() const;
+
+  /// Packet-layer adjacency realized by the current circuit matchings:
+  /// pairs of Network nodes whose positions' devices are circuit-joined.
+  /// In any consistent state this equals the fat-tree link set (property
+  /// test).
+  [[nodiscard]] std::vector<std::pair<net::NodeId, net::NodeId>>
+  realized_adjacency() const;
+
+  /// Cross-checks internal invariants (matching consistency, assignment
+  /// bijectivity, spare accounting). Throws ContractViolation on breakage.
+  void check_invariants() const;
+
+ private:
+  struct Group {
+    Layer layer;
+    int id;
+    std::vector<DeviceUid> assigned;  ///< by slot
+    std::vector<DeviceUid> spare;
+    std::vector<DeviceUid> out;
+    std::vector<std::size_t> circuit_switches;  ///< all CS the group touches
+  };
+
+  void build_devices();
+  void build_circuit_switches();
+  void wire_defaults();
+  [[nodiscard]] Group& group(Layer layer, int id);
+  [[nodiscard]] const Group& group(Layer layer, int id) const;
+  [[nodiscard]] DeviceUid new_device(bool is_host, Layer layer, int group,
+                                     std::string name);
+  void register_port(DeviceUid dev, std::size_t cs, int port);
+  [[nodiscard]] static std::uint64_t iface_key(InterfaceRef iface) noexcept {
+    return (static_cast<std::uint64_t>(iface.device) << 32) |
+           static_cast<std::uint64_t>(iface.cs);
+  }
+
+  FabricParams params_;
+  topo::FatTree ft_;
+  std::vector<PhysicalDevice> devices_;
+  std::vector<DeviceState> device_state_;
+  std::vector<std::vector<DevicePort>> device_ports_;
+  std::vector<Group> edge_groups_;
+  std::vector<Group> agg_groups_;
+  std::vector<Group> core_groups_;
+  std::vector<CircuitSwitch> switches_;
+  std::size_t cs_layer1_per_pod_ = 0;
+  std::unordered_map<std::uint64_t, bool> iface_unhealthy_;
+  std::size_t switch_devices_ = 0;
+  /// Host device uid per global host index (hosts attach to layer-1 CS).
+  std::vector<DeviceUid> host_device_;
+};
+
+}  // namespace sbk::sharebackup

@@ -1,0 +1,39 @@
+#include "sim/event_queue.hpp"
+
+#include <utility>
+
+namespace sbk::sim {
+
+void EventQueue::schedule_at(Seconds at, Callback fn) {
+  SBK_EXPECTS_MSG(at >= now_, "cannot schedule into the past");
+  SBK_EXPECTS(fn != nullptr);
+  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+}
+
+void EventQueue::schedule_in(Seconds delay, Callback fn) {
+  SBK_EXPECTS(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move via const_cast is the standard
+  // idiom-free workaround — copy the callback instead to stay clean.
+  Entry e = heap_.top();
+  heap_.pop();
+  now_ = e.time;
+  e.fn();
+  return true;
+}
+
+void EventQueue::run_until(Seconds until) {
+  while (!heap_.empty() && heap_.top().time <= until) step();
+  now_ = std::max(now_, until);
+}
+
+void EventQueue::run() {
+  while (step()) {
+  }
+}
+
+}  // namespace sbk::sim

@@ -1,0 +1,55 @@
+// Generic discrete-event queue used by the control-plane simulation.
+// (The fluid flow simulator keeps its own specialized loop; see
+// fluid_sim.hpp.) Events at equal timestamps fire in insertion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace sbk::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute time `at` (must not precede now()).
+  void schedule_at(Seconds at, Callback fn);
+  /// Schedules `fn` `delay` seconds from now.
+  void schedule_in(Seconds delay, Callback fn);
+
+  [[nodiscard]] Seconds now() const noexcept { return now_; }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Runs the earliest event; returns false if the queue is empty.
+  bool step();
+  /// Runs events until the queue drains or `until` is passed (events with
+  /// time > until stay queued; now() advances to at most `until`).
+  void run_until(Seconds until);
+  /// Drains the queue completely (caller must guarantee termination).
+  void run();
+
+ private:
+  struct Entry {
+    Seconds time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  Seconds now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace sbk::sim

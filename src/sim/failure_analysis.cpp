@@ -1,0 +1,106 @@
+#include "sim/failure_analysis.hpp"
+
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace sbk::sim {
+
+std::vector<RoutedFlow> route_snapshot(const net::Network& net,
+                                       routing::Router& router,
+                                       const std::vector<FlowSpec>& flows) {
+  std::vector<RoutedFlow> out;
+  out.reserve(flows.size());
+  routing::LinkLoads loads(net.link_count());
+  for (const FlowSpec& f : flows) {
+    RoutedFlow rf;
+    rf.spec = f;
+    if (f.src == f.dst) {
+      rf.path = net::Path{{f.src}, {}};
+    } else {
+      rf.path = router.route(net, f.src, f.dst, f.id, &loads);
+      for (net::DirectedLink dl : rf.path.directed_links(net)) {
+        loads.add(dl, 1.0);
+      }
+    }
+    out.push_back(std::move(rf));
+  }
+  return out;
+}
+
+ImpactResult measure_impact(const std::vector<RoutedFlow>& snapshot,
+                            const FailureSet& failures) {
+  std::unordered_set<net::NodeId> bad_nodes(failures.nodes.begin(),
+                                            failures.nodes.end());
+  std::unordered_set<net::LinkId> bad_links(failures.links.begin(),
+                                            failures.links.end());
+
+  ImpactResult r;
+  std::unordered_set<CoflowId> coflows;
+  std::unordered_set<CoflowId> affected_coflows;
+  for (const RoutedFlow& rf : snapshot) {
+    ++r.total_flows;
+    if (rf.spec.coflow != kNoCoflow) coflows.insert(rf.spec.coflow);
+
+    bool affected = false;
+    for (net::NodeId n : rf.path.nodes) {
+      if (bad_nodes.contains(n)) {
+        affected = true;
+        break;
+      }
+    }
+    if (!affected) {
+      for (net::LinkId l : rf.path.links) {
+        if (bad_links.contains(l)) {
+          affected = true;
+          break;
+        }
+      }
+    }
+    if (affected) {
+      ++r.affected_flows;
+      if (rf.spec.coflow != kNoCoflow) affected_coflows.insert(rf.spec.coflow);
+    }
+  }
+  r.total_coflows = coflows.size();
+  r.affected_coflows = affected_coflows.size();
+  return r;
+}
+
+FailureSet random_switch_failures(const net::Network& net, std::size_t count,
+                                  Rng& rng) {
+  std::vector<net::NodeId> switches;
+  for (net::NodeKind kind :
+       {net::NodeKind::kEdgeSwitch, net::NodeKind::kAggSwitch,
+        net::NodeKind::kCoreSwitch}) {
+    auto nodes = net.nodes_of_kind(kind);
+    switches.insert(switches.end(), nodes.begin(), nodes.end());
+  }
+  SBK_EXPECTS(count <= switches.size());
+  FailureSet fs;
+  for (std::size_t i : rng.sample_without_replacement(switches.size(), count)) {
+    fs.nodes.push_back(switches[i]);
+  }
+  return fs;
+}
+
+FailureSet random_fabric_link_failures(const net::Network& net,
+                                       std::size_t count, Rng& rng) {
+  std::vector<net::LinkId> fabric;
+  for (std::size_t i = 0; i < net.link_count(); ++i) {
+    net::LinkId id(static_cast<net::LinkId::value_type>(i));
+    const net::Link& l = net.link(id);
+    if (net.node(l.a).kind != net::NodeKind::kHost &&
+        net.node(l.b).kind != net::NodeKind::kHost) {
+      fabric.push_back(id);
+    }
+  }
+  SBK_EXPECTS(count <= fabric.size());
+  FailureSet fs;
+  for (std::size_t i : rng.sample_without_replacement(fabric.size(), count)) {
+    fs.links.push_back(fabric[i]);
+  }
+  return fs;
+}
+
+}  // namespace sbk::sim

@@ -1,0 +1,76 @@
+// Static failure-impact analysis for the paper's Figure 1(a)/(b): given a
+// routed traffic snapshot, how many flows — and how many coflows — does a
+// set of node/link failures touch? A flow is affected if its path
+// traverses a failed node or link; a coflow is affected if at least one
+// of its flows is (§2.2).
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/path.hpp"
+#include "routing/router.hpp"
+#include "sim/flow.hpp"
+#include "util/rng.hpp"
+
+namespace sbk::sim {
+
+/// A flow with the path assigned to it in the healthy network.
+struct RoutedFlow {
+  FlowSpec spec;
+  net::Path path;
+};
+
+/// Routes every flow in the healthy network with the given router
+/// (typically ECMP). Flows with src == dst get the trivial path.
+[[nodiscard]] std::vector<RoutedFlow> route_snapshot(
+    const net::Network& net, routing::Router& router,
+    const std::vector<FlowSpec>& flows);
+
+/// What failed in one scenario.
+struct FailureSet {
+  std::vector<net::NodeId> nodes;
+  std::vector<net::LinkId> links;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return nodes.size() + links.size();
+  }
+};
+
+/// Fractions of flows/coflows touched by `failures`.
+struct ImpactResult {
+  std::size_t total_flows = 0;
+  std::size_t affected_flows = 0;
+  std::size_t total_coflows = 0;
+  std::size_t affected_coflows = 0;
+
+  [[nodiscard]] double flow_fraction() const noexcept {
+    return total_flows == 0
+               ? 0.0
+               : static_cast<double>(affected_flows) /
+                     static_cast<double>(total_flows);
+  }
+  [[nodiscard]] double coflow_fraction() const noexcept {
+    return total_coflows == 0
+               ? 0.0
+               : static_cast<double>(affected_coflows) /
+                     static_cast<double>(total_coflows);
+  }
+};
+
+[[nodiscard]] ImpactResult measure_impact(
+    const std::vector<RoutedFlow>& snapshot, const FailureSet& failures);
+
+/// Draws `count` distinct random switch failures (edge/agg/core, uniform
+/// over all switches).
+[[nodiscard]] FailureSet random_switch_failures(const net::Network& net,
+                                                std::size_t count, Rng& rng);
+
+/// Draws `count` distinct random switch-to-switch link failures
+/// (host-edge links excluded: the paper's link-failure study concerns the
+/// fabric).
+[[nodiscard]] FailureSet random_fabric_link_failures(const net::Network& net,
+                                                     std::size_t count,
+                                                     Rng& rng);
+
+}  // namespace sbk::sim

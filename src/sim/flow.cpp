@@ -1,0 +1,38 @@
+#include "sim/flow.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace sbk::sim {
+
+std::vector<CoflowResult> aggregate_coflows(
+    const std::vector<FlowResult>& flows) {
+  std::unordered_map<CoflowId, CoflowResult> by_id;
+  for (const FlowResult& f : flows) {
+    if (f.spec.coflow == kNoCoflow) continue;
+    CoflowResult& c = by_id[f.spec.coflow];
+    if (c.flow_count == 0) {
+      c.id = f.spec.coflow;
+      c.arrival = f.spec.start;
+    }
+    ++c.flow_count;
+    c.arrival = std::min(c.arrival, f.spec.start);
+    if (f.outcome == FlowOutcome::kCompleted) {
+      ++c.completed;
+      c.finish = std::max(c.finish, f.finish);
+    }
+  }
+  std::vector<CoflowResult> out;
+  out.reserve(by_id.size());
+  for (auto& [id, c] : by_id) {
+    c.all_completed = (c.completed == c.flow_count);
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CoflowResult& a, const CoflowResult& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+}  // namespace sbk::sim

@@ -1,0 +1,68 @@
+// Flow and coflow descriptions consumed by the fluid simulator.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "util/time.hpp"
+
+namespace sbk::sim {
+
+using FlowId = std::uint64_t;
+using CoflowId = std::uint64_t;
+inline constexpr CoflowId kNoCoflow = std::numeric_limits<CoflowId>::max();
+
+/// An application-level flow: `bytes` from `src` host to `dst` host,
+/// released at `start`. Flows belonging to the same coflow share a
+/// CoflowId; CCT is derived from their completions.
+struct FlowSpec {
+  FlowId id = 0;
+  net::NodeId src;
+  net::NodeId dst;
+  double bytes = 0.0;
+  Seconds start = 0.0;
+  CoflowId coflow = kNoCoflow;
+};
+
+/// Terminal state of a simulated flow.
+enum class FlowOutcome : std::uint8_t {
+  kCompleted,
+  kStalledForever,  ///< unreachable at simulation end (no route)
+  kUnfinished,      ///< still transferring when the horizon was reached
+};
+
+/// Per-flow simulation result.
+struct FlowResult {
+  FlowSpec spec;
+  FlowOutcome outcome = FlowOutcome::kUnfinished;
+  Seconds finish = 0.0;          ///< valid iff outcome == kCompleted
+  double bytes_remaining = 0.0;  ///< 0 iff completed
+  std::size_t path_hops = 0;     ///< hops of the last path used (0 if none)
+  std::size_t reroutes = 0;      ///< times the flow was re-pathed
+
+  /// Flow completion time (lifetime).
+  [[nodiscard]] Seconds fct() const noexcept { return finish - spec.start; }
+};
+
+/// Coflow-level aggregation of flow results.
+struct CoflowResult {
+  CoflowId id = kNoCoflow;
+  std::size_t flow_count = 0;
+  std::size_t completed = 0;
+  Seconds arrival = 0.0;  ///< earliest flow start
+  Seconds finish = 0.0;   ///< latest flow completion (iff all completed)
+  bool all_completed = false;
+
+  /// Coflow completion time: lifetime of the most long-lived flow
+  /// (paper §2.2). Valid iff all_completed.
+  [[nodiscard]] Seconds cct() const noexcept { return finish - arrival; }
+};
+
+/// Groups flow results into per-coflow records (flows without a coflow id
+/// are skipped).
+[[nodiscard]] std::vector<CoflowResult> aggregate_coflows(
+    const std::vector<FlowResult>& flows);
+
+}  // namespace sbk::sim

@@ -1,0 +1,292 @@
+#include "sim/fluid_sim.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "net/path.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace sbk::sim {
+
+namespace {
+constexpr Seconds kTimeEps = 1e-12;
+}
+
+FluidSimulator::FluidSimulator(net::Network& net, routing::Router& router,
+                               SimConfig cfg)
+    : net_(&net), router_(&router), cfg_(cfg),
+      loads_(net.link_count()) {
+  SBK_EXPECTS(cfg_.unit_bytes_per_second > 0.0);
+  SBK_EXPECTS(cfg_.horizon > 0.0);
+}
+
+void FluidSimulator::add_flow(const FlowSpec& flow) {
+  SBK_EXPECTS_MSG(!ran_, "simulator instances are single-shot");
+  SBK_EXPECTS(flow.bytes >= 0.0);
+  SBK_EXPECTS(flow.start >= 0.0);
+  FlowState st;
+  st.spec = flow;
+  st.remaining_bytes = flow.bytes;
+  flows_.push_back(std::move(st));
+}
+
+void FluidSimulator::add_flows(std::span<const FlowSpec> flows) {
+  for (const FlowSpec& f : flows) add_flow(f);
+}
+
+void FluidSimulator::at(Seconds when,
+                        std::function<void(net::Network&)> action) {
+  SBK_EXPECTS_MSG(!ran_, "simulator instances are single-shot");
+  SBK_EXPECTS(when >= 0.0);
+  SBK_EXPECTS(action != nullptr);
+  actions_.push_back(Action{when, std::move(action)});
+}
+
+void FluidSimulator::try_route(std::size_t idx, Seconds now,
+                               bool is_reroute) {
+  FlowState& f = flows_[idx];
+  net::Path path =
+      router_->route(*net_, f.spec.src, f.spec.dst, f.spec.id, &loads_);
+  if (path.empty()) {
+    f.stalled = true;
+    f.path = {};
+    f.dlinks.clear();
+    return;
+  }
+  f.path = std::move(path);
+  f.dlinks = f.path.directed_links(*net_);
+  for (net::DirectedLink dl : f.dlinks) loads_.add(dl, 1.0);
+  f.stalled = false;
+  f.active = true;
+  if (is_reroute) ++f.reroutes;
+  (void)now;
+}
+
+void FluidSimulator::admit(std::size_t idx, Seconds now) {
+  FlowState& f = flows_[idx];
+  if (f.spec.src == f.spec.dst ||
+      f.remaining_bytes <= cfg_.completion_epsilon_bytes) {
+    // Local or empty transfer: completes immediately at fluid granularity.
+    f.path = net::Path{{f.spec.src}, {}};
+    f.stalled = false;
+    finish_flow(idx, now);
+    return;
+  }
+  try_route(idx, now, /*is_reroute=*/false);
+  if (f.active) active_.push_back(idx);
+}
+
+void FluidSimulator::finish_flow(std::size_t idx, Seconds now) {
+  FlowState& f = flows_[idx];
+  f.done = true;
+  f.active = false;
+  f.stalled = false;
+  f.remaining_bytes = 0.0;
+  for (net::DirectedLink dl : f.dlinks) loads_.add(dl, -1.0);
+  f.dlinks.clear();
+  f.rate = 0.0;
+  f.finish = now;
+}
+
+void FluidSimulator::recompute_rates() {
+  ++allocation_rounds_;
+  if (cfg_.allocation == AllocationModel::kPerLinkEqualShare) {
+    // rate = min over the path of capacity / flow-count. The loads_
+    // structure already tracks per-directed-link flow counts.
+    for (std::size_t idx : active_) {
+      FlowState& f = flows_[idx];
+      double rate = std::numeric_limits<double>::infinity();
+      for (net::DirectedLink dl : f.dlinks) {
+        double share = net_->link(dl.link).capacity /
+                       std::max(1.0, loads_.get(dl));
+        rate = std::min(rate, share);
+      }
+      f.rate = rate;
+    }
+    return;
+  }
+  std::vector<Demand> demands;
+  demands.reserve(active_.size());
+  for (std::size_t idx : active_) {
+    demands.push_back(Demand{flows_[idx].dlinks});
+  }
+  std::vector<double> rates = max_min_rates(*net_, demands);
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    flows_[active_[i]].rate = rates[i];
+  }
+}
+
+void FluidSimulator::handle_topology_change(Seconds now) {
+  // Handle active flows whose pinned path died: re-route them (rerouting
+  // architectures) or stall them on their pinned path (blackhole model —
+  // they resume when the path comes back, e.g. after a ShareBackup
+  // repair).
+  for (std::size_t idx : active_) {
+    FlowState& f = flows_[idx];
+    if (net::is_live_path(*net_, f.path)) continue;
+    for (net::DirectedLink dl : f.dlinks) loads_.add(dl, -1.0);
+    f.dlinks.clear();
+    f.active = false;
+    if (cfg_.reroute_on_path_failure) {
+      try_route(idx, now, /*is_reroute=*/true);
+    } else {
+      f.stalled = true;  // keeps f.path pinned
+    }
+  }
+  // Drop de-activated (now stalled) flows from the active set.
+  active_.erase(std::remove_if(active_.begin(), active_.end(),
+                               [this](std::size_t idx) {
+                                 return !flows_[idx].active;
+                               }),
+                active_.end());
+  // Give stalled flows (including freshly stalled ones) a chance: paths
+  // may have come back.
+  for (std::size_t idx = 0; idx < flows_.size(); ++idx) {
+    FlowState& f = flows_[idx];
+    if (!f.stalled || f.done) continue;
+    if (f.spec.start > now + kTimeEps) continue;  // not yet arrived
+    if (!cfg_.reroute_on_path_failure && !f.path.empty()) {
+      // Path-pinned recovery: resume on the original path when live.
+      if (net::is_live_path(*net_, f.path)) {
+        f.dlinks = f.path.directed_links(*net_);
+        for (net::DirectedLink dl : f.dlinks) loads_.add(dl, 1.0);
+        f.stalled = false;
+        f.active = true;
+        active_.push_back(idx);
+      }
+      continue;
+    }
+    try_route(idx, now, /*is_reroute=*/true);
+    if (f.active) active_.push_back(idx);
+  }
+}
+
+std::vector<FlowResult> FluidSimulator::run() {
+  SBK_EXPECTS_MSG(!ran_, "simulator instances are single-shot");
+  ran_ = true;
+
+  // Arrival order by start time (stable on ties by id for determinism).
+  std::vector<std::size_t> arrivals(flows_.size());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) arrivals[i] = i;
+  std::stable_sort(arrivals.begin(), arrivals.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     if (flows_[a].spec.start != flows_[b].spec.start)
+                       return flows_[a].spec.start < flows_[b].spec.start;
+                     return flows_[a].spec.id < flows_[b].spec.id;
+                   });
+  std::stable_sort(actions_.begin(), actions_.end(),
+                   [](const Action& a, const Action& b) {
+                     return a.when < b.when;
+                   });
+
+  std::size_t next_arrival = 0;
+  std::size_t next_action = 0;
+  Seconds now = 0.0;
+  const double eps_units =
+      cfg_.completion_epsilon_bytes / cfg_.unit_bytes_per_second;
+
+  while (true) {
+    bool have_work = !active_.empty() || next_arrival < arrivals.size() ||
+                     next_action < actions_.size();
+    if (!have_work || now >= cfg_.horizon) break;
+
+    // Next event horizon.
+    Seconds t_next = cfg_.horizon;
+    if (next_arrival < arrivals.size()) {
+      t_next = std::min(t_next, flows_[arrivals[next_arrival]].spec.start);
+    }
+    if (next_action < actions_.size()) {
+      t_next = std::min(t_next, actions_[next_action].when);
+    }
+    if (!active_.empty()) {
+      recompute_rates();
+      for (std::size_t idx : active_) {
+        const FlowState& f = flows_[idx];
+        if (f.rate > 0.0) {
+          Seconds t_done =
+              now + (f.remaining_bytes / cfg_.unit_bytes_per_second) / f.rate;
+          t_next = std::min(t_next, t_done);
+        }
+      }
+    }
+    SBK_ASSERT_MSG(t_next >= now - kTimeEps, "time must move forward");
+    t_next = std::max(t_next, now);
+
+    // Advance fluid state.
+    Seconds dt = t_next - now;
+    if (dt > 0.0 && !active_.empty()) {
+      for (std::size_t idx : active_) {
+        FlowState& f = flows_[idx];
+        f.remaining_bytes -= f.rate * cfg_.unit_bytes_per_second * dt;
+      }
+    }
+    now = t_next;
+    if (now >= cfg_.horizon) break;
+
+    // 1) completions
+    std::vector<std::size_t> still_active;
+    still_active.reserve(active_.size());
+    bool any_completion = false;
+    for (std::size_t idx : active_) {
+      FlowState& f = flows_[idx];
+      if (f.remaining_bytes <= cfg_.completion_epsilon_bytes ||
+          (f.rate > 0.0 &&
+           f.remaining_bytes / cfg_.unit_bytes_per_second <=
+               eps_units + f.rate * kTimeEps)) {
+        finish_flow(idx, now);
+        any_completion = true;
+      } else {
+        still_active.push_back(idx);
+      }
+    }
+    active_.swap(still_active);
+    (void)any_completion;
+
+    // 2) arrivals due now
+    while (next_arrival < arrivals.size() &&
+           flows_[arrivals[next_arrival]].spec.start <= now + kTimeEps) {
+      admit(arrivals[next_arrival], now);
+      ++next_arrival;
+    }
+
+    // 3) topology actions due now
+    bool topo_changed = false;
+    while (next_action < actions_.size() &&
+           actions_[next_action].when <= now + kTimeEps) {
+      actions_[next_action].fn(*net_);
+      ++next_action;
+      topo_changed = true;
+    }
+    if (topo_changed) handle_topology_change(now);
+  }
+
+  // Collect results.
+  std::vector<FlowResult> results;
+  results.reserve(flows_.size());
+  for (FlowState& f : flows_) {
+    FlowResult r;
+    r.spec = f.spec;
+    r.path_hops = f.path.hops();
+    r.reroutes = f.reroutes;
+    if (f.done) {
+      r.outcome = FlowOutcome::kCompleted;
+      r.finish = f.finish;
+      r.bytes_remaining = 0.0;
+    } else if (f.stalled) {
+      r.outcome = FlowOutcome::kStalledForever;
+      r.bytes_remaining = f.remaining_bytes;
+    } else {
+      r.outcome = FlowOutcome::kUnfinished;
+      r.bytes_remaining = f.remaining_bytes;
+    }
+    results.push_back(std::move(r));
+  }
+  std::sort(results.begin(), results.end(),
+            [](const FlowResult& a, const FlowResult& b) {
+              return a.spec.id < b.spec.id;
+            });
+  return results;
+}
+
+}  // namespace sbk::sim

@@ -1,0 +1,118 @@
+// Event-driven flow-level ("fluid") network simulator with max-min fair
+// bandwidth sharing — the evaluation vehicle for the paper's Figure 1
+// experiments. Flows are fluid streams pinned to a path; on every
+// arrival, completion, or topology change the max-min allocation is
+// recomputed and the next event horizon derived.
+//
+// Failure recovery policies plug in two ways:
+//   * the Router decides paths (rerouting baselines);
+//   * scheduled actions mutate the Network mid-run (failure injection and
+//     ShareBackup's hardware replacement, which restores links so that
+//     rerouted == original paths).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "net/network.hpp"
+#include "routing/router.hpp"
+#include "sim/flow.hpp"
+#include "sim/max_min.hpp"
+#include "util/time.hpp"
+
+namespace sbk::sim {
+
+/// How link bandwidth is shared among competing flows.
+enum class AllocationModel {
+  /// Global max-min fairness by progressive filling: flows reclaim any
+  /// bandwidth left over by flows bottlenecked elsewhere. Models ideal
+  /// congestion control.
+  kMaxMinFair,
+  /// Per-link equal share: a flow's rate is min over its links of
+  /// capacity / flow-count. Flows do NOT reclaim residual bandwidth —
+  /// the standard pessimistic approximation of TCP under static ECMP
+  /// hashing, where collisions with bursts cut rates that are never
+  /// recovered within a flow's lifetime. This is the model that exposes
+  /// the paper's heavy CCT-slowdown tail (§2.2).
+  kPerLinkEqualShare,
+};
+
+struct SimConfig {
+  /// Bytes per second carried by one capacity unit (default: 1 unit =
+  /// 1 Gbps = 125 MB/s).
+  double unit_bytes_per_second = 125e6;
+  AllocationModel allocation = AllocationModel::kMaxMinFair;
+  /// When a flow's path dies, ask the router for a new one (rerouting
+  /// architectures). If false, flows stall until a topology action brings
+  /// their path back (used to model blackholes).
+  bool reroute_on_path_failure = true;
+  /// Stop simulating at this time; unfinished flows are reported as such.
+  Seconds horizon = 1e18;
+  /// A flow is complete when its remaining volume drops below this many
+  /// bytes (absorbs floating-point drift).
+  double completion_epsilon_bytes = 0.5;
+};
+
+class FluidSimulator {
+ public:
+  /// The simulator mutates `net` only through scheduled actions supplied
+  /// by the caller; it never fails/repairs elements on its own.
+  FluidSimulator(net::Network& net, routing::Router& router, SimConfig cfg);
+
+  /// Registers flows before run(). Flow ids must be unique.
+  void add_flows(std::span<const FlowSpec> flows);
+  void add_flow(const FlowSpec& flow);
+
+  /// Schedules a topology mutation (failure injection, repair,
+  /// ShareBackup failover, ...) at absolute time `when`. After it runs,
+  /// active flows with dead paths are rerouted (per config) and stalled
+  /// flows retried.
+  void at(Seconds when, std::function<void(net::Network&)> action);
+
+  /// Runs to completion (all flows done/stalled and no actions pending,
+  /// or the horizon). Returns per-flow results ordered by flow id.
+  [[nodiscard]] std::vector<FlowResult> run();
+
+  /// Number of allocation recomputations performed by the last run()
+  /// (exposed for the micro-benchmarks).
+  [[nodiscard]] std::size_t allocation_rounds() const noexcept {
+    return allocation_rounds_;
+  }
+
+ private:
+  struct FlowState {
+    FlowSpec spec;
+    double remaining_bytes = 0.0;
+    net::Path path;
+    std::vector<net::DirectedLink> dlinks;
+    double rate = 0.0;  // capacity units / second
+    Seconds finish = 0.0;
+    bool active = false;
+    bool stalled = false;
+    bool done = false;
+    std::size_t reroutes = 0;
+  };
+  struct Action {
+    Seconds when;
+    std::function<void(net::Network&)> fn;
+  };
+
+  void admit(std::size_t idx, Seconds now);
+  void try_route(std::size_t idx, Seconds now, bool is_reroute);
+  void finish_flow(std::size_t idx, Seconds now);
+  void recompute_rates();
+  void handle_topology_change(Seconds now);
+
+  net::Network* net_;
+  routing::Router* router_;
+  SimConfig cfg_;
+  std::vector<FlowState> flows_;
+  std::vector<Action> actions_;
+  routing::LinkLoads loads_;
+  std::vector<std::size_t> active_;
+  std::size_t allocation_rounds_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace sbk::sim

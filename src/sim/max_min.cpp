@@ -1,0 +1,96 @@
+#include "sim/max_min.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+
+#include "util/assert.hpp"
+
+namespace sbk::sim {
+
+namespace {
+/// Dense slot for a directed link.
+std::size_t slot(net::DirectedLink dl) {
+  return dl.link.index() * 2 + (dl.forward ? 0 : 1);
+}
+}  // namespace
+
+std::vector<double> max_min_rates(const net::Network& net,
+                                  const std::vector<Demand>& demands) {
+  const std::size_t n = demands.size();
+  std::vector<double> rate(n, std::numeric_limits<double>::infinity());
+  if (n == 0) return rate;
+
+  // Build the link occupancy structures only for links actually used.
+  struct LinkState {
+    double residual = 0.0;      // capacity minus frozen flows' rates
+    std::size_t unfrozen = 0;   // flows not yet fixed
+    std::vector<std::size_t> flows;
+  };
+  std::unordered_map<std::size_t, LinkState> links;
+  for (std::size_t f = 0; f < n; ++f) {
+    for (net::DirectedLink dl : demands[f].links) {
+      LinkState& ls = links[slot(dl)];
+      if (ls.flows.empty()) {
+        ls.residual = net.link(dl.link).capacity;
+        SBK_EXPECTS(ls.residual > 0.0);
+      }
+      ls.flows.push_back(f);
+      ++ls.unfrozen;
+    }
+  }
+
+  std::vector<bool> frozen(n, false);
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (!demands[f].links.empty()) ++remaining;
+    // Pathless demands keep rate = +inf; the fluid simulator treats them
+    // as instantaneous.
+  }
+
+  while (remaining > 0) {
+    // Find the bottleneck: the smallest fair share among links that still
+    // carry unfrozen flows.
+    double bottleneck_share = std::numeric_limits<double>::infinity();
+    for (const auto& [s, ls] : links) {
+      if (ls.unfrozen == 0) continue;
+      double share = ls.residual / static_cast<double>(ls.unfrozen);
+      bottleneck_share = std::min(bottleneck_share, share);
+    }
+    SBK_ASSERT_MSG(bottleneck_share < std::numeric_limits<double>::infinity(),
+                   "unfrozen flows must sit on at least one link");
+    bottleneck_share = std::max(bottleneck_share, 0.0);
+
+    // Freeze every unfrozen flow crossing a bottleneck link at that share.
+    // (Several links can bottleneck simultaneously at the same share.)
+    std::vector<std::size_t> to_freeze;
+    for (const auto& [s, ls] : links) {
+      if (ls.unfrozen == 0) continue;
+      double share = ls.residual / static_cast<double>(ls.unfrozen);
+      if (share <= bottleneck_share * (1.0 + 1e-12) + 1e-15) {
+        for (std::size_t f : ls.flows) {
+          if (!frozen[f]) to_freeze.push_back(f);
+        }
+      }
+    }
+    SBK_ASSERT(!to_freeze.empty());
+    std::sort(to_freeze.begin(), to_freeze.end());
+    to_freeze.erase(std::unique(to_freeze.begin(), to_freeze.end()),
+                    to_freeze.end());
+
+    for (std::size_t f : to_freeze) {
+      frozen[f] = true;
+      rate[f] = bottleneck_share;
+      --remaining;
+      for (net::DirectedLink dl : demands[f].links) {
+        LinkState& ls = links[slot(dl)];
+        ls.residual -= bottleneck_share;
+        if (ls.residual < 0.0) ls.residual = 0.0;  // absorb fp noise
+        --ls.unfrozen;
+      }
+    }
+  }
+  return rate;
+}
+
+}  // namespace sbk::sim

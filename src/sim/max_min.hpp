@@ -1,0 +1,32 @@
+// Max-min fair bandwidth allocation by progressive filling (the classic
+// water-filling algorithm). Given a set of flows, each pinned to a path
+// of directed link uses, computes the unique max-min fair rate vector
+// subject to directed link capacities.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace sbk::sim {
+
+/// One demand: the directed links a flow occupies. An empty set of links
+/// (src == dst at the fluid level) receives an infinite rate and should
+/// be filtered by the caller.
+struct Demand {
+  std::vector<net::DirectedLink> links;
+};
+
+/// Computes max-min fair rates (capacity units per second) for `demands`
+/// over `net`'s current link capacities. Failed links still have their
+/// nominal capacity here: callers must not pin flows to dead links.
+///
+/// Postconditions (verified by tests):
+///  * no directed link's total allocated rate exceeds its capacity
+///    (within floating tolerance);
+///  * the vector is max-min: each flow is bottlenecked at some saturated
+///    link where its rate is maximal among the link's flows.
+[[nodiscard]] std::vector<double> max_min_rates(
+    const net::Network& net, const std::vector<Demand>& demands);
+
+}  // namespace sbk::sim

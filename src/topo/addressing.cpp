@@ -1,0 +1,139 @@
+#include "topo/addressing.hpp"
+
+#include <charconv>
+
+#include "util/assert.hpp"
+
+namespace sbk::topo {
+
+namespace {
+void check_k(int k) {
+  SBK_EXPECTS_MSG(k >= 4 && k % 2 == 0 && k <= 252,
+                  "k must be even, >= 4, and fit the dotted address form");
+}
+}  // namespace
+
+std::string Address::to_string() const {
+  return std::to_string(a) + '.' + std::to_string(b) + '.' +
+         std::to_string(c) + '.' + std::to_string(d);
+}
+
+std::optional<Address> parse_address(const std::string& text) {
+  Address out;
+  std::uint8_t* fields[4] = {&out.a, &out.b, &out.c, &out.d};
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int i = 0; i < 4; ++i) {
+    int value = -1;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc{} || value < 0 || value > 255) return std::nullopt;
+    *fields[i] = static_cast<std::uint8_t>(value);
+    p = next;
+    if (i < 3) {
+      if (p == end || *p != '.') return std::nullopt;
+      ++p;
+    }
+  }
+  if (p != end) return std::nullopt;
+  return out;
+}
+
+Address host_address(int k, int pod, int edge, int host) {
+  check_k(k);
+  SBK_EXPECTS(pod >= 0 && pod < k);
+  SBK_EXPECTS(edge >= 0 && edge < k / 2);
+  SBK_EXPECTS(host >= 0 && host < k / 2);
+  return Address{10, static_cast<std::uint8_t>(pod),
+                 static_cast<std::uint8_t>(edge),
+                 static_cast<std::uint8_t>(host + 2)};
+}
+
+Address switch_address(int k, SwitchPosition pos) {
+  check_k(k);
+  const int half = k / 2;
+  switch (pos.layer) {
+    case Layer::kEdge:
+      SBK_EXPECTS(pos.pod >= 0 && pos.pod < k);
+      SBK_EXPECTS(pos.index >= 0 && pos.index < half);
+      return Address{10, static_cast<std::uint8_t>(pos.pod),
+                     static_cast<std::uint8_t>(pos.index), 1};
+    case Layer::kAgg:
+      SBK_EXPECTS(pos.pod >= 0 && pos.pod < k);
+      SBK_EXPECTS(pos.index >= 0 && pos.index < half);
+      return Address{10, static_cast<std::uint8_t>(pos.pod),
+                     static_cast<std::uint8_t>(pos.index + half), 1};
+    case Layer::kCore: {
+      SBK_EXPECTS(pos.index >= 0 && pos.index < half * half);
+      int row = pos.index / half;
+      int col = pos.index % half;
+      return Address{10, static_cast<std::uint8_t>(k),
+                     static_cast<std::uint8_t>(row + 1),
+                     static_cast<std::uint8_t>(col + 1)};
+    }
+  }
+  SBK_UNREACHABLE("bad layer");
+}
+
+DecodedAddress decode_address(int k, Address addr) {
+  check_k(k);
+  DecodedAddress out;
+  const int half = k / 2;
+  if (addr.a != 10) return out;
+  if (addr.b == static_cast<std::uint8_t>(k)) {
+    int row = addr.c - 1;
+    int col = addr.d - 1;
+    if (row < 0 || row >= half || col < 0 || col >= half) return out;
+    out.kind = AddressKind::kCore;
+    out.index = row * half + col;
+    return out;
+  }
+  if (addr.b >= static_cast<std::uint8_t>(k)) return out;
+  int pod = addr.b;
+  int sw = addr.c;
+  if (addr.d == 1) {
+    if (sw < half) {
+      out.kind = AddressKind::kEdge;
+      out.pod = pod;
+      out.index = sw;
+    } else if (sw < k) {
+      out.kind = AddressKind::kAgg;
+      out.pod = pod;
+      out.index = sw - half;
+    }
+    return out;
+  }
+  int host = addr.d - 2;
+  if (sw < half && host >= 0 && host < half) {
+    out.kind = AddressKind::kHost;
+    out.pod = pod;
+    out.index = sw;
+    out.host = host;
+  }
+  return out;
+}
+
+Address address_of(const FatTree& ft, net::NodeId node) {
+  const net::Node& n = ft.network().node(node);
+  const int k = ft.k();
+  switch (n.kind) {
+    case net::NodeKind::kHost: {
+      SBK_EXPECTS_MSG(ft.hosts_per_edge() <= k / 2,
+                      "address form limits hosts per edge to k/2");
+      int global = ft.host_global_index(node);
+      int per_pod = (k / 2) * ft.hosts_per_edge();
+      int pod = global / per_pod;
+      int edge = (global % per_pod) / ft.hosts_per_edge();
+      int host = global % ft.hosts_per_edge();
+      return host_address(k, pod, edge, host);
+    }
+    case net::NodeKind::kEdgeSwitch:
+      return switch_address(k, {Layer::kEdge, n.pod, n.index});
+    case net::NodeKind::kAggSwitch:
+      return switch_address(k, {Layer::kAgg, n.pod, n.index});
+    case net::NodeKind::kCoreSwitch:
+      return switch_address(k, {Layer::kCore, -1, n.index});
+  }
+  SBK_UNREACHABLE("bad node kind");
+}
+
+}  // namespace sbk::topo

@@ -1,0 +1,58 @@
+// The fat-tree address scheme of Al-Fares et al. §3 (which the paper's
+// two-level tables match on):
+//
+//   host:         10.pod.edge.(host+2)   host in [0, k/2)
+//   edge switch:  10.pod.edge.1
+//   agg switch:   10.pod.(agg+k/2).1
+//   core switch:  10.k.row+1.col+1       core index = row*(k/2)+col
+//
+// Addresses are plain value types convertible to/from dotted strings;
+// they exist for logs, traces, and interoperability tests — routing in
+// this library matches on the structured form directly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "topo/fat_tree.hpp"
+#include "topo/position.hpp"
+
+namespace sbk::topo {
+
+/// A 10.x.y.z address in a k-ary fat-tree.
+struct Address {
+  std::uint8_t a = 10;
+  std::uint8_t b = 0;
+  std::uint8_t c = 0;
+  std::uint8_t d = 0;
+
+  [[nodiscard]] std::string to_string() const;
+  friend constexpr bool operator==(Address, Address) noexcept = default;
+};
+
+/// Parses "10.b.c.d"; returns nullopt on malformed input.
+[[nodiscard]] std::optional<Address> parse_address(const std::string& text);
+
+/// Address of a host given (pod, edge, host-in-edge). Requires
+/// 0 <= host < k/2 and k <= 254-ish bounds of the dotted form.
+[[nodiscard]] Address host_address(int k, int pod, int edge, int host);
+/// Address of a switch position.
+[[nodiscard]] Address switch_address(int k, SwitchPosition pos);
+
+/// What an address denotes.
+enum class AddressKind : std::uint8_t { kHost, kEdge, kAgg, kCore, kInvalid };
+struct DecodedAddress {
+  AddressKind kind = AddressKind::kInvalid;
+  int pod = -1;   ///< pod for host/edge/agg
+  int index = 0;  ///< edge index (host/edge), agg index, or core index
+  int host = -1;  ///< host-in-edge for kHost
+};
+/// Decodes an address against a given k. Returns kind kInvalid for
+/// addresses that denote nothing in a k-ary fat-tree.
+[[nodiscard]] DecodedAddress decode_address(int k, Address addr);
+
+/// Address of a node in a built fat-tree (host or switch).
+[[nodiscard]] Address address_of(const FatTree& ft, net::NodeId node);
+
+}  // namespace sbk::topo

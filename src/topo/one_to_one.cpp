@@ -1,0 +1,100 @@
+#include "topo/one_to_one.hpp"
+
+#include "util/assert.hpp"
+
+namespace sbk::topo {
+
+OneToOneBackup::OneToOneBackup(const FatTreeParams& params) : ft_(params) {
+  SBK_EXPECTS_MSG(params.wiring == Wiring::kPlain,
+                  "1:1 backup is defined on the plain fat-tree");
+  net::Network& net = ft_.network();
+
+  // Snapshot the original structure before we add anything.
+  const std::size_t original_links = net.link_count();
+  std::vector<net::NodeId> primaries = ft_.all_switches();
+
+  shadow_.assign(net.node_count(), net::NodeId{});
+  for (net::NodeId p : primaries) {
+    const net::Node& node = net.node(p);
+    net::NodeId s = net.add_node(node.kind, node.name + "'", node.pod,
+                                 node.index);
+    net.fail_node(s);  // powered off until activation
+    if (s.index() >= shadow_.size()) shadow_.resize(s.index() + 1);
+    shadow_[p.index()] = s;
+    primary_of_shadow_[s] = p;
+    active_[p] = p;
+    ++census_.extra_switches;
+  }
+
+  // Mesh every original link; dual-home hosts.
+  for (std::size_t i = 0; i < original_links; ++i) {
+    net::LinkId id(static_cast<net::LinkId::value_type>(i));
+    const net::Link link = net.link(id);  // copy: we mutate the network
+    const bool a_host = net.node(link.a).kind == net::NodeKind::kHost;
+    const bool b_host = net.node(link.b).kind == net::NodeKind::kHost;
+    SBK_ASSERT(!(a_host && b_host));
+    if (a_host || b_host) {
+      net::NodeId host = a_host ? link.a : link.b;
+      net::NodeId sw = a_host ? link.b : link.a;
+      net.add_link(host, shadow_[sw.index()], link.capacity);
+      ++census_.extra_host_links;
+      census_.extra_switch_ports += 1;  // the shadow's host port
+      continue;
+    }
+    net::NodeId as = shadow_[link.a.index()];
+    net::NodeId bs = shadow_[link.b.index()];
+    net.add_link(link.a, bs, link.capacity);
+    net.add_link(as, link.b, link.capacity);
+    net.add_link(as, bs, link.capacity);
+    census_.extra_fabric_links += 3;
+    census_.extra_switch_ports += 6;
+  }
+}
+
+net::NodeId OneToOneBackup::shadow_of(net::NodeId node) const {
+  if (auto it = primary_of_shadow_.find(node);
+      it != primary_of_shadow_.end()) {
+    return it->second;  // the "shadow" of a shadow is its primary
+  }
+  SBK_EXPECTS(node.index() < shadow_.size());
+  net::NodeId s = shadow_[node.index()];
+  SBK_EXPECTS_MSG(s.valid(), "node has no shadow (is it a host?)");
+  return s;
+}
+
+bool OneToOneBackup::is_shadow(net::NodeId node) const {
+  return primary_of_shadow_.contains(node);
+}
+
+net::NodeId OneToOneBackup::activate_shadow(net::NodeId primary) {
+  SBK_EXPECTS_MSG(!is_shadow(primary), "pass the primary switch's id");
+  net::NodeId current = active_of(primary);
+  SBK_EXPECTS_MSG(ft_.network().node_failed(current),
+                  "the active switch must have failed before activation");
+  net::NodeId standby = current == primary ? shadow_of(primary) : primary;
+  SBK_EXPECTS_MSG(ft_.network().node_failed(standby),
+                  "standby must be powered off (not already active)");
+  ft_.network().restore_node(standby);
+  active_[primary] = standby;
+  return standby;
+}
+
+void OneToOneBackup::stand_down(net::NodeId repaired) {
+  // The repaired box stays powered off as the new standby; nothing to do
+  // beyond asserting the invariant (it must not be the active one).
+  net::NodeId primary = is_shadow(repaired) ? primary_of_shadow_.at(repaired)
+                                            : repaired;
+  SBK_EXPECTS_MSG(active_of(primary) != repaired,
+                  "cannot stand down the active switch");
+  SBK_EXPECTS(ft_.network().node_failed(repaired));
+}
+
+net::NodeId OneToOneBackup::active_of(net::NodeId primary) const {
+  auto it = active_.find(primary);
+  SBK_EXPECTS_MSG(it != active_.end(), "unknown primary switch");
+  return it->second;
+}
+
+OneToOneBackup::Census OneToOneBackup::census() const { return census_; }
+
+}  // namespace sbk::topo

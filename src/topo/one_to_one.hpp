@@ -1,0 +1,78 @@
+// The 1:1 backup architecture the paper's introduction describes (and
+// Table 2 prices): "switches can keep a hot spare; hosts are multi-homed
+// to the primary and the backup switches; and every link between two
+// primary switches is duplicated by a mesh amongst them and their
+// shadows."
+//
+// Construction on a k-ary fat-tree:
+//   * every switch S gets a shadow S';
+//   * every switch-switch link (a, b) becomes the 4-link mesh
+//     {(a,b), (a,b'), (a',b), (a',b')};
+//   * every host attaches to its edge switch and to its shadow.
+// Shadows are powered off in normal operation (modeled as failed nodes,
+// so routing ignores them). When a switch dies, its shadow is activated:
+// because of the mesh, the shadow has a live link to every neighbor (or
+// neighbor's active shadow), so bandwidth is fully restored with no path
+// dilation — at the cost Table 2 shows (multiple times the fat-tree).
+//
+// Census note: the paper prices 1:1 backup with the coarse assumption
+// "twice the switches at twice the per-switch cost" (additional port
+// term 15/4 k^3 b). The literal construction adds 13/4 k^3 switch ports
+// (hosts do not mesh, so edge switches grow to 3k/2 ports, not 2k); the
+// ~7% gap is the paper's rounding of the strawman, kept as-is in
+// cost::one_to_one_additional. This module reports the construction's
+// exact census for comparison.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "topo/fat_tree.hpp"
+
+namespace sbk::topo {
+
+class OneToOneBackup {
+ public:
+  /// Builds the doubled network. `params.wiring` must be plain.
+  explicit OneToOneBackup(const FatTreeParams& params);
+
+  [[nodiscard]] const FatTree& fat_tree() const noexcept { return ft_; }
+  [[nodiscard]] net::Network& network() noexcept { return ft_.network(); }
+  [[nodiscard]] const net::Network& network() const noexcept {
+    return ft_.network();
+  }
+
+  /// The shadow of a primary switch (and vice versa).
+  [[nodiscard]] net::NodeId shadow_of(net::NodeId primary) const;
+  [[nodiscard]] bool is_shadow(net::NodeId node) const;
+
+  /// Activates the shadow of a failed primary: the shadow node is
+  /// restored (powered on) and takes over. The primary must currently be
+  /// failed. Returns the shadow id.
+  net::NodeId activate_shadow(net::NodeId primary);
+
+  /// Powers the repaired primary back up as the standby for its slot
+  /// (roles swap, like ShareBackup's no-switch-back policy).
+  void stand_down(net::NodeId repaired_primary);
+
+  /// Active switch currently serving a slot (primary or its shadow).
+  [[nodiscard]] net::NodeId active_of(net::NodeId primary) const;
+
+  struct Census {
+    std::size_t extra_switches = 0;
+    std::size_t extra_switch_ports = 0;  ///< construction-exact
+    std::size_t extra_fabric_links = 0;  ///< switch-switch cables added
+    std::size_t extra_host_links = 0;
+  };
+  [[nodiscard]] Census census() const;
+
+ private:
+  FatTree ft_;
+  std::vector<net::NodeId> shadow_;          // by primary node index
+  std::unordered_map<net::NodeId, net::NodeId> primary_of_shadow_;
+  std::unordered_map<net::NodeId, net::NodeId> active_;  // primary -> active
+  Census census_;
+};
+
+}  // namespace sbk::topo

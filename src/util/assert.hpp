@@ -1,0 +1,70 @@
+// Contract-checking macros in the spirit of the C++ Core Guidelines
+// (I.6 Expects, I.8 Ensures). Violations throw sbk::ContractViolation so
+// tests can assert on them; they are never compiled out, because this
+// library is a research artifact where correctness beats the last cycle.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sbk {
+
+/// Thrown when a precondition, postcondition, or internal invariant is
+/// violated. Carries the failed expression and source location.
+class ContractViolation : public std::logic_error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line, const std::string& msg);
+};
+
+namespace detail {
+[[noreturn]] void contract_fail(const char* kind, const char* expr,
+                                const char* file, int line,
+                                const std::string& msg);
+}  // namespace detail
+
+}  // namespace sbk
+
+/// Precondition: argument/state requirements at function entry.
+#define SBK_EXPECTS(expr)                                                \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::sbk::detail::contract_fail("Precondition", #expr, __FILE__,      \
+                                   __LINE__, "");                        \
+  } while (0)
+
+/// Precondition with an explanatory message.
+#define SBK_EXPECTS_MSG(expr, msg)                                       \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::sbk::detail::contract_fail("Precondition", #expr, __FILE__,      \
+                                   __LINE__, (msg));                     \
+  } while (0)
+
+/// Postcondition / invariant checked mid-function.
+#define SBK_ENSURES(expr)                                                \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::sbk::detail::contract_fail("Postcondition", #expr, __FILE__,     \
+                                   __LINE__, "");                        \
+  } while (0)
+
+/// Internal invariant that indicates a library bug if it fires.
+#define SBK_ASSERT(expr)                                                 \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::sbk::detail::contract_fail("Invariant", #expr, __FILE__,         \
+                                   __LINE__, "");                        \
+  } while (0)
+
+#define SBK_ASSERT_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::sbk::detail::contract_fail("Invariant", #expr, __FILE__,         \
+                                   __LINE__, (msg));                     \
+  } while (0)
+
+/// Marks unreachable control flow.
+#define SBK_UNREACHABLE(msg)                                             \
+  ::sbk::detail::contract_fail("Unreachable", "false", __FILE__,         \
+                               __LINE__, (msg))

@@ -1,0 +1,52 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace sbk {
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) *out_ << ',';
+    *out_ << escape(fields[i]);
+  }
+  *out_ << '\n';
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> fields) {
+  std::size_t i = 0;
+  for (std::string_view f : fields) {
+    if (i++ > 0) *out_ << ',';
+    *out_ << escape(f);
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::escape(std::string_view field) {
+  bool needs_quote = field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string CsvWriter::num(double v) {
+  std::ostringstream os;
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(6);
+    os << v;
+  }
+  return os.str();
+}
+
+std::string CsvWriter::num(std::size_t v) { return std::to_string(v); }
+std::string CsvWriter::num(long long v) { return std::to_string(v); }
+std::string CsvWriter::num(int v) { return std::to_string(v); }
+
+}  // namespace sbk

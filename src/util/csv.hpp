@@ -1,0 +1,35 @@
+// Tiny CSV emitter used by the benchmark harnesses so every figure/table
+// is reproducible both as console output and as a machine-readable file.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbk {
+
+/// Streams rows of comma-separated values with correct quoting. The writer
+/// does not own the stream; keep the stream alive while writing.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Writes one row; fields containing commas, quotes, or newlines are
+  /// quoted per RFC 4180.
+  void row(const std::vector<std::string>& fields);
+  void row(std::initializer_list<std::string_view> fields);
+
+  /// Convenience: formats doubles with enough precision to round-trip.
+  [[nodiscard]] static std::string num(double v);
+  [[nodiscard]] static std::string num(std::size_t v);
+  [[nodiscard]] static std::string num(long long v);
+  [[nodiscard]] static std::string num(int v);
+
+ private:
+  static std::string escape(std::string_view field);
+  std::ostream* out_;
+};
+
+}  // namespace sbk

@@ -1,0 +1,44 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace sbk {
+
+namespace {
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO ";
+    case LogLevel::kWarn:  return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF  ";
+  }
+  return "?????";
+}
+
+bool g_capture = false;
+std::string g_buffer;
+}  // namespace
+
+LogLevel Log::level_ = LogLevel::kWarn;
+
+void Log::write(LogLevel level, std::string_view component,
+                std::string_view message) {
+  std::ostringstream os;
+  os << '[' << level_name(level) << "] [" << component << "] " << message
+     << '\n';
+  if (g_capture) {
+    g_buffer += os.str();
+  } else {
+    std::cerr << os.str();
+  }
+}
+
+void Log::capture(bool on) {
+  g_capture = on;
+  if (on) g_buffer.clear();
+}
+
+std::string Log::captured() { return g_buffer; }
+
+}  // namespace sbk

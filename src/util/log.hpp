@@ -1,0 +1,55 @@
+// Minimal leveled logger. Single global sink (stderr by default), cheap
+// enough to leave calls in hot paths at Debug level (filtered before
+// formatting).
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace sbk {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log configuration. Not thread-safe by design: simulation code in
+/// this library is single-threaded (see DESIGN.md).
+class Log {
+ public:
+  static void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] static LogLevel level() noexcept { return level_; }
+  [[nodiscard]] static bool enabled(LogLevel level) noexcept {
+    return static_cast<int>(level) >= static_cast<int>(level_);
+  }
+
+  /// Writes one formatted line to the sink. Prefer the SBK_LOG_* macros.
+  static void write(LogLevel level, std::string_view component,
+                    std::string_view message);
+
+  /// Redirects output to an internal buffer (for tests). Returns the
+  /// accumulated buffer contents when capturing is turned off.
+  static void capture(bool on);
+  [[nodiscard]] static std::string captured();
+
+ private:
+  static LogLevel level_;
+};
+
+}  // namespace sbk
+
+#define SBK_LOG_IMPL(lvl, component, expr)                              \
+  do {                                                                  \
+    if (::sbk::Log::enabled(lvl)) {                                     \
+      std::ostringstream sbk_log_os_;                                   \
+      sbk_log_os_ << expr;                                              \
+      ::sbk::Log::write(lvl, component, sbk_log_os_.str());             \
+    }                                                                   \
+  } while (0)
+
+#define SBK_LOG_DEBUG(component, expr) \
+  SBK_LOG_IMPL(::sbk::LogLevel::kDebug, component, expr)
+#define SBK_LOG_INFO(component, expr) \
+  SBK_LOG_IMPL(::sbk::LogLevel::kInfo, component, expr)
+#define SBK_LOG_WARN(component, expr) \
+  SBK_LOG_IMPL(::sbk::LogLevel::kWarn, component, expr)
+#define SBK_LOG_ERROR(component, expr) \
+  SBK_LOG_IMPL(::sbk::LogLevel::kError, component, expr)

@@ -1,0 +1,75 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace sbk {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  SBK_EXPECTS(lo <= hi);
+  return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+}
+
+std::size_t Rng::uniform_index(std::size_t n) {
+  SBK_EXPECTS(n > 0);
+  return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  SBK_EXPECTS(lo <= hi);
+  return std::uniform_real_distribution<double>(lo, hi)(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  SBK_EXPECTS(p >= 0.0 && p <= 1.0);
+  return std::bernoulli_distribution(p)(engine_);
+}
+
+double Rng::exponential(double rate) {
+  SBK_EXPECTS(rate > 0.0);
+  return std::exponential_distribution<double>(rate)(engine_);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  SBK_EXPECTS(xm > 0.0 && alpha > 0.0);
+  // Inverse-CDF sampling: U in (0,1], X = xm / U^{1/alpha}.
+  double u = 1.0 - uniform_real(0.0, 1.0);  // avoid exactly 0
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  SBK_EXPECTS(sigma >= 0.0);
+  return std::lognormal_distribution<double>(mu, sigma)(engine_);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  SBK_EXPECTS(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  SBK_EXPECTS_MSG(total > 0.0, "weights must contain a positive entry");
+  double x = uniform_real(0.0, total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    SBK_EXPECTS(weights[i] >= 0.0);
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  return weights.size() - 1;  // floating-point edge: x == total
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  SBK_EXPECTS(k <= n);
+  // Partial Fisher-Yates over an index vector; O(n) setup, fine at the
+  // scales this library deals with (thousands of devices).
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + uniform_index(n - i);
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace sbk

@@ -1,0 +1,66 @@
+// Deterministic random number generation. Every stochastic component in
+// the library takes an explicit Rng so experiments are reproducible from a
+// single seed recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sbk {
+
+/// Seeded pseudo-random source wrapping std::mt19937_64 with convenience
+/// draws used throughout the library. Copyable; copies evolve
+/// independently, which is useful for replaying a scenario.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  [[nodiscard]] std::size_t uniform_index(std::size_t n);
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi);
+
+  /// Bernoulli draw with probability p of true. Requires 0 <= p <= 1.
+  [[nodiscard]] bool bernoulli(double p);
+
+  /// Exponential variate with the given rate (mean 1/rate). Requires
+  /// rate > 0.
+  [[nodiscard]] double exponential(double rate);
+
+  /// Pareto variate with scale xm > 0 and shape alpha > 0 (heavy-tailed;
+  /// used for coflow sizes).
+  [[nodiscard]] double pareto(double xm, double alpha);
+
+  /// Log-normal variate parameterized by the underlying normal's mu/sigma.
+  [[nodiscard]] double lognormal(double mu, double sigma);
+
+  /// Draws an index from a discrete distribution given non-negative
+  /// weights; at least one weight must be positive.
+  [[nodiscard]] std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Samples k distinct indices from [0, n) without replacement
+  /// (k <= n); order is random.
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(
+      std::size_t n, std::size_t k);
+
+  /// Shuffles a vector in place.
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    std::shuffle(items.begin(), items.end(), engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace sbk

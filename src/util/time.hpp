@@ -1,0 +1,22 @@
+// Simulation time. The simulator uses double seconds; helper literals keep
+// unit conversions explicit at call sites (Core Guidelines I.23: avoid
+// ambiguous raw numbers in interfaces).
+#pragma once
+
+namespace sbk {
+
+/// Simulation timestamp / duration in seconds.
+using Seconds = double;
+
+constexpr Seconds kNanosecond = 1e-9;
+constexpr Seconds kMicrosecond = 1e-6;
+constexpr Seconds kMillisecond = 1e-3;
+constexpr Seconds kSecond = 1.0;
+constexpr Seconds kMinute = 60.0;
+
+[[nodiscard]] constexpr Seconds nanoseconds(double n) { return n * kNanosecond; }
+[[nodiscard]] constexpr Seconds microseconds(double n) { return n * kMicrosecond; }
+[[nodiscard]] constexpr Seconds milliseconds(double n) { return n * kMillisecond; }
+[[nodiscard]] constexpr Seconds minutes(double n) { return n * kMinute; }
+
+}  // namespace sbk

@@ -1,0 +1,129 @@
+#include "workload/coflow_gen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace sbk::workload {
+
+double CoflowSpec::total_bytes() const noexcept {
+  double total = 0.0;
+  for (const Reducer& r : reducers) total += r.bytes;
+  return total;
+}
+
+namespace {
+
+int sample_width(const CoflowWorkloadParams& p, Rng& rng) {
+  double w = 1.0 + rng.lognormal(p.width_lognorm_mu, p.width_lognorm_sigma);
+  return static_cast<int>(
+      std::clamp(w, 1.0, static_cast<double>(p.racks)));
+}
+
+}  // namespace
+
+std::vector<CoflowSpec> generate_coflows(const CoflowWorkloadParams& params,
+                                         Rng& rng) {
+  SBK_EXPECTS(params.racks >= 2);
+  SBK_EXPECTS(params.coflows > 0);
+  SBK_EXPECTS(params.duration > 0.0);
+  SBK_EXPECTS(params.reducer_bytes_xm > 0.0);
+  SBK_EXPECTS(params.reducer_bytes_alpha > 0.0);
+
+  std::vector<CoflowSpec> trace;
+  trace.reserve(params.coflows);
+
+  // Poisson arrivals: exponential gaps with the rate matching the target
+  // count over the window, wrapped to stay inside [0, duration).
+  const double rate = static_cast<double>(params.coflows) / params.duration;
+  Seconds t = 0.0;
+  for (std::size_t i = 0; i < params.coflows; ++i) {
+    t += rng.exponential(rate);
+    if (t >= params.duration) t = std::fmod(t, params.duration);
+
+    CoflowSpec c;
+    c.id = static_cast<sim::CoflowId>(i);
+    c.arrival = t;
+
+    int m = sample_width(params, rng);
+    int r = sample_width(params, rng);
+    auto mapper_idx = rng.sample_without_replacement(
+        static_cast<std::size_t>(params.racks), static_cast<std::size_t>(m));
+    auto reducer_idx = rng.sample_without_replacement(
+        static_cast<std::size_t>(params.racks), static_cast<std::size_t>(r));
+
+    c.mapper_racks.reserve(mapper_idx.size());
+    for (std::size_t idx : mapper_idx) {
+      c.mapper_racks.push_back(static_cast<int>(idx));
+    }
+    std::sort(c.mapper_racks.begin(), c.mapper_racks.end());
+
+    for (std::size_t idx : reducer_idx) {
+      double bytes = rng.pareto(params.reducer_bytes_xm,
+                                params.reducer_bytes_alpha);
+      bytes = std::min(bytes, params.reducer_bytes_cap);
+      c.reducers.push_back(
+          CoflowSpec::Reducer{static_cast<int>(idx), bytes});
+    }
+    std::sort(c.reducers.begin(), c.reducers.end(),
+              [](const CoflowSpec::Reducer& a, const CoflowSpec::Reducer& b) {
+                return a.rack < b.rack;
+              });
+    trace.push_back(std::move(c));
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const CoflowSpec& a, const CoflowSpec& b) {
+              return a.arrival < b.arrival;
+            });
+  return trace;
+}
+
+std::vector<sim::FlowSpec> expand_to_flows(
+    const topo::FatTree& ft, const std::vector<CoflowSpec>& coflows,
+    sim::FlowId first_flow_id) {
+  std::vector<sim::FlowSpec> flows;
+  sim::FlowId next = first_flow_id;
+  for (const CoflowSpec& c : coflows) {
+    for (const CoflowSpec::Reducer& red : c.reducers) {
+      SBK_EXPECTS(red.rack >= 0 && red.rack < ft.host_count());
+      // Each reducer's volume is spread evenly over the mappers.
+      std::size_t remote_mappers = 0;
+      for (int m : c.mapper_racks) {
+        if (m != red.rack) ++remote_mappers;
+      }
+      if (remote_mappers == 0) continue;
+      double per_flow =
+          red.bytes / static_cast<double>(c.mapper_racks.size());
+      for (int m : c.mapper_racks) {
+        SBK_EXPECTS(m >= 0 && m < ft.host_count());
+        if (m == red.rack) continue;  // intra-rack: no fabric traffic
+        sim::FlowSpec f;
+        f.id = next++;
+        f.src = ft.host(m);
+        f.dst = ft.host(red.rack);
+        f.bytes = per_flow;
+        f.start = c.arrival;
+        f.coflow = c.id;
+        flows.push_back(f);
+      }
+    }
+  }
+  return flows;
+}
+
+std::vector<CoflowSpec> partition(const std::vector<CoflowSpec>& trace,
+                                  Seconds from, Seconds to) {
+  SBK_EXPECTS(to > from);
+  std::vector<CoflowSpec> out;
+  for (const CoflowSpec& c : trace) {
+    if (c.arrival >= from && c.arrival < to) {
+      CoflowSpec shifted = c;
+      shifted.arrival -= from;
+      out.push_back(std::move(shifted));
+    }
+  }
+  return out;
+}
+
+}  // namespace sbk::workload

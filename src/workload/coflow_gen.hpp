@@ -1,0 +1,78 @@
+// Synthetic coflow workload generator calibrated to the shape of the
+// Facebook coflow benchmark the paper replays (Chowdhury & Stoica's
+// coflow-benchmark: 526 coflows of rack-aggregated shuffle traffic from a
+// 150-rack, 10:1 oversubscribed MapReduce cluster).
+//
+// We do not possess the proprietary trace, so we synthesize coflows with
+// the published structural properties (see DESIGN.md §6):
+//   * a coflow is an M x R shuffle: M mapper racks send to R reducer
+//     racks; every reducer receives its shuffle volume spread evenly over
+//     the M mappers;
+//   * widths (M, R) are heavy-tailed: most coflows are narrow, a few
+//     span a large fraction of the cluster;
+//   * per-reducer volume is heavy-tailed (Pareto): most coflows are
+//     small, a few huge coflows dominate total bytes;
+//   * arrivals are Poisson over the trace duration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/flow.hpp"
+#include "topo/fat_tree.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace sbk::workload {
+
+/// One rack-level coflow: a shuffle from mapper racks to reducer racks.
+struct CoflowSpec {
+  sim::CoflowId id = 0;
+  Seconds arrival = 0.0;
+  std::vector<int> mapper_racks;
+  struct Reducer {
+    int rack = 0;
+    double bytes = 0.0;  ///< total shuffle volume received by this reducer
+  };
+  std::vector<Reducer> reducers;
+
+  [[nodiscard]] std::size_t width() const noexcept {
+    return mapper_racks.size() * reducers.size();
+  }
+  [[nodiscard]] double total_bytes() const noexcept;
+};
+
+/// Generator knobs. Defaults reproduce the benchmark's shape on a
+/// 128-rack (k=16) network.
+struct CoflowWorkloadParams {
+  int racks = 128;
+  std::size_t coflows = 250;
+  Seconds duration = 300.0;  ///< arrival window (5 minutes, as in §2.2)
+  /// Mapper/reducer counts: 1 + lognormal, clamped to `racks`.
+  double width_lognorm_mu = 0.7;
+  double width_lognorm_sigma = 1.3;
+  /// Per-reducer shuffle volume: Pareto(xm, alpha), clamped below `cap`.
+  double reducer_bytes_xm = 5e6;      ///< 5 MB scale
+  double reducer_bytes_alpha = 1.05;  ///< heavy tail
+  double reducer_bytes_cap = 5e10;    ///< 50 GB per reducer cap
+};
+
+/// Deterministically generates a coflow trace from `rng`.
+[[nodiscard]] std::vector<CoflowSpec> generate_coflows(
+    const CoflowWorkloadParams& params, Rng& rng);
+
+/// Expands rack-level coflows into host-to-host flows on `ft`, mapping
+/// rack r to host r (requires hosts_per_edge == 1 style rack hosts or at
+/// least ft.host_count() >= racks). Mapper->reducer pairs in the same
+/// rack carry no fabric traffic and are skipped. Flow ids are assigned
+/// sequentially from `first_flow_id`.
+[[nodiscard]] std::vector<sim::FlowSpec> expand_to_flows(
+    const topo::FatTree& ft, const std::vector<CoflowSpec>& coflows,
+    sim::FlowId first_flow_id = 0);
+
+/// Coflows whose arrival lies in [from, to) — the paper's 5-minute trace
+/// partitions. Arrivals are shifted so the partition starts at 0.
+[[nodiscard]] std::vector<CoflowSpec> partition(
+    const std::vector<CoflowSpec>& trace, Seconds from, Seconds to);
+
+}  // namespace sbk::workload

@@ -1,0 +1,101 @@
+#include "workload/trace_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace sbk::workload {
+
+namespace {
+[[noreturn]] void parse_error(std::size_t line, const std::string& what) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+}  // namespace
+
+void write_trace(std::ostream& out, int racks,
+                 const std::vector<CoflowSpec>& trace) {
+  out << racks << ' ' << trace.size() << '\n';
+  for (const CoflowSpec& c : trace) {
+    out << c.id << ' ' << static_cast<long long>(c.arrival * 1000.0) << ' '
+        << c.mapper_racks.size();
+    for (int m : c.mapper_racks) out << ' ' << m;
+    out << ' ' << c.reducers.size();
+    out.precision(9);
+    for (const CoflowSpec::Reducer& r : c.reducers) {
+      out << ' ' << r.rack << ':' << (r.bytes / 1e6);
+    }
+    out << '\n';
+  }
+}
+
+ParsedTrace read_trace(std::istream& in) {
+  ParsedTrace parsed;
+  std::string line;
+  std::size_t line_no = 1;
+  if (!std::getline(in, line)) parse_error(line_no, "missing header");
+  {
+    std::istringstream hs(line);
+    std::size_t count = 0;
+    if (!(hs >> parsed.racks >> count)) parse_error(line_no, "bad header");
+    if (parsed.racks <= 0) parse_error(line_no, "racks must be positive");
+    parsed.coflows.reserve(count);
+  }
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    CoflowSpec c;
+    long long arrival_ms = 0;
+    std::size_t mappers = 0;
+    if (!(ls >> c.id >> arrival_ms >> mappers)) {
+      parse_error(line_no, "bad coflow header fields");
+    }
+    if (arrival_ms < 0) parse_error(line_no, "negative arrival");
+    c.arrival = static_cast<Seconds>(arrival_ms) / 1000.0;
+    for (std::size_t i = 0; i < mappers; ++i) {
+      int m = -1;
+      if (!(ls >> m)) parse_error(line_no, "missing mapper rack");
+      if (m < 0 || m >= parsed.racks) parse_error(line_no, "mapper rack out of range");
+      c.mapper_racks.push_back(m);
+    }
+    std::size_t reducers = 0;
+    if (!(ls >> reducers)) parse_error(line_no, "missing reducer count");
+    for (std::size_t i = 0; i < reducers; ++i) {
+      std::string field;
+      if (!(ls >> field)) parse_error(line_no, "missing reducer field");
+      auto colon = field.find(':');
+      if (colon == std::string::npos) parse_error(line_no, "reducer missing ':'");
+      try {
+        int rack = std::stoi(field.substr(0, colon));
+        double mb = std::stod(field.substr(colon + 1));
+        if (rack < 0 || rack >= parsed.racks) {
+          parse_error(line_no, "reducer rack out of range");
+        }
+        if (mb < 0.0) parse_error(line_no, "negative reducer volume");
+        c.reducers.push_back(CoflowSpec::Reducer{rack, mb * 1e6});
+      } catch (const std::logic_error&) {
+        parse_error(line_no, "malformed reducer field '" + field + "'");
+      }
+    }
+    parsed.coflows.push_back(std::move(c));
+  }
+  return parsed;
+}
+
+void save_trace(const std::string& path, int racks,
+                const std::vector<CoflowSpec>& trace) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_trace(out, racks, trace);
+}
+
+ParsedTrace load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_trace(in);
+}
+
+}  // namespace sbk::workload

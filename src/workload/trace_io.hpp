@@ -1,0 +1,39 @@
+// Text serialization of coflow traces in a format aligned with the
+// public coflow-benchmark layout, so externally produced traces can be
+// replayed and generated traces can be inspected:
+//
+//   <num_racks> <num_coflows>
+//   <id> <arrival_millis> <num_mappers> <m1> <m2> ... <num_reducers>
+//        <r1>:<megabytes> <r2>:<megabytes> ...
+//
+// One coflow per line, fields whitespace-separated.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/coflow_gen.hpp"
+
+namespace sbk::workload {
+
+/// Writes the trace. `racks` is recorded in the header.
+void write_trace(std::ostream& out, int racks,
+                 const std::vector<CoflowSpec>& trace);
+
+/// Parsed trace plus its header.
+struct ParsedTrace {
+  int racks = 0;
+  std::vector<CoflowSpec> coflows;
+};
+
+/// Reads a trace; throws std::runtime_error on malformed input with a
+/// line-numbered message.
+[[nodiscard]] ParsedTrace read_trace(std::istream& in);
+
+/// Convenience file-based wrappers.
+void save_trace(const std::string& path, int racks,
+                const std::vector<CoflowSpec>& trace);
+[[nodiscard]] ParsedTrace load_trace(const std::string& path);
+
+}  // namespace sbk::workload

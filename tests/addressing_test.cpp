@@ -1,0 +1,116 @@
+// Tests for the Al-Fares dotted address scheme: encode/decode round
+// trips, uniqueness, parsing, and agreement with built fat-trees.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/addressing.hpp"
+#include "util/assert.hpp"
+
+namespace sbk::topo {
+namespace {
+
+TEST(Address, ToStringAndParseRoundTrip) {
+  Address a{10, 3, 7, 2};
+  EXPECT_EQ(a.to_string(), "10.3.7.2");
+  auto parsed = parse_address("10.3.7.2");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, a);
+}
+
+TEST(Address, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(parse_address("").has_value());
+  EXPECT_FALSE(parse_address("10.1.2").has_value());
+  EXPECT_FALSE(parse_address("10.1.2.3.4").has_value());
+  EXPECT_FALSE(parse_address("10.1.2.256").has_value());
+  EXPECT_FALSE(parse_address("10.-1.2.3").has_value());
+  EXPECT_FALSE(parse_address("a.b.c.d").has_value());
+  EXPECT_FALSE(parse_address("10.1.2.3x").has_value());
+}
+
+class AddressScheme : public ::testing::TestWithParam<int> {};
+
+TEST_P(AddressScheme, AllAddressesUniqueAndDecodeBack) {
+  const int k = GetParam();
+  const int half = k / 2;
+  std::set<std::string> seen;
+
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      for (int h = 0; h < half; ++h) {
+        Address a = host_address(k, pod, e, h);
+        EXPECT_TRUE(seen.insert(a.to_string()).second) << a.to_string();
+        DecodedAddress d = decode_address(k, a);
+        EXPECT_EQ(d.kind, AddressKind::kHost);
+        EXPECT_EQ(d.pod, pod);
+        EXPECT_EQ(d.index, e);
+        EXPECT_EQ(d.host, h);
+      }
+      Address es = switch_address(k, {Layer::kEdge, pod, e});
+      EXPECT_TRUE(seen.insert(es.to_string()).second);
+      DecodedAddress de = decode_address(k, es);
+      EXPECT_EQ(de.kind, AddressKind::kEdge);
+      EXPECT_EQ(de.pod, pod);
+      EXPECT_EQ(de.index, e);
+      Address as = switch_address(k, {Layer::kAgg, pod, e});
+      EXPECT_TRUE(seen.insert(as.to_string()).second);
+      DecodedAddress da = decode_address(k, as);
+      EXPECT_EQ(da.kind, AddressKind::kAgg);
+      EXPECT_EQ(da.index, e);
+    }
+  }
+  for (int c = 0; c < half * half; ++c) {
+    Address a = switch_address(k, {Layer::kCore, -1, c});
+    EXPECT_TRUE(seen.insert(a.to_string()).second);
+    DecodedAddress d = decode_address(k, a);
+    EXPECT_EQ(d.kind, AddressKind::kCore);
+    EXPECT_EQ(d.index, c);
+  }
+  // Total distinct addresses: hosts + switches.
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(
+                             k * half * half + k * half * 2 + half * half));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, AddressScheme, ::testing::Values(4, 8, 16));
+
+TEST(Address, DecodeRejectsOutOfRangeForms) {
+  const int k = 4;
+  EXPECT_EQ(decode_address(k, Address{9, 0, 0, 2}).kind,
+            AddressKind::kInvalid);
+  EXPECT_EQ(decode_address(k, Address{10, 5, 0, 2}).kind,
+            AddressKind::kInvalid);  // pod >= k and not the core prefix
+  EXPECT_EQ(decode_address(k, Address{10, 4, 3, 1}).kind,
+            AddressKind::kInvalid);  // core row out of range
+  EXPECT_EQ(decode_address(k, Address{10, 0, 3, 2}).kind,
+            AddressKind::kInvalid);  // host on an agg "subnet"
+  EXPECT_EQ(decode_address(k, Address{10, 0, 0, 5}).kind,
+            AddressKind::kInvalid);  // host index out of range
+}
+
+TEST(Address, AgreesWithBuiltFatTree) {
+  FatTree ft(FatTreeParams{.k = 6});
+  // Paper-style examples.
+  EXPECT_EQ(address_of(ft, ft.host(2, 1, 0)).to_string(), "10.2.1.2");
+  EXPECT_EQ(address_of(ft, ft.edge(2, 1)).to_string(), "10.2.1.1");
+  EXPECT_EQ(address_of(ft, ft.agg(2, 1)).to_string(), "10.2.4.1");
+  EXPECT_EQ(address_of(ft, ft.core(4)).to_string(), "10.6.2.2");
+
+  // Round trip through decode for every node.
+  for (int g = 0; g < ft.host_count(); ++g) {
+    Address a = address_of(ft, ft.host(g));
+    DecodedAddress d = decode_address(6, a);
+    EXPECT_EQ(d.kind, AddressKind::kHost);
+    EXPECT_EQ(ft.host(d.pod, d.index, d.host), ft.host(g));
+  }
+}
+
+TEST(Address, PreconditionsEnforced) {
+  EXPECT_THROW((void)host_address(5, 0, 0, 0), sbk::ContractViolation);
+  EXPECT_THROW((void)host_address(4, 4, 0, 0), sbk::ContractViolation);
+  EXPECT_THROW((void)host_address(4, 0, 0, 2), sbk::ContractViolation);
+  EXPECT_THROW((void)switch_address(4, {Layer::kCore, -1, 4}),
+               sbk::ContractViolation);
+}
+
+}  // namespace
+}  // namespace sbk::topo

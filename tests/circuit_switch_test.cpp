@@ -1,0 +1,97 @@
+// Unit tests for the circuit switch crossbar model.
+#include <gtest/gtest.h>
+
+#include "sharebackup/circuit_switch.hpp"
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace sbk::sharebackup {
+namespace {
+
+TEST(CircuitSwitch, PortLayoutAndCounts) {
+  CircuitSwitch sw("cs", /*regular=*/3, /*backups=*/1);
+  // 2*(3+1) device-facing ports + 2 side ports.
+  EXPECT_EQ(sw.port_count(), 10);
+  EXPECT_EQ(sw.port_class(sw.port(PortClass::kSouthRegular, 2)),
+            PortClass::kSouthRegular);
+  EXPECT_EQ(sw.port_slot(sw.port(PortClass::kNorthBackup, 0)), 0);
+  EXPECT_NE(sw.port(PortClass::kSideLeft), sw.port(PortClass::kSideRight));
+  EXPECT_THROW((void)sw.port(PortClass::kSouthRegular, 3),
+               sbk::ContractViolation);
+  EXPECT_THROW((void)sw.port(PortClass::kSouthBackup, 1),
+               sbk::ContractViolation);
+}
+
+TEST(CircuitSwitch, MatchingIsInvolutionWithoutFixedPoints) {
+  CircuitSwitch sw("cs", 3, 1);
+  int s0 = sw.port(PortClass::kSouthRegular, 0);
+  int n0 = sw.port(PortClass::kNorthRegular, 0);
+  EXPECT_FALSE(sw.is_matched(s0));
+  sw.connect(s0, n0);
+  EXPECT_EQ(sw.peer(s0), n0);
+  EXPECT_EQ(sw.peer(n0), s0);
+  EXPECT_TRUE(sw.matching_is_consistent());
+  EXPECT_EQ(sw.active_circuits(), 1u);
+
+  EXPECT_THROW(sw.connect(s0, s0), sbk::ContractViolation);  // self-loop
+  int n1 = sw.port(PortClass::kNorthRegular, 1);
+  EXPECT_THROW(sw.connect(s0, n1), sbk::ContractViolation);  // busy port
+
+  sw.disconnect(s0);
+  EXPECT_FALSE(sw.is_matched(n0));
+  EXPECT_THROW(sw.disconnect(s0), sbk::ContractViolation);  // already free
+}
+
+TEST(CircuitSwitch, AnyToAnyIncludingSameSide) {
+  // Crosspoint switches (XFabric) connect any port pair; diagnosis uses
+  // same-side circuits.
+  CircuitSwitch sw("cs", 3, 1);
+  int s0 = sw.port(PortClass::kSouthRegular, 0);
+  int s1 = sw.port(PortClass::kSouthRegular, 1);
+  sw.connect(s0, s1);
+  EXPECT_EQ(sw.peer(s0), s1);
+  int side = sw.port(PortClass::kSideLeft);
+  int n2 = sw.port(PortClass::kNorthRegular, 2);
+  sw.connect(side, n2);
+  EXPECT_TRUE(sw.matching_is_consistent());
+}
+
+TEST(CircuitSwitch, ReconfigurationCounting) {
+  CircuitSwitch sw("cs", 2, 0);
+  int s0 = sw.port(PortClass::kSouthRegular, 0);
+  int n0 = sw.port(PortClass::kNorthRegular, 0);
+  int n1 = sw.port(PortClass::kNorthRegular, 1);
+  sw.connect(s0, n0);
+  sw.disconnect(s0);
+  sw.connect(s0, n1);
+  EXPECT_EQ(sw.reconfigurations(), 3u);
+}
+
+TEST(CircuitSwitch, AttachmentsAreOneShot) {
+  CircuitSwitch sw("cs", 2, 1);
+  int s0 = sw.port(PortClass::kSouthRegular, 0);
+  sw.attach_device(s0, 42, 7);
+  EXPECT_EQ(sw.attachment(s0).device, 42u);
+  EXPECT_EQ(sw.attachment(s0).interface_index, 7);
+  EXPECT_THROW(sw.attach_device(s0, 43, 0), sbk::ContractViolation);
+  EXPECT_EQ(sw.port_of_device(42), s0);
+  EXPECT_FALSE(sw.port_of_device(999).has_value());
+
+  int side = sw.port(PortClass::kSideLeft);
+  EXPECT_THROW(sw.attach_device(side, 1, 0), sbk::ContractViolation);
+  sw.attach_side(side, 3, 9);
+  EXPECT_EQ(sw.attachment(side).peer_cs, 3);
+  int s1 = sw.port(PortClass::kSouthRegular, 1);
+  EXPECT_THROW(sw.attach_side(s1, 1, 1), sbk::ContractViolation);
+}
+
+TEST(CircuitTechnology, LatencyConstantsMatchPaper) {
+  EXPECT_DOUBLE_EQ(
+      reconfiguration_latency(CircuitTechnology::kElectricalCrosspoint),
+      sbk::nanoseconds(70));
+  EXPECT_DOUBLE_EQ(reconfiguration_latency(CircuitTechnology::kOpticalMems2D),
+                   sbk::microseconds(40));
+}
+
+}  // namespace
+}  // namespace sbk::sharebackup

@@ -1,0 +1,136 @@
+// Tests for the assembled control plane: detection-to-recovery wiring,
+// background diagnosis scheduling, table mirroring, cluster gating, and
+// repeated-failure handling at one position (re-armed detectors).
+#include <gtest/gtest.h>
+
+#include "control/control_plane.hpp"
+#include "net/algo.hpp"
+
+namespace sbk::control {
+namespace {
+
+using sharebackup::DeviceState;
+using sharebackup::Fabric;
+using sharebackup::FabricParams;
+using sharebackup::InterfaceRef;
+using topo::Layer;
+using topo::SwitchPosition;
+
+FabricParams fp(int k, int n) {
+  FabricParams p;
+  p.fat_tree.k = k;
+  p.backups_per_group = n;
+  return p;
+}
+
+TEST(ControlPlane, NodeFailureRecoversEndToEnd) {
+  Fabric fabric(fp(6, 1));
+  sim::EventQueue q;
+  ControlPlane plane(fabric, q, ControlPlaneConfig{});
+  plane.start(0.1);
+
+  net::NodeId victim = fabric.fat_tree().core(3);
+  Seconds recovered_at = -1.0;
+  plane.on_recovery([&](const RecoveryOutcome& out, Seconds t) {
+    if (out.recovered) recovered_at = t;
+  });
+  q.schedule_at(0.010, [&] { fabric.network().fail_node(victim); });
+  q.run();
+  EXPECT_GT(recovered_at, 0.010);
+  EXPECT_LT(recovered_at, 0.020);
+  EXPECT_FALSE(fabric.network().node_failed(victim));
+}
+
+TEST(ControlPlane, LinkFailureDiagnosedInBackground) {
+  Fabric fabric(fp(6, 1));
+  sim::EventQueue q;
+  ControlPlaneConfig cfg;
+  cfg.diagnosis_delay = 0.05;
+  ControlPlane plane(fabric, q, cfg);
+  plane.start(0.5);
+
+  net::NodeId edge = fabric.fat_tree().edge(1, 0);
+  net::NodeId agg = fabric.fat_tree().agg(1, 1);
+  net::LinkId link = *fabric.network().find_link(edge, agg);
+  std::size_t cs = fabric.cs_of_link(link);
+  q.schedule_at(0.02, [&] {
+    auto dev = fabric.device_at(*fabric.position_of_node(edge));
+    fabric.set_interface_health({dev, cs}, false);
+    fabric.network().fail_link(link);
+  });
+  q.run();
+  EXPECT_FALSE(fabric.network().link_failed(link));
+  // Diagnosis ran via the scheduled background job: the agg side is back
+  // in its pool, the faulty edge device is out.
+  EXPECT_EQ(plane.controller().pending_diagnosis(), 0u);
+  EXPECT_EQ(plane.controller().stats().switches_exonerated, 1u);
+  EXPECT_EQ(fabric.spares(Layer::kAgg, 1).size(), 1u);
+  // Tables mirrored throughout.
+  ASSERT_NE(plane.tables(), nullptr);
+  plane.tables()->check_mirrored(fabric);
+}
+
+TEST(ControlPlane, RepeatedFailuresAtSamePositionAreReDetected) {
+  // Position fails, recovers, and the *replacement* fails later: the
+  // re-armed keep-alive detector must catch the second failure too.
+  Fabric fabric(fp(6, 2));
+  sim::EventQueue q;
+  ControlPlane plane(fabric, q, ControlPlaneConfig{});
+  plane.start(0.2);
+
+  SwitchPosition pos{Layer::kAgg, 0, 0};
+  net::NodeId node = fabric.node_at(pos);
+  int recoveries = 0;
+  plane.on_recovery([&](const RecoveryOutcome& out, Seconds) {
+    if (out.recovered && !out.failovers.empty()) ++recoveries;
+  });
+  q.schedule_at(0.010, [&] { fabric.network().fail_node(node); });
+  q.schedule_at(0.100, [&] { fabric.network().fail_node(node); });
+  q.run();
+  EXPECT_EQ(recoveries, 2);
+  EXPECT_TRUE(fabric.spares(Layer::kAgg, 0).empty());
+  EXPECT_FALSE(fabric.network().node_failed(node));
+}
+
+TEST(ControlPlane, ReportsDroppedWhileClusterHasNoPrimary) {
+  Fabric fabric(fp(4, 1));
+  sim::EventQueue q;
+  ControlPlaneConfig cfg;
+  cfg.cluster_members = 2;
+  // Make elections slow so the outage window is wide.
+  cfg.cluster.election_duration = 0.050;
+  ControlPlane plane(fabric, q, cfg);
+  plane.start(0.5);
+
+  // Kill every controller, then a switch while headless.
+  q.schedule_at(0.01, [&] {
+    plane.cluster()->fail_member(0);
+    plane.cluster()->fail_member(1);
+  });
+  net::NodeId victim = fabric.fat_tree().core(0);
+  q.schedule_at(0.05, [&] { fabric.network().fail_node(victim); });
+  q.run();
+  EXPECT_GE(plane.reports_dropped(), 1u);
+  EXPECT_TRUE(fabric.network().node_failed(victim));  // nobody recovered it
+  EXPECT_EQ(plane.controller().stats().failovers, 0u);
+}
+
+TEST(ControlPlane, SingleControllerModeWorksWithoutCluster) {
+  Fabric fabric(fp(4, 1));
+  sim::EventQueue q;
+  ControlPlaneConfig cfg;
+  cfg.cluster_members = 0;
+  cfg.manage_tables = false;
+  ControlPlane plane(fabric, q, cfg);
+  EXPECT_EQ(plane.cluster(), nullptr);
+  EXPECT_EQ(plane.tables(), nullptr);
+  plane.start(0.1);
+  net::NodeId victim = fabric.fat_tree().edge(0, 0);
+  q.schedule_at(0.01, [&] { fabric.network().fail_node(victim); });
+  q.run();
+  EXPECT_FALSE(fabric.network().node_failed(victim));
+  EXPECT_EQ(plane.controller().stats().failovers, 1u);
+}
+
+}  // namespace
+}  // namespace sbk::control

@@ -1,0 +1,140 @@
+// Tests for the Table 2 / Figure 5 cost model, including the paper's
+// headline numbers and a cross-validation of the closed forms against the
+// structural census of a built Fabric.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.hpp"
+#include "sharebackup/fabric.hpp"
+#include "util/assert.hpp"
+
+namespace sbk::cost {
+namespace {
+
+TEST(CostModel, FatTreeClosedForm) {
+  PriceSet p = PriceSet::electrical();
+  CostBreakdown c = fat_tree_cost(4, p);
+  // k=4: 1.25*64 = 80 ports, 32 links.
+  EXPECT_DOUBLE_EQ(c.packet_ports, 80 * 60.0);
+  EXPECT_DOUBLE_EQ(c.links, 32 * 81.0);
+  EXPECT_DOUBLE_EQ(c.circuit_ports, 0.0);
+}
+
+TEST(CostModel, PaperHeadlineNumbersK48N1) {
+  // §5.2: at k=48, n=1 the additional cost of ShareBackup is 6.7% of the
+  // fat-tree with copper (E-DC) and 13.3% with fiber (O-DC); Aspen Tree
+  // costs 6.5x and 3.2x as much as ShareBackup's additional cost.
+  const int k = 48;
+  {
+    PriceSet p = PriceSet::electrical();
+    auto base = fat_tree_cost(k, p);
+    auto sb = sharebackup_additional(k, 1, p);
+    auto aspen = aspen_additional(k, p);
+    EXPECT_NEAR(relative_additional(sb, base), 0.067, 0.001);
+    EXPECT_NEAR(aspen.total() / sb.total(), 6.5, 0.05);
+  }
+  {
+    PriceSet p = PriceSet::optical();
+    auto base = fat_tree_cost(k, p);
+    auto sb = sharebackup_additional(k, 1, p);
+    auto aspen = aspen_additional(k, p);
+    EXPECT_NEAR(relative_additional(sb, base), 0.133, 0.001);
+    EXPECT_NEAR(aspen.total() / sb.total(), 3.2, 0.05);
+  }
+}
+
+TEST(CostModel, OneToOneBackupIsFourTimesFatTree) {
+  // §5.2: "the cost of 1:1 backup is 4x that of fat-tree" — i.e. the
+  // additional cost is 3x the base, but with doubled port counts the
+  // b-term is 15/4 k^3: additional/base is 3x when c is ignored; with
+  // links it lands between 3x and 4x. Verify the b-term ratio exactly.
+  PriceSet p = PriceSet::electrical();
+  p.link_c = 0.0;  // isolate switch-port cost
+  auto base = fat_tree_cost(16, p);
+  auto extra = one_to_one_additional(16, p);
+  EXPECT_DOUBLE_EQ(extra.total() / base.total(), 3.0);
+}
+
+TEST(CostModel, ShareBackupAlwaysCheapestAdditionAtSmallN) {
+  for (int k : {8, 16, 24, 32, 48, 64}) {
+    for (Medium m : {Medium::kElectrical, Medium::kOptical}) {
+      PriceSet p = PriceSet::for_medium(m);
+      double sb = sharebackup_additional(k, 1, p).total();
+      double aspen = aspen_additional(k, p).total();
+      double one2one = one_to_one_additional(k, p).total();
+      EXPECT_LT(sb, aspen) << "k=" << k;
+      EXPECT_LT(aspen, one2one) << "k=" << k;
+    }
+  }
+}
+
+TEST(CostModel, RelativeCostDecreasesWithScaleForFixedN) {
+  // Figure 5's shape: ShareBackup's relative additional cost shrinks as
+  // the network scales (amortized backups), while 1:1 stays flat-ish.
+  auto curves = cost_curves({8, 16, 32, 64}, Medium::kElectrical);
+  ASSERT_EQ(curves.size(), 4u);
+  for (std::size_t i = 1; i < curves.size(); ++i) {
+    EXPECT_LT(curves[i].sharebackup_n1, curves[i - 1].sharebackup_n1);
+    EXPECT_LT(curves[i].sharebackup_n4, curves[i - 1].sharebackup_n4);
+  }
+  // Host counts are k^3/4.
+  EXPECT_EQ(curves[3].hosts, 64LL * 64 * 64 / 4);
+  // n=4 costs more than n=1 at the same k.
+  for (const auto& pt : curves) {
+    EXPECT_GT(pt.sharebackup_n4, pt.sharebackup_n1);
+  }
+}
+
+TEST(CostModel, EvenN4CanBeatAspenAtScale) {
+  // §5.2: "Even if n is increased to 4 ... ShareBackup is still cheaper
+  // than Aspen Tree" (at k=48).
+  PriceSet p = PriceSet::electrical();
+  EXPECT_LT(sharebackup_additional(48, 4, p).total(),
+            aspen_additional(48, p).total());
+}
+
+TEST(CostModel, BackupRatioAndScalability) {
+  // §5.1 and §5.3 headline parameters.
+  EXPECT_NEAR(backup_ratio(48, 1), 0.0417, 0.0001);
+  EXPECT_NEAR(backup_ratio(58, 1), 0.0345, 0.0001);
+  EXPECT_NEAR(backup_ratio(48, 4), 0.167, 0.001);
+  // 32-port 2D MEMS: k/2 + n + 2 = 32 with n=1 -> k = 58.
+  EXPECT_EQ(max_k_for_ports(32, 1), 58);
+  // k=58 fat-tree has over 48k hosts.
+  EXPECT_GT(58 * 58 * 58 / 4, 48000);
+  // k=48 with 32-port switches allows n = 6 (25% backup ratio).
+  EXPECT_GE(max_k_for_ports(32, 6), 48);
+  EXPECT_LT(max_k_for_ports(32, 7), 48);
+  EXPECT_NEAR(backup_ratio(48, 6), 0.25, 1e-9);
+}
+
+TEST(CostModel, CountsMatchBuiltFabricCensus) {
+  // Closed forms vs the actual constructed architecture.
+  for (int k : {4, 6, 8}) {
+    for (int n : {1, 2}) {
+      sharebackup::FabricParams fp;
+      fp.fat_tree.k = k;
+      fp.backups_per_group = n;
+      sharebackup::Fabric fabric(fp);
+      auto census = fabric.census();
+      auto counts = sharebackup_counts(k, n);
+      EXPECT_EQ(static_cast<long long>(census.backup_switches),
+                counts.backup_switches);
+      EXPECT_EQ(static_cast<long long>(census.circuit_switches),
+                counts.circuit_switches);
+      // Cable ends = 2x whole-link equivalents.
+      EXPECT_DOUBLE_EQ(static_cast<double>(census.backup_device_cables),
+                       2.0 * counts.extra_cables);
+    }
+  }
+}
+
+TEST(CostModel, InvalidParametersRejected) {
+  PriceSet p = PriceSet::electrical();
+  EXPECT_THROW((void)fat_tree_cost(5, p), sbk::ContractViolation);
+  EXPECT_THROW((void)sharebackup_additional(4, -1, p),
+               sbk::ContractViolation);
+  EXPECT_THROW((void)max_k_for_ports(3, 1), sbk::ContractViolation);
+}
+
+}  // namespace
+}  // namespace sbk::cost

@@ -1,0 +1,163 @@
+// Edge-case and robustness tests that cut across modules: logging
+// capture, simulator determinism, boundary parameters, and contract
+// enforcement on unusual inputs.
+#include <gtest/gtest.h>
+
+#include "net/algo.hpp"
+#include "routing/ecmp.hpp"
+#include "sharebackup/fabric.hpp"
+#include "sim/fluid_sim.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "workload/coflow_gen.hpp"
+
+namespace sbk {
+namespace {
+
+TEST(Log, CaptureAndLevels) {
+  Log::capture(true);
+  LogLevel before = Log::level();
+  Log::set_level(LogLevel::kWarn);
+  SBK_LOG_DEBUG("test", "dropped " << 1);
+  SBK_LOG_WARN("test", "kept " << 2);
+  SBK_LOG_ERROR("other", "kept " << 3);
+  std::string out = Log::captured();
+  Log::capture(false);
+  Log::set_level(before);
+  EXPECT_EQ(out.find("dropped"), std::string::npos);
+  EXPECT_NE(out.find("[WARN ] [test] kept 2"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] [other] kept 3"), std::string::npos);
+}
+
+TEST(Log, OffSilencesEverything) {
+  Log::capture(true);
+  LogLevel before = Log::level();
+  Log::set_level(LogLevel::kOff);
+  SBK_LOG_ERROR("test", "nope");
+  EXPECT_TRUE(Log::captured().empty());
+  Log::capture(false);
+  Log::set_level(before);
+}
+
+TEST(FluidSim, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    topo::FatTreeParams ftp{.k = 4};
+    ftp.hosts_per_edge = 1;
+    ftp.host_link_capacity = 8.0;
+    topo::FatTree ft(ftp);
+    routing::EcmpRouter router(ft, 17);
+    workload::CoflowWorkloadParams wp;
+    wp.racks = ft.host_count();
+    wp.coflows = 30;
+    wp.duration = 10.0;
+    Rng rng(2);
+    auto flows =
+        workload::expand_to_flows(ft, workload::generate_coflows(wp, rng));
+    sim::FluidSimulator s(ft.network(), router, sim::SimConfig{});
+    s.add_flows(flows);
+    return s.run();
+  };
+  auto a = run_once();
+  auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].outcome, b[i].outcome);
+    EXPECT_DOUBLE_EQ(a[i].finish, b[i].finish);
+  }
+}
+
+TEST(FluidSim, SimulatorIsSingleShot) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  sim::FluidSimulator s(ft.network(), router, sim::SimConfig{});
+  s.add_flow(sim::FlowSpec{1, ft.host(0), ft.host(1), 1.0, 0.0});
+  (void)s.run();
+  EXPECT_THROW((void)s.run(), ContractViolation);
+  EXPECT_THROW(s.add_flow(sim::FlowSpec{2, ft.host(0), ft.host(1), 1.0, 0.0}),
+               ContractViolation);
+}
+
+TEST(Workload, WidthsClampToRackCount) {
+  workload::CoflowWorkloadParams wp;
+  wp.racks = 3;  // tiny cluster forces the clamp
+  wp.coflows = 50;
+  wp.duration = 10.0;
+  wp.width_lognorm_mu = 3.0;  // huge widths before clamping
+  Rng rng(9);
+  auto trace = workload::generate_coflows(wp, rng);
+  for (const auto& c : trace) {
+    EXPECT_LE(c.mapper_racks.size(), 3u);
+    EXPECT_LE(c.reducers.size(), 3u);
+    EXPECT_GE(c.mapper_racks.size(), 1u);
+  }
+}
+
+TEST(Workload, ByteCapEnforced) {
+  workload::CoflowWorkloadParams wp;
+  wp.racks = 16;
+  wp.coflows = 200;
+  wp.duration = 10.0;
+  wp.reducer_bytes_cap = 1e7;
+  Rng rng(4);
+  for (const auto& c : workload::generate_coflows(wp, rng)) {
+    for (const auto& r : c.reducers) EXPECT_LE(r.bytes, 1e7);
+  }
+}
+
+TEST(Fabric, ZeroBackupsIsValidButUnrecoverable) {
+  sharebackup::FabricParams p;
+  p.fat_tree.k = 4;
+  p.backups_per_group = 0;
+  sharebackup::Fabric fabric(p);
+  EXPECT_EQ(fabric.census().backup_switches, 0u);
+  EXPECT_FALSE(fabric.fail_over({topo::Layer::kEdge, 0, 0}).has_value());
+  fabric.check_invariants();
+}
+
+TEST(Fabric, ReturnToPoolRejectsInServiceDevices) {
+  sharebackup::FabricParams p;
+  p.fat_tree.k = 4;
+  sharebackup::Fabric fabric(p);
+  auto dev = fabric.device_at({topo::Layer::kAgg, 0, 0});
+  EXPECT_THROW(fabric.return_to_pool(dev), ContractViolation);
+  auto spare = fabric.spares(topo::Layer::kAgg, 0).front();
+  EXPECT_THROW(fabric.return_to_pool(spare), ContractViolation);
+}
+
+TEST(Network, KindQueries) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  const net::Network& net = ft.network();
+  EXPECT_EQ(net.count_of_kind(net::NodeKind::kHost), 16u);
+  EXPECT_EQ(net.count_of_kind(net::NodeKind::kEdgeSwitch), 8u);
+  EXPECT_EQ(net.count_of_kind(net::NodeKind::kAggSwitch), 8u);
+  EXPECT_EQ(net.count_of_kind(net::NodeKind::kCoreSwitch), 4u);
+  EXPECT_EQ(net.nodes_of_kind(net::NodeKind::kCoreSwitch).size(), 4u);
+}
+
+TEST(Algo, MaxPathsBoundRespected) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 8});
+  auto paths = net::all_shortest_paths(ft.network(), ft.host(0),
+                                       ft.host(63), /*max_paths=*/5);
+  EXPECT_EQ(paths.size(), 5u);
+  for (const auto& p : paths) {
+    EXPECT_TRUE(net::is_valid_path(ft.network(), p));
+  }
+}
+
+TEST(Ecmp, SaltChangesSelectionButNotValidity) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 8});
+  routing::EcmpRouter r0(ft, 0);
+  routing::EcmpRouter r1(ft, 1);
+  std::size_t differing = 0;
+  for (std::uint64_t f = 0; f < 50; ++f) {
+    net::Path a = r0.route(ft.network(), ft.host(0), ft.host(100), f, nullptr);
+    net::Path b = r1.route(ft.network(), ft.host(0), ft.host(100), f, nullptr);
+    EXPECT_TRUE(net::is_valid_path(ft.network(), a));
+    EXPECT_TRUE(net::is_valid_path(ft.network(), b));
+    if (a.nodes != b.nodes) ++differing;
+  }
+  EXPECT_GT(differing, 20u);  // salts decorrelate hash choices
+}
+
+}  // namespace
+}  // namespace sbk

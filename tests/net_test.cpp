@@ -1,0 +1,222 @@
+// Unit tests for src/net: graph construction, failure state, link
+// surgery, paths, and search algorithms.
+#include <gtest/gtest.h>
+
+#include "net/algo.hpp"
+#include "net/network.hpp"
+#include "net/path.hpp"
+#include "util/assert.hpp"
+
+namespace sbk::net {
+namespace {
+
+Network diamond() {
+  // a - b - d and a - c - d (two disjoint 2-hop paths).
+  Network net;
+  NodeId a = net.add_node(NodeKind::kEdgeSwitch, "a");
+  NodeId b = net.add_node(NodeKind::kAggSwitch, "b");
+  NodeId c = net.add_node(NodeKind::kAggSwitch, "c");
+  NodeId d = net.add_node(NodeKind::kEdgeSwitch, "d");
+  net.add_link(a, b, 1.0);
+  net.add_link(b, d, 1.0);
+  net.add_link(a, c, 1.0);
+  net.add_link(c, d, 1.0);
+  return net;
+}
+
+TEST(Network, ConstructionBasics) {
+  Network net = diamond();
+  EXPECT_EQ(net.node_count(), 4u);
+  EXPECT_EQ(net.link_count(), 4u);
+  EXPECT_EQ(net.node(NodeId(0)).name, "a");
+  EXPECT_EQ(net.adjacent(NodeId(0)).size(), 2u);
+  EXPECT_TRUE(net.find_link(NodeId(0), NodeId(1)).has_value());
+  EXPECT_FALSE(net.find_link(NodeId(0), NodeId(3)).has_value());
+}
+
+TEST(Network, RejectsSelfLoopsAndBadCapacity) {
+  Network net;
+  NodeId a = net.add_node(NodeKind::kHost, "a");
+  NodeId b = net.add_node(NodeKind::kHost, "b");
+  EXPECT_THROW(net.add_link(a, a, 1.0), ContractViolation);
+  EXPECT_THROW(net.add_link(a, b, 0.0), ContractViolation);
+  EXPECT_THROW(net.add_link(a, b, -1.0), ContractViolation);
+}
+
+TEST(Network, DirectedLinkOrientation) {
+  Network net = diamond();
+  LinkId ab = *net.find_link(NodeId(0), NodeId(1));
+  DirectedLink fwd = net.directed(ab, NodeId(0));
+  EXPECT_EQ(net.tail(fwd), NodeId(0));
+  EXPECT_EQ(net.head(fwd), NodeId(1));
+  DirectedLink rev = net.directed(ab, NodeId(1));
+  EXPECT_EQ(net.tail(rev), NodeId(1));
+  EXPECT_EQ(net.head(rev), NodeId(0));
+  EXPECT_THROW((void)net.directed(ab, NodeId(3)), ContractViolation);
+}
+
+TEST(Network, FailureFlagsAndCounters) {
+  Network net = diamond();
+  LinkId ab = *net.find_link(NodeId(0), NodeId(1));
+  EXPECT_TRUE(net.usable(ab));
+  net.fail_link(ab);
+  net.fail_link(ab);  // idempotent
+  EXPECT_EQ(net.failed_link_count(), 1u);
+  EXPECT_FALSE(net.usable(ab));
+  net.restore_link(ab);
+  EXPECT_EQ(net.failed_link_count(), 0u);
+
+  net.fail_node(NodeId(1));
+  EXPECT_EQ(net.failed_node_count(), 1u);
+  EXPECT_FALSE(net.usable(ab));  // endpoint down makes link unusable
+  net.clear_failures();
+  EXPECT_EQ(net.failed_node_count(), 0u);
+  EXPECT_TRUE(net.usable(ab));
+}
+
+TEST(Network, RetargetLinkMovesEndpointAndAdjacency) {
+  Network net = diamond();
+  NodeId a(0), b(1), c(2);
+  LinkId ab = *net.find_link(a, b);
+  net.retarget_link(ab, b, NodeId(3));
+  EXPECT_FALSE(net.find_link(a, b).has_value());
+  EXPECT_TRUE(net.find_link(a, NodeId(3)).has_value());
+  // Peer adjacency updated too.
+  bool found = false;
+  for (const Adjacency& adj : net.adjacent(a)) {
+    if (adj.link == ab) {
+      EXPECT_EQ(adj.peer, NodeId(3));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_THROW(net.retarget_link(ab, b, c), ContractViolation);  // b no longer endpoint
+}
+
+TEST(Path, ValidityChecks) {
+  Network net = diamond();
+  NodeId a(0), b(1), d(3);
+  LinkId ab = *net.find_link(a, b);
+  LinkId bd = *net.find_link(b, d);
+  Path good{{a, b, d}, {ab, bd}};
+  EXPECT_TRUE(is_valid_path(net, good));
+  EXPECT_EQ(good.hops(), 2u);
+  EXPECT_EQ(good.src(), a);
+  EXPECT_EQ(good.dst(), d);
+
+  Path wrong_link{{a, b, d}, {bd, ab}};
+  EXPECT_FALSE(is_valid_path(net, wrong_link));
+  Path size_mismatch{{a, b}, {ab, bd}};
+  EXPECT_FALSE(is_valid_path(net, size_mismatch));
+  Path repeated{{a, b, a}, {ab, ab}};
+  EXPECT_FALSE(is_valid_path(net, repeated));
+  EXPECT_TRUE(is_valid_path(net, Path{}));
+}
+
+TEST(Path, WalksMayRevisitNodesButPathsMayNot) {
+  // a - b - a is a valid walk (bounce) but not a simple path.
+  Network net = diamond();
+  NodeId a(0), b(1);
+  LinkId ab = *net.find_link(a, b);
+  Path bounce{{a, b, a}, {ab, ab}};
+  EXPECT_TRUE(is_valid_walk(net, bounce));
+  EXPECT_FALSE(is_valid_path(net, bounce));
+  // Mismatched links invalidate walks too.
+  Path wrong{{a, b, a}, {ab, *net.find_link(NodeId(1), NodeId(3))}};
+  EXPECT_FALSE(is_valid_walk(net, wrong));
+}
+
+TEST(Path, LivenessTracksFailures) {
+  Network net = diamond();
+  NodeId a(0), b(1), d(3);
+  Path p{{a, b, d},
+         {*net.find_link(a, b), *net.find_link(b, d)}};
+  EXPECT_TRUE(is_live_path(net, p));
+  net.fail_node(b);
+  EXPECT_FALSE(is_live_path(net, p));
+  net.restore_node(b);
+  net.fail_link(p.links[1]);
+  EXPECT_FALSE(is_live_path(net, p));
+}
+
+TEST(Path, DirectedLinksFollowTraversalOrder) {
+  Network net = diamond();
+  NodeId a(0), b(1), d(3);
+  Path p{{a, b, d}, {*net.find_link(a, b), *net.find_link(b, d)}};
+  auto dls = p.directed_links(net);
+  ASSERT_EQ(dls.size(), 2u);
+  EXPECT_EQ(net.tail(dls[0]), a);
+  EXPECT_EQ(net.head(dls[0]), b);
+  EXPECT_EQ(net.tail(dls[1]), b);
+  EXPECT_EQ(net.head(dls[1]), d);
+}
+
+TEST(Algo, BfsDistances) {
+  Network net = diamond();
+  auto dist = bfs_distances(net, NodeId(0));
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], 2u);
+}
+
+TEST(Algo, ShortestPathAvoidsFailures) {
+  Network net = diamond();
+  NodeId a(0), b(1), d(3);
+  Path p = shortest_path(net, a, d);
+  EXPECT_EQ(p.hops(), 2u);
+  net.fail_node(b);
+  Path q = shortest_path(net, a, d);
+  EXPECT_EQ(q.hops(), 2u);
+  EXPECT_FALSE(path_uses_node(q, b));
+  net.fail_node(NodeId(2));
+  EXPECT_TRUE(shortest_path(net, a, d).empty());
+}
+
+TEST(Algo, AllShortestPathsEnumeratesBoth) {
+  Network net = diamond();
+  auto paths = all_shortest_paths(net, NodeId(0), NodeId(3));
+  EXPECT_EQ(paths.size(), 2u);
+  for (const Path& p : paths) {
+    EXPECT_TRUE(is_valid_path(net, p));
+    EXPECT_EQ(p.hops(), 2u);
+  }
+}
+
+TEST(Algo, HostsDoNotTransit) {
+  // a - h - b where h is a host: no path a->b through h.
+  Network net;
+  NodeId a = net.add_node(NodeKind::kEdgeSwitch, "a");
+  NodeId h = net.add_node(NodeKind::kHost, "h");
+  NodeId b = net.add_node(NodeKind::kEdgeSwitch, "b");
+  net.add_link(a, h, 1.0);
+  net.add_link(h, b, 1.0);
+  EXPECT_TRUE(shortest_path(net, a, b).empty());
+  // But a host endpoint is reachable.
+  EXPECT_EQ(shortest_path(net, a, h).hops(), 1u);
+  // And with the restriction lifted, transit works.
+  TraversalOptions opts;
+  opts.hosts_are_endpoints_only = false;
+  EXPECT_EQ(shortest_path(net, a, b, opts).hops(), 2u);
+}
+
+TEST(Algo, LiveComponentCount) {
+  Network net = diamond();
+  EXPECT_EQ(live_component_count(net), 1u);
+  net.fail_node(NodeId(1));
+  net.fail_node(NodeId(2));
+  EXPECT_EQ(live_component_count(net), 2u);  // a and d separated
+}
+
+TEST(Algo, SelfPathsAndUnreachable) {
+  Network net = diamond();
+  Path self = shortest_path(net, NodeId(0), NodeId(0));
+  EXPECT_EQ(self.nodes.size(), 1u);
+  EXPECT_EQ(self.hops(), 0u);
+  EXPECT_TRUE(reachable(net, NodeId(0), NodeId(3)));
+  net.fail_node(NodeId(3));
+  EXPECT_FALSE(reachable(net, NodeId(0), NodeId(3)));
+}
+
+}  // namespace
+}  // namespace sbk::net

@@ -1,0 +1,274 @@
+// Tests for the packet-level simulator: throughput sanity against the
+// fluid model, fair sharing, loss/retransmission behavior, RTO-driven
+// blackhole recovery, incast timeouts, and determinism.
+#include <gtest/gtest.h>
+
+#include "net/algo.hpp"
+#include "pktsim/packet_sim.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/generic_ecmp.hpp"
+#include "sim/fluid_sim.hpp"
+#include "topo/fat_tree.hpp"
+#include "util/assert.hpp"
+
+namespace sbk::pktsim {
+namespace {
+
+using sim::FlowOutcome;
+using sim::FlowSpec;
+using topo::FatTree;
+using topo::FatTreeParams;
+
+PktSimConfig fast_config() {
+  PktSimConfig cfg;
+  cfg.unit_bytes_per_second = 1.25e8;  // 1 unit = 1 Gbps
+  cfg.min_rto = milliseconds(10);      // DC-tuned stack for quick tests
+  return cfg;
+}
+
+TEST(PktSim, SingleLongFlowApproachesLineRate) {
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  PktSimConfig cfg = fast_config();
+  PacketSimulator sim(ft.network(), router, cfg);
+  const double bytes = 4e6;  // 4 MB
+  sim.add_flow(FlowSpec{1, ft.host(0), ft.host(8), bytes, 0.0});
+  auto results = sim.run();
+  ASSERT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  // Ideal time = 4 MB / 125 MB/s = 32 ms; allow slow-start and header
+  // overhead but require at least ~70% of line rate.
+  double goodput = bytes / results[0].fct();
+  EXPECT_GT(goodput, 0.70 * cfg.unit_bytes_per_second);
+  EXPECT_LT(goodput, 1.0 * cfg.unit_bytes_per_second);
+  EXPECT_EQ(sim.stats().timeouts, 0u);
+}
+
+TEST(PktSim, PacketAccountingAddsUp) {
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  PktSimConfig cfg = fast_config();
+  PacketSimulator sim(ft.network(), router, cfg);
+  sim.add_flow(FlowSpec{1, ft.host(0), ft.host(4), 100 * 1460.0, 0.0});
+  auto results = sim.run();
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  // Exactly 100 segments, no loss on an idle network.
+  EXPECT_EQ(sim.stats().data_packets_sent, 100u);
+  EXPECT_EQ(sim.stats().acks_sent, 100u);
+  EXPECT_EQ(sim.stats().drops_queue_overflow, 0u);
+  EXPECT_EQ(sim.stats().drops_dead_element, 0u);
+}
+
+TEST(PktSim, TwoFlowsShareABottleneckRoughlyFairly) {
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  PktSimConfig cfg = fast_config();
+  PacketSimulator sim(ft.network(), router, cfg);
+  // Same source host: both share the host-edge link.
+  const double bytes = 2e6;
+  sim.add_flow(FlowSpec{1, ft.host(0), ft.host(8), bytes, 0.0});
+  sim.add_flow(FlowSpec{2, ft.host(0), ft.host(12), bytes, 0.0});
+  auto results = sim.run();
+  ASSERT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  ASSERT_EQ(results[1].outcome, FlowOutcome::kCompleted);
+  // The shared link must serialize ~2x the bytes: the later finisher
+  // needs at least ~1.8x the solo time, and neither can beat solo time.
+  double solo = bytes / cfg.unit_bytes_per_second;
+  double later = std::max(results[0].fct(), results[1].fct());
+  double earlier = std::min(results[0].fct(), results[1].fct());
+  EXPECT_GT(later, 1.8 * solo);
+  EXPECT_GT(earlier, 1.0 * solo);
+  // AIMD with drop-tail is only roughly fair; bound the skew loosely.
+  EXPECT_LT(later / earlier, 3.0);
+}
+
+TEST(PktSim, CongestionCausesDropsAndRetransmitsButAllComplete) {
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft, 3);
+  PktSimConfig cfg = fast_config();
+  cfg.queue_capacity_bytes = 15000;  // shallow buffers: ~10 MTU
+  PacketSimulator sim(ft.network(), router, cfg);
+  // Incast: 6 senders to one receiver.
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    sim.add_flow(FlowSpec{i, ft.host(static_cast<int>(4 + i)), ft.host(0),
+                          1e6, 0.0});
+  }
+  auto results = sim.run();
+  for (const auto& r : results) {
+    EXPECT_EQ(r.outcome, FlowOutcome::kCompleted);
+  }
+  EXPECT_GT(sim.stats().drops_queue_overflow, 0u);
+  EXPECT_GT(sim.stats().fast_retransmits + sim.stats().timeouts, 0u);
+}
+
+TEST(PktSim, DctcpKeepsQueuesShallowUnderIncast) {
+  // Same 6-to-1 incast with shallow buffers: DCTCP's ECN feedback should
+  // slash drops and loss-recovery events relative to Reno.
+  auto run_incast = [](bool ecn) {
+    FatTree ft(FatTreeParams{.k = 4});
+    routing::EcmpRouter router(ft, 3);
+    PktSimConfig cfg = fast_config();
+    cfg.queue_capacity_bytes = 15000;
+    cfg.ecn_enabled = ecn;
+    cfg.ecn_threshold_bytes = 4500;  // ~3 MTU
+    PacketSimulator sim(ft.network(), router, cfg);
+    for (std::uint64_t i = 0; i < 6; ++i) {
+      sim.add_flow(FlowSpec{i, ft.host(static_cast<int>(4 + i)), ft.host(0),
+                            1e6, 0.0});
+    }
+    auto results = sim.run();
+    for (const auto& r : results) {
+      EXPECT_EQ(r.outcome, FlowOutcome::kCompleted);
+    }
+    return sim.stats();
+  };
+  PktSimStats reno = run_incast(false);
+  PktSimStats dctcp = run_incast(true);
+  EXPECT_GT(dctcp.ecn_marks, 0u);
+  EXPECT_GT(dctcp.ecn_window_cuts, 0u);
+  EXPECT_LT(dctcp.drops_queue_overflow, reno.drops_queue_overflow);
+  EXPECT_LE(dctcp.timeouts + dctcp.fast_retransmits,
+            reno.timeouts + reno.fast_retransmits);
+}
+
+TEST(PktSim, DctcpCannotHelpWithBlackholes) {
+  // ECN tames congestion, but a dead rack still costs RTOs — transport
+  // tuning is not a substitute for ShareBackup's hardware replacement.
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  PktSimConfig cfg = fast_config();
+  cfg.ecn_enabled = true;
+  cfg.min_rto = milliseconds(200);
+  PacketSimulator sim(ft.network(), router, cfg);
+  sim.add_flow(FlowSpec{1, ft.host(0, 0, 0), ft.host(0, 0, 1), 1e6, 0.0});
+  net::NodeId edge = ft.edge(0, 0);
+  sim.at(0.001, [edge](net::Network& n) { n.fail_node(edge); });
+  sim.at(0.006, [edge](net::Network& n) { n.restore_node(edge); });
+  auto results = sim.run();
+  ASSERT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  EXPECT_GT(sim.stats().timeouts, 0u);
+  EXPECT_GT(results[0].fct(), 0.2);
+}
+
+TEST(PktSim, RtoFloorGovernsBlackholeStall) {
+  // A transient blackhole costs at least one RTO — the mechanism behind
+  // the paper's orders-of-magnitude CCT tail.
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  PktSimConfig cfg = fast_config();
+  cfg.min_rto = milliseconds(200);  // classic TCP floor
+  PacketSimulator sim(ft.network(), router, cfg);
+  const double bytes = 1e6;  // solo time = 8 ms << RTO
+  sim.add_flow(FlowSpec{1, ft.host(0, 0, 0), ft.host(0, 0, 1), bytes, 0.0});
+  net::NodeId edge = ft.edge(0, 0);
+  // The rack's edge dies 1 ms in, repaired 5 ms later: every in-flight
+  // packet is lost and the sender must wait out the RTO.
+  sim.at(0.001, [edge](net::Network& n) { n.fail_node(edge); });
+  sim.at(0.006, [edge](net::Network& n) { n.restore_node(edge); });
+  auto results = sim.run();
+  ASSERT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  EXPECT_GT(sim.stats().timeouts, 0u);
+  EXPECT_GT(results[0].fct(), 0.2);   // paid >= one 200 ms RTO
+  EXPECT_LT(results[0].fct(), 1.0);   // but recovered promptly after
+}
+
+TEST(PktSim, ReroutesAroundPersistentFailureAfterTimeout) {
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  PktSimConfig cfg = fast_config();
+  PacketSimulator sim(ft.network(), router, cfg);
+  sim.add_flow(FlowSpec{1, ft.host(0, 0, 0), ft.host(1, 0, 0), 2e6, 0.0});
+  // Find and kill the flow's core mid-transfer; it stays dead.
+  net::Path p = routing::EcmpRouter(ft).route(ft.network(), ft.host(0, 0, 0),
+                                              ft.host(1, 0, 0), 1, nullptr);
+  net::NodeId core = p.nodes[3];
+  sim.at(0.004, [core](net::Network& n) { n.fail_node(core); });
+  auto results = sim.run();
+  ASSERT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  EXPECT_GE(results[0].reroutes, 1u);
+  EXPECT_GT(sim.stats().timeouts, 0u);
+}
+
+TEST(PktSim, PermanentlyUnreachableFlowStalls) {
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  PacketSimulator sim(ft.network(), router, fast_config());
+  ft.network().fail_node(ft.edge(0, 0));
+  sim.add_flow(FlowSpec{1, ft.host(0, 0, 0), ft.host(1, 0, 0), 1e6, 0.0});
+  auto results = sim.run();  // must terminate despite the dead rack
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kStalledForever);
+  EXPECT_GT(results[0].bytes_remaining, 0.0);
+}
+
+TEST(PktSim, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    FatTree ft(FatTreeParams{.k = 4});
+    routing::EcmpRouter router(ft, 11);
+    PacketSimulator sim(ft.network(), router, fast_config());
+    for (std::uint64_t i = 0; i < 8; ++i) {
+      sim.add_flow(FlowSpec{i, ft.host(static_cast<int>(i % 4)),
+                            ft.host(static_cast<int>(8 + i % 8)),
+                            5e5 + 1e4 * static_cast<double>(i), 0.0});
+    }
+    return sim.run();
+  };
+  auto a = run_once();
+  auto b = run_once();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].outcome, b[i].outcome);
+    EXPECT_DOUBLE_EQ(a[i].finish, b[i].finish);
+  }
+}
+
+TEST(PktSim, AgreesWithFluidModelOnUncontendedTransferTimes) {
+  // Cross-engine validation: a lone bulk flow's completion time should
+  // match the fluid prediction within slow-start slack.
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  const double bytes = 8e6;
+
+  PktSimConfig pcfg = fast_config();
+  PacketSimulator psim(ft.network(), router, pcfg);
+  psim.add_flow(FlowSpec{1, ft.host(0), ft.host(8), bytes, 0.0});
+  auto pkt = psim.run();
+
+  sim::SimConfig fcfg;
+  fcfg.unit_bytes_per_second = pcfg.unit_bytes_per_second;
+  routing::EcmpRouter router2(ft);
+  sim::FluidSimulator fsim(ft.network(), router2, fcfg);
+  fsim.add_flow(FlowSpec{1, ft.host(0), ft.host(8), bytes, 0.0});
+  auto fluid = fsim.run();
+
+  ASSERT_EQ(pkt[0].outcome, FlowOutcome::kCompleted);
+  ASSERT_EQ(fluid[0].outcome, FlowOutcome::kCompleted);
+  EXPECT_GT(pkt[0].fct(), fluid[0].fct());  // headers + slow start
+  EXPECT_LT(pkt[0].fct(), 1.5 * fluid[0].fct());
+}
+
+TEST(PktSim, HorizonCutsOffAndReportsUnfinished) {
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  PktSimConfig cfg = fast_config();
+  cfg.horizon = 0.002;
+  PacketSimulator sim(ft.network(), router, cfg);
+  sim.add_flow(FlowSpec{1, ft.host(0), ft.host(8), 1e8, 0.0});
+  auto results = sim.run();
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kUnfinished);
+  EXPECT_GT(results[0].bytes_remaining, 0.0);
+}
+
+TEST(PktSim, ZeroByteAndLocalFlowsComplete) {
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  PacketSimulator sim(ft.network(), router, fast_config());
+  sim.add_flow(FlowSpec{1, ft.host(0), ft.host(0), 1e6, 1.0});
+  sim.add_flow(FlowSpec{2, ft.host(0), ft.host(1), 0.0, 2.0});
+  auto results = sim.run();
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  EXPECT_DOUBLE_EQ(results[0].finish, 1.0);
+  EXPECT_EQ(results[1].outcome, FlowOutcome::kCompleted);
+  EXPECT_DOUBLE_EQ(results[1].finish, 2.0);
+}
+
+}  // namespace
+}  // namespace sbk::pktsim

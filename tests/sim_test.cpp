@@ -1,0 +1,469 @@
+// Tests for the flow-level simulator stack: event queue, max-min fair
+// allocation (with its optimality properties), the fluid simulator on
+// analytically solvable scenarios, and the static failure-impact
+// analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "net/algo.hpp"
+#include "routing/ecmp.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/failure_analysis.hpp"
+#include "sim/fluid_sim.hpp"
+#include "sim/max_min.hpp"
+#include "topo/fat_tree.hpp"
+#include "util/assert.hpp"
+
+namespace sbk::sim {
+namespace {
+
+using net::DirectedLink;
+using net::Network;
+using net::NodeId;
+using net::NodeKind;
+
+TEST(EventQueue, OrdersByTimeThenInsertion) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(2.0, [&] { fired.push_back(2); });
+  q.schedule_at(1.0, [&] { fired.push_back(1); });
+  q.schedule_at(1.0, [&] { fired.push_back(11); });  // same time, later insert
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{1, 11, 2}));
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents) {
+  EventQueue q;
+  int count = 0;
+  q.schedule_at(1.0, [&] { ++count; });
+  q.schedule_at(5.0, [&] { ++count; });
+  q.run_until(2.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_THROW(q.schedule_at(1.5, [] {}), ContractViolation);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) q.schedule_in(1.0, recurse);
+  };
+  q.schedule_at(0.0, recurse);
+  q.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+// --- max-min ----------------------------------------------------------------
+
+Network two_link_line(double c1, double c2) {
+  Network net;
+  NodeId a = net.add_node(NodeKind::kEdgeSwitch, "a");
+  NodeId b = net.add_node(NodeKind::kEdgeSwitch, "b");
+  NodeId c = net.add_node(NodeKind::kEdgeSwitch, "c");
+  net.add_link(a, b, c1);
+  net.add_link(b, c, c2);
+  return net;
+}
+
+TEST(MaxMin, SingleBottleneckSharedEqually) {
+  Network net = two_link_line(9.0, 100.0);
+  DirectedLink l0{net::LinkId(0), true};
+  std::vector<Demand> demands(3, Demand{{l0}});
+  auto rates = max_min_rates(net, demands);
+  for (double r : rates) EXPECT_NEAR(r, 3.0, 1e-9);
+}
+
+TEST(MaxMin, ClassicTwoBottleneckExample) {
+  // Flows: A on link0 only, B on link1 only, C on both.
+  // link0 cap 1, link1 cap 2 => C = 0.5 (link0), A = 0.5, B = 1.5.
+  Network net = two_link_line(1.0, 2.0);
+  DirectedLink l0{net::LinkId(0), true};
+  DirectedLink l1{net::LinkId(1), true};
+  std::vector<Demand> demands{{{l0}}, {{l1}}, {{l0, l1}}};
+  auto rates = max_min_rates(net, demands);
+  EXPECT_NEAR(rates[0], 0.5, 1e-9);
+  EXPECT_NEAR(rates[1], 1.5, 1e-9);
+  EXPECT_NEAR(rates[2], 0.5, 1e-9);
+}
+
+TEST(MaxMin, OppositeDirectionsDoNotContend) {
+  Network net = two_link_line(1.0, 1.0);
+  DirectedLink fwd{net::LinkId(0), true};
+  DirectedLink rev{net::LinkId(0), false};
+  std::vector<Demand> demands{{{fwd}}, {{rev}}};
+  auto rates = max_min_rates(net, demands);
+  EXPECT_NEAR(rates[0], 1.0, 1e-9);
+  EXPECT_NEAR(rates[1], 1.0, 1e-9);
+}
+
+TEST(MaxMin, PropertyNoOversubscriptionAndBottleneckJustification) {
+  // Random demands over a k=4 fat-tree; verify the two defining max-min
+  // properties.
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  Network& net = ft.network();
+
+  std::vector<Demand> demands;
+  std::vector<std::vector<DirectedLink>> paths;
+  for (std::uint64_t f = 0; f < 60; ++f) {
+    NodeId src = ft.host(static_cast<int>(f * 7 % ft.host_count()));
+    NodeId dst = ft.host(static_cast<int>((f * 13 + 5) % ft.host_count()));
+    if (src == dst) continue;
+    net::Path p = router.route(net, src, dst, f, nullptr);
+    ASSERT_FALSE(p.empty());
+    demands.push_back(Demand{p.directed_links(net)});
+  }
+  auto rates = max_min_rates(net, demands);
+
+  // Property 1: no directed link above capacity.
+  std::map<std::pair<std::uint32_t, bool>, double> usage;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    for (DirectedLink dl : demands[i].links) {
+      usage[{dl.link.value(), dl.forward}] += rates[i];
+    }
+  }
+  for (const auto& [key, total] : usage) {
+    EXPECT_LE(total, net.link(net::LinkId(key.first)).capacity + 1e-6);
+  }
+
+  // Property 2 (max-min): every flow has a bottleneck link that is
+  // saturated and on which it has a maximal rate.
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    bool justified = false;
+    for (DirectedLink dl : demands[i].links) {
+      double cap = net.link(dl.link).capacity;
+      double total = usage[{dl.link.value(), dl.forward}];
+      if (total < cap - 1e-6) continue;  // not saturated
+      bool maximal = true;
+      for (std::size_t j = 0; j < demands.size(); ++j) {
+        if (j == i) continue;
+        bool shares = false;
+        for (DirectedLink o : demands[j].links) {
+          if (o == dl) shares = true;
+        }
+        if (shares && rates[j] > rates[i] + 1e-6) maximal = false;
+      }
+      if (maximal) {
+        justified = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(justified) << "flow " << i << " has no bottleneck";
+  }
+}
+
+// --- fluid simulator ---------------------------------------------------------
+
+struct FixedRouter final : routing::Router {
+  net::Path route(const Network& net, NodeId src, NodeId dst,
+                  std::uint64_t, const routing::LinkLoads*) override {
+    return net::shortest_path(net, src, dst);
+  }
+  const char* name() const noexcept override { return "fixed"; }
+};
+
+TEST(FluidSim, SingleFlowFinishesAtSizeOverRate) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  FixedRouter router;
+  SimConfig cfg;
+  cfg.unit_bytes_per_second = 1e6;  // 1 unit = 1 MB/s
+  FluidSimulator sim(ft.network(), router, cfg);
+  sim.add_flow(FlowSpec{1, ft.host(0), ft.host(8), 5e6, 0.0, 0});
+  auto results = sim.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  EXPECT_NEAR(results[0].finish, 5.0, 1e-6);  // 5 MB at 1 MB/s
+}
+
+TEST(FluidSim, TwoFlowsShareThenSpeedUp) {
+  // Two equal flows share a host NIC (capacity 1 unit): the first half
+  // runs at 0.5 each; when one finishes the other speeds to 1.0.
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  FixedRouter router;
+  SimConfig cfg;
+  cfg.unit_bytes_per_second = 1.0;  // sizes are in unit-seconds
+  FluidSimulator sim(ft.network(), router, cfg);
+  // Same src host => both flows traverse the single host-edge link.
+  sim.add_flow(FlowSpec{1, ft.host(0), ft.host(8), 10.0, 0.0});
+  sim.add_flow(FlowSpec{2, ft.host(0), ft.host(12), 5.0, 0.0});
+  auto results = sim.run();
+  // Flow 2: shares at 0.5 until t=10 (transfers 5) -> done at exactly 10.
+  // Flow 1: 5 transferred by t=10, then full rate -> done at 15.
+  EXPECT_NEAR(results[1].finish, 10.0, 1e-6);
+  EXPECT_NEAR(results[0].finish, 15.0, 1e-6);
+}
+
+TEST(FluidSim, LateArrivalPreemptsBandwidthFairly) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  FixedRouter router;
+  SimConfig cfg;
+  cfg.unit_bytes_per_second = 1.0;
+  FluidSimulator sim(ft.network(), router, cfg);
+  sim.add_flow(FlowSpec{1, ft.host(0), ft.host(8), 10.0, 0.0});
+  sim.add_flow(FlowSpec{2, ft.host(0), ft.host(12), 4.0, 2.0});
+  auto results = sim.run();
+  // Flow 1 alone until t=2 (8 left), shares 0.5 until flow 2 done at
+  // t = 2 + 4/0.5 = 10 (flow 1 has 4 left), finishes at 14.
+  EXPECT_NEAR(results[1].finish, 10.0, 1e-6);
+  EXPECT_NEAR(results[0].finish, 14.0, 1e-6);
+}
+
+TEST(FluidSim, ZeroByteAndLocalFlowsCompleteInstantly) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  FixedRouter router;
+  FluidSimulator sim(ft.network(), router, SimConfig{});
+  sim.add_flow(FlowSpec{1, ft.host(0), ft.host(0), 100.0, 3.0});  // local
+  sim.add_flow(FlowSpec{2, ft.host(0), ft.host(1), 0.0, 4.0});    // empty
+  auto results = sim.run();
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  EXPECT_NEAR(results[0].finish, 3.0, 1e-9);
+  EXPECT_EQ(results[1].outcome, FlowOutcome::kCompleted);
+  EXPECT_NEAR(results[1].finish, 4.0, 1e-9);
+}
+
+TEST(FluidSim, FailureMidFlowTriggersReroute) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  SimConfig cfg;
+  cfg.unit_bytes_per_second = 1.0;
+  FluidSimulator sim(ft.network(), router, cfg);
+  sim.add_flow(FlowSpec{7, ft.host(0, 0, 0), ft.host(1, 0, 0), 10.0, 0.0});
+
+  // Find which core flow 7 uses, then kill it mid-transfer.
+  net::Path p = routing::EcmpRouter(ft).route(ft.network(), ft.host(0, 0, 0),
+                                              ft.host(1, 0, 0), 7, nullptr);
+  NodeId core = p.nodes[3];
+  sim.at(4.0, [core](Network& net) { net.fail_node(core); });
+
+  auto results = sim.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  EXPECT_EQ(results[0].reroutes, 1u);
+  // Bandwidth unchanged after reroute (other cores idle): finish ~ 10.
+  EXPECT_NEAR(results[0].finish, 10.0, 1e-6);
+}
+
+TEST(FluidSim, NoRerouteMeansStallUntilRepair) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  FixedRouter router;
+  SimConfig cfg;
+  cfg.unit_bytes_per_second = 1.0;
+  cfg.reroute_on_path_failure = false;
+  FluidSimulator sim(ft.network(), router, cfg);
+  sim.add_flow(FlowSpec{1, ft.host(0, 0, 0), ft.host(0, 0, 1), 10.0, 0.0});
+  net::NodeId edge = ft.edge(0, 0);
+  sim.at(2.0, [edge](Network& net) { net.fail_node(edge); });
+  sim.at(6.0, [edge](Network& net) { net.restore_node(edge); });
+  auto results = sim.run();
+  // 2s of transfer, 4s stalled, 8 more seconds: finish at 10+4 = 14.
+  // (Host-edge-host path: bottleneck is the edge links at capacity 1.)
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  EXPECT_NEAR(results[0].finish, 14.0, 1e-6);
+}
+
+TEST(FluidSim, PermanentlyUnreachableFlowsReportStalled) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  FixedRouter router;
+  SimConfig cfg;
+  FluidSimulator sim(ft.network(), router, cfg);
+  ft.network().fail_node(ft.edge(0, 0));
+  sim.add_flow(FlowSpec{1, ft.host(0, 0, 0), ft.host(1, 0, 0), 10.0, 0.0});
+  auto results = sim.run();
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kStalledForever);
+  EXPECT_GT(results[0].bytes_remaining, 0.0);
+}
+
+TEST(FluidSim, HorizonCutsOffUnfinishedFlows) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  FixedRouter router;
+  SimConfig cfg;
+  cfg.unit_bytes_per_second = 1.0;
+  cfg.horizon = 3.0;
+  FluidSimulator sim(ft.network(), router, cfg);
+  sim.add_flow(FlowSpec{1, ft.host(0), ft.host(8), 10.0, 0.0});
+  auto results = sim.run();
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kUnfinished);
+  EXPECT_NEAR(results[0].bytes_remaining, 7.0, 1e-6);
+}
+
+TEST(Coflow, AggregationComputesCct) {
+  std::vector<FlowResult> flows(3);
+  flows[0].spec = FlowSpec{1, NodeId(0), NodeId(1), 1, 0.0, 42};
+  flows[0].outcome = FlowOutcome::kCompleted;
+  flows[0].finish = 5.0;
+  flows[1].spec = FlowSpec{2, NodeId(0), NodeId(1), 1, 1.0, 42};
+  flows[1].outcome = FlowOutcome::kCompleted;
+  flows[1].finish = 9.0;
+  flows[2].spec = FlowSpec{3, NodeId(0), NodeId(1), 1, 0.0, kNoCoflow};
+  flows[2].outcome = FlowOutcome::kCompleted;
+  flows[2].finish = 1.0;
+
+  auto coflows = aggregate_coflows(flows);
+  ASSERT_EQ(coflows.size(), 1u);
+  EXPECT_EQ(coflows[0].id, 42u);
+  EXPECT_EQ(coflows[0].flow_count, 2u);
+  EXPECT_TRUE(coflows[0].all_completed);
+  EXPECT_DOUBLE_EQ(coflows[0].cct(), 9.0);
+}
+
+TEST(Coflow, IncompleteCoflowFlagged) {
+  std::vector<FlowResult> flows(2);
+  flows[0].spec = FlowSpec{1, NodeId(0), NodeId(1), 1, 0.0, 7};
+  flows[0].outcome = FlowOutcome::kCompleted;
+  flows[0].finish = 2.0;
+  flows[1].spec = FlowSpec{2, NodeId(0), NodeId(1), 1, 0.0, 7};
+  flows[1].outcome = FlowOutcome::kStalledForever;
+  auto coflows = aggregate_coflows(flows);
+  ASSERT_EQ(coflows.size(), 1u);
+  EXPECT_FALSE(coflows[0].all_completed);
+}
+
+TEST(FluidSim, PerLinkEqualShareDoesNotReclaimResidual) {
+  // Flow A crosses links L0 (with B) and L1 (alone); B is bottlenecked at
+  // a slow host link. Under max-min, A reclaims B's unused share of L0;
+  // under per-link equal share it does not.
+  net::Network net;
+  auto s0 = net.add_node(net::NodeKind::kEdgeSwitch, "s0");
+  auto s1 = net.add_node(net::NodeKind::kEdgeSwitch, "s1");
+  auto s2 = net.add_node(net::NodeKind::kEdgeSwitch, "s2");
+  auto ha = net.add_node(net::NodeKind::kHost, "ha");
+  auto hb = net.add_node(net::NodeKind::kHost, "hb");
+  auto hx = net.add_node(net::NodeKind::kHost, "hx");  // A's source
+  auto hy = net.add_node(net::NodeKind::kHost, "hy");  // B's source
+  net.add_link(hx, s0, 10.0);
+  net.add_link(hy, s0, 0.1);  // B's slow source NIC
+  net.add_link(s0, s1, 1.0);  // L0: shared
+  net.add_link(s1, s2, 1.0);  // L1
+  net.add_link(ha, s2, 10.0);
+  net.add_link(hb, s1, 10.0);
+
+  struct FixedRouter2 final : routing::Router {
+    net::Path route(const net::Network& n, net::NodeId s, net::NodeId d,
+                    std::uint64_t, const routing::LinkLoads*) override {
+      return net::shortest_path(n, s, d);
+    }
+    const char* name() const noexcept override { return "fixed"; }
+  };
+
+  auto run = [&](AllocationModel model) {
+    FixedRouter2 router;
+    SimConfig cfg;
+    cfg.unit_bytes_per_second = 1.0;
+    cfg.completion_epsilon_bytes = 1e-6;
+    cfg.allocation = model;
+    FluidSimulator sim(net, router, cfg);
+    sim.add_flow(FlowSpec{1, hx, ha, 9.0, 0.0});  // A
+    sim.add_flow(FlowSpec{2, hy, hb, 1.0, 0.0});  // B (rate-capped at 0.1)
+    return sim.run();
+  };
+
+  auto maxmin = run(AllocationModel::kMaxMinFair);
+  // Max-min: B is capped at 0.1 by its NIC, A reclaims 0.9 of L0 and
+  // finishes its 9 bytes at t = 10 (as does B).
+  EXPECT_NEAR(maxmin[0].finish, 10.0, 1e-6);
+  EXPECT_NEAR(maxmin[1].finish, 10.0, 1e-6);
+
+  auto equal = run(AllocationModel::kPerLinkEqualShare);
+  // Equal share: A gets only 0.5 on L0 while B is active (B still runs
+  // at 0.1, done at t = 10 with A at 5 transferred), then full rate:
+  // 5 + 4 more at rate 1 -> t = 14.
+  EXPECT_NEAR(equal[1].finish, 10.0, 1e-6);
+  EXPECT_NEAR(equal[0].finish, 14.0, 1e-6);
+  EXPECT_GT(equal[0].finish, maxmin[0].finish);
+}
+
+TEST(FluidSim, EqualShareNeverExceedsLinkCapacity) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  SimConfig cfg;
+  cfg.unit_bytes_per_second = 1.0;
+  cfg.allocation = AllocationModel::kPerLinkEqualShare;
+  FluidSimulator sim(ft.network(), router, cfg);
+  for (std::uint64_t f = 0; f < 40; ++f) {
+    sim.add_flow(FlowSpec{f, ft.host(static_cast<int>(f % 16)),
+                          ft.host(static_cast<int>((f * 5 + 3) % 16)), 4.0,
+                          0.0});
+  }
+  auto results = sim.run();
+  for (const auto& r : results) {
+    if (r.spec.src == r.spec.dst) continue;
+    EXPECT_EQ(r.outcome, FlowOutcome::kCompleted);
+    // With unit capacities, no flow can beat 1 unit of rate.
+    EXPECT_GE(r.fct(), 4.0 - 1e-9);
+  }
+}
+
+// --- failure impact analysis -------------------------------------------------
+
+TEST(FailureAnalysis, CoflowAmplification) {
+  // One coflow of many flows: failing anything on any flow's path affects
+  // the whole coflow — the paper's §2.2 amplification effect.
+  topo::FatTree ft(topo::FatTreeParams{.k = 8});
+  routing::EcmpRouter router(ft);
+
+  std::vector<FlowSpec> flows;
+  std::uint64_t id = 0;
+  for (int i = 0; i < 32; ++i) {
+    // Coflow 0: fan-in to host 0; plus 32 singleton coflows elsewhere.
+    flows.push_back(FlowSpec{id++, ft.host(i + 1), ft.host(0), 1e6, 0.0, 0});
+    flows.push_back(FlowSpec{id++, ft.host(40 + i), ft.host(90 + i), 1e6,
+                             0.0, 1 + static_cast<CoflowId>(i)});
+  }
+  auto snapshot = route_snapshot(ft.network(), router, flows);
+
+  FailureSet fs;
+  fs.nodes.push_back(ft.edge_of_host(ft.host(0)));
+  ImpactResult r = measure_impact(snapshot, fs);
+  // All 32 fan-in flows die with the edge, so coflow 0 is affected.
+  EXPECT_GE(r.affected_flows, 32u);
+  EXPECT_GE(r.affected_coflows, 1u);
+
+  // Amplification: fail the host link of ONE fan-in source (host 21 is
+  // used only by coflow 0). Exactly one flow is affected, but the whole
+  // wide coflow stalls — so the coflow fraction strictly exceeds the
+  // flow fraction (the §2.2 effect).
+  FailureSet single_link;
+  single_link.links.push_back(ft.host_link(ft.host(21)));
+  ImpactResult r2 = measure_impact(snapshot, single_link);
+  EXPECT_EQ(r2.affected_flows, 1u);
+  EXPECT_EQ(r2.affected_coflows, 1u);
+  EXPECT_GT(r2.coflow_fraction(), r2.flow_fraction());
+}
+
+TEST(FailureAnalysis, RandomFailureSetsRespectBounds) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  Rng rng(5);
+  auto nodes = random_switch_failures(ft.network(), 3, rng);
+  EXPECT_EQ(nodes.nodes.size(), 3u);
+  for (NodeId n : nodes.nodes) {
+    EXPECT_NE(ft.network().node(n).kind, NodeKind::kHost);
+  }
+  auto links = random_fabric_link_failures(ft.network(), 5, rng);
+  EXPECT_EQ(links.links.size(), 5u);
+  for (net::LinkId l : links.links) {
+    const net::Link& link = ft.network().link(l);
+    EXPECT_NE(ft.network().node(link.a).kind, NodeKind::kHost);
+    EXPECT_NE(ft.network().node(link.b).kind, NodeKind::kHost);
+  }
+}
+
+TEST(FailureAnalysis, UnaffectedWhenFailureOffPath) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  std::vector<FlowSpec> flows{
+      FlowSpec{1, ft.host(0, 0, 0), ft.host(0, 0, 1), 1.0, 0.0, 0}};
+  auto snapshot = route_snapshot(ft.network(), router, flows);
+  FailureSet fs;
+  fs.nodes.push_back(ft.core(0));  // same-edge flow never touches cores
+  ImpactResult r = measure_impact(snapshot, fs);
+  EXPECT_EQ(r.affected_flows, 0u);
+  EXPECT_EQ(r.affected_coflows, 0u);
+}
+
+}  // namespace
+}  // namespace sbk::sim

@@ -1,0 +1,139 @@
+// Tests for the controller <-> routing-table mirror (§4.3 operational
+// glue): every controller-driven recovery keeps the ImpersonationStore's
+// device assignment in lockstep with the fabric, and position-level
+// forwarding is invariant across arbitrary recovery sequences.
+#include <gtest/gtest.h>
+
+#include "control/controller.hpp"
+#include "control/table_manager.hpp"
+#include "routing/impersonation.hpp"
+#include "util/rng.hpp"
+
+namespace sbk::control {
+namespace {
+
+using sharebackup::DeviceState;
+using sharebackup::Fabric;
+using sharebackup::FabricParams;
+using sharebackup::InterfaceRef;
+using topo::Layer;
+using topo::SwitchPosition;
+
+FabricParams fp(int k, int n) {
+  FabricParams p;
+  p.fat_tree.k = k;
+  p.backups_per_group = n;
+  return p;
+}
+
+TEST(TableManager, InitialMirrorMatchesFabric) {
+  Fabric fabric(fp(6, 2));
+  TableManager tables(fabric);
+  tables.check_mirrored(fabric);
+  // The mirrored device of an in-service fabric device serves the same
+  // position in the store.
+  SwitchPosition pos{Layer::kAgg, 3, 1};
+  EXPECT_EQ(tables.store_device(fabric.device_at(pos)),
+            tables.store().device_at(pos));
+}
+
+TEST(TableManager, ControllerFailoverKeepsMirror) {
+  Fabric fabric(fp(6, 1));
+  TableManager tables(fabric);
+  Controller ctrl(fabric, ControllerConfig{});
+  ctrl.attach_table_manager(&tables);
+
+  SwitchPosition pos{Layer::kEdge, 1, 2};
+  fabric.network().fail_node(fabric.node_at(pos));
+  ASSERT_TRUE(ctrl.on_switch_failure(pos).recovered);
+  tables.check_mirrored(fabric);
+
+  // The replacement's preloaded table is the pod's combined edge table.
+  auto dev = tables.store().device_at(pos);
+  EXPECT_EQ(tables.store().table_of(dev).size(),
+            static_cast<std::size_t>(3 + 9));  // k/2 + k^2/4 for k=6
+}
+
+TEST(TableManager, LinkRecoveryAndDiagnosisKeepMirror) {
+  Fabric fabric(fp(6, 1));
+  TableManager tables(fabric);
+  Controller ctrl(fabric, ControllerConfig{});
+  ctrl.attach_table_manager(&tables);
+
+  net::NodeId edge = fabric.fat_tree().edge(2, 0);
+  net::NodeId agg = fabric.fat_tree().agg(2, 1);
+  net::LinkId link = *fabric.network().find_link(edge, agg);
+  std::size_t cs = fabric.cs_of_link(link);
+  auto agg_dev = fabric.device_at(*fabric.position_of_node(agg));
+  fabric.set_interface_health(InterfaceRef{agg_dev, cs}, false);
+  fabric.network().fail_link(link);
+
+  ASSERT_TRUE(ctrl.on_link_failure(link).recovered);
+  tables.check_mirrored(fabric);
+  ctrl.run_pending_diagnosis();  // exonerates the edge device
+  tables.check_mirrored(fabric);
+  ctrl.on_device_repaired(agg_dev);
+  tables.check_mirrored(fabric);
+  // Pools full again in both worlds.
+  EXPECT_EQ(fabric.spares(Layer::kAgg, 2).size(), 1u);
+  EXPECT_EQ(tables.store().spares(Layer::kAgg, 2).size(), 1u);
+}
+
+TEST(TableManager, ForwardingInvariantUnderControllerChurn) {
+  const int k = 6;
+  Fabric fabric(fp(k, 2));
+  TableManager tables(fabric);
+  Controller ctrl(fabric, ControllerConfig{});
+  ctrl.attach_table_manager(&tables);
+  routing::ForwardingSim fsim(tables.store());
+
+  std::vector<std::pair<routing::HostAddr, routing::HostAddr>> pairs = {
+      {{0, 0, 0}, {5, 2, 1}}, {{3, 1, 2}, {3, 2, 0}}, {{1, 0, 0}, {4, 1, 1}}};
+  std::vector<std::vector<SwitchPosition>> baseline;
+  for (auto& [s, d] : pairs) {
+    auto t = fsim.walk(s, d);
+    ASSERT_TRUE(t.delivered);
+    baseline.push_back(t.positions);
+  }
+
+  Rng rng(606);
+  std::vector<sharebackup::DeviceUid> out;
+  for (int step = 0; step < 60; ++step) {
+    ctrl.set_time(step * 10.0);
+    if (!out.empty() && rng.bernoulli(0.4)) {
+      ctrl.on_device_repaired(out.back());
+      out.pop_back();
+    } else {
+      SwitchPosition pos;
+      double layer = rng.uniform_real(0.0, 1.0);
+      if (layer < 0.4) {
+        pos = {Layer::kEdge, static_cast<int>(rng.uniform_index(k)),
+               static_cast<int>(rng.uniform_index(3))};
+      } else if (layer < 0.8) {
+        pos = {Layer::kAgg, static_cast<int>(rng.uniform_index(k)),
+               static_cast<int>(rng.uniform_index(3))};
+      } else {
+        pos = {Layer::kCore, -1, static_cast<int>(rng.uniform_index(9))};
+      }
+      net::NodeId node = fabric.node_at(pos);
+      if (fabric.network().node_failed(node)) continue;
+      fabric.network().fail_node(node);
+      auto o = ctrl.on_switch_failure(pos);
+      if (o.recovered) {
+        out.push_back(o.failovers[0].failed_device);
+      } else {
+        fabric.network().restore_node(node);
+      }
+    }
+    tables.check_mirrored(fabric);
+    // Forwarding at the position level is bit-for-bit unchanged.
+    for (std::size_t i = 0; i < pairs.size(); ++i) {
+      auto t = fsim.walk(pairs[i].first, pairs[i].second);
+      ASSERT_TRUE(t.delivered) << "step " << step;
+      EXPECT_EQ(t.positions, baseline[i]) << "step " << step;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbk::control

@@ -1,0 +1,203 @@
+// Structural tests for the fat-tree builder (plain and AB wiring) and the
+// failure-group geometry of topo/position.hpp, parameterized over k.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/algo.hpp"
+#include "topo/fat_tree.hpp"
+#include "topo/position.hpp"
+#include "util/assert.hpp"
+
+namespace sbk::topo {
+namespace {
+
+class FatTreeStructure : public ::testing::TestWithParam<int> {};
+
+TEST_P(FatTreeStructure, DeviceCountsMatchTheory) {
+  const int k = GetParam();
+  FatTree ft(FatTreeParams{.k = k});
+  const int half = k / 2;
+  EXPECT_EQ(ft.host_count(), k * k * k / 4);
+  EXPECT_EQ(static_cast<int>(ft.edges().size()), k * half);
+  EXPECT_EQ(static_cast<int>(ft.aggs().size()), k * half);
+  EXPECT_EQ(static_cast<int>(ft.cores().size()), half * half);
+  // Links: hosts + edge-agg (k pods * (k/2)^2) + agg-core ((k/2)^2 * k).
+  EXPECT_EQ(ft.network().link_count(),
+            static_cast<std::size_t>(ft.host_count() + k * half * half +
+                                     half * half * k));
+}
+
+TEST_P(FatTreeStructure, PortCountsRespectRadixK) {
+  const int k = GetParam();
+  FatTree ft(FatTreeParams{.k = k});
+  const net::Network& net = ft.network();
+  for (net::NodeId e : ft.edges()) {
+    EXPECT_EQ(net.adjacent(e).size(), static_cast<std::size_t>(k));
+  }
+  for (net::NodeId a : ft.aggs()) {
+    EXPECT_EQ(net.adjacent(a).size(), static_cast<std::size_t>(k));
+  }
+  for (net::NodeId c : ft.cores()) {
+    EXPECT_EQ(net.adjacent(c).size(), static_cast<std::size_t>(k));
+  }
+  for (net::NodeId h : ft.hosts()) {
+    EXPECT_EQ(net.adjacent(h).size(), 1u);
+  }
+}
+
+TEST_P(FatTreeStructure, EveryAggConnectsToEveryEdgeInPod) {
+  const int k = GetParam();
+  FatTree ft(FatTreeParams{.k = k});
+  for (int pod = 0; pod < k; ++pod) {
+    for (int e = 0; e < k / 2; ++e) {
+      for (int a = 0; a < k / 2; ++a) {
+        EXPECT_TRUE(
+            ft.network().find_link(ft.edge(pod, e), ft.agg(pod, a)).has_value());
+      }
+    }
+  }
+}
+
+TEST_P(FatTreeStructure, PlainWiringCoreRows) {
+  const int k = GetParam();
+  FatTree ft(FatTreeParams{.k = k});
+  const int half = k / 2;
+  for (int pod = 0; pod < k; ++pod) {
+    for (int j = 0; j < half; ++j) {
+      auto cores = ft.cores_of_agg(pod, j);
+      ASSERT_EQ(static_cast<int>(cores.size()), half);
+      for (int i = 0; i < half; ++i) {
+        EXPECT_EQ(cores[i], j * half + i);
+        EXPECT_TRUE(ft.network()
+                        .find_link(ft.agg(pod, j), ft.core(cores[i]))
+                        .has_value());
+      }
+    }
+  }
+  // agg_for_core is the inverse relation.
+  for (int c = 0; c < ft.core_count(); ++c) {
+    for (int pod = 0; pod < k; ++pod) {
+      net::NodeId a = ft.agg_for_core(c, pod);
+      EXPECT_TRUE(ft.network().find_link(ft.core(c), a).has_value());
+    }
+  }
+}
+
+TEST_P(FatTreeStructure, InterPodHostPairsHaveQuarterKSquaredShortestPaths) {
+  const int k = GetParam();
+  FatTree ft(FatTreeParams{.k = k});
+  net::NodeId h0 = ft.host(0, 0, 0);
+  net::NodeId h1 = ft.host(1, 0, 0);
+  auto paths = net::all_shortest_paths(ft.network(), h0, h1);
+  EXPECT_EQ(paths.size(), static_cast<std::size_t>((k / 2) * (k / 2)));
+  for (const auto& p : paths) EXPECT_EQ(p.hops(), 6u);
+}
+
+TEST_P(FatTreeStructure, HostLookupsRoundTrip) {
+  const int k = GetParam();
+  FatTree ft(FatTreeParams{.k = k});
+  for (int g = 0; g < ft.host_count(); g += 7) {
+    net::NodeId h = ft.host(g);
+    EXPECT_EQ(ft.host_global_index(h), g);
+    net::NodeId e = ft.edge_of_host(h);
+    EXPECT_TRUE(ft.network().find_link(h, e).has_value());
+    EXPECT_EQ(ft.host_link(h),
+              *ft.network().find_link(h, e));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FatTreeStructure, ::testing::Values(4, 6, 8, 16));
+
+TEST(FatTree, RejectsBadParameters) {
+  EXPECT_THROW(FatTree(FatTreeParams{.k = 3}), ContractViolation);
+  EXPECT_THROW(FatTree(FatTreeParams{.k = 2}), ContractViolation);
+  EXPECT_THROW(FatTree(FatTreeParams{.k = 5}), ContractViolation);
+  FatTreeParams bad{.k = 4};
+  bad.host_link_capacity = 0.0;
+  EXPECT_THROW(FatTree{bad}, ContractViolation);
+}
+
+TEST(FatTree, RackModeOversubscription) {
+  // One rack-aggregate host per edge, 10:1 oversubscribed (paper §2.2).
+  FatTreeParams p{.k = 8};
+  p.hosts_per_edge = 1;
+  p.host_link_capacity = 10.0 * (8 / 2);  // 10x the uplink total
+  FatTree ft(p);
+  EXPECT_EQ(ft.host_count(), 8 * 4);
+  net::NodeId h = ft.host(0);
+  EXPECT_DOUBLE_EQ(ft.network().link(ft.host_link(h)).capacity, 40.0);
+}
+
+TEST(AbWiring, OddPodsTransposeCoreConnections) {
+  const int k = 8;
+  FatTree ab(FatTreeParams{.k = k, .wiring = Wiring::kAb});
+  const int half = k / 2;
+  // Even pod: row wiring. Odd pod: column wiring.
+  for (int j = 0; j < half; ++j) {
+    auto even = ab.cores_of_agg(0, j);
+    auto odd = ab.cores_of_agg(1, j);
+    for (int i = 0; i < half; ++i) {
+      EXPECT_EQ(even[i], j * half + i);
+      EXPECT_EQ(odd[i], i * half + j);
+    }
+  }
+  // Port counts unchanged by AB wiring.
+  for (net::NodeId c : ab.cores()) {
+    EXPECT_EQ(ab.network().adjacent(c).size(), static_cast<std::size_t>(k));
+  }
+}
+
+TEST(AbWiring, CoreParentsOfAnAggSpanDistinctAggsInOtherParity) {
+  // The F10 property: the cores above one type-A agg connect to
+  // *different* aggs in type-B pods, enabling the 3-hop detour.
+  const int k = 8;
+  FatTree ab(FatTreeParams{.k = k, .wiring = Wiring::kAb});
+  std::set<net::NodeId> aggs_reached;
+  for (int c : ab.cores_of_agg(0, 2)) {
+    aggs_reached.insert(ab.agg_for_core(c, 1));
+  }
+  EXPECT_EQ(aggs_reached.size(), static_cast<std::size_t>(k / 2));
+
+  // In the plain fat-tree they all hit the SAME agg (no local detour).
+  FatTree plain(FatTreeParams{.k = k});
+  std::set<net::NodeId> plain_reached;
+  for (int c : plain.cores_of_agg(0, 2)) {
+    plain_reached.insert(plain.agg_for_core(c, 1));
+  }
+  EXPECT_EQ(plain_reached.size(), 1u);
+}
+
+TEST(Position, FailureGroupGeometry) {
+  const int k = 8;
+  // Edge/agg groups are pods.
+  EXPECT_EQ(failure_group_of(k, {Layer::kEdge, 3, 1}), 3);
+  EXPECT_EQ(failure_group_of(k, {Layer::kAgg, 5, 0}), 5);
+  EXPECT_EQ(group_slot_of(k, {Layer::kEdge, 3, 1}), 1);
+  // Core groups are residues mod k/2; slots are rows.
+  EXPECT_EQ(failure_group_of(k, {Layer::kCore, -1, 9}), 9 % 4);
+  EXPECT_EQ(group_slot_of(k, {Layer::kCore, -1, 9}), 9 / 4);
+  // 5k/2 groups in total (paper §5.2).
+  EXPECT_EQ(failure_group_count(k, Layer::kEdge) +
+                failure_group_count(k, Layer::kAgg) +
+                failure_group_count(k, Layer::kCore),
+            5 * k / 2);
+}
+
+TEST(Position, CoreGroupMembersShareCircuitSwitchColumn) {
+  // Cores in one failure group are exactly those with equal index mod k/2,
+  // i.e. the ones wired behind the same per-pod circuit switch.
+  const int k = 6;
+  FatTree ft(FatTreeParams{.k = k});
+  const int half = k / 2;
+  for (int u = 0; u < half; ++u) {
+    for (int r = 0; r < half; ++r) {
+      SwitchPosition pos{Layer::kCore, -1, r * half + u};
+      EXPECT_EQ(failure_group_of(k, pos), u);
+      EXPECT_EQ(group_slot_of(k, pos), r);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sbk::topo

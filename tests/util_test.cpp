@@ -1,0 +1,170 @@
+// Unit tests for src/util: contracts, RNG, statistics, CSV.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace sbk {
+namespace {
+
+TEST(Assert, ExpectsThrowsContractViolation) {
+  EXPECT_THROW(SBK_EXPECTS(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(SBK_EXPECTS(1 == 1));
+}
+
+TEST(Assert, MessageNamesExpressionAndLocation) {
+  try {
+    SBK_EXPECTS_MSG(false, "extra context");
+    FAIL() << "should have thrown";
+  } catch (const ContractViolation& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("extra context"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.uniform_int(-3, 7);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Rng, DeterministicAcrossInstancesWithSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000000), b.uniform_int(0, 1000000));
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementIsDistinctAndComplete) {
+  Rng rng(7);
+  auto sample = rng.sample_without_replacement(10, 10);
+  std::sort(sample.begin(), sample.end());
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+
+  auto partial = rng.sample_without_replacement(100, 5);
+  EXPECT_EQ(partial.size(), 5u);
+  std::sort(partial.begin(), partial.end());
+  EXPECT_TRUE(std::adjacent_find(partial.begin(), partial.end()) ==
+              partial.end());
+}
+
+TEST(Rng, ParetoIsHeavyTailedAboveScale) {
+  Rng rng(3);
+  double xm = 2.0;
+  int above_10x = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.pareto(xm, 1.1);
+    EXPECT_GE(v, xm);
+    if (v > 10 * xm) ++above_10x;
+  }
+  // Pareto(alpha=1.1): P(X > 10 xm) = 10^-1.1 ~ 7.9%.
+  EXPECT_GT(above_10x, 400);
+  EXPECT_LT(above_10x, 1600);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(9);
+  std::vector<double> w{0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) ++counts[rng.weighted_index(w)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1]);
+}
+
+TEST(Rng, PreconditionsEnforced) {
+  Rng rng(1);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), ContractViolation);
+  EXPECT_THROW((void)rng.uniform_index(0), ContractViolation);
+  EXPECT_THROW((void)rng.exponential(0.0), ContractViolation);
+  EXPECT_THROW((void)rng.sample_without_replacement(3, 4),
+               ContractViolation);
+}
+
+TEST(Summary, BasicMoments) {
+  Summary s;
+  s.add_all({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(5.0 / 3.0), 1e-12);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  s.add_all({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 50.0);
+  EXPECT_DOUBLE_EQ(s.median(), 30.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 20.0);
+  EXPECT_DOUBLE_EQ(s.percentile(12.5), 15.0);
+}
+
+TEST(Summary, EmptyQueriesThrow) {
+  Summary s;
+  EXPECT_THROW((void)s.mean(), ContractViolation);
+  EXPECT_THROW((void)s.percentile(50), ContractViolation);
+}
+
+TEST(Cdf, CoversMinAndMaxWithMonotoneFractions) {
+  std::vector<double> xs;
+  for (int i = 100; i >= 1; --i) xs.push_back(i);
+  auto cdf = empirical_cdf(xs, 10);
+  ASSERT_EQ(cdf.size(), 10u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 100.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].fraction, cdf[i].fraction);
+  }
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);  // clamps to first bin
+  h.add(0.5);
+  h.add(9.9);
+  h.add(42.0);  // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(os.str(),
+            "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(Csv, NumFormatsIntegersWithoutDecimalNoise) {
+  EXPECT_EQ(CsvWriter::num(3.0), "3");
+  EXPECT_EQ(CsvWriter::num(3.25), "3.25");
+  EXPECT_EQ(CsvWriter::num(std::size_t{17}), "17");
+}
+
+TEST(Time, UnitHelpers) {
+  EXPECT_DOUBLE_EQ(milliseconds(3), 0.003);
+  EXPECT_DOUBLE_EQ(microseconds(40), 4e-5);
+  EXPECT_DOUBLE_EQ(nanoseconds(70), 7e-8);
+  EXPECT_DOUBLE_EQ(minutes(5), 300.0);
+}
+
+}  // namespace
+}  // namespace sbk

@@ -1,0 +1,185 @@
+// Tests for the synthetic coflow workload generator and trace I/O.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/rng.hpp"
+#include "workload/coflow_gen.hpp"
+#include "workload/trace_io.hpp"
+
+namespace sbk::workload {
+namespace {
+
+CoflowWorkloadParams small_params() {
+  CoflowWorkloadParams p;
+  p.racks = 16;
+  p.coflows = 100;
+  p.duration = 60.0;
+  return p;
+}
+
+TEST(Generator, ProducesRequestedCountSortedByArrival) {
+  Rng rng(11);
+  auto trace = generate_coflows(small_params(), rng);
+  ASSERT_EQ(trace.size(), 100u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace[i - 1].arrival, trace[i].arrival);
+  }
+  for (const CoflowSpec& c : trace) {
+    EXPECT_GE(c.arrival, 0.0);
+    EXPECT_LT(c.arrival, 60.0);
+    EXPECT_FALSE(c.mapper_racks.empty());
+    EXPECT_FALSE(c.reducers.empty());
+  }
+}
+
+TEST(Generator, RacksInRangeAndDistinct) {
+  Rng rng(12);
+  auto trace = generate_coflows(small_params(), rng);
+  for (const CoflowSpec& c : trace) {
+    std::set<int> mappers(c.mapper_racks.begin(), c.mapper_racks.end());
+    EXPECT_EQ(mappers.size(), c.mapper_racks.size());
+    for (int m : c.mapper_racks) {
+      EXPECT_GE(m, 0);
+      EXPECT_LT(m, 16);
+    }
+    std::set<int> reducers;
+    for (const auto& r : c.reducers) {
+      EXPECT_TRUE(reducers.insert(r.rack).second);
+      EXPECT_GT(r.bytes, 0.0);
+    }
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  Rng a(77), b(77);
+  auto t1 = generate_coflows(small_params(), a);
+  auto t2 = generate_coflows(small_params(), b);
+  ASSERT_EQ(t1.size(), t2.size());
+  for (std::size_t i = 0; i < t1.size(); ++i) {
+    EXPECT_EQ(t1[i].arrival, t2[i].arrival);
+    EXPECT_EQ(t1[i].mapper_racks, t2[i].mapper_racks);
+    EXPECT_EQ(t1[i].total_bytes(), t2[i].total_bytes());
+  }
+}
+
+TEST(Generator, HeavyTailInBytesAndMostlyNarrowWidths) {
+  // The FB-trace shape: most coflows small/narrow, bytes dominated by a
+  // few big ones.
+  Rng rng(13);
+  CoflowWorkloadParams p;
+  p.racks = 128;
+  p.coflows = 500;
+  p.duration = 300.0;
+  auto trace = generate_coflows(p, rng);
+
+  std::vector<double> sizes;
+  std::size_t narrow = 0;
+  for (const CoflowSpec& c : trace) {
+    sizes.push_back(c.total_bytes());
+    if (c.width() <= 16) ++narrow;
+  }
+  EXPECT_GT(narrow, trace.size() / 3);  // plenty of narrow coflows
+
+  std::sort(sizes.begin(), sizes.end());
+  double total = 0.0, top10 = 0.0;
+  for (double s : sizes) total += s;
+  for (std::size_t i = sizes.size() - sizes.size() / 10; i < sizes.size(); ++i)
+    top10 += sizes[i];
+  EXPECT_GT(top10 / total, 0.5);  // top 10% of coflows carry most bytes
+}
+
+TEST(Expand, FlowsMatchCoflowStructure) {
+  topo::FatTreeParams ftp{.k = 4};
+  ftp.hosts_per_edge = 1;  // rack-level hosts: 8 racks
+  topo::FatTree ft(ftp);
+
+  CoflowSpec c;
+  c.id = 3;
+  c.arrival = 1.5;
+  c.mapper_racks = {0, 1, 2};
+  c.reducers = {{5, 300.0}, {1, 600.0}};
+  auto flows = expand_to_flows(ft, {c}, /*first_flow_id=*/100);
+
+  // Reducer 5: 3 remote mappers; reducer 1: mapper 1 is local (skipped).
+  ASSERT_EQ(flows.size(), 5u);
+  double to5 = 0.0, to1 = 0.0;
+  for (const auto& f : flows) {
+    EXPECT_EQ(f.coflow, 3u);
+    EXPECT_EQ(f.start, 1.5);
+    if (f.dst == ft.host(5)) to5 += f.bytes;
+    if (f.dst == ft.host(1)) to1 += f.bytes;
+  }
+  EXPECT_NEAR(to5, 300.0, 1e-9);
+  // Reducer 1 loses the co-located mapper's share: 600 * 2/3.
+  EXPECT_NEAR(to1, 400.0, 1e-9);
+  // Ids sequential from 100.
+  EXPECT_EQ(flows.front().id, 100u);
+  EXPECT_EQ(flows.back().id, 104u);
+}
+
+TEST(Partition, FiltersAndShiftsArrivals) {
+  std::vector<CoflowSpec> trace(3);
+  trace[0].arrival = 10.0;
+  trace[1].arrival = 70.0;
+  trace[2].arrival = 130.0;
+  auto part = partition(trace, 60.0, 120.0);
+  ASSERT_EQ(part.size(), 1u);
+  EXPECT_DOUBLE_EQ(part[0].arrival, 10.0);
+}
+
+TEST(TraceIo, RoundTripsThroughText) {
+  Rng rng(19);
+  CoflowWorkloadParams p = small_params();
+  p.coflows = 20;
+  auto trace = generate_coflows(p, rng);
+
+  std::stringstream buf;
+  write_trace(buf, p.racks, trace);
+  ParsedTrace parsed = read_trace(buf);
+
+  EXPECT_EQ(parsed.racks, p.racks);
+  ASSERT_EQ(parsed.coflows.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(parsed.coflows[i].id, trace[i].id);
+    EXPECT_NEAR(parsed.coflows[i].arrival, trace[i].arrival, 1e-3);
+    EXPECT_EQ(parsed.coflows[i].mapper_racks, trace[i].mapper_racks);
+    ASSERT_EQ(parsed.coflows[i].reducers.size(), trace[i].reducers.size());
+    for (std::size_t r = 0; r < trace[i].reducers.size(); ++r) {
+      EXPECT_EQ(parsed.coflows[i].reducers[r].rack,
+                trace[i].reducers[r].rack);
+      EXPECT_NEAR(parsed.coflows[i].reducers[r].bytes,
+                  trace[i].reducers[r].bytes,
+                  trace[i].reducers[r].bytes * 1e-6 + 1.0);
+    }
+  }
+}
+
+TEST(TraceIo, RejectsMalformedInput) {
+  auto expect_throw = [](const std::string& text) {
+    std::stringstream buf(text);
+    EXPECT_THROW((void)read_trace(buf), std::runtime_error) << text;
+  };
+  expect_throw("");                          // no header
+  expect_throw("abc def\n");                 // bad header
+  expect_throw("0 1\n");                     // zero racks
+  expect_throw("4 1\n0 0 1\n");              // missing mapper list
+  expect_throw("4 1\n0 0 1 9 1 0:1.0\n");    // mapper out of range
+  expect_throw("4 1\n0 0 1 0 1 0;1.0\n");    // reducer missing colon
+  expect_throw("4 1\n0 0 1 0 1 7:1.0\n");    // reducer out of range
+  expect_throw("4 1\n0 -5 1 0 1 0:1.0\n");   // negative arrival
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines) {
+  std::stringstream buf("4 1\n# comment\n\n0 1500 2 0 1 1 3:2.5\n");
+  ParsedTrace parsed = read_trace(buf);
+  ASSERT_EQ(parsed.coflows.size(), 1u);
+  EXPECT_DOUBLE_EQ(parsed.coflows[0].arrival, 1.5);
+  ASSERT_EQ(parsed.coflows[0].reducers.size(), 1u);
+  EXPECT_EQ(parsed.coflows[0].reducers[0].rack, 3);
+  EXPECT_DOUBLE_EQ(parsed.coflows[0].reducers[0].bytes, 2.5e6);
+}
+
+}  // namespace
+}  // namespace sbk::workload

@@ -3,6 +3,12 @@
 // survivability and cost. Survivability is measured operationally: a
 // year-long Poisson failure storm replayed against the real fabric +
 // controller, counting unrecovered failures.
+//
+// Each provisioning row is an independent (seed, scenario) simulation —
+// its own fabric, controller, and derived RNG stream — so the rows fan
+// out across cores through sweep::SweepRunner and stay bit-identical to
+// a --threads=1 run.
+#include <chrono>
 #include <cstdio>
 #include <vector>
 
@@ -10,6 +16,7 @@
 #include "control/controller.hpp"
 #include "cost/cost_model.hpp"
 #include "sharebackup/fabric.hpp"
+#include "sweep/sweep.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -21,6 +28,8 @@ struct StormOutcome {
   std::size_t failures = 0;
   std::size_t recovered = 0;
   std::size_t unrecovered = 0;
+
+  bool operator==(const StormOutcome&) const = default;
 };
 
 /// Replays `events` switch failures over `years` against the fabric:
@@ -89,12 +98,38 @@ StormOutcome failure_storm(sharebackup::Fabric& fabric, double years,
   return out;
 }
 
+/// One provisioning configuration under study.
+struct ProvisioningRow {
+  const char* label;
+  int n, ne, na, nc;
+};
+
+/// Storm outcome plus the fabric census the cost column needs.
+struct RowResult {
+  StormOutcome storm;
+  std::size_t backup_switches = 0;
+
+  bool operator==(const RowResult&) const = default;
+};
+
+sharebackup::FabricParams fabric_params(int k, const ProvisioningRow& row) {
+  sharebackup::FabricParams p;
+  p.fat_tree.k = k;
+  p.backups_per_group = row.n;
+  p.backups_edge = row.ne;
+  p.backups_agg = row.na;
+  p.backups_core = row.nc;
+  return p;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const int k = static_cast<int>(bench::arg_int(argc, argv, "k", 8));
   const auto years =
       static_cast<double>(bench::arg_int(argc, argv, "years", 50));
+  const auto threads =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "threads", 0));
   bench::banner("A2 / ablation — backup provisioning vs survivability & cost",
                 "Year-scale Poisson failure storms (99.99% availability, "
                 "5-min MTTR) against the real fabric + controller; "
@@ -105,45 +140,76 @@ int main(int argc, char** argv) {
   cost::PriceSet prices = cost::PriceSet::electrical();
   double base_cost = cost::fat_tree_cost(k, prices).total();
 
+  const std::vector<ProvisioningRow> rows{
+      {"uniform n=0", 0, -1, -1, -1},
+      {"uniform n=1", 1, -1, -1, -1},
+      {"uniform n=2", 2, -1, -1, -1},
+      // §6 non-uniform: racks are the single point of failure, so shift
+      // budget toward edge groups.
+      {"edge=2, agg=1, core=1", 1, 2, 1, 1},
+      {"edge=2, agg=1, core=0", 1, 2, 1, 0},
+      {"edge=1, agg=1, core=0", 1, 1, 1, 0},
+  };
+
+  // One sweep scenario per provisioning row: fabric + controller are
+  // scenario-private (the storm mutates both) and the storm draws from
+  // the scenario's derived RNG stream.
+  auto scenario_fn = [&](const sweep::ScenarioSpec& spec) {
+    sharebackup::Fabric fabric(fabric_params(k, rows[spec.index]));
+    Rng rng = spec.rng();
+    RowResult out;
+    out.storm = failure_storm(fabric, years, rng);
+    out.backup_switches = fabric.census().backup_switches;
+    return out;
+  };
+
+  sweep::SweepRunner runner({.master_seed = 77, .threads = threads});
+  auto t0 = std::chrono::steady_clock::now();
+  auto results = runner.run(rows.size(), scenario_fn);
+  double parallel_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
   std::printf("%-26s %10s %11s %13s %14s\n", "provisioning", "failures",
               "recovered", "unrecovered", "added cost");
-  auto run_row = [&](const char* label, int n, int ne, int na, int nc) {
-    sharebackup::FabricParams p;
-    p.fat_tree.k = k;
-    p.backups_per_group = n;
-    p.backups_edge = ne;
-    p.backups_agg = na;
-    p.backups_core = nc;
-    sharebackup::Fabric fabric(p);
-    Rng rng(77);
-    StormOutcome o = failure_storm(fabric, years, rng);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ProvisioningRow& row = rows[i];
+    const StormOutcome& o = results[i].storm;
+    sharebackup::FabricParams p = fabric_params(k, row);
     // Cost: per-layer backup hardware at the Table 2 unit prices. The
     // circuit-port term uses the largest n (switch dimension must fit).
     int max_n = std::max(
         {p.backups_for(topo::Layer::kEdge), p.backups_for(topo::Layer::kAgg),
          p.backups_for(topo::Layer::kCore)});
-    double backups =
-        static_cast<double>(fabric.census().backup_switches);
+    double backups = static_cast<double>(results[i].backup_switches);
     double added =
         1.5 * k * k * (k / 2.0 + max_n + 2.0) * prices.circuit_port_a +
         backups * k * prices.packet_port_b +
         backups * k * 0.5 * prices.link_c;
-    std::printf("%-26s %10zu %11zu %13zu %9.1f%% FT\n", label, o.failures,
+    std::printf("%-26s %10zu %11zu %13zu %9.1f%% FT\n", row.label, o.failures,
                 o.recovered, o.unrecovered, added / base_cost * 100);
-    bench::csv_row({label, std::to_string(o.failures),
+    bench::csv_row({row.label, std::to_string(o.failures),
                     std::to_string(o.recovered),
                     std::to_string(o.unrecovered),
                     bench::fmt(added / base_cost)});
-  };
+  }
 
-  run_row("uniform n=0", 0, -1, -1, -1);
-  run_row("uniform n=1", 1, -1, -1, -1);
-  run_row("uniform n=2", 2, -1, -1, -1);
-  // §6 non-uniform: racks are the single point of failure, so shift
-  // budget toward edge groups.
-  run_row("edge=2, agg=1, core=1", 1, 2, 1, 1);
-  run_row("edge=2, agg=1, core=0", 1, 2, 1, 0);
-  run_row("edge=1, agg=1, core=0", 1, 1, 1, 0);
+  if (runner.threads() > 1) {
+    sweep::SweepRunner reference({.master_seed = 77, .threads = 1});
+    t0 = std::chrono::steady_clock::now();
+    auto ref_results = reference.run(rows.size(), scenario_fn);
+    double serial_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    std::printf("\nsweep: %zu storms, threads=%zu: %.2fs; threads=1: %.2fs; "
+                "speedup %.2fx; parallel==serial: %s\n",
+                rows.size(), runner.threads(), parallel_s, serial_s,
+                parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+                results == ref_results ? "yes" : "NO (determinism bug)");
+    bench::csv_row({"sweep-speedup", std::to_string(runner.threads()),
+                    bench::fmt(serial_s), bench::fmt(parallel_s),
+                    bench::fmt(parallel_s > 0.0 ? serial_s / parallel_s : 0.0)});
+  }
 
   std::printf(
       "\nReading: uniform n=1 recovers essentially every failure —\n"

@@ -21,7 +21,15 @@
 // network under the same architecture's routing; the CDF is reported
 // over the *affected* coflows (those with a flow whose healthy path
 // traverses the failed element), as the paper's §2.2 does.
+//
+// The failure scenarios are independent (seed, scenario) Monte-Carlo
+// draws, so they run through sweep::SweepRunner: one task per scenario,
+// each with a private topology pair + routers (the simulator mutates the
+// Network) and a deterministic RNG stream derived from the master seed.
+// Results are bit-identical to --threads=1. Override parallelism with
+// --threads=N or the SBK_THREADS environment variable.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -35,6 +43,7 @@
 #include "routing/global_reroute.hpp"
 #include "sharebackup/fabric.hpp"
 #include "sim/fluid_sim.hpp"
+#include "sweep/sweep.hpp"
 #include "util/stats.hpp"
 
 using namespace sbk;
@@ -122,15 +131,39 @@ std::set<sim::CoflowId> affected_coflows(
   return out;
 }
 
+/// Raw per-scenario slowdown samples for one (architecture, failure
+/// class) series — the thread-local accumulation unit; batches are
+/// merged into SlowdownStats in scenario order after the sweep.
+struct SeriesBatch {
+  std::vector<double> affected;
+  std::vector<double> all;
+  std::size_t unfinished = 0;
+
+  bool operator==(const SeriesBatch&) const = default;
+};
+
+/// Everything one failure scenario produces.
+struct ScenarioBatch {
+  SeriesBatch ft_node, ft_link, f10_node, f10_link;
+
+  bool operator==(const ScenarioBatch&) const = default;
+};
+
 struct SlowdownStats {
   Summary affected;
   Summary all;
   std::size_t unfinished = 0;
+
+  void merge(const SeriesBatch& batch) {
+    affected.add_all(batch.affected);
+    all.add_all(batch.all);
+    unfinished += batch.unfinished;
+  }
 };
 
 void collect(const std::map<sim::CoflowId, double>& healthy,
              const std::map<sim::CoflowId, double>& failed,
-             const std::set<sim::CoflowId>& affected, SlowdownStats& out) {
+             const std::set<sim::CoflowId>& affected, SeriesBatch& out) {
   for (const auto& [id, base] : healthy) {
     auto it = failed.find(id);
     if (it == failed.end()) {
@@ -138,8 +171,8 @@ void collect(const std::map<sim::CoflowId, double>& healthy,
       continue;
     }
     double slowdown = it->second / base;
-    out.all.add(slowdown);
-    if (affected.contains(id)) out.affected.add(slowdown);
+    out.all.push_back(slowdown);
+    if (affected.contains(id)) out.affected.push_back(slowdown);
   }
 }
 
@@ -159,6 +192,11 @@ void print_series(const char* label, SlowdownStats& s) {
   }
 }
 
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -169,6 +207,8 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(bench::arg_int(argc, argv, "scenarios", 3));
   g_use_maxmin = bench::arg_int(argc, argv, "maxmin", 0) != 0;
   g_xm = static_cast<double>(bench::arg_int(argc, argv, "xm", 1000000000LL));
+  const auto threads =
+      static_cast<std::size_t>(bench::arg_int(argc, argv, "threads", 0));
   const Seconds duration = 300.0;
 
   bench::banner(
@@ -192,35 +232,43 @@ int main(int argc, char** argv) {
   std::printf("healthy CCTs: fat-tree %zu coflows, F10 %zu coflows\n\n",
               healthy_ft.size(), healthy_f10.size());
 
-  SlowdownStats ft_node, ft_link, f10_node, f10_link, sb_node, sb_edge;
-
   // A failure lasts the trace partition and is repaired at its end
   // ("most failures last for less than 5 minutes", §2.2): the element
   // fails at t=0 and is restored at t=300. Rerouting architectures route
   // around it where possible; traffic with no surviving path (an edge
   // switch or host link takes its whole rack down) stalls until repair —
   // exactly the case ShareBackup fixes in milliseconds.
-  auto node_scenario = [&](topo::FatTree& ft, net::NodeId victim) {
-    return [&ft, victim, duration](sim::FluidSimulator& s) {
+  auto node_scenario = [duration](net::NodeId victim) {
+    return [victim, duration](sim::FluidSimulator& s) {
       s.at(0.0, [victim](net::Network& n) { n.fail_node(victim); });
       s.at(duration, [victim](net::Network& n) { n.restore_node(victim); });
     };
   };
-  auto link_scenario = [&](topo::FatTree& ft, net::LinkId victim) {
-    return [&ft, victim, duration](sim::FluidSimulator& s) {
+  auto link_scenario = [duration](net::LinkId victim) {
+    return [victim, duration](sim::FluidSimulator& s) {
       s.at(0.0, [victim](net::Network& n) { n.fail_link(victim); });
       s.at(duration, [victim](net::Network& n) { n.restore_link(victim); });
     };
   };
 
-  Rng rng(7);
-  for (std::size_t s = 0; s < scenarios; ++s) {
-    // Stratified sampling: each scenario draws one failure per location
-    // class (edge/agg/core switch; host/edge-agg/agg-core link), so the
-    // rack-disconnecting cases — which dominate the paper's tail — are
-    // always represented.
+  // One sweep scenario: stratified failure draws — one node failure per
+  // switch layer and one link failure per link class, each simulated on
+  // both rerouting architectures (12 fluid simulations). The topologies
+  // and routers are scenario-private because the simulator mutates the
+  // Network via the scheduled failure/repair actions; node and link ids
+  // are identical across copies (construction is deterministic), so the
+  // precomputed healthy CCTs, paths, and affected sets stay valid.
+  auto scenario_fn = [&](const sweep::ScenarioSpec& spec) {
+    Rng rng = spec.rng();
+    topo::FatTree my_plain(bench::paper_fat_tree(k));
+    topo::FatTree my_ab(bench::paper_fat_tree(k, topo::Wiring::kAb));
+    routing::EcmpWithGlobalRerouteRouter my_ft_router(my_plain, 1);
+    routing::F10Router my_f10_router(my_ab, 1);
+    ScenarioBatch out;
+
     int pod = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k)));
-    int idx = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k / 2)));
+    int idx =
+        static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k / 2)));
     int core_idx = static_cast<int>(
         rng.uniform_index(static_cast<std::size_t>(k * k / 4)));
 
@@ -233,29 +281,30 @@ int main(int argc, char** argv) {
         }
       };
       {
-        net::NodeId victim = victim_in(plain);
+        net::NodeId victim = victim_in(my_plain);
         auto aff = affected_coflows(flows, paths_ft, victim, std::nullopt);
         collect(healthy_ft,
-                run_ccts(plain, ft_router, flows,
-                         node_scenario(plain, victim)),
-                aff, ft_node);
+                run_ccts(my_plain, my_ft_router, flows, node_scenario(victim)),
+                aff, out.ft_node);
       }
       {
-        net::NodeId victim = victim_in(ab);
+        net::NodeId victim = victim_in(my_ab);
         auto aff = affected_coflows(flows, paths_f10, victim, std::nullopt);
         collect(healthy_f10,
-                run_ccts(ab, f10_router, flows, node_scenario(ab, victim)),
-                aff, f10_node);
+                run_ccts(my_ab, my_f10_router, flows, node_scenario(victim)),
+                aff, out.f10_node);
       }
     }
 
     int p2 = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k)));
-    int e2 = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k / 2)));
-    int a2 = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k / 2)));
+    int e2 =
+        static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k / 2)));
+    int a2 =
+        static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k / 2)));
     int c2 = static_cast<int>(
         rng.uniform_index(static_cast<std::size_t>(k * k / 4)));
     int h2 = static_cast<int>(
-        rng.uniform_index(static_cast<std::size_t>(plain.host_count())));
+        rng.uniform_index(static_cast<std::size_t>(my_plain.host_count())));
 
     for (int lclass = 0; lclass < 3; ++lclass) {
       auto link_in = [&](topo::FatTree& ft) {
@@ -269,21 +318,54 @@ int main(int argc, char** argv) {
         }
       };
       {
-        net::LinkId victim = link_in(plain);
+        net::LinkId victim = link_in(my_plain);
         auto aff = affected_coflows(flows, paths_ft, net::NodeId{}, victim);
         collect(healthy_ft,
-                run_ccts(plain, ft_router, flows,
-                         link_scenario(plain, victim)),
-                aff, ft_link);
+                run_ccts(my_plain, my_ft_router, flows, link_scenario(victim)),
+                aff, out.ft_link);
       }
       {
-        net::LinkId victim = link_in(ab);
+        net::LinkId victim = link_in(my_ab);
         auto aff = affected_coflows(flows, paths_f10, net::NodeId{}, victim);
         collect(healthy_f10,
-                run_ccts(ab, f10_router, flows, link_scenario(ab, victim)),
-                aff, f10_link);
+                run_ccts(my_ab, my_f10_router, flows, link_scenario(victim)),
+                aff, out.f10_link);
       }
     }
+    return out;
+  };
+
+  sweep::SweepRunner runner({.master_seed = 7, .threads = threads});
+  auto t0 = std::chrono::steady_clock::now();
+  auto batches = runner.run(scenarios, scenario_fn);
+  double parallel_s = seconds_since(t0);
+
+  if (runner.threads() > 1) {
+    // Serial reference pass: proves the parallel sweep is bit-identical
+    // and measures the fan-out speedup.
+    sweep::SweepRunner reference({.master_seed = 7, .threads = 1});
+    t0 = std::chrono::steady_clock::now();
+    auto ref_batches = reference.run(scenarios, scenario_fn);
+    double serial_s = seconds_since(t0);
+    std::printf("sweep: %zu scenarios x 12 sims, threads=%zu: %.2fs; "
+                "threads=1: %.2fs; speedup %.2fx; parallel==serial: %s\n\n",
+                scenarios, runner.threads(), parallel_s, serial_s,
+                parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
+                batches == ref_batches ? "yes" : "NO (determinism bug)");
+    bench::csv_row({"sweep-speedup", std::to_string(runner.threads()),
+                    bench::fmt(serial_s), bench::fmt(parallel_s),
+                    bench::fmt(parallel_s > 0.0 ? serial_s / parallel_s : 0.0)});
+  } else {
+    std::printf("sweep: %zu scenarios x 12 sims, threads=1: %.2fs\n\n",
+                scenarios, parallel_s);
+  }
+
+  SlowdownStats ft_node, ft_link, f10_node, f10_link, sb_node, sb_edge;
+  for (const ScenarioBatch& b : batches) {
+    ft_node.merge(b.ft_node);
+    ft_link.merge(b.ft_link);
+    f10_node.merge(b.f10_node);
+    f10_link.merge(b.f10_link);
   }
 
   // --- ShareBackup: the same failures, repaired in ~ms by failover ------
@@ -310,7 +392,9 @@ int main(int argc, char** argv) {
       if (c.all_completed && c.cct() > 0.0) ccts[c.id] = c.cct();
     }
     auto aff = affected_coflows(flows, paths_ft, victim, std::nullopt);
-    collect(healthy_ft, ccts, aff, out);
+    SeriesBatch batch;
+    collect(healthy_ft, ccts, aff, batch);
+    out.merge(batch);
   };
   run_sharebackup({topo::Layer::kAgg, 0, 0}, sb_node);
   // The rack-killing case rerouting cannot touch: an edge switch failure,

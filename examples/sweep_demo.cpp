@@ -1,0 +1,92 @@
+// Scenario-sweep engine demo: a Monte-Carlo failure-impact study in the
+// style of survivability analyses (thousands of sampled failure states
+// per topology), fanned out across cores by sweep::SweepRunner.
+//
+// Each scenario draws a random set of fabric failures from its own
+// deterministic RNG stream (seed derived from (master_seed, index) via
+// splitmix64) and measures the fraction of routed flows it touches. The
+// demo runs the sweep twice — threads=1 and the configured parallelism —
+// and shows that the results are bit-identical while the wall clock
+// shrinks with the core count.
+//
+//   $ ./build/examples/sweep_demo
+//   $ SBK_THREADS=4 ./build/examples/sweep_demo
+#include <chrono>
+#include <cstdio>
+
+#include "routing/ecmp.hpp"
+#include "sim/failure_analysis.hpp"
+#include "sweep/sweep.hpp"
+#include "topo/fat_tree.hpp"
+#include "util/stats.hpp"
+#include "workload/coflow_gen.hpp"
+
+using namespace sbk;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  // Shared read-only scenario inputs: topology, workload, healthy routes.
+  topo::FatTree ft(topo::FatTreeParams{.k = 8, .hosts_per_edge = 1});
+
+  workload::CoflowWorkloadParams wp;
+  wp.racks = ft.host_count();
+  wp.coflows = 150;
+  wp.duration = 60.0;
+  Rng workload_rng(1);
+  auto flows =
+      workload::expand_to_flows(ft, workload::generate_coflows(wp, workload_rng));
+
+  routing::EcmpRouter router(ft);
+  auto snapshot = sim::route_snapshot(ft.network(), router, flows);
+  std::printf("sweep_demo: %zu flows routed over a k=8 fat-tree\n",
+              snapshot.size());
+
+  // One scenario = one sampled failure state: 1-4 fabric link failures
+  // plus one switch failure, drawn from the scenario's private stream.
+  const std::size_t scenarios = 4000;
+  auto scenario = [&](const sweep::ScenarioSpec& spec) {
+    Rng rng = spec.rng();
+    sim::FailureSet failures =
+        sim::random_fabric_link_failures(ft.network(), 1 + spec.index % 4, rng);
+    sim::FailureSet switches = sim::random_switch_failures(ft.network(), 1, rng);
+    failures.nodes = switches.nodes;
+    sim::ImpactResult impact = sim::measure_impact(snapshot, failures);
+    return std::vector<double>{impact.flow_fraction()};
+  };
+
+  sweep::SweepRunner serial({.master_seed = 42, .threads = 1});
+  auto t0 = std::chrono::steady_clock::now();
+  Summary reference = serial.run_summary(scenarios, scenario);
+  double serial_s = seconds_since(t0);
+
+  sweep::SweepRunner parallel({.master_seed = 42});  // SBK_THREADS / hardware
+  t0 = std::chrono::steady_clock::now();
+  Summary result = parallel.run_summary(scenarios, scenario);
+  double parallel_s = seconds_since(t0);
+
+  std::printf("%zu scenarios: threads=1 %.3fs, threads=%zu %.3fs "
+              "(speedup %.2fx)\n",
+              scenarios, serial_s, parallel.threads(), parallel_s,
+              parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+  std::printf("parallel result bit-identical to serial: %s\n",
+              result.samples() == reference.samples() ? "yes" : "NO (bug!)");
+
+  std::printf("\naffected-flow fraction over %zu sampled failure states:\n",
+              result.count());
+  std::printf("  mean=%.4f  p50=%.4f  p90=%.4f  p99=%.4f  max=%.4f\n",
+              result.mean(), result.percentile(50), result.percentile(90),
+              result.percentile(99), result.max());
+  std::printf("\nempirical CDF (10 points):\n");
+  for (const auto& pt : empirical_cdf(result.samples(), 10)) {
+    std::printf("  F(%.4f) = %.3f\n", pt.value, pt.fraction);
+  }
+  return 0;
+}

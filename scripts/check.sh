@@ -1,9 +1,32 @@
 #!/usr/bin/env bash
 # Full local verification: configure, build, run every test, then run
 # every experiment harness (the micro-benchmarks in reduced mode).
-# Usage: scripts/check.sh [build-dir]
+#
+# Usage: scripts/check.sh [--tsan] [build-dir]
+#
+#   --tsan   Configure a ThreadSanitizer build (-DSBK_SANITIZE=thread,
+#            default dir build-tsan) and run the concurrency-heavy sweep
+#            test suite under it instead of the full harness sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+TSAN=0
+if [ "${1:-}" = "--tsan" ]; then
+  TSAN=1
+  shift
+fi
+
+if [ "$TSAN" = 1 ]; then
+  BUILD="${1:-build-tsan}"
+  cmake -B "$BUILD" -G Ninja -DSBK_SANITIZE=thread
+  cmake --build "$BUILD" --target sweep_test
+  # Run the sweep/thread-pool suite directly: it is the code that owns
+  # all cross-thread state, and TSan halts with a non-zero exit on the
+  # first data race.
+  "$BUILD"/tests/sweep_test
+  echo "tsan: sweep_test clean"
+  exit 0
+fi
 
 BUILD="${1:-build}"
 cmake -B "$BUILD" -G Ninja

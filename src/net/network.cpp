@@ -37,6 +37,11 @@ LinkId Network::add_link(NodeId a, NodeId b, double capacity) {
   return id;
 }
 
+void Network::set_link_capacity(LinkId id, double capacity) {
+  SBK_EXPECTS(capacity >= 0.0);
+  mutable_link(id).capacity = capacity;
+}
+
 const Node& Network::node(NodeId id) const {
   SBK_EXPECTS(id.valid() && id.index() < nodes_.size());
   return nodes_[id.index()];

@@ -99,6 +99,12 @@ class Network {
   [[nodiscard]] std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
   [[nodiscard]] std::size_t count_of_kind(NodeKind kind) const;
 
+  /// Changes a link's capacity in place. Zero is allowed and models a
+  /// drained link: still present in the topology (routing may keep using
+  /// it) but carrying no traffic — max-min allocation freezes flows
+  /// crossing it at rate 0.
+  void set_link_capacity(LinkId id, double capacity);
+
   // --- failure state ------------------------------------------------------
   void fail_node(NodeId id);
   void restore_node(NodeId id);

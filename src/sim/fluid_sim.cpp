@@ -222,9 +222,10 @@ std::vector<FlowResult> FluidSimulator::run() {
       }
     }
     now = t_next;
-    if (now >= cfg_.horizon) break;
 
-    // 1) completions
+    // 1) completions due at t_next. This runs before the horizon check:
+    // a flow whose remaining volume drains exactly at the horizon has
+    // completed at that instant and must not be reported unfinished.
     std::vector<std::size_t> still_active;
     still_active.reserve(active_.size());
     bool any_completion = false;
@@ -242,6 +243,7 @@ std::vector<FlowResult> FluidSimulator::run() {
     }
     active_.swap(still_active);
     (void)any_completion;
+    if (now >= cfg_.horizon) break;
 
     // 2) arrivals due now
     while (next_arrival < arrivals.size() &&

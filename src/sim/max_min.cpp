@@ -32,8 +32,11 @@ std::vector<double> max_min_rates(const net::Network& net,
     for (net::DirectedLink dl : demands[f].links) {
       LinkState& ls = links[slot(dl)];
       if (ls.flows.empty()) {
-        ls.residual = net.link(dl.link).capacity;
-        SBK_EXPECTS(ls.residual > 0.0);
+        // A failed/drained link carries capacity 0 (or, defensively, a
+        // negative value): its demands freeze at rate 0 in the first
+        // progressive-filling round below. Aborting here would kill a
+        // whole failure sweep because one flow crossed a dead link.
+        ls.residual = std::max(net.link(dl.link).capacity, 0.0);
       }
       ls.flows.push_back(f);
       ++ls.unfrozen;

@@ -1,0 +1,37 @@
+#include "sweep/sweep.hpp"
+
+#include <cstdlib>
+
+namespace sbk::sweep {
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t master_seed,
+                          std::uint64_t scenario_index) noexcept {
+  // Mix the master first so (master=0, index=i) and (master=i, index=0)
+  // land in unrelated streams, then fold the index in and mix again.
+  return splitmix64(splitmix64(master_seed) ^
+                    (scenario_index * 0x9e3779b97f4a7c15ULL + 1));
+}
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("SBK_THREADS")) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  return ThreadPool::hardware_threads();
+}
+
+SweepRunner::SweepRunner(SweepConfig cfg)
+    : cfg_(cfg), threads_(resolve_threads(cfg.threads)) {}
+
+}  // namespace sbk::sweep

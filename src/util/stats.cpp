@@ -17,6 +17,13 @@ void Summary::add_all(const std::vector<double>& xs) {
   for (double x : xs) add(x);
 }
 
+void Summary::merge(const Summary& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sum_ += other.sum_;
+  sorted_valid_ = false;
+}
+
 double Summary::mean() const {
   SBK_EXPECTS(!samples_.empty());
   return sum_ / static_cast<double>(samples_.size());
@@ -67,23 +74,31 @@ std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
   if (samples.empty()) return cdf;
   std::sort(samples.begin(), samples.end());
   std::size_t n = samples.size();
+  if (n == 1) {
+    // A one-sample distribution collapses to a single step at F = 1.
+    cdf.push_back({samples.front(), 1.0});
+    return cdf;
+  }
+  // With max_points >= 2 and n >= 2, points >= 2 always holds here.
   std::size_t points = std::min(max_points, n);
   cdf.reserve(points);
   for (std::size_t i = 0; i < points; ++i) {
     // Evenly spaced ranks, always including the min and the max sample.
-    std::size_t rank =
-        (points == 1) ? (n - 1) : (i * (n - 1)) / (points - 1);
+    std::size_t rank = (i * (n - 1)) / (points - 1);
     cdf.push_back({samples[rank],
                    static_cast<double>(rank + 1) / static_cast<double>(n)});
   }
   return cdf;
 }
 
-Histogram::Histogram(double lo, double hi, std::size_t bins)
-    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)),
-      counts_(bins, 0) {
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  // Validate before deriving anything: computing the width first would
+  // turn bins == 0 or hi <= lo into an inf/NaN width instead of a clean
+  // contract violation.
   SBK_EXPECTS(bins > 0);
   SBK_EXPECTS(hi > lo);
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
 }
 
 void Histogram::add(double x) {

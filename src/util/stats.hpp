@@ -14,6 +14,10 @@ class Summary {
  public:
   void add(double x);
   void add_all(const std::vector<double>& xs);
+  /// Appends another accumulator's samples (in their insertion order)
+  /// after this one's — the merge step for per-thread/per-scenario
+  /// accumulation in parallel sweeps.
+  void merge(const Summary& other);
 
   [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
   [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }

@@ -1,0 +1,63 @@
+// Fixed-size thread pool used by the scenario-sweep engine (src/sweep)
+// to fan independent simulations out across cores. Deliberately simple:
+// one shared FIFO queue, no work stealing — sweep tasks are coarse
+// (whole simulations), so queue contention is negligible and a simpler
+// pool is easier to prove race-free under TSan.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sbk {
+
+/// A fixed set of worker threads draining a shared task queue.
+///
+/// Semantics:
+///   * submit() enqueues a task; workers run tasks in FIFO order.
+///   * wait_idle() blocks until the queue is empty and no task is
+///     executing.
+///   * The destructor drains all pending tasks, then joins the workers
+///     (shutdown never drops submitted work).
+///   * Tasks must not throw — callers that need exception propagation
+///     (e.g. sweep::SweepRunner) wrap their work and capture the
+///     exception themselves.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers. Requires threads > 0.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Requires a non-null task; must not be called
+  /// during/after destruction.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Hardware concurrency, clamped to at least 1 (the standard allows
+  /// hardware_concurrency() to return 0 when unknown).
+  [[nodiscard]] static std::size_t hardware_threads() noexcept;
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sbk

@@ -91,6 +91,21 @@ TEST(MaxMin, ClassicTwoBottleneckExample) {
   EXPECT_NEAR(rates[2], 0.5, 1e-9);
 }
 
+TEST(MaxMin, ZeroCapacityLinkFreezesItsFlowsAtZero) {
+  // Regression: a demand crossing a failed/drained (capacity-0) link
+  // used to trip SBK_EXPECTS(residual > 0) and abort the allocation.
+  // It must be frozen at rate 0 while other flows share normally — and
+  // reclaim the bandwidth the dead flow cannot use.
+  Network net = two_link_line(1.0, 2.0);
+  net.set_link_capacity(net::LinkId(0), 0.0);  // drain the first hop
+  DirectedLink dead{net::LinkId(0), true};
+  DirectedLink live{net::LinkId(1), true};
+  std::vector<Demand> demands{{{dead, live}}, {{live}}};
+  auto rates = max_min_rates(net, demands);
+  EXPECT_DOUBLE_EQ(rates[0], 0.0);
+  EXPECT_NEAR(rates[1], 2.0, 1e-9);
+}
+
 TEST(MaxMin, OppositeDirectionsDoNotContend) {
   Network net = two_link_line(1.0, 1.0);
   DirectedLink fwd{net::LinkId(0), true};
@@ -289,6 +304,46 @@ TEST(FluidSim, HorizonCutsOffUnfinishedFlows) {
   auto results = sim.run();
   EXPECT_EQ(results[0].outcome, FlowOutcome::kUnfinished);
   EXPECT_NEAR(results[0].bytes_remaining, 7.0, 1e-6);
+}
+
+TEST(FluidSim, CompletionExactlyAtHorizonReportsCompleted) {
+  // Regression: a flow whose remaining volume drains at precisely the
+  // horizon used to be cut off as kUnfinished because the horizon break
+  // ran before the completion pass.
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  FixedRouter router;
+  SimConfig cfg;
+  cfg.unit_bytes_per_second = 1.0;
+  cfg.horizon = 10.0;  // flow of 10 units at rate 1 drains at t = 10
+  FluidSimulator sim(ft.network(), router, cfg);
+  sim.add_flow(FlowSpec{1, ft.host(0), ft.host(8), 10.0, 0.0});
+  auto results = sim.run();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  EXPECT_NEAR(results[0].finish, 10.0, 1e-9);
+  EXPECT_DOUBLE_EQ(results[0].bytes_remaining, 0.0);
+}
+
+TEST(FluidSim, ZeroCapacityLinkDoesNotAbortMaxMinRun) {
+  // Regression: routing a flow across a zero-capacity (failed/drained)
+  // link used to hard-assert inside max_min_rates and kill the whole
+  // simulation; the flow must instead sit frozen at rate 0.
+  Network net;
+  NodeId a = net.add_node(NodeKind::kEdgeSwitch, "a");
+  NodeId b = net.add_node(NodeKind::kEdgeSwitch, "b");
+  net::LinkId l = net.add_link(a, b, 1.0);
+  net.set_link_capacity(l, 0.0);  // drained link
+  FixedRouter router;
+  SimConfig cfg;
+  cfg.allocation = AllocationModel::kMaxMinFair;
+  cfg.unit_bytes_per_second = 1.0;
+  cfg.horizon = 5.0;
+  FluidSimulator sim(net, router, cfg);
+  sim.add_flow(FlowSpec{1, a, b, 4.0, 0.0});
+  auto results = sim.run();  // must not throw
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].outcome, FlowOutcome::kUnfinished);
+  EXPECT_DOUBLE_EQ(results[0].bytes_remaining, 4.0);
 }
 
 TEST(Coflow, AggregationComputesCct) {

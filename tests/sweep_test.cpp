@@ -1,0 +1,185 @@
+// Tests for the scenario-sweep engine: thread-pool lifecycle, seed
+// derivation, parallel-vs-serial determinism, aggregation, and worker
+// exception propagation. This suite is the one scripts/check.sh --tsan
+// runs under ThreadSanitizer to shake races out of the pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "sweep/sweep.hpp"
+#include "util/assert.hpp"
+#include "util/stats.hpp"
+#include "util/thread_pool.hpp"
+
+namespace sbk {
+namespace {
+
+// --- thread pool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) pool.submit([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(ThreadPool, ShutdownDrainsPendingTasks) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++count;
+      });
+    }
+    // No wait_idle(): the destructor must finish the queue, not drop it.
+  }
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, WaitIdleReturnsImmediatelyWhenIdle) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // nothing ever submitted
+  pool.submit([] {});
+  pool.wait_idle();
+  pool.wait_idle();  // idempotent
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(ThreadPool, PreconditionsEnforced) {
+  EXPECT_THROW(ThreadPool(0), ContractViolation);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), ContractViolation);
+}
+
+TEST(ThreadPool, HardwareThreadsIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_threads(), 1u);
+}
+
+// --- seed derivation --------------------------------------------------------
+
+TEST(SeedDerivation, DistinctAcrossIndicesAndMasterSeeds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t master : {std::uint64_t{0}, std::uint64_t{1},
+                               std::uint64_t{0xdeadbeef}}) {
+    for (std::uint64_t i = 0; i < 1000; ++i) {
+      seeds.insert(sweep::derive_seed(master, i));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 3000u);
+}
+
+TEST(SeedDerivation, StableAndSensitiveToBothInputs) {
+  EXPECT_EQ(sweep::derive_seed(7, 3), sweep::derive_seed(7, 3));
+  EXPECT_NE(sweep::derive_seed(7, 3), sweep::derive_seed(7, 4));
+  EXPECT_NE(sweep::derive_seed(7, 3), sweep::derive_seed(8, 3));
+}
+
+// --- sweep runner -----------------------------------------------------------
+
+/// A scenario body with enough RNG-driven, index-dependent work that any
+/// cross-thread stream sharing or result misplacement would corrupt it.
+std::vector<double> stochastic_scenario(const sweep::ScenarioSpec& spec) {
+  Rng rng = spec.rng();
+  std::size_t draws = 50 + spec.index % 17;
+  std::vector<double> out;
+  out.reserve(draws);
+  for (std::size_t i = 0; i < draws; ++i) {
+    out.push_back(rng.exponential(1.0 + static_cast<double>(spec.index)) +
+                  rng.uniform_real(0.0, 1.0));
+  }
+  return out;
+}
+
+TEST(SweepRunner, ParallelResultsBitIdenticalToSerial) {
+  sweep::SweepRunner serial({.master_seed = 99, .threads = 1});
+  sweep::SweepRunner parallel({.master_seed = 99, .threads = 4});
+  auto a = serial.run(64, stochastic_scenario);
+  auto b = parallel.run(64, stochastic_scenario);
+  ASSERT_EQ(a.size(), 64u);
+  // Exact double comparison on purpose: same derived seeds + per-index
+  // result slots must make the parallel sweep bit-identical.
+  EXPECT_EQ(a, b);
+}
+
+TEST(SweepRunner, SummaryAggregationIsThreadCountInvariant) {
+  sweep::SweepRunner serial({.master_seed = 5, .threads = 1});
+  sweep::SweepRunner parallel({.master_seed = 5, .threads = 8});
+  Summary a = serial.run_summary(40, stochastic_scenario);
+  Summary b = parallel.run_summary(40, stochastic_scenario);
+  ASSERT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.samples(), b.samples());
+  EXPECT_DOUBLE_EQ(a.sum(), b.sum());
+}
+
+TEST(SweepRunner, DifferentMasterSeedsGiveDifferentResults) {
+  sweep::SweepRunner a({.master_seed = 1, .threads = 1});
+  sweep::SweepRunner b({.master_seed = 2, .threads = 1});
+  EXPECT_NE(a.run(8, stochastic_scenario), b.run(8, stochastic_scenario));
+}
+
+TEST(SweepRunner, EmptySweepReturnsNoResults) {
+  sweep::SweepRunner runner({.threads = 4});
+  EXPECT_TRUE(runner.run(0, stochastic_scenario).empty());
+  EXPECT_TRUE(runner.run_summary(0, stochastic_scenario).empty());
+}
+
+TEST(SweepRunner, WorkerExceptionPropagatesToCaller) {
+  auto explosive = [](const sweep::ScenarioSpec& spec) -> int {
+    if (spec.index == 5) throw std::runtime_error("scenario 5 exploded");
+    return static_cast<int>(spec.index);
+  };
+  sweep::SweepRunner parallel({.threads = 4});
+  try {
+    (void)parallel.run(32, explosive);
+    FAIL() << "should have rethrown the worker exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "scenario 5 exploded");
+  }
+  sweep::SweepRunner serial({.threads = 1});
+  EXPECT_THROW((void)serial.run(32, explosive), std::runtime_error);
+}
+
+TEST(SweepRunner, MoreThreadsThanScenariosIsFine) {
+  sweep::SweepRunner runner({.master_seed = 3, .threads = 16});
+  auto results = runner.run(2, stochastic_scenario);
+  sweep::SweepRunner serial({.master_seed = 3, .threads = 1});
+  EXPECT_EQ(results, serial.run(2, stochastic_scenario));
+}
+
+TEST(SweepRunner, ScenarioSpecsCarryDerivedSeeds) {
+  sweep::SweepRunner runner({.master_seed = 21, .threads = 2});
+  auto specs = runner.run(6, [](const sweep::ScenarioSpec& spec) {
+    return std::pair<std::size_t, std::uint64_t>{spec.index, spec.seed};
+  });
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].first, i);
+    EXPECT_EQ(specs[i].second, sweep::derive_seed(21, i));
+  }
+}
+
+// --- thread-count resolution ------------------------------------------------
+
+TEST(ThreadResolution, ExplicitRequestWins) {
+  EXPECT_EQ(sweep::resolve_threads(3), 3u);
+  EXPECT_GE(sweep::resolve_threads(0), 1u);
+}
+
+TEST(ThreadResolution, SbkThreadsEnvironmentKnob) {
+  ASSERT_EQ(setenv("SBK_THREADS", "5", 1), 0);
+  EXPECT_EQ(sweep::resolve_threads(0), 5u);
+  EXPECT_EQ(sweep::resolve_threads(2), 2u);  // explicit still wins
+  ASSERT_EQ(setenv("SBK_THREADS", "bogus", 1), 0);
+  EXPECT_GE(sweep::resolve_threads(0), 1u);  // malformed -> hardware
+  ASSERT_EQ(unsetenv("SBK_THREADS"), 0);
+}
+
+}  // namespace
+}  // namespace sbk

@@ -132,6 +132,40 @@ TEST(Cdf, CoversMinAndMaxWithMonotoneFractions) {
   }
 }
 
+TEST(Summary, MergeAppendsSamplesInOrder) {
+  Summary a;
+  a.add_all({1.0, 3.0});
+  Summary b;
+  b.add_all({2.0, 4.0});
+  a.merge(b);
+  EXPECT_EQ(a.samples(), (std::vector<double>{1.0, 3.0, 2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(a.median(), 2.5);
+  a.merge(Summary{});  // merging an empty accumulator is a no-op
+  EXPECT_EQ(a.count(), 4u);
+}
+
+TEST(Cdf, SingleSampleCollapsesToOneStep) {
+  auto cdf = empirical_cdf({3.5}, 10);
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 3.5);
+  EXPECT_DOUBLE_EQ(cdf[0].fraction, 1.0);
+}
+
+TEST(Cdf, RejectsFewerThanTwoMaxPoints) {
+  EXPECT_THROW((void)empirical_cdf({1.0, 2.0}, 1), ContractViolation);
+  EXPECT_THROW((void)empirical_cdf({1.0, 2.0}, 0), ContractViolation);
+}
+
+TEST(Histogram, RejectsBadBoundsBeforeDerivingWidth) {
+  // Regression: the width used to be computed in the member-init list
+  // before the preconditions ran, yielding inf/NaN widths on bad input
+  // instead of a clean contract violation.
+  EXPECT_THROW(Histogram(0.0, 10.0, 0), ContractViolation);
+  EXPECT_THROW(Histogram(5.0, 5.0, 4), ContractViolation);
+  EXPECT_THROW(Histogram(7.0, 2.0, 4), ContractViolation);
+}
+
 TEST(Histogram, BinsAndClamping) {
   Histogram h(0.0, 10.0, 5);
   h.add(-1.0);  // clamps to first bin

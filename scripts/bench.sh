@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Perf-regression harness: build the Release tree, run the micro_perf
+# google-benchmark suite with JSON output, write BENCH_micro.json at the
+# repo root, and compare it against the baseline committed at HEAD.
+#
+# Usage: scripts/bench.sh [--no-compare] [build-dir]
+#
+#   --no-compare   Just refresh BENCH_micro.json; skip the baseline diff
+#                  (use when intentionally re-baselining: run, inspect,
+#                  then commit the new BENCH_micro.json).
+#
+# Environment:
+#   BENCH_TOLERANCE   Allowed fractional slowdown before a benchmark is
+#                     flagged as a regression (default 0.30 — generous,
+#                     because CI boxes and laptops are noisy).
+#   BENCH_MIN_TIME    --benchmark_min_time value (default 0.1).
+#
+# Exit status is non-zero if any benchmark present in both the baseline
+# and the fresh run slowed down by more than BENCH_TOLERANCE.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COMPARE=1
+if [ "${1:-}" = "--no-compare" ]; then
+  COMPARE=0
+  shift
+fi
+
+BUILD="${1:-build-bench}"
+TOL="${BENCH_TOLERANCE:-0.30}"
+MIN_TIME="${BENCH_MIN_TIME:-0.1}"
+
+cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" --target micro_perf
+
+"$BUILD"/bench/micro_perf \
+  --benchmark_format=json \
+  --benchmark_min_time="$MIN_TIME" \
+  >BENCH_micro.json.new
+
+if [ "$COMPARE" = 1 ]; then
+  if ! git show HEAD:BENCH_micro.json >BENCH_micro.json.base 2>/dev/null; then
+    echo "bench.sh: no committed BENCH_micro.json baseline at HEAD;" \
+         "skipping comparison" >&2
+    rm -f BENCH_micro.json.base
+    COMPARE=0
+  fi
+fi
+
+STATUS=0
+if [ "$COMPARE" = 1 ]; then
+  python3 - "$TOL" BENCH_micro.json.base BENCH_micro.json.new <<'EOF' || STATUS=$?
+import json, sys
+
+tol = float(sys.argv[1])
+with open(sys.argv[2]) as f:
+    base = {b["name"]: b for b in json.load(f)["benchmarks"]}
+with open(sys.argv[3]) as f:
+    fresh = {b["name"]: b for b in json.load(f)["benchmarks"]}
+
+regressions = []
+for name, b in fresh.items():
+    old = base.get(name)
+    if old is None:
+        print(f"  new       {name}: {b['real_time']:.0f} {b['time_unit']}")
+        continue
+    ratio = b["real_time"] / old["real_time"] if old["real_time"] else 1.0
+    tag = "ok"
+    if ratio > 1.0 + tol:
+        tag = "REGRESSED"
+        regressions.append((name, ratio))
+    elif ratio < 1.0 / (1.0 + tol):
+        tag = "improved"
+    print(f"  {tag:9s} {name}: {old['real_time']:.0f} -> "
+          f"{b['real_time']:.0f} {b['time_unit']} ({ratio:.2f}x)")
+for name in base:
+    if name not in fresh:
+        print(f"  missing   {name}: present in baseline, absent in run")
+
+if regressions:
+    print(f"bench.sh: {len(regressions)} benchmark(s) regressed beyond "
+          f"{tol:.0%} tolerance:", file=sys.stderr)
+    for name, ratio in regressions:
+        print(f"  {name}: {ratio:.2f}x", file=sys.stderr)
+    sys.exit(1)
+print("bench.sh: no regressions beyond tolerance")
+EOF
+  rm -f BENCH_micro.json.base
+fi
+
+mv BENCH_micro.json.new BENCH_micro.json
+exit "$STATUS"

@@ -2,18 +2,36 @@
 # Full local verification: configure, build, run every test, then run
 # every experiment harness (the micro-benchmarks in reduced mode).
 #
-# Usage: scripts/check.sh [--tsan] [build-dir]
+# Usage: scripts/check.sh [--tsan | --bench-smoke] [build-dir]
 #
-#   --tsan   Configure a ThreadSanitizer build (-DSBK_SANITIZE=thread,
-#            default dir build-tsan) and run the concurrency-heavy sweep
-#            test suite under it instead of the full harness sweep.
+#   --tsan         Configure a ThreadSanitizer build (-DSBK_SANITIZE=thread,
+#                  default dir build-tsan) and run the concurrency-heavy
+#                  sweep test suite under it instead of the full harness
+#                  sweep.
+#   --bench-smoke  Build the Release tree (default dir build-bench) and run
+#                  micro_perf for a handful of iterations per benchmark —
+#                  a fast "do the benchmarks still run" check, not a
+#                  measurement. For real numbers use scripts/bench.sh.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TSAN=0
+BENCH_SMOKE=0
 if [ "${1:-}" = "--tsan" ]; then
   TSAN=1
   shift
+elif [ "${1:-}" = "--bench-smoke" ]; then
+  BENCH_SMOKE=1
+  shift
+fi
+
+if [ "$BENCH_SMOKE" = 1 ]; then
+  BUILD="${1:-build-bench}"
+  cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD" --target micro_perf
+  "$BUILD"/bench/micro_perf --benchmark_min_time=0.01
+  echo "bench-smoke: micro_perf ran all benchmarks"
+  exit 0
 fi
 
 if [ "$TSAN" = 1 ]; then

@@ -34,12 +34,18 @@ LinkId Network::add_link(NodeId a, NodeId b, double capacity) {
   auto id = LinkId(static_cast<LinkId::value_type>(links_.size() - 1));
   adjacency_[a.index()].push_back({id, b});
   adjacency_[b.index()].push_back({id, a});
+  ++topo_version_;
+  ++structure_version_;
   return id;
 }
 
 void Network::set_link_capacity(LinkId id, double capacity) {
   SBK_EXPECTS(capacity >= 0.0);
-  mutable_link(id).capacity = capacity;
+  Link& l = mutable_link(id);
+  if (l.capacity != capacity) {
+    l.capacity = capacity;
+    ++topo_version_;
+  }
 }
 
 const Node& Network::node(NodeId id) const {
@@ -111,6 +117,7 @@ void Network::fail_node(NodeId id) {
   if (!n.failed) {
     n.failed = true;
     ++failed_nodes_;
+    ++topo_version_;
   }
 }
 
@@ -119,6 +126,7 @@ void Network::restore_node(NodeId id) {
   if (n.failed) {
     n.failed = false;
     --failed_nodes_;
+    ++topo_version_;
   }
 }
 
@@ -127,6 +135,7 @@ void Network::fail_link(LinkId id) {
   if (!l.failed) {
     l.failed = true;
     ++failed_links_;
+    ++topo_version_;
   }
 }
 
@@ -135,6 +144,7 @@ void Network::restore_link(LinkId id) {
   if (l.failed) {
     l.failed = false;
     --failed_links_;
+    ++topo_version_;
   }
 }
 
@@ -144,6 +154,7 @@ bool Network::usable(LinkId id) const {
 }
 
 void Network::clear_failures() {
+  if (failed_nodes_ > 0 || failed_links_ > 0) ++topo_version_;
   for (Node& n : nodes_) n.failed = false;
   for (Link& l : links_) l.failed = false;
   failed_nodes_ = 0;
@@ -174,6 +185,8 @@ void Network::retarget_link(LinkId id, NodeId from, NodeId to) {
   oit->peer = to;
 
   if (l.a == from) l.a = to; else l.b = to;
+  ++topo_version_;
+  ++structure_version_;
 }
 
 }  // namespace sbk::net

@@ -114,6 +114,25 @@ class Network {
   [[nodiscard]] bool link_failed(LinkId id) const { return link(id).failed; }
   /// A link is usable iff itself and both endpoints are up.
   [[nodiscard]] bool usable(LinkId id) const;
+
+  // --- topology epochs -----------------------------------------------------
+  /// Monotonic counter bumped by every state change that can alter
+  /// routing or allocation results: fail_node/fail_link, restore_*,
+  /// clear_failures, set_link_capacity, add_link, and retarget_link.
+  /// Idempotent calls (failing an already-failed element, setting an
+  /// unchanged capacity) do NOT bump it. Routers use this for epoch-based
+  /// cache invalidation: a cached result computed at epoch E is valid
+  /// exactly while topology_version() == E.
+  [[nodiscard]] std::uint64_t topology_version() const noexcept {
+    return topo_version_;
+  }
+  /// Like topology_version(), but only counts *structural* changes —
+  /// add_link and retarget_link — not failure flags or capacities.
+  /// Caches over the structural wiring (e.g. the live_only=false
+  /// candidate-path sets) key on this and survive failure churn.
+  [[nodiscard]] std::uint64_t structure_version() const noexcept {
+    return structure_version_;
+  }
   [[nodiscard]] std::size_t failed_node_count() const noexcept {
     return failed_nodes_;
   }
@@ -138,6 +157,8 @@ class Network {
   std::vector<std::vector<Adjacency>> adjacency_;
   std::size_t failed_nodes_ = 0;
   std::size_t failed_links_ = 0;
+  std::uint64_t topo_version_ = 0;
+  std::uint64_t structure_version_ = 0;
 };
 
 }  // namespace sbk::net

@@ -13,13 +13,15 @@ using net::Network;
 using net::NodeId;
 using net::Path;
 
-bool link_live(const Network& net, NodeId a, NodeId b) {
-  auto l = net.find_link(a, b);
+bool link_live(NeighborLinkCache& cache, const Network& net, NodeId a,
+               NodeId b) {
+  auto l = cache.find(net, a, b);
   return l.has_value() && net.usable(*l);
 }
 
-bool append(const Network& net, Path& p, NodeId next) {
-  auto l = net.find_link(p.nodes.back(), next);
+bool append(NeighborLinkCache& cache, const Network& net, Path& p,
+            NodeId next) {
+  auto l = cache.find(net, p.nodes.back(), next);
   if (!l.has_value() || !net.usable(*l)) return false;
   if (std::find(p.nodes.begin(), p.nodes.end(), next) != p.nodes.end()) {
     return false;  // would create a loop
@@ -52,10 +54,10 @@ net::Path F10Router::route(const Network& net, NodeId src, NodeId dst,
   if (net.node_failed(es) || net.node_failed(ed)) return {};
 
   Path p{{src}, {}};
-  if (!append(net, p, es)) return {};
+  if (!append(links_, net, p, es)) return {};
 
   if (es == ed) {
-    if (!append(net, p, dst)) return {};
+    if (!append(links_, net, p, dst)) return {};
     return p;
   }
 
@@ -69,10 +71,11 @@ net::Path F10Router::route(const Network& net, NodeId src, NodeId dst,
     for (std::size_t t = 0; t < static_cast<std::size_t>(half); ++t) {
       NodeId agg = ft.agg(src_pod, static_cast<int>(pick(h, t, half)));
       if (net.node_failed(agg)) continue;
-      if (!link_live(net, es, agg)) continue;
-      if (link_live(net, agg, ed)) {
+      if (!link_live(links_, net, es, agg)) continue;
+      if (link_live(links_, net, agg, ed)) {
         Path q = p;
-        if (append(net, q, agg) && append(net, q, ed) && append(net, q, dst)) {
+        if (append(links_, net, q, agg) && append(links_, net, q, ed) &&
+            append(links_, net, q, dst)) {
           return q;
         }
       }
@@ -80,15 +83,18 @@ net::Path F10Router::route(const Network& net, NodeId src, NodeId dst,
       for (std::size_t u = 0; u < static_cast<std::size_t>(half); ++u) {
         NodeId e2 = ft.edge(src_pod, static_cast<int>(pick(h >> 8, u, half)));
         if (e2 == es || e2 == ed || net.node_failed(e2)) continue;
-        if (!link_live(net, agg, e2)) continue;
+        if (!link_live(links_, net, agg, e2)) continue;
         for (std::size_t v = 0; v < static_cast<std::size_t>(half); ++v) {
           NodeId a2 = ft.agg(src_pod, static_cast<int>(pick(h >> 16, v, half)));
           if (a2 == agg || net.node_failed(a2)) continue;
-          if (!link_live(net, e2, a2) || !link_live(net, a2, ed)) continue;
+          if (!link_live(links_, net, e2, a2) ||
+              !link_live(links_, net, a2, ed)) {
+            continue;
+          }
           Path q = p;
-          if (append(net, q, agg) && append(net, q, e2) &&
-              append(net, q, a2) && append(net, q, ed) &&
-              append(net, q, dst)) {
+          if (append(links_, net, q, agg) && append(links_, net, q, e2) &&
+              append(links_, net, q, a2) && append(links_, net, q, ed) &&
+              append(links_, net, q, dst)) {
             return q;
           }
         }
@@ -100,21 +106,26 @@ net::Path F10Router::route(const Network& net, NodeId src, NodeId dst,
   // Inter-pod. Choose the up agg and core locally among live uplinks.
   for (std::size_t t = 0; t < static_cast<std::size_t>(half); ++t) {
     NodeId agg_up = ft.agg(src_pod, static_cast<int>(pick(h, t, half)));
-    if (net.node_failed(agg_up) || !link_live(net, es, agg_up)) continue;
+    if (net.node_failed(agg_up) || !link_live(links_, net, es, agg_up)) {
+      continue;
+    }
     const std::vector<int> core_choices =
         ft.cores_of_agg(src_pod, ft.index_of(agg_up));
     for (std::size_t u = 0; u < core_choices.size(); ++u) {
       int c = core_choices[pick(h >> 8, u, core_choices.size())];
       NodeId core = ft.core(c);
-      if (net.node_failed(core) || !link_live(net, agg_up, core)) continue;
+      if (net.node_failed(core) || !link_live(links_, net, agg_up, core)) {
+        continue;
+      }
 
       NodeId agg_down = ft.agg_for_core(c, dst_pod);
-      if (!net.node_failed(agg_down) && link_live(net, core, agg_down) &&
-          link_live(net, agg_down, ed)) {
+      if (!net.node_failed(agg_down) &&
+          link_live(links_, net, core, agg_down) &&
+          link_live(links_, net, agg_down, ed)) {
         Path q = p;
-        if (append(net, q, agg_up) && append(net, q, core) &&
-            append(net, q, agg_down) && append(net, q, ed) &&
-            append(net, q, dst)) {
+        if (append(links_, net, q, agg_up) && append(links_, net, q, core) &&
+            append(links_, net, q, agg_down) && append(links_, net, q, ed) &&
+            append(links_, net, q, dst)) {
           return q;
         }
       }
@@ -125,25 +136,29 @@ net::Path F10Router::route(const Network& net, NodeId src, NodeId dst,
         int q_pod = static_cast<int>(pick(h >> 16, w, ft.pods()));
         if (q_pod == dst_pod || q_pod == src_pod) continue;
         NodeId b = ft.agg_for_core(c, q_pod);
-        if (net.node_failed(b) || !link_live(net, core, b)) continue;
+        if (net.node_failed(b) || !link_live(links_, net, core, b)) {
+          continue;
+        }
         const std::vector<int> alt_cores =
             ft.cores_of_agg(q_pod, ft.index_of(b));
         for (std::size_t x = 0; x < alt_cores.size(); ++x) {
           int c2 = alt_cores[pick(h >> 24, x, alt_cores.size())];
           if (c2 == c) continue;
           NodeId core2 = ft.core(c2);
-          if (net.node_failed(core2) || !link_live(net, b, core2)) continue;
+          if (net.node_failed(core2) || !link_live(links_, net, b, core2)) {
+            continue;
+          }
           NodeId agg_down2 = ft.agg_for_core(c2, dst_pod);
           if (net.node_failed(agg_down2)) continue;
-          if (!link_live(net, core2, agg_down2) ||
-              !link_live(net, agg_down2, ed)) {
+          if (!link_live(links_, net, core2, agg_down2) ||
+              !link_live(links_, net, agg_down2, ed)) {
             continue;
           }
           Path q = p;
-          if (append(net, q, agg_up) && append(net, q, core) &&
-              append(net, q, b) && append(net, q, core2) &&
-              append(net, q, agg_down2) && append(net, q, ed) &&
-              append(net, q, dst)) {
+          if (append(links_, net, q, agg_up) && append(links_, net, q, core) &&
+              append(links_, net, q, b) && append(links_, net, q, core2) &&
+              append(links_, net, q, agg_down2) && append(links_, net, q, ed) &&
+              append(links_, net, q, dst)) {
             return q;
           }
         }
@@ -151,20 +166,24 @@ net::Path F10Router::route(const Network& net, NodeId src, NodeId dst,
 
       // Detour at the pod level: agg_down is reachable but its link to ed
       // is broken -> route inside dst pod via another edge/agg pair.
-      if (!net.node_failed(agg_down) && link_live(net, core, agg_down)) {
+      if (!net.node_failed(agg_down) &&
+          link_live(links_, net, core, agg_down)) {
         for (std::size_t u2 = 0; u2 < static_cast<std::size_t>(half); ++u2) {
           NodeId e2 = ft.edge(dst_pod, static_cast<int>(pick(h >> 32, u2, half)));
           if (e2 == ed || net.node_failed(e2)) continue;
-          if (!link_live(net, agg_down, e2)) continue;
+          if (!link_live(links_, net, agg_down, e2)) continue;
           for (std::size_t v = 0; v < static_cast<std::size_t>(half); ++v) {
             NodeId a2 = ft.agg(dst_pod, static_cast<int>(pick(h >> 40, v, half)));
             if (a2 == agg_down || net.node_failed(a2)) continue;
-            if (!link_live(net, e2, a2) || !link_live(net, a2, ed)) continue;
+            if (!link_live(links_, net, e2, a2) ||
+                !link_live(links_, net, a2, ed)) {
+              continue;
+            }
             Path q = p;
-            if (append(net, q, agg_up) && append(net, q, core) &&
-                append(net, q, agg_down) && append(net, q, e2) &&
-                append(net, q, a2) && append(net, q, ed) &&
-                append(net, q, dst)) {
+            if (append(links_, net, q, agg_up) && append(links_, net, q, core) &&
+                append(links_, net, q, agg_down) && append(links_, net, q, e2) &&
+                append(links_, net, q, a2) && append(links_, net, q, ed) &&
+                append(links_, net, q, dst)) {
               return q;
             }
           }

@@ -14,8 +14,15 @@
 // The router expects a fat-tree built with Wiring::kAb; it also operates
 // on plain wiring but will find fewer detours (and returns empty paths
 // when none exists), mirroring reality.
+//
+// The greedy probe loops resolve neighbor links through a memoized
+// find_link keyed on Network::structure_version() (liveness is still
+// checked per call), so reroute storms cost hash lookups instead of
+// adjacency-list scans. Instances are not thread-safe (see
+// sweep::SweepRunner's scenario-private router contract).
 #pragma once
 
+#include "routing/path_cache.hpp"
 #include "routing/router.hpp"
 #include "topo/fat_tree.hpp"
 
@@ -35,6 +42,7 @@ class F10Router final : public Router {
  private:
   const topo::FatTree* ft_;
   std::uint64_t salt_;
+  NeighborLinkCache links_;
 };
 
 }  // namespace sbk::routing

@@ -12,12 +12,14 @@ net::Path MinCongestionRouter::route(const net::Network& net, net::NodeId src,
                                      const LinkLoads* loads) {
   SBK_EXPECTS_MSG(&net == &ft_->network(),
                   "router is bound to a different network instance");
-  std::vector<net::Path> candidates = candidate_paths(*ft_, src, dst,
-                                                      /*live_only=*/true);
+  const std::vector<net::Path>& candidates =
+      cache_.lookup(net.topology_version(), src, dst, [&] {
+        return candidate_paths(*ft_, src, dst, /*live_only=*/true);
+      });
   if (candidates.empty()) return {};
   if (loads == nullptr) {
     std::uint64_t h = mix64(flow_id ^ mix64(salt_));
-    return std::move(candidates[h % candidates.size()]);
+    return candidates[h % candidates.size()];
   }
 
   double best_max = std::numeric_limits<double>::infinity();
@@ -46,7 +48,7 @@ net::Path MinCongestionRouter::route(const net::Network& net, net::NodeId src,
       best = i;
     }
   }
-  return std::move(candidates[best]);
+  return candidates[best];
 }
 
 net::Path EcmpWithGlobalRerouteRouter::route(const net::Network& net,
@@ -57,12 +59,14 @@ net::Path EcmpWithGlobalRerouteRouter::route(const net::Network& net,
                   "router is bound to a different network instance");
   // Hash over the *structural* candidate set, so the choice of an
   // unaffected flow is identical to what it would be with no failures.
-  std::vector<net::Path> structural = candidate_paths(*ft_, src, dst,
-                                                      /*live_only=*/false);
+  const std::vector<net::Path>& structural =
+      structural_.lookup(net.structure_version(), src, dst, [&] {
+        return candidate_paths(*ft_, src, dst, /*live_only=*/false);
+      });
   if (!structural.empty()) {
     std::uint64_t h = mix64(flow_id ^ mix64(salt_));
-    net::Path& chosen = structural[h % structural.size()];
-    if (net::is_live_path(net, chosen)) return std::move(chosen);
+    const net::Path& chosen = structural[h % structural.size()];
+    if (net::is_live_path(net, chosen)) return chosen;
   }
   // The flow is affected: centrally re-place it on the least congested
   // surviving shortest path.

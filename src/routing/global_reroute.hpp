@@ -4,8 +4,15 @@
 // maximum flow count on any directed link, breaking ties by total load
 // then by hash. This is the strongest realistic rerouting a centralized
 // fat-tree control plane can do without splitting flows.
+// Both routers cache their candidate-path enumerations with epoch-based
+// invalidation (see routing/path_cache.hpp): the optimizer's live
+// candidate sets on Network::topology_version(), and the ECMP
+// front-end's structural (live_only = false) sets on
+// Network::structure_version() — the structural wiring is untouched by
+// failure flips, so that cache survives an entire failure storm.
 #pragma once
 
+#include "routing/path_cache.hpp"
 #include "routing/router.hpp"
 #include "topo/fat_tree.hpp"
 
@@ -28,6 +35,7 @@ class MinCongestionRouter final : public Router {
  private:
   const topo::FatTree* ft_;
   std::uint64_t salt_;
+  EpochPathCache cache_;  // live candidates, keyed on topology_version
 };
 
 /// The complete fat-tree baseline of §2.2: ECMP in normal operation, with
@@ -53,6 +61,7 @@ class EcmpWithGlobalRerouteRouter final : public Router {
   const topo::FatTree* ft_;
   std::uint64_t salt_;
   MinCongestionRouter optimizer_;
+  EpochPathCache structural_;  // keyed on structure_version
 };
 
 }  // namespace sbk::routing

@@ -1,0 +1,100 @@
+// Epoch-validated routing caches. Routers keep candidate-path sets (and
+// neighbor-link lookups) keyed by (src, dst) and stamped with the
+// Network epoch they were computed under; a cached entry is served only
+// while the network still reports that epoch, so cached results are
+// bit-identical to a fresh computation by construction.
+//
+// Which epoch to key on:
+//   * net::Network::topology_version() — changes on failures, repairs,
+//     capacity edits, and rewiring. Use for live-filtered results
+//     (candidate_paths with live_only = true).
+//   * net::Network::structure_version() — changes only on rewiring
+//     (add_link / retarget_link). Use for structural results
+//     (live_only = false candidate sets, neighbor-link lookups), which
+//     then survive failure churn untouched.
+//
+// Caches are per-router-instance and unsynchronized: the sweep engine's
+// contract already requires routers to be scenario-private (see
+// sweep::SweepRunner), so no locking is needed on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/path.hpp"
+
+namespace sbk::routing {
+
+/// Cache of candidate-path sets per (src, dst) host pair, invalidated as
+/// a whole when the supplied epoch moves. The fill callback runs on miss
+/// and its result is stored verbatim — element order included, so hash
+/// selection over the cached vector equals hash selection over a fresh
+/// enumeration.
+class EpochPathCache {
+ public:
+  template <typename Fill>
+  [[nodiscard]] const std::vector<net::Path>& lookup(std::uint64_t epoch,
+                                                     net::NodeId src,
+                                                     net::NodeId dst,
+                                                     Fill&& fill) {
+    if (epoch != epoch_ || !valid_) {
+      paths_.clear();
+      epoch_ = epoch;
+      valid_ = true;
+    }
+    const std::uint64_t key = pair_key(src, dst);
+    auto it = paths_.find(key);
+    if (it == paths_.end()) {
+      it = paths_.emplace(key, fill()).first;
+    }
+    return it->second;
+  }
+
+  /// Entries currently held (exposed for tests pinning invalidation).
+  [[nodiscard]] std::size_t size() const noexcept { return paths_.size(); }
+
+ private:
+  [[nodiscard]] static std::uint64_t pair_key(net::NodeId src,
+                                              net::NodeId dst) noexcept {
+    return (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
+  }
+
+  std::uint64_t epoch_ = 0;
+  bool valid_ = false;  // first lookup always fills
+  std::unordered_map<std::uint64_t, std::vector<net::Path>> paths_;
+};
+
+/// Memoized Network::find_link, keyed on structure_version(): the
+/// node-pair -> link mapping only changes when wiring changes, never on
+/// failure flips, so greedy routers (F10) can resolve neighbor links in
+/// O(1) during reroute storms instead of scanning adjacency lists.
+/// Liveness (usable()) must still be checked by the caller per call.
+class NeighborLinkCache {
+ public:
+  [[nodiscard]] std::optional<net::LinkId> find(const net::Network& net,
+                                                net::NodeId a, net::NodeId b) {
+    const std::uint64_t epoch = net.structure_version();
+    if (epoch != epoch_ || !valid_) {
+      links_.clear();
+      epoch_ = epoch;
+      valid_ = true;
+    }
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+    auto it = links_.find(key);
+    if (it == links_.end()) {
+      it = links_.emplace(key, net.find_link(a, b)).first;
+    }
+    return it->second;
+  }
+
+ private:
+  std::uint64_t epoch_ = 0;
+  bool valid_ = false;
+  std::unordered_map<std::uint64_t, std::optional<net::LinkId>> links_;
+};
+
+}  // namespace sbk::routing

@@ -59,6 +59,7 @@ void FluidSimulator::try_route(std::size_t idx, Seconds now,
   for (net::DirectedLink dl : f.dlinks) loads_.add(dl, 1.0);
   f.stalled = false;
   f.active = true;
+  rates_dirty_ = true;
   if (is_reroute) ++f.reroutes;
   (void)now;
 }
@@ -79,6 +80,9 @@ void FluidSimulator::admit(std::size_t idx, Seconds now) {
 
 void FluidSimulator::finish_flow(std::size_t idx, Seconds now) {
   FlowState& f = flows_[idx];
+  // Instantly-completing flows (local / zero-byte) never held links or a
+  // slot in the active set, so they leave the allocation untouched.
+  if (f.active || !f.dlinks.empty()) rates_dirty_ = true;
   f.done = true;
   f.active = false;
   f.stalled = false;
@@ -91,6 +95,7 @@ void FluidSimulator::finish_flow(std::size_t idx, Seconds now) {
 
 void FluidSimulator::recompute_rates() {
   ++allocation_rounds_;
+  rates_dirty_ = false;
   if (cfg_.allocation == AllocationModel::kPerLinkEqualShare) {
     // rate = min over the path of capacity / flow-count. The loads_
     // structure already tracks per-directed-link flow counts.
@@ -106,14 +111,16 @@ void FluidSimulator::recompute_rates() {
     }
     return;
   }
-  std::vector<Demand> demands;
-  demands.reserve(active_.size());
+  // Feed the active flows' pinned links straight into the solver as
+  // spans — no per-event Demand materialization — and reuse its scratch
+  // arrays (and rates_) across events.
+  solver_.begin(*net_, active_.size());
   for (std::size_t idx : active_) {
-    demands.push_back(Demand{flows_[idx].dlinks});
+    solver_.add_demand(flows_[idx].dlinks);
   }
-  std::vector<double> rates = max_min_rates(*net_, demands);
+  solver_.solve_into(rates_);
   for (std::size_t i = 0; i < active_.size(); ++i) {
-    flows_[active_[i]].rate = rates[i];
+    flows_[active_[i]].rate = rates_[i];
   }
 }
 
@@ -128,6 +135,7 @@ void FluidSimulator::handle_topology_change(Seconds now) {
     for (net::DirectedLink dl : f.dlinks) loads_.add(dl, -1.0);
     f.dlinks.clear();
     f.active = false;
+    rates_dirty_ = true;
     if (cfg_.reroute_on_path_failure) {
       try_route(idx, now, /*is_reroute=*/true);
     } else {
@@ -153,6 +161,7 @@ void FluidSimulator::handle_topology_change(Seconds now) {
         for (net::DirectedLink dl : f.dlinks) loads_.add(dl, 1.0);
         f.stalled = false;
         f.active = true;
+        rates_dirty_ = true;
         active_.push_back(idx);
       }
       continue;
@@ -200,7 +209,7 @@ std::vector<FlowResult> FluidSimulator::run() {
       t_next = std::min(t_next, actions_[next_action].when);
     }
     if (!active_.empty()) {
-      recompute_rates();
+      if (rates_dirty_) recompute_rates();
       for (std::size_t idx : active_) {
         const FlowState& f = flows_[idx];
         if (f.rate > 0.0) {
@@ -254,13 +263,20 @@ std::vector<FlowResult> FluidSimulator::run() {
 
     // 3) topology actions due now
     bool topo_changed = false;
+    const std::uint64_t topo_before = net_->topology_version();
     while (next_action < actions_.size() &&
            actions_[next_action].when <= now + kTimeEps) {
       actions_[next_action].fn(*net_);
       ++next_action;
       topo_changed = true;
     }
-    if (topo_changed) handle_topology_change(now);
+    if (topo_changed) {
+      // Capacity edits and failure flips change allocations even when no
+      // flow's path membership moves; the epoch counter catches exactly
+      // the actions that mutated something (no-op actions stay clean).
+      if (net_->topology_version() != topo_before) rates_dirty_ = true;
+      handle_topology_change(now);
+    }
   }
 
   // Collect results.

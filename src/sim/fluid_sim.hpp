@@ -75,7 +75,9 @@ class FluidSimulator {
   [[nodiscard]] std::vector<FlowResult> run();
 
   /// Number of allocation recomputations performed by the last run()
-  /// (exposed for the micro-benchmarks).
+  /// (exposed for the micro-benchmarks). Events that leave the active
+  /// demand set, link capacities, and failure state untouched reuse the
+  /// previous allocation instead of recomputing (see DESIGN.md).
   [[nodiscard]] std::size_t allocation_rounds() const noexcept {
     return allocation_rounds_;
   }
@@ -113,6 +115,13 @@ class FluidSimulator {
   std::vector<std::size_t> active_;
   std::size_t allocation_rounds_ = 0;
   bool ran_ = false;
+  /// Set by every event that can change the allocation (arrival,
+  /// completion, topology action); cleared after recompute_rates().
+  /// While false, the previous rates are provably still valid and
+  /// recomputation is skipped.
+  bool rates_dirty_ = true;
+  MaxMinSolver solver_;        // scratch reused across allocation events
+  std::vector<double> rates_;  // scratch: per-active-flow solver output
 };
 
 }  // namespace sbk::sim

@@ -8,15 +8,174 @@
 
 namespace sbk::sim {
 
+// ---------------------------------------------------------------------------
+// MaxMinSolver
+//
+// Bit-compatibility contract: every floating-point operation below — the
+// bottleneck-share minimum, the tolerance test selecting bottlenecked
+// links, and the freeze-order of the residual subtractions (ascending
+// flow index, then demand link order) — mirrors max_min_rates_reference
+// exactly, so the two produce identical doubles. Experiment outputs are
+// pinned to this (ISSUE 2 acceptance); change both or neither.
+// ---------------------------------------------------------------------------
+
+void MaxMinSolver::begin(const net::Network& net,
+                         std::size_t expected_demands) {
+  net_ = &net;
+  demands_.clear();
+  if (expected_demands > 0) demands_.reserve(expected_demands);
+
+  const std::size_t slots = net.link_count() * 2;
+  if (slot_index_.size() < slots) {
+    slot_index_.resize(slots, 0);
+    slot_stamp_.resize(slots, 0);
+  }
+  ++stamp_;
+
+  residual_.clear();
+  unfrozen_.clear();
+  active_links_.clear();
+}
+
+void MaxMinSolver::add_demand(std::span<const net::DirectedLink> links) {
+  SBK_EXPECTS_MSG(net_ != nullptr, "begin() must precede add_demand()");
+  demands_.push_back(links);
+}
+
+void MaxMinSolver::solve_into(std::vector<double>& rate) {
+  SBK_EXPECTS_MSG(net_ != nullptr, "begin() must precede solve_into()");
+  const net::Network& net = *net_;
+  const std::size_t n = demands_.size();
+  rate.assign(n, std::numeric_limits<double>::infinity());
+  if (n == 0) return;
+
+  // Pass 1: discover touched directed links, count crossings per link,
+  // and count demands that participate in filling at all.
+  std::size_t total_entries = 0;
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < n; ++f) {
+    if (!demands_[f].empty()) ++remaining;
+    for (net::DirectedLink dl : demands_[f]) {
+      const std::size_t s = slot(dl);
+      if (slot_stamp_[s] != stamp_) {
+        slot_stamp_[s] = stamp_;
+        slot_index_[s] = static_cast<std::uint32_t>(residual_.size());
+        // A failed/drained link carries capacity 0 (or, defensively, a
+        // negative value): its demands freeze at rate 0 in the first
+        // progressive-filling round below. Aborting here would kill a
+        // whole failure sweep because one flow crossed a dead link.
+        residual_.push_back(std::max(net.link(dl.link).capacity, 0.0));
+        unfrozen_.push_back(0);
+      }
+      ++unfrozen_[slot_index_[s]];
+      ++total_entries;
+    }
+  }
+  const std::size_t touched = residual_.size();
+
+  // Pass 2: CSR of flows per touched link. flow_offset_ doubles as the
+  // per-link write cursor during the fill and is rewound afterwards.
+  flow_offset_.assign(touched + 1, 0);
+  for (std::size_t i = 0; i < touched; ++i) {
+    flow_offset_[i + 1] = flow_offset_[i] + unfrozen_[i];
+  }
+  link_flows_.resize(total_entries);
+  {
+    // Reuse to_freeze_ as the cursor array to avoid another allocation.
+    to_freeze_.assign(flow_offset_.begin(), flow_offset_.end() - 1);
+    for (std::size_t f = 0; f < n; ++f) {
+      for (net::DirectedLink dl : demands_[f]) {
+        const std::uint32_t i = slot_index_[slot(dl)];
+        link_flows_[to_freeze_[i]++] = static_cast<std::uint32_t>(f);
+      }
+    }
+  }
+
+  frozen_.assign(n, 0);
+  active_links_.resize(touched);
+  for (std::size_t i = 0; i < touched; ++i) {
+    active_links_[i] = static_cast<std::uint32_t>(i);
+  }
+
+  while (remaining > 0) {
+    // Find the bottleneck: the smallest fair share among links that
+    // still carry unfrozen flows. The worklist holds exactly those, so
+    // no full-link rescan is needed.
+    double bottleneck_share = std::numeric_limits<double>::infinity();
+    for (std::uint32_t i : active_links_) {
+      const double share = residual_[i] / static_cast<double>(unfrozen_[i]);
+      bottleneck_share = std::min(bottleneck_share, share);
+    }
+    SBK_ASSERT_MSG(bottleneck_share < std::numeric_limits<double>::infinity(),
+                   "unfrozen flows must sit on at least one link");
+    bottleneck_share = std::max(bottleneck_share, 0.0);
+
+    // Freeze every unfrozen flow crossing a bottleneck link at that
+    // share. (Several links can bottleneck simultaneously at the same
+    // share.)
+    to_freeze_.clear();
+    for (std::uint32_t i : active_links_) {
+      const double share = residual_[i] / static_cast<double>(unfrozen_[i]);
+      if (share <= bottleneck_share * (1.0 + 1e-12) + 1e-15) {
+        for (std::uint32_t e = flow_offset_[i]; e < flow_offset_[i + 1]; ++e) {
+          const std::uint32_t f = link_flows_[e];
+          if (!frozen_[f]) to_freeze_.push_back(f);
+        }
+      }
+    }
+    SBK_ASSERT(!to_freeze_.empty());
+    std::sort(to_freeze_.begin(), to_freeze_.end());
+    to_freeze_.erase(std::unique(to_freeze_.begin(), to_freeze_.end()),
+                     to_freeze_.end());
+
+    for (std::uint32_t f : to_freeze_) {
+      frozen_[f] = 1;
+      rate[f] = bottleneck_share;
+      --remaining;
+      for (net::DirectedLink dl : demands_[f]) {
+        const std::uint32_t i = slot_index_[slot(dl)];
+        residual_[i] -= bottleneck_share;
+        if (residual_[i] < 0.0) residual_[i] = 0.0;  // absorb fp noise
+        --unfrozen_[i];
+      }
+    }
+
+    // Drop exhausted links from the worklist.
+    active_links_.erase(
+        std::remove_if(active_links_.begin(), active_links_.end(),
+                       [this](std::uint32_t i) { return unfrozen_[i] == 0; }),
+        active_links_.end());
+  }
+}
+
+std::vector<double> MaxMinSolver::solve(const net::Network& net,
+                                        const std::vector<Demand>& demands) {
+  begin(net, demands.size());
+  for (const Demand& d : demands) add_demand(d.links);
+  std::vector<double> rates;
+  solve_into(rates);
+  return rates;
+}
+
+std::vector<double> max_min_rates(const net::Network& net,
+                                  const std::vector<Demand>& demands) {
+  MaxMinSolver solver;
+  return solver.solve(net, demands);
+}
+
+// ---------------------------------------------------------------------------
+// Reference allocator (test-only executable specification; see header).
+// ---------------------------------------------------------------------------
+
 namespace {
 /// Dense slot for a directed link.
-std::size_t slot(net::DirectedLink dl) {
+std::size_t ref_slot(net::DirectedLink dl) {
   return dl.link.index() * 2 + (dl.forward ? 0 : 1);
 }
 }  // namespace
 
-std::vector<double> max_min_rates(const net::Network& net,
-                                  const std::vector<Demand>& demands) {
+std::vector<double> max_min_rates_reference(
+    const net::Network& net, const std::vector<Demand>& demands) {
   const std::size_t n = demands.size();
   std::vector<double> rate(n, std::numeric_limits<double>::infinity());
   if (n == 0) return rate;
@@ -30,12 +189,8 @@ std::vector<double> max_min_rates(const net::Network& net,
   std::unordered_map<std::size_t, LinkState> links;
   for (std::size_t f = 0; f < n; ++f) {
     for (net::DirectedLink dl : demands[f].links) {
-      LinkState& ls = links[slot(dl)];
+      LinkState& ls = links[ref_slot(dl)];
       if (ls.flows.empty()) {
-        // A failed/drained link carries capacity 0 (or, defensively, a
-        // negative value): its demands freeze at rate 0 in the first
-        // progressive-filling round below. Aborting here would kill a
-        // whole failure sweep because one flow crossed a dead link.
         ls.residual = std::max(net.link(dl.link).capacity, 0.0);
       }
       ls.flows.push_back(f);
@@ -52,8 +207,6 @@ std::vector<double> max_min_rates(const net::Network& net,
   }
 
   while (remaining > 0) {
-    // Find the bottleneck: the smallest fair share among links that still
-    // carry unfrozen flows.
     double bottleneck_share = std::numeric_limits<double>::infinity();
     for (const auto& [s, ls] : links) {
       if (ls.unfrozen == 0) continue;
@@ -64,8 +217,6 @@ std::vector<double> max_min_rates(const net::Network& net,
                    "unfrozen flows must sit on at least one link");
     bottleneck_share = std::max(bottleneck_share, 0.0);
 
-    // Freeze every unfrozen flow crossing a bottleneck link at that share.
-    // (Several links can bottleneck simultaneously at the same share.)
     std::vector<std::size_t> to_freeze;
     for (const auto& [s, ls] : links) {
       if (ls.unfrozen == 0) continue;
@@ -86,7 +237,7 @@ std::vector<double> max_min_rates(const net::Network& net,
       rate[f] = bottleneck_share;
       --remaining;
       for (net::DirectedLink dl : demands[f].links) {
-        LinkState& ls = links[slot(dl)];
+        LinkState& ls = links[ref_slot(dl)];
         ls.residual -= bottleneck_share;
         if (ls.residual < 0.0) ls.residual = 0.0;  // absorb fp noise
         --ls.unfrozen;

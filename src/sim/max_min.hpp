@@ -2,8 +2,15 @@
 // water-filling algorithm). Given a set of flows, each pinned to a path
 // of directed link uses, computes the unique max-min fair rate vector
 // subject to directed link capacities.
+//
+// The allocation runs on every fluid-simulator event, so the solver is
+// built for reuse: MaxMinSolver keeps dense flat scratch arrays indexed
+// by directed-link slot (no hashing on the hot path) and recycles them
+// across calls. See DESIGN.md ("MaxMinSolver data layout").
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/network.hpp"
@@ -17,16 +24,75 @@ struct Demand {
   std::vector<net::DirectedLink> links;
 };
 
-/// Computes max-min fair rates (capacity units per second) for `demands`
-/// over `net`'s current link capacities. Failed links still have their
-/// nominal capacity here: callers must not pin flows to dead links.
+/// Reusable progressive-filling solver. One instance amortizes its
+/// scratch buffers over many calls — the fluid simulator owns one and
+/// calls it on every allocation event.
 ///
-/// Postconditions (verified by tests):
+/// Two call styles:
+///   * batch: solve(net, demands) — drop-in for max_min_rates();
+///   * incremental: begin(net); add_demand(links)...; solve_into(rates)
+///     — avoids materializing Demand copies; the spans must stay valid
+///     until solve_into returns.
+///
+/// Postconditions (verified by tests, identical to the reference
+/// allocator bit for bit):
 ///  * no directed link's total allocated rate exceeds its capacity
 ///    (within floating tolerance);
 ///  * the vector is max-min: each flow is bottlenecked at some saturated
-///    link where its rate is maximal among the link's flows.
+///    link where its rate is maximal among the link's flows;
+///  * a failed/drained (capacity-0) link freezes its flows at rate 0;
+///  * pathless demands receive +infinity.
+class MaxMinSolver {
+ public:
+  MaxMinSolver() = default;
+
+  void begin(const net::Network& net, std::size_t expected_demands = 0);
+  void add_demand(std::span<const net::DirectedLink> links);
+  void solve_into(std::vector<double>& rates_out);
+
+  [[nodiscard]] std::vector<double> solve(const net::Network& net,
+                                          const std::vector<Demand>& demands);
+
+ private:
+  /// Dense slot for a directed link.
+  [[nodiscard]] static std::size_t slot(net::DirectedLink dl) noexcept {
+    return dl.link.index() * 2 + (dl.forward ? 0 : 1);
+  }
+
+  const net::Network* net_ = nullptr;
+
+  // Per-call demand set: spans into caller-owned storage.
+  std::vector<std::span<const net::DirectedLink>> demands_;
+
+  // Slot -> compact touched-link index, stamped per call so the arrays
+  // never need clearing (slot_index_[s] is valid iff slot_stamp_[s] ==
+  // stamp_). Sized 2 * link_count lazily.
+  std::vector<std::uint32_t> slot_index_;
+  std::vector<std::uint64_t> slot_stamp_;
+  std::uint64_t stamp_ = 0;
+
+  // Per touched directed link, by compact index.
+  std::vector<double> residual_;         // capacity minus frozen rates
+  std::vector<std::uint32_t> unfrozen_;  // flows not yet fixed
+  std::vector<std::uint32_t> flow_offset_;  // CSR offsets into link_flows_
+  std::vector<std::uint32_t> link_flows_;   // CSR payload: flow indices
+
+  // Progressive-filling worklists.
+  std::vector<std::uint32_t> active_links_;  // touched links, unfrozen > 0
+  std::vector<std::uint32_t> to_freeze_;
+  std::vector<std::uint8_t> frozen_;
+};
+
+/// One-shot convenience wrapper over MaxMinSolver (constructs a solver
+/// per call; hot paths should hold a MaxMinSolver instead).
 [[nodiscard]] std::vector<double> max_min_rates(
+    const net::Network& net, const std::vector<Demand>& demands);
+
+/// The original one-shot allocator, kept as the executable specification
+/// for MaxMinSolver. Test-only: the randomized property suite checks the
+/// solver reproduces this function's output bit for bit on random demand
+/// sets over failed/drained topologies. Do not call from hot paths.
+[[nodiscard]] std::vector<double> max_min_rates_reference(
     const net::Network& net, const std::vector<Demand>& demands);
 
 }  // namespace sbk::sim

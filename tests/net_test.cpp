@@ -74,6 +74,60 @@ TEST(Network, FailureFlagsAndCounters) {
   EXPECT_TRUE(net.usable(ab));
 }
 
+TEST(Network, TopologyAndStructureVersionEpochs) {
+  Network net = diamond();
+  LinkId ab = *net.find_link(NodeId(0), NodeId(1));
+  const std::uint64_t s0 = net.structure_version();
+
+  // Every routing-relevant mutation bumps topology_version...
+  std::uint64_t t = net.topology_version();
+  net.fail_link(ab);
+  EXPECT_GT(net.topology_version(), t);
+  t = net.topology_version();
+  net.fail_link(ab);  // idempotent: no state change, no bump
+  EXPECT_EQ(net.topology_version(), t);
+  net.restore_link(ab);
+  EXPECT_GT(net.topology_version(), t);
+  t = net.topology_version();
+  net.restore_link(ab);  // already live: no bump
+  EXPECT_EQ(net.topology_version(), t);
+
+  net.fail_node(NodeId(1));
+  EXPECT_GT(net.topology_version(), t);
+  t = net.topology_version();
+  net.fail_node(NodeId(1));
+  EXPECT_EQ(net.topology_version(), t);
+  net.restore_node(NodeId(1));
+  EXPECT_GT(net.topology_version(), t);
+  t = net.topology_version();
+
+  net.clear_failures();  // nothing failed: no bump
+  EXPECT_EQ(net.topology_version(), t);
+  net.fail_link(ab);
+  net.clear_failures();
+  EXPECT_GT(net.topology_version(), t);
+  t = net.topology_version();
+
+  net.set_link_capacity(ab, 2.0);
+  EXPECT_GT(net.topology_version(), t);
+  t = net.topology_version();
+  net.set_link_capacity(ab, 2.0);  // unchanged capacity: no bump
+  EXPECT_EQ(net.topology_version(), t);
+  t = net.topology_version();
+
+  // ...but only wiring changes bump structure_version, so structural
+  // caches survive failure/capacity churn.
+  EXPECT_EQ(net.structure_version(), s0);
+  net.retarget_link(ab, NodeId(1), NodeId(3));
+  EXPECT_GT(net.topology_version(), t);
+  EXPECT_GT(net.structure_version(), s0);
+  const std::uint64_t s1 = net.structure_version();
+  t = net.topology_version();
+  net.add_link(NodeId(1), NodeId(2), 1.0);
+  EXPECT_GT(net.topology_version(), t);
+  EXPECT_GT(net.structure_version(), s1);
+}
+
 TEST(Network, RetargetLinkMovesEndpointAndAdjacency) {
   Network net = diamond();
   NodeId a(0), b(1), c(2);

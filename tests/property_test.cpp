@@ -4,6 +4,12 @@
 // fixed — failures reproduce deterministically.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
 #include "control/controller.hpp"
 #include "net/algo.hpp"
 #include "routing/ecmp.hpp"
@@ -12,6 +18,7 @@
 #include "routing/impersonation.hpp"
 #include "sharebackup/fabric.hpp"
 #include "sim/fluid_sim.hpp"
+#include "sim/max_min.hpp"
 #include "topo/fat_tree.hpp"
 #include "util/rng.hpp"
 
@@ -289,6 +296,88 @@ TEST(FabricFuzz, MixedOperationSequenceKeepsInvariants) {
   EXPECT_EQ(net::live_component_count(fabric.network()), 1u);
   EXPECT_EQ(fabric.realized_adjacency().size(),
             fabric.network().link_count());
+}
+
+TEST(MaxMinProperty, SolverMatchesReferenceBitForBit) {
+  // MaxMinSolver is the hot-path replacement for the original one-shot
+  // allocator; max_min_rates_reference is that original, kept as the
+  // executable specification. Over random demand sets on randomly
+  // failed *and* drained (capacity-0) topologies the two must agree on
+  // every double exactly — the experiment harnesses rely on the swap
+  // being bit-invisible.
+  Rng rng(424242);
+  sim::MaxMinSolver solver;  // one instance: exercises scratch reuse
+  for (int trial = 0; trial < 200; ++trial) {
+    FatTree ft(FatTreeParams{.k = 4});
+    net::Network& net = ft.network();
+
+    for (std::size_t f = rng.uniform_index(4); f > 0; --f) {
+      net.fail_link(net::LinkId(static_cast<std::uint32_t>(
+          rng.uniform_index(net.link_count()))));
+    }
+    for (std::size_t f = rng.uniform_index(3); f > 0; --f) {
+      net.fail_node(net::NodeId(static_cast<std::uint32_t>(
+          rng.uniform_index(net.node_count()))));
+    }
+    for (std::size_t f = rng.uniform_index(3); f > 0; --f) {
+      net.set_link_capacity(net::LinkId(static_cast<std::uint32_t>(
+                                rng.uniform_index(net.link_count()))),
+                            0.0);
+    }
+
+    routing::EcmpRouter router(ft);
+    std::vector<sim::Demand> demands;
+    const std::size_t n = 1 + rng.uniform_index(40);
+    for (std::size_t f = 0; f < n; ++f) {
+      net::NodeId src = ft.host(static_cast<int>(
+          rng.uniform_index(static_cast<std::size_t>(ft.host_count()))));
+      net::NodeId dst = ft.host(static_cast<int>(
+          rng.uniform_index(static_cast<std::size_t>(ft.host_count()))));
+      if (src == dst) continue;
+      net::Path p = router.route(net, src, dst, f, nullptr);
+      // Unroutable pairs contribute empty demands: the allocator must
+      // hand those +infinity without disturbing the rest.
+      demands.push_back(sim::Demand{p.directed_links(net)});
+    }
+
+    const std::vector<double> want = sim::max_min_rates_reference(net, demands);
+    const std::vector<double> got = solver.solve(net, demands);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i], want[i]) << "trial " << trial << " flow " << i;
+    }
+
+    // Max-min invariant: every flow with a path is bottlenecked at some
+    // saturated directed link on which its rate is maximal.
+    std::map<std::pair<std::size_t, bool>, std::vector<std::size_t>> on_link;
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      for (net::DirectedLink dl : demands[i].links) {
+        on_link[{dl.link.index(), dl.forward}].push_back(i);
+      }
+    }
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (demands[i].links.empty()) {
+        EXPECT_TRUE(std::isinf(got[i]));
+        continue;
+      }
+      bool bottlenecked = false;
+      for (net::DirectedLink dl : demands[i].links) {
+        const double cap =
+            std::max(net.link(dl.link).capacity, 0.0);
+        double sum = 0.0;
+        double peer_max = 0.0;
+        for (std::size_t j : on_link[{dl.link.index(), dl.forward}]) {
+          sum += got[j];
+          peer_max = std::max(peer_max, got[j]);
+        }
+        EXPECT_LE(sum, cap + 1e-6);  // feasibility on every link
+        if (sum >= cap - 1e-6 && got[i] >= peer_max - 1e-9) {
+          bottlenecked = true;
+        }
+      }
+      EXPECT_TRUE(bottlenecked) << "trial " << trial << " flow " << i;
+    }
+  }
 }
 
 TEST(ImpersonationProperty, GroupMembersShareIdenticalTables) {

@@ -121,6 +121,45 @@ TEST(Ecmp, RoutesAroundFailuresWhenAlternativesExist) {
   EXPECT_TRUE(router.route(ft.network(), src, dst, 1, nullptr).empty());
 }
 
+TEST(Ecmp, PathCacheInvalidatesExactlyOnEpochChange) {
+  FatTree ft(FatTreeParams{.k = 4});
+  EcmpRouter router(ft);
+  NodeId src = ft.host(0, 0, 0);
+  NodeId dst = ft.host(1, 0, 0);
+
+  EXPECT_EQ(router.cached_pairs(), 0u);
+  Path warm = router.route(ft.network(), src, dst, 7, nullptr);
+  EXPECT_EQ(router.cached_pairs(), 1u);
+
+  // Stable epoch: repeated routes (any flow id) reuse the cached
+  // candidate set and stay bit-identical to a cold router.
+  for (std::uint64_t f = 0; f < 10; ++f) {
+    EcmpRouter cold(ft);
+    EXPECT_EQ(router.route(ft.network(), src, dst, f, nullptr),
+              cold.route(ft.network(), src, dst, f, nullptr));
+  }
+  EXPECT_EQ(router.cached_pairs(), 1u);
+  (void)router.route(ft.network(), dst, src, 7, nullptr);
+  EXPECT_EQ(router.cached_pairs(), 2u);
+
+  // Any topology_version bump (here: a failure) flushes the whole
+  // cache; the refilled entry reflects the new liveness.
+  ft.network().fail_node(ft.core(0));
+  Path rerouted = router.route(ft.network(), src, dst, 7, nullptr);
+  EXPECT_EQ(router.cached_pairs(), 1u);
+  for (NodeId n : rerouted.nodes) EXPECT_NE(n, ft.core(0));
+  {
+    EcmpRouter cold(ft);
+    EXPECT_EQ(rerouted, cold.route(ft.network(), src, dst, 7, nullptr));
+  }
+
+  // Repair is an epoch bump too: the cache refills and the warm-path
+  // choice returns to its pre-failure value.
+  ft.network().restore_node(ft.core(0));
+  EXPECT_EQ(router.route(ft.network(), src, dst, 7, nullptr), warm);
+  EXPECT_EQ(router.cached_pairs(), 1u);
+}
+
 TEST(MinCongestion, PrefersUnloadedPaths) {
   FatTree ft(FatTreeParams{.k = 4});
   MinCongestionRouter router(ft);

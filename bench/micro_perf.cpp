@@ -10,6 +10,7 @@
 #include "routing/impersonation.hpp"
 #include "sharebackup/fabric.hpp"
 #include "sharebackup/leaf_spine.hpp"
+#include "sim/event_queue.hpp"
 #include "sim/fluid_sim.hpp"
 #include "sim/max_min.hpp"
 #include "topo/fat_tree.hpp"
@@ -180,6 +181,34 @@ void BM_ForwardingWalk(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ForwardingWalk);
+
+void BM_EventQueueDrain(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::EventQueue q;
+    Rng rng(7);
+    auto& eng = rng.engine();
+    std::uint64_t sink = 0;
+    // The payload pushes the callback past the small-buffer size of
+    // std::function, so each heap sift moves (or, before the fix,
+    // copied) a heap allocation.
+    struct Payload {
+      std::uint64_t a, b, c, d, e, f;
+    };
+    for (std::size_t i = 0; i < n; ++i) {
+      Payload p{eng(), eng(), eng(), eng(), eng(), eng()};
+      Seconds at = static_cast<double>(eng() % 1000000) * 1e-6;
+      q.schedule_at(at, [&sink, p] { sink += p.a ^ p.f; });
+    }
+    state.ResumeTiming();
+    q.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_EventQueueDrain)->Arg(1024)->Arg(16384);
 
 void BM_FluidSimCoflowTrace(benchmark::State& state) {
   // Setup (topology, router, trace expansion) is hoisted out of the loop:

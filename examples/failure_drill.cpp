@@ -2,14 +2,22 @@
 // full control plane — keep-alive detection, link probing, dual
 // replacement, offline diagnosis over the circuit-switch side rings,
 // exoneration, host troubleshooting, watchdog, and controller failover.
+// Every incident's recovery timeline is traced and exported as CSV, then
+// validated against the §5.3 component latency model.
 //
-//   $ ./build/examples/failure_drill
+//   $ ./build/examples/failure_drill [timeline.csv]
+#include <cmath>
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "control/controller.hpp"
 #include "control/controller_cluster.hpp"
 #include "control/failure_detector.hpp"
+#include "control/recovery_latency.hpp"
 #include "net/algo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recovery_tracer.hpp"
 #include "sharebackup/fabric.hpp"
 
 using namespace sbk;
@@ -18,7 +26,8 @@ namespace {
 void say(const char* msg) { std::printf("%s\n", msg); }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string csv_path = argc > 1 ? argv[1] : "recovery_timeline.csv";
   sharebackup::FabricParams params;
   params.fat_tree.k = 6;
   params.backups_per_group = 2;
@@ -28,6 +37,20 @@ int main() {
   control::FailureDetector detector(queue, fabric.network(),
                                     control::DetectorConfig{});
   control::ControllerCluster cluster(queue, control::ClusterConfig{});
+
+  obs::RecoveryTracer tracer;
+  obs::MetricsRegistry metrics;
+  detector.attach_tracer(&tracer);
+  detector.attach_metrics(&metrics);
+  controller.attach_tracer(&tracer);
+  controller.attach_metrics(&metrics);
+  fabric.attach_metrics(&metrics);
+
+  auto link_element = [&](net::LinkId lid) {
+    const net::Link& l = fabric.network().link(lid);
+    return obs::element_for_link(fabric.network().node(l.a).name,
+                                 fabric.network().node(l.b).name);
+  };
 
   std::printf("=== ShareBackup failure drill (k=6, n=2) ===\n\n");
 
@@ -61,7 +84,12 @@ int main() {
 
   say("Act 1 — a core switch dies (keep-alive detection).");
   net::NodeId core = fabric.fat_tree().core(4);
-  queue.schedule_at(0.010, [&] { fabric.network().fail_node(core); });
+  queue.schedule_at(0.010, [&] {
+    tracer.note_injection(
+        obs::element_for_node(fabric.network().node(core).name),
+        queue.now());
+    fabric.network().fail_node(core);
+  });
 
   say("Act 2 — an edge-agg link fails; the faulty side is the edge "
       "switch's\n         interface. Both sides are replaced instantly; "
@@ -70,6 +98,7 @@ int main() {
   net::NodeId agg = fabric.fat_tree().agg(1, 2);
   net::LinkId link = *fabric.network().find_link(edge, agg);
   queue.schedule_at(0.100, [&] {
+    tracer.note_injection(link_element(link), queue.now());
     auto dev = fabric.device_at(*fabric.position_of_node(edge));
     fabric.set_interface_health({dev, fabric.cs_of_link(link)}, false);
     fabric.network().fail_link(link);
@@ -80,6 +109,7 @@ int main() {
   net::NodeId host = fabric.fat_tree().host(3, 1, 2);
   net::LinkId host_link = fabric.fat_tree().host_link(host);
   queue.schedule_at(0.200, [&] {
+    tracer.note_injection(link_element(host_link), queue.now());
     auto hdev = fabric.device_of_host(host);
     fabric.set_interface_health({hdev, fabric.cs_of_link(host_link)}, false);
     fabric.network().fail_link(host_link);
@@ -95,6 +125,7 @@ int main() {
   queue.run();
 
   std::printf("\n--- background diagnosis ---\n");
+  controller.set_time(queue.now());  // diagnosis is stamped post-drill
   std::size_t jobs = controller.run_pending_diagnosis();
   std::printf("ran %zu diagnosis job(s): %zu switch(es) exonerated, %zu "
               "confirmed faulty\n",
@@ -137,5 +168,100 @@ int main() {
     std::printf("[%7.4fs] %-13s %s\n", entry.at, entry.event.c_str(),
                 entry.detail.c_str());
   }
-  return 0;
+
+  // --- recovery timelines ----------------------------------------------------
+  std::printf("\n--- recovery timelines ---\n");
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::printf("VALIDATION FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+
+  {
+    std::ofstream out(csv_path);
+    tracer.write_csv(out);
+    expect(out.good(), "timeline CSV written");
+  }
+  std::printf("wrote %zu incident(s) to %s\n", tracer.incidents().size(),
+              csv_path.c_str());
+
+  expect(tracer.incidents().size() == 3, "one incident per injected failure");
+  for (const auto& inc : tracer.incidents()) {
+    expect(obs::RecoveryTracer::spans_monotone(inc),
+           "incident spans are monotone");
+    if (inc.closed) {
+      std::printf("incident %zu %-28s injected %.4fs  recovered in %.4f ms\n",
+                  inc.id, inc.element.c_str(), inc.injected_at,
+                  (inc.recovered_at - inc.injected_at) * 1e3);
+    } else {
+      std::printf("incident %zu %-28s injected %.4fs  still open\n", inc.id,
+                  inc.element.c_str(), inc.injected_at);
+    }
+  }
+
+  // Cross-check the traced core-switch timeline against the §5.3
+  // component model: the measured control path must equal the modeled
+  // notification + decision, the circuit reset must match the
+  // technology's latency, and detection must not exceed the worst case.
+  control::LatencyModelParams model_params;
+  control::LatencyBreakdown model =
+      control::sharebackup_latency(model_params, fabric.technology());
+  const obs::RecoveryIncident* core_inc = nullptr;
+  std::string core_elem =
+      obs::element_for_node(fabric.network().node(core).name);
+  for (const auto& inc : tracer.incidents()) {
+    if (inc.element == core_elem) core_inc = &inc;
+  }
+  expect(core_inc != nullptr, "core-switch incident traced");
+  if (core_inc != nullptr) {
+    auto duration = [&](const char* stage) {
+      const obs::RecoverySpan* s = core_inc->span(stage);
+      return s != nullptr ? s->duration() : -1.0;
+    };
+    const double detection = duration("detection");
+    const double control_path =
+        duration("notification") + duration("decision") + duration("command");
+    const double reconf = duration("reconfiguration");
+    std::printf("core-switch timeline vs §5.3 model (ms):\n");
+    std::printf("  detection       %.4f (model worst case %.4f)\n",
+                detection * 1e3, model.detection * 1e3);
+    std::printf("  control path    %.4f (model %.4f)\n", control_path * 1e3,
+                (model.notification + model.decision) * 1e3);
+    std::printf("  reconfiguration %.6f (model %.6f)\n", reconf * 1e3,
+                model.reconfiguration * 1e3);
+    expect(detection >= 0.0 && detection <= model.detection + 1e-9,
+           "measured detection within the model's worst case");
+    expect(std::abs(control_path - (model.notification + model.decision)) <
+               1e-9,
+           "control path matches the model");
+    expect(std::abs(reconf - model.reconfiguration) < 1e-12,
+           "circuit reset matches the technology latency");
+    expect(core_inc->closed &&
+               std::abs((core_inc->recovered_at - core_inc->injected_at) -
+                        (detection + control_path + reconf)) < 1e-9,
+           "end-to-end recovery is the sum of its stages");
+  }
+
+  std::printf("\n--- metrics ---\n");
+  auto show = [&](const char* name) {
+    const obs::Counter* c = metrics.find_counter(name);
+    if (c != nullptr) std::printf("%-36s %llu\n", name,
+                                  static_cast<unsigned long long>(c->value()));
+  };
+  show("detector.node_probes");
+  show("detector.link_probes");
+  show("detector.misses");
+  show("detector.node_failures_reported");
+  show("detector.link_failures_reported");
+  show("controller.failovers");
+  show("controller.diagnoses");
+  show("fabric.circuit_reconfigurations");
+  if (const obs::Gauge* g = metrics.find_gauge("fabric.spare_pool")) {
+    std::printf("%-36s %.0f\n", "fabric.spare_pool", g->value());
+  }
+
+  if (failures == 0) std::printf("\ntimeline validation: OK\n");
+  return failures == 0 ? 0 : 1;
 }

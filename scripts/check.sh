@@ -51,6 +51,46 @@ cmake -B "$BUILD" -G Ninja
 cmake --build "$BUILD"
 ctest --test-dir "$BUILD" --output-on-failure
 
+# Trace smoke: the failure drill must emit a well-formed recovery
+# timeline (it exits non-zero itself when the measured spans disagree
+# with the §5.3 latency model), and the CSV must parse with monotone
+# spans per incident.
+"$BUILD"/examples/failure_drill "$BUILD/recovery_timeline.csv" >/dev/null
+python3 - "$BUILD/recovery_timeline.csv" <<'EOF'
+import csv, sys
+
+eps = 1e-9
+with open(sys.argv[1]) as f:
+    reader = csv.DictReader(f)
+    header = reader.fieldnames
+    rows = list(reader)
+
+expected = ["incident", "element", "injected_at", "recovered_at",
+            "stage", "start", "end", "duration"]
+assert header == expected, f"unexpected header: {header}"
+assert rows, "timeline CSV has no spans"
+
+prev_start = {}
+for row in rows:
+    inc = row["incident"]
+    start, end = float(row["start"]), float(row["end"])
+    assert end >= start - eps, f"span runs backwards: {row}"
+    assert start >= prev_start.get(inc, start) - eps, \
+        f"spans not monotone in incident {inc}: {row}"
+    prev_start[inc] = start
+    assert start >= float(row["injected_at"]) - eps, \
+        f"span precedes injection: {row}"
+
+stages = {}
+for row in rows:
+    stages.setdefault(row["incident"], set()).add(row["stage"])
+for inc, s in stages.items():
+    assert {"injection", "detection"} <= s, \
+        f"incident {inc} missing pipeline stages: {sorted(s)}"
+print(f"trace-smoke: {len(stages)} incident(s), {len(rows)} spans, "
+      "all monotone")
+EOF
+
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] || continue
   name="$(basename "$b")"

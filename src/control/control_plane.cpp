@@ -40,8 +40,13 @@ ControlPlane::ControlPlane(sharebackup::Fabric& fabric,
     RecoveryOutcome out = controller_.on_switch_failure(*pos);
     if (out.recovered) detector_.rearm_node(node);
     if (controller_.pending_diagnosis() > 0) {
-      queue_->schedule_in(config_.diagnosis_delay,
-                          [this] { controller_.run_pending_diagnosis(); });
+      queue_->schedule_in(config_.diagnosis_delay, [this] {
+        // Background work must not carry the stale detection timestamp:
+        // audit entries and diagnosis/restore spans are stamped with the
+        // controller clock.
+        controller_.set_time(queue_->now());
+        controller_.run_pending_diagnosis();
+      });
     }
     if (observer_) observer_(out, t);
   });
@@ -54,8 +59,10 @@ ControlPlane::ControlPlane(sharebackup::Fabric& fabric,
     RecoveryOutcome out = controller_.on_link_failure(link);
     if (out.recovered) detector_.rearm_link(link);
     if (controller_.pending_diagnosis() > 0) {
-      queue_->schedule_in(config_.diagnosis_delay,
-                          [this] { controller_.run_pending_diagnosis(); });
+      queue_->schedule_in(config_.diagnosis_delay, [this] {
+        controller_.set_time(queue_->now());
+        controller_.run_pending_diagnosis();
+      });
     }
     if (observer_) observer_(out, t);
   });

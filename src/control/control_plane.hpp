@@ -71,6 +71,19 @@ class ControlPlane {
       std::function<void(const RecoveryOutcome&, Seconds)>;
   void on_recovery(RecoveryObserver cb) { observer_ = std::move(cb); }
 
+  /// Wires one tracer through the detector (detection spans) and the
+  /// controller (control-path + background spans) so both report into
+  /// the same incidents. Pass nullptr to detach; must outlive `this`.
+  void attach_tracer(obs::RecoveryTracer* tracer) noexcept {
+    detector_.attach_tracer(tracer);
+    controller_.attach_tracer(tracer);
+  }
+  /// Wires one registry through the detector and controller counters.
+  void attach_metrics(obs::MetricsRegistry* metrics) {
+    detector_.attach_metrics(metrics);
+    controller_.attach_metrics(metrics);
+  }
+
  private:
   [[nodiscard]] bool controller_available() const;
 

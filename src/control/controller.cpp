@@ -20,6 +20,44 @@ Controller::Controller(Fabric& fabric, ControllerConfig config)
   SBK_EXPECTS(config_.watchdog_threshold >= 1);
 }
 
+void Controller::attach_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_failovers_ = m_diagnoses_ = m_watchdog_trips_ = nullptr;
+    m_pool_exhausted_ = nullptr;
+    m_control_latency_ = nullptr;
+    return;
+  }
+  m_failovers_ = &metrics->counter("controller.failovers");
+  m_diagnoses_ = &metrics->counter("controller.diagnoses");
+  m_watchdog_trips_ = &metrics->counter("controller.watchdog_trips");
+  m_pool_exhausted_ = &metrics->counter("controller.pool_exhausted");
+  m_control_latency_ = &metrics->latency("controller.control_latency");
+}
+
+std::size_t Controller::trace_recovery(const std::string& element) {
+  if (tracer_ == nullptr || !tracer_->enabled()) {
+    return obs::RecoveryTracer::kNoIncident;
+  }
+  std::size_t inc = tracer_->ensure_incident(element, now_);
+  Seconds report_done = now_ + config_.report_latency;
+  tracer_->add_span(inc, "notification", now_, report_done);
+  Seconds decided = report_done + config_.processing_latency;
+  tracer_->add_span(inc, "decision", report_done, decided);
+  Seconds commanded = decided + config_.command_latency;
+  tracer_->add_span(inc, "command", decided, commanded);
+  Seconds reconfigured =
+      commanded + sharebackup::reconfiguration_latency(fabric_->technology());
+  tracer_->add_span(inc, "reconfiguration", commanded, reconfigured);
+  if (tables_ != nullptr) {
+    // Backup tables are preloaded (§4.3); activation is a profile change
+    // that completes with the circuit reset — a point event on the
+    // timeline.
+    tracer_->add_span(inc, "table_activation", reconfigured, reconfigured);
+  }
+  tracer_->close_incident(inc, reconfigured);
+  return inc;
+}
+
 Seconds Controller::control_path_latency() const {
   return config_.report_latency + config_.processing_latency +
          config_.command_latency +
@@ -102,11 +140,13 @@ RecoveryOutcome Controller::on_switch_failure(SwitchPosition pos) {
   std::optional<Fabric::FailoverReport> report = fabric_->fail_over(pos);
   if (!report.has_value()) {
     ++stats_.recoveries_failed_pool_exhausted;
+    if (m_pool_exhausted_) m_pool_exhausted_->add();
     park_node(pos);
     outcome.detail = "backup pool exhausted for failure group";
     return outcome;
   }
   ++stats_.failovers;
+  if (m_failovers_) m_failovers_->add();
   mirror_failover(*report);
   audit("failover", fabric_->device(report->failed_device).name + " -> " +
                         fabric_->device(report->replacement).name);
@@ -114,6 +154,9 @@ RecoveryOutcome Controller::on_switch_failure(SwitchPosition pos) {
   outcome.failovers.push_back(*report);
   outcome.control_latency = control_path_latency();
   outcome.detail = "switch replaced by backup";
+  if (m_control_latency_) m_control_latency_->record(outcome.control_latency);
+  trace_recovery(obs::element_for_node(
+      fabric_->network().node(fabric_->node_at(pos)).name));
   return outcome;
 }
 
@@ -129,6 +172,7 @@ void Controller::note_link_report_for_watchdog(std::size_t cs) {
   if (count >= config_.watchdog_threshold && !watchdog_tripped_) {
     watchdog_tripped_ = true;
     ++stats_.watchdog_trips;
+    if (m_watchdog_trips_) m_watchdog_trips_->add();
     SBK_LOG_WARN("controller",
                  "suspected circuit switch failure at "
                      << fabric_->circuit_switch(cs).name() << " (" << count
@@ -150,6 +194,8 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
 
   std::optional<SwitchPosition> pos_a = fabric_->position_of_node(l.a);
   std::optional<SwitchPosition> pos_b = fabric_->position_of_node(l.b);
+  std::string element =
+      obs::element_for_link(net.node(l.a).name, net.node(l.b).name);
 
   // Re-probe before acting: an earlier recovery may already have fixed
   // this link — e.g. one sick switch rooting several simultaneous link
@@ -175,6 +221,10 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
     outcome.recovered = true;
     outcome.control_latency = control_path_latency();
     outcome.detail = "re-probe found link healthy (already repaired)";
+    if (m_control_latency_) {
+      m_control_latency_->record(outcome.control_latency);
+    }
+    trace_recovery(element);
     return outcome;
   }
 
@@ -200,11 +250,14 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
         outcome.failovers.push_back(*rb);
       }
       stats_.failovers += outcome.failovers.size();
+      if (m_failovers_) m_failovers_->add(outcome.failovers.size());
+      if (m_pool_exhausted_) m_pool_exhausted_->add();
       park_link(link);
       outcome.detail = "backup pool exhausted; link not recovered";
       return outcome;
     }
     stats_.failovers += 2;
+    if (m_failovers_) m_failovers_->add(2);
     mirror_failover(*ra);
     mirror_failover(*rb);
     audit("link-failover",
@@ -213,10 +266,14 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
     outcome.failovers = {*ra, *rb};
     fabric_->network().fail_link(link);  // idempotent if already failed
     fabric_->network().restore_link(link);
-    diagnosis_queue_.push_back(PendingDiagnosis{dev_a, dev_b, cs});
     outcome.recovered = true;
     outcome.control_latency = control_path_latency();
     outcome.detail = "both endpoints replaced; diagnosis queued";
+    if (m_control_latency_) {
+      m_control_latency_->record(outcome.control_latency);
+    }
+    diagnosis_queue_.push_back(
+        PendingDiagnosis{dev_a, dev_b, cs, trace_recovery(element)});
     return outcome;
   }
 
@@ -232,11 +289,13 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
   std::optional<Fabric::FailoverReport> report = fabric_->fail_over(*sw_pos);
   if (!report.has_value()) {
     ++stats_.recoveries_failed_pool_exhausted;
+    if (m_pool_exhausted_) m_pool_exhausted_->add();
     park_link(link);
     outcome.detail = "backup pool exhausted; host link not recovered";
     return outcome;
   }
   ++stats_.failovers;
+  if (m_failovers_) m_failovers_->add();
   mirror_failover(*report);
   outcome.failovers.push_back(*report);
 
@@ -250,10 +309,11 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
     fabric_->network().restore_link(link);
     outcome.recovered = true;
     outcome.detail = "edge switch replaced; host link recovered";
+    if (m_control_latency_) m_control_latency_->record(control_path_latency());
     // The replaced switch is presumed faulty; it can still be diagnosed
     // offline against backups (not against the host).
-    diagnosis_queue_.push_back(
-        PendingDiagnosis{old_dev, sharebackup::kNoDeviceUid, cs});
+    diagnosis_queue_.push_back(PendingDiagnosis{
+        old_dev, sharebackup::kNoDeviceUid, cs, trace_recovery(element)});
   } else {
     // Failure persists: the switch was not the problem. Redress it and
     // flag the host for troubleshooting (§4.2).
@@ -279,18 +339,31 @@ std::size_t Controller::run_pending_diagnosis() {
     diagnosis_queue_.pop_front();
     ++processed;
     ++stats_.diagnoses_run;
+    if (m_diagnoses_) m_diagnoses_->add();
+    if (tracer_ != nullptr && job.incident != obs::RecoveryTracer::kNoIncident) {
+      // The engine diagnoses instantaneously; the span marks when the
+      // background pass ran, not how long the probing took.
+      tracer_->add_span(job.incident, "diagnosis", now_, now_);
+    }
 
-    auto handle_verdict = [this](const SuspectVerdict& v) {
+    auto handle_verdict = [this, &job](const SuspectVerdict& v) {
       if (v.device == sharebackup::kNoDeviceUid) return;
       if (v.healthy) {
         fabric_->return_to_pool(v.device);
         mirror_return(v.device);
         ++stats_.switches_exonerated;
         audit("diagnosis", fabric_->device(v.device).name + " exonerated");
+        if (tracer_ != nullptr &&
+            job.incident != obs::RecoveryTracer::kNoIncident) {
+          tracer_->add_span(job.incident, "restore", now_, now_);
+        }
       } else {
         ++stats_.switches_confirmed_faulty;
         audit("diagnosis",
               fabric_->device(v.device).name + " confirmed faulty");
+        if (job.incident != obs::RecoveryTracer::kNoIncident) {
+          incident_of_faulty_[v.device] = job.incident;
+        }
       }
     };
 
@@ -313,6 +386,13 @@ void Controller::on_device_repaired(DeviceUid dev) {
   fabric_->return_to_pool(dev);
   mirror_return(dev);
   audit("repair", fabric_->device(dev).name + " healed, back in pool");
+  if (auto it = incident_of_faulty_.find(dev);
+      it != incident_of_faulty_.end()) {
+    if (tracer_ != nullptr) {
+      tracer_->add_span(it->second, "restore", now_, now_);
+    }
+    incident_of_faulty_.erase(it);
+  }
   retry_pending();
 }
 

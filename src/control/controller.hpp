@@ -21,10 +21,13 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "control/diagnosis.hpp"
 #include "control/table_manager.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recovery_tracer.hpp"
 #include "sharebackup/fabric.hpp"
 #include "util/time.hpp"
 
@@ -163,15 +166,37 @@ class Controller {
     tables_ = tables;
   }
 
+  /// Recovery-timeline spans per incident: "notification" (report
+  /// arrival), "decision", "command", "reconfiguration",
+  /// "table_activation" (when a table manager is attached), with
+  /// trailing "diagnosis" / "restore" background spans. Incidents are
+  /// correlated with the detector's through the canonical obs element
+  /// names. Pass nullptr to detach; must outlive the controller.
+  void attach_tracer(obs::RecoveryTracer* tracer) noexcept {
+    tracer_ = tracer;
+  }
+  /// Counters controller.{failovers,diagnoses,watchdog_trips,
+  /// pool_exhausted} and latency histogram controller.control_latency.
+  /// Pass nullptr to detach. The registry must outlive the controller.
+  void attach_metrics(obs::MetricsRegistry* metrics);
+
  private:
   struct PendingDiagnosis {
     sharebackup::DeviceUid a;
     sharebackup::DeviceUid b;
     std::size_t cs;
+    /// Tracer incident the diagnosed link failure belongs to.
+    std::size_t incident = obs::RecoveryTracer::kNoIncident;
   };
 
   void note_link_report_for_watchdog(std::size_t cs);
   [[nodiscard]] Seconds control_path_latency() const;
+
+  /// Records the control-path spans for a completed failover on
+  /// `element` starting at now_ and closes the incident at the
+  /// reconfiguration end. Returns the incident (kNoIncident when no
+  /// tracer is attached) so background work can append to it.
+  std::size_t trace_recovery(const std::string& element);
 
   void mirror_failover(const sharebackup::Fabric::FailoverReport& report);
   void mirror_return(sharebackup::DeviceUid dev);
@@ -196,6 +221,16 @@ class Controller {
   ControllerStats stats_;
   bool watchdog_tripped_ = false;
   Seconds now_ = 0.0;
+  obs::RecoveryTracer* tracer_ = nullptr;
+  /// Incident to attach a "restore" span to when a confirmed-faulty
+  /// device comes back via on_device_repaired().
+  std::unordered_map<sharebackup::DeviceUid, std::size_t>
+      incident_of_faulty_;
+  obs::Counter* m_failovers_ = nullptr;
+  obs::Counter* m_diagnoses_ = nullptr;
+  obs::Counter* m_watchdog_trips_ = nullptr;
+  obs::Counter* m_pool_exhausted_ = nullptr;
+  obs::LatencyHistogram* m_control_latency_ = nullptr;
 };
 
 }  // namespace sbk::control

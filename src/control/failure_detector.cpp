@@ -13,49 +13,88 @@ FailureDetector::FailureDetector(sim::EventQueue& queue,
   SBK_EXPECTS(config_.phase >= 0.0);
 }
 
+void FailureDetector::attach_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_node_probes_ = m_link_probes_ = m_misses_ = nullptr;
+    m_node_reports_ = m_link_reports_ = nullptr;
+    return;
+  }
+  m_node_probes_ = &metrics->counter("detector.node_probes");
+  m_link_probes_ = &metrics->counter("detector.link_probes");
+  m_misses_ = &metrics->counter("detector.misses");
+  m_node_reports_ = &metrics->counter("detector.node_failures_reported");
+  m_link_reports_ = &metrics->counter("detector.link_failures_reported");
+}
+
+void FailureDetector::trace_detection(const std::string& element,
+                                      Seconds first_miss,
+                                      Seconds detected_at) {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  std::size_t inc = tracer_->ensure_incident(element, first_miss);
+  // Anchor at the injection time when the injector announced itself (it
+  // precedes the first miss); otherwise the miss streak is the best
+  // observable start of the detection window.
+  Seconds start = std::min(tracer_->injected_at(inc), first_miss);
+  tracer_->add_span(inc, "detection", start, detected_at);
+}
+
 void FailureDetector::watch_node(net::NodeId node, Seconds horizon) {
-  node_misses_[node] = 0;
-  node_reported_[node] = false;
+  WatchState& w = node_watch_[node];
+  w.misses = 0;
+  w.reported = false;
+  w.horizon = horizon;
+  if (w.chain_scheduled) return;  // reuse the existing probe chain
   Seconds first = queue_->now() + config_.phase + config_.probe_interval;
   if (first <= horizon) {
-    queue_->schedule_at(first, [this, node, horizon] {
-      probe_node(node, horizon);
-    });
+    w.chain_scheduled = true;
+    queue_->schedule_at(first, [this, node] { probe_node(node); });
   }
 }
 
 void FailureDetector::watch_link(net::LinkId link, Seconds horizon) {
-  link_misses_[link] = 0;
-  link_reported_[link] = false;
+  WatchState& w = link_watch_[link];
+  w.misses = 0;
+  w.reported = false;
+  w.horizon = horizon;
+  if (w.chain_scheduled) return;  // reuse the existing probe chain
   Seconds first = queue_->now() + config_.phase + config_.probe_interval;
   if (first <= horizon) {
-    queue_->schedule_at(first, [this, link, horizon] {
-      probe_link(link, horizon);
-    });
+    w.chain_scheduled = true;
+    queue_->schedule_at(first, [this, link] { probe_link(link); });
   }
 }
 
-void FailureDetector::probe_node(net::NodeId node, Seconds horizon) {
+void FailureDetector::probe_node(net::NodeId node) {
+  WatchState& w = node_watch_[node];
+  if (m_node_probes_) m_node_probes_->add();
   // The keep-alive arrives iff the node is up.
   if (net_->node_failed(node)) {
-    int& misses = node_misses_[node];
-    ++misses;
-    if (misses >= config_.miss_threshold && !node_reported_[node]) {
-      node_reported_[node] = true;
+    if (w.misses == 0) w.first_miss = queue_->now();
+    ++w.misses;
+    if (m_misses_) m_misses_->add();
+    if (w.misses >= config_.miss_threshold && !w.reported) {
+      w.reported = true;
+      if (m_node_reports_) m_node_reports_->add();
+      trace_detection(obs::element_for_node(net_->node(node).name),
+                      w.first_miss, queue_->now());
       if (node_cb_) node_cb_(node, queue_->now());
     }
   } else {
-    node_misses_[node] = 0;
+    w.misses = 0;
   }
+  // Re-read the state: the callback may have re-watched or re-armed.
+  WatchState& w2 = node_watch_[node];
   Seconds next = queue_->now() + config_.probe_interval;
-  if (next <= horizon) {
-    queue_->schedule_at(next, [this, node, horizon] {
-      probe_node(node, horizon);
-    });
+  if (next <= w2.horizon) {
+    queue_->schedule_at(next, [this, node] { probe_node(node); });
+  } else {
+    w2.chain_scheduled = false;
   }
 }
 
-void FailureDetector::probe_link(net::LinkId link, Seconds horizon) {
+void FailureDetector::probe_link(net::LinkId link) {
+  WatchState& w = link_watch_[link];
+  if (m_link_probes_) m_link_probes_->add();
   // A link probe succeeds iff the link and both endpoints are up. A dead
   // endpoint is detected by the node keep-alives; the link path still
   // fails its probes, but a node-failure report takes precedence at the
@@ -63,31 +102,57 @@ void FailureDetector::probe_link(net::LinkId link, Seconds horizon) {
   const net::Link& l = net_->link(link);
   bool endpoints_up = !net_->node_failed(l.a) && !net_->node_failed(l.b);
   if (net_->link_failed(link) && endpoints_up) {
-    int& misses = link_misses_[link];
-    ++misses;
-    if (misses >= config_.miss_threshold && !link_reported_[link]) {
-      link_reported_[link] = true;
+    if (w.misses == 0) w.first_miss = queue_->now();
+    ++w.misses;
+    if (m_misses_) m_misses_->add();
+    if (w.misses >= config_.miss_threshold && !w.reported) {
+      w.reported = true;
+      if (m_link_reports_) m_link_reports_->add();
+      trace_detection(obs::element_for_link(net_->node(l.a).name,
+                                            net_->node(l.b).name),
+                      w.first_miss, queue_->now());
       if (link_cb_) link_cb_(link, queue_->now());
     }
   } else if (!net_->link_failed(link)) {
-    link_misses_[link] = 0;
+    w.misses = 0;
   }
+  WatchState& w2 = link_watch_[link];
   Seconds next = queue_->now() + config_.probe_interval;
-  if (next <= horizon) {
-    queue_->schedule_at(next, [this, link, horizon] {
-      probe_link(link, horizon);
-    });
+  if (next <= w2.horizon) {
+    queue_->schedule_at(next, [this, link] { probe_link(link); });
+  } else {
+    w2.chain_scheduled = false;
   }
 }
 
 void FailureDetector::rearm_node(net::NodeId node) {
-  node_misses_[node] = 0;
-  node_reported_[node] = false;
+  auto it = node_watch_.find(node);
+  if (it == node_watch_.end()) return;  // never watched: nothing to re-arm
+  WatchState& w = it->second;
+  w.misses = 0;
+  w.reported = false;
+  if (!w.chain_scheduled) {
+    Seconds next = queue_->now() + config_.probe_interval;
+    if (next <= w.horizon) {
+      w.chain_scheduled = true;
+      queue_->schedule_at(next, [this, node] { probe_node(node); });
+    }
+  }
 }
 
 void FailureDetector::rearm_link(net::LinkId link) {
-  link_misses_[link] = 0;
-  link_reported_[link] = false;
+  auto it = link_watch_.find(link);
+  if (it == link_watch_.end()) return;  // never watched: nothing to re-arm
+  WatchState& w = it->second;
+  w.misses = 0;
+  w.reported = false;
+  if (!w.chain_scheduled) {
+    Seconds next = queue_->now() + config_.probe_interval;
+    if (next <= w.horizon) {
+      w.chain_scheduled = true;
+      queue_->schedule_at(next, [this, link] { probe_link(link); });
+    }
+  }
 }
 
 }  // namespace sbk::control

@@ -5,6 +5,20 @@
 // missed probes, and the registered callback fires with the detection
 // timestamp — which the recovery-latency experiments compare against the
 // injection timestamp.
+//
+// Probe-chain contract:
+//   * watch_node/watch_link arm at most ONE probe chain per element.
+//     Re-watching a watched element resets its miss counter and
+//     reported flag and moves its horizon; it never starts a second
+//     chain (a duplicate chain would double-count misses and halve the
+//     effective detection time).
+//   * A chain expires when the next probe would land past the horizon.
+//   * rearm_node/rearm_link reset the counters for a recovered element
+//     and, if its chain has expired but the clock has not passed the
+//     horizon (e.g. the first probe was pushed past it by a large
+//     phase), reschedule probing so the element is watched again. Once
+//     now + probe_interval exceeds the horizon, re-arming keeps the
+//     element unwatched — extend coverage with a fresh watch_* call.
 #pragma once
 
 #include <functional>
@@ -13,6 +27,8 @@
 
 #include "net/ids.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recovery_tracer.hpp"
 #include "sim/event_queue.hpp"
 #include "util/time.hpp"
 
@@ -34,7 +50,8 @@ class FailureDetector {
                   DetectorConfig config);
 
   /// Starts watching a node / link. Probing events are scheduled up to
-  /// `horizon`.
+  /// `horizon`. Watching an already-watched element resets its counters
+  /// and retargets its horizon without starting a second probe chain.
   void watch_node(net::NodeId node, Seconds horizon);
   void watch_link(net::LinkId link, Seconds horizon);
 
@@ -43,23 +60,52 @@ class FailureDetector {
   void on_node_failure(NodeCallback cb) { node_cb_ = std::move(cb); }
   void on_link_failure(LinkCallback cb) { link_cb_ = std::move(cb); }
 
-  /// A recovered element is re-armed for future detections.
+  /// A recovered element is re-armed for future detections; if its probe
+  /// chain expired while the horizon is still ahead, probing resumes
+  /// (see the probe-chain contract above).
   void rearm_node(net::NodeId node);
   void rearm_link(net::LinkId link);
 
+  /// Counters: detector.node_probes / link_probes / misses /
+  /// node_failures_reported / link_failures_reported. Pass nullptr to
+  /// detach. The registry must outlive the detector.
+  void attach_metrics(obs::MetricsRegistry* metrics);
+  /// Detection spans per incident ("detection": first miss -> report,
+  /// anchored at the incident's injection time when the injector
+  /// announced it). Pass nullptr to detach; must outlive the detector.
+  void attach_tracer(obs::RecoveryTracer* tracer) noexcept {
+    tracer_ = tracer;
+  }
+
  private:
-  void probe_node(net::NodeId node, Seconds horizon);
-  void probe_link(net::LinkId link, Seconds horizon);
+  struct WatchState {
+    int misses = 0;
+    bool reported = false;
+    /// A probe event for this element is pending in the queue.
+    bool chain_scheduled = false;
+    Seconds horizon = 0.0;
+    /// Timestamp of the first miss of the current streak (span start).
+    Seconds first_miss = 0.0;
+  };
+
+  void probe_node(net::NodeId node);
+  void probe_link(net::LinkId link);
+  void trace_detection(const std::string& element, Seconds first_miss,
+                       Seconds detected_at);
 
   sim::EventQueue* queue_;
   const net::Network* net_;
   DetectorConfig config_;
-  std::unordered_map<net::NodeId, int> node_misses_;
-  std::unordered_map<net::LinkId, int> link_misses_;
-  std::unordered_map<net::NodeId, bool> node_reported_;
-  std::unordered_map<net::LinkId, bool> link_reported_;
+  std::unordered_map<net::NodeId, WatchState> node_watch_;
+  std::unordered_map<net::LinkId, WatchState> link_watch_;
   NodeCallback node_cb_;
   LinkCallback link_cb_;
+  obs::RecoveryTracer* tracer_ = nullptr;
+  obs::Counter* m_node_probes_ = nullptr;
+  obs::Counter* m_link_probes_ = nullptr;
+  obs::Counter* m_misses_ = nullptr;
+  obs::Counter* m_node_reports_ = nullptr;
+  obs::Counter* m_link_reports_ = nullptr;
 };
 
 }  // namespace sbk::control

@@ -1,5 +1,9 @@
 #include "control/recovery_latency.hpp"
 
+#include <algorithm>
+
+#include "util/assert.hpp"
+
 namespace sbk::control {
 
 namespace {
@@ -35,6 +39,12 @@ LatencyBreakdown local_reroute_latency(const LatencyModelParams& p,
 
 LatencyBreakdown global_reroute_latency(const LatencyModelParams& p,
                                         int rule_updates) {
+  SBK_EXPECTS_MSG(rule_updates >= 0,
+                  "negative rule-update counts are meaningless");
+  // Recovering by rerouting always rewrites at least one forwarding rule;
+  // a 0 request would otherwise credit the scheme with a reconfiguration
+  // *cheaper* than a single SDN update (negative per-extra-switch term).
+  rule_updates = std::max(rule_updates, 1);
   LatencyBreakdown b;
   b.scheme = "fat-tree-global";
   b.detection = detection_time(p);

@@ -50,7 +50,9 @@ struct LatencyModelParams {
 
 /// Fat-tree global rerouting: detection + failure propagation to the
 /// controller + rule updates at `rule_updates` upstream switches
-/// (sequential pipeline bound by the slowest path).
+/// (sequential pipeline bound by the slowest path). `rule_updates` must
+/// be non-negative and is clamped to at least one rule change — any
+/// reroute rewrites at least one forwarding entry.
 [[nodiscard]] LatencyBreakdown global_reroute_latency(
     const LatencyModelParams& p, int rule_updates);
 

@@ -1,0 +1,167 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+
+namespace sbk::obs {
+
+namespace {
+
+// Lookup-or-create over one instrument family. The deque keeps element
+// addresses stable across growth, which is what lets the registry hand
+// out long-lived references. `make` constructs the instrument (it runs
+// inside a MetricsRegistry member, where the private constructors are
+// accessible).
+template <typename T, typename Make>
+T& intern(std::string_view name, std::deque<T>& items,
+          std::vector<std::string>& names,
+          std::unordered_map<std::string, std::size_t>& index, Make make) {
+  auto it = index.find(std::string(name));
+  if (it != index.end()) return items[it->second];
+  items.push_back(make());
+  names.emplace_back(name);
+  index.emplace(names.back(), items.size() - 1);
+  return items.back();
+}
+
+template <typename T>
+const T* find(std::string_view name, const std::deque<T>& items,
+              const std::unordered_map<std::string, std::size_t>& index) {
+  auto it = index.find(std::string(name));
+  return it == index.end() ? nullptr : &items[it->second];
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram LatencyHistogram::histogram(std::size_t bins) const {
+  SBK_EXPECTS(bins >= 1);
+  SBK_EXPECTS_MSG(!summary_.empty(),
+                  "histogram view requires at least one sample");
+  double lo = summary_.min();
+  double hi = summary_.max();
+  if (hi <= lo) hi = lo + 1.0;  // degenerate range: one occupied bucket
+  Histogram h(lo, hi, bins);
+  for (double x : summary_.samples()) h.add(x);
+  return h;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return intern(name, counters_, counter_names_, counter_index_,
+                [this] { return Counter(&enabled_); });
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return intern(name, gauges_, gauge_names_, gauge_index_,
+                [this] { return Gauge(&enabled_); });
+}
+
+LatencyHistogram& MetricsRegistry::latency(std::string_view name) {
+  return intern(name, latencies_, latency_names_, latency_index_,
+                [this] { return LatencyHistogram(&enabled_); });
+}
+
+const Counter* MetricsRegistry::find_counter(std::string_view name) const {
+  return find(name, counters_, counter_index_);
+}
+
+const Gauge* MetricsRegistry::find_gauge(std::string_view name) const {
+  return find(name, gauges_, gauge_index_);
+}
+
+const LatencyHistogram* MetricsRegistry::find_latency(
+    std::string_view name) const {
+  return find(name, latencies_, latency_index_);
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  if (!enabled_) return;
+  for (std::size_t i = 0; i < other.counter_names_.size(); ++i) {
+    counter(other.counter_names_[i]).value_ += other.counters_[i].value_;
+  }
+  for (std::size_t i = 0; i < other.gauge_names_.size(); ++i) {
+    gauge(other.gauge_names_[i]).value_ = other.gauges_[i].value_;
+  }
+  for (std::size_t i = 0; i < other.latency_names_.size(); ++i) {
+    latency(other.latency_names_[i])
+        .summary_.merge(other.latencies_[i].summary_);
+  }
+}
+
+void MetricsRegistry::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.row({"kind", "name", "count", "sum", "mean", "min", "max", "p50",
+           "p99"});
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    csv.row({"counter", counter_names_[i],
+             CsvWriter::num(static_cast<std::size_t>(counters_[i].value())),
+             "", "", "", "", "", ""});
+  }
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    csv.row({"gauge", gauge_names_[i], "",
+             CsvWriter::num(gauges_[i].value()), "", "", "", "", ""});
+  }
+  for (std::size_t i = 0; i < latency_names_.size(); ++i) {
+    const Summary& s = latencies_[i].summary();
+    if (s.empty()) {
+      csv.row({"latency", latency_names_[i], "0", "", "", "", "", "", ""});
+      continue;
+    }
+    csv.row({"latency", latency_names_[i], CsvWriter::num(s.count()),
+             CsvWriter::num(s.sum()), CsvWriter::num(s.mean()),
+             CsvWriter::num(s.min()), CsvWriter::num(s.max()),
+             CsvWriter::num(s.percentile(50.0)),
+             CsvWriter::num(s.percentile(99.0))});
+  }
+}
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  out << "{\"counters\":{";
+  for (std::size_t i = 0; i < counter_names_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(counter_names_[i])
+        << "\":" << counters_[i].value();
+  }
+  out << "},\"gauges\":{";
+  for (std::size_t i = 0; i < gauge_names_.size(); ++i) {
+    if (i > 0) out << ",";
+    out << "\"" << json_escape(gauge_names_[i])
+        << "\":" << CsvWriter::num(gauges_[i].value());
+  }
+  out << "},\"latencies\":{";
+  for (std::size_t i = 0; i < latency_names_.size(); ++i) {
+    if (i > 0) out << ",";
+    const Summary& s = latencies_[i].summary();
+    out << "\"" << json_escape(latency_names_[i]) << "\":{\"count\":"
+        << s.count();
+    if (!s.empty()) {
+      out << ",\"sum\":" << CsvWriter::num(s.sum())
+          << ",\"mean\":" << CsvWriter::num(s.mean())
+          << ",\"min\":" << CsvWriter::num(s.min())
+          << ",\"max\":" << CsvWriter::num(s.max())
+          << ",\"p50\":" << CsvWriter::num(s.percentile(50.0))
+          << ",\"p99\":" << CsvWriter::num(s.percentile(99.0));
+    }
+    out << "}";
+  }
+  out << "}}";
+}
+
+}  // namespace sbk::obs

@@ -1,0 +1,150 @@
+// Lightweight observability: a registry of named counters, gauges, and
+// latency recorders that the simulators and the control plane report
+// through. Design goals, in order:
+//   1. Near-zero cost when disabled — every instrument keeps a pointer to
+//      its registry's enabled flag and records behind a single branch;
+//      components that hold no registry at all (the default) pay nothing.
+//   2. Deterministic aggregation — instruments are stored in insertion
+//      order, and merge() walks the other registry in that order, so
+//      merging per-scenario registries in scenario order yields the same
+//      registry regardless of how many sweep workers produced them.
+//   3. Reuse of the existing stats substrate — latency instruments are
+//      util/stats.hpp Summary accumulators (percentile queries, merge in
+//      insertion order) with an on-demand fixed-width Histogram view.
+//
+// Registries are neither copyable nor movable: instruments hand out
+// stable references into the registry, so its address must not change.
+// Store registries in a std::deque (reference-stable) when a dynamic
+// collection is needed — see sweep::SweepRunner::run_with_metrics.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace sbk::obs {
+
+class MetricsRegistry;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    if (*enabled_) value_ += n;
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const bool* enabled) noexcept : enabled_(enabled) {}
+  const bool* enabled_;
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written scalar (pool sizes, queue depths, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept {
+    if (*enabled_) value_ = v;
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const bool* enabled) noexcept : enabled_(enabled) {}
+  const bool* enabled_;
+  double value_ = 0.0;
+};
+
+/// Latency (or any duration) distribution backed by a Summary; a bucketed
+/// Histogram view is materialized on demand from the retained samples.
+class LatencyHistogram {
+ public:
+  void record(Seconds s) {
+    if (*enabled_) summary_.add(s);
+  }
+  [[nodiscard]] const Summary& summary() const noexcept { return summary_; }
+  /// Fixed-width histogram over the recorded range (see util/stats.hpp).
+  /// Requires at least one recorded sample and bins >= 1.
+  [[nodiscard]] Histogram histogram(std::size_t bins = 10) const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit LatencyHistogram(const bool* enabled) noexcept
+      : enabled_(enabled) {}
+  const bool* enabled_;
+  Summary summary_;
+};
+
+/// Insertion-ordered collection of named instruments. Lookup by name
+/// creates the instrument on first use; the returned reference stays
+/// valid for the registry's lifetime (instruments live in deques).
+class MetricsRegistry {
+ public:
+  explicit MetricsRegistry(bool enabled = true) : enabled_(enabled) {}
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+  /// Toggling applies to all instruments already handed out (they share
+  /// the registry's flag). Recorded values are retained.
+  void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] LatencyHistogram& latency(std::string_view name);
+
+  /// Read-only lookups; nullptr when the instrument was never created.
+  [[nodiscard]] const Counter* find_counter(std::string_view name) const;
+  [[nodiscard]] const Gauge* find_gauge(std::string_view name) const;
+  [[nodiscard]] const LatencyHistogram* find_latency(
+      std::string_view name) const;
+
+  /// Instrument names in insertion order.
+  [[nodiscard]] const std::vector<std::string>& counter_names() const noexcept {
+    return counter_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& gauge_names() const noexcept {
+    return gauge_names_;
+  }
+  [[nodiscard]] const std::vector<std::string>& latency_names() const noexcept {
+    return latency_names_;
+  }
+
+  /// Folds `other` into this registry: counters sum, gauges take the
+  /// other's value (last merge wins), latency summaries append the
+  /// other's samples in their insertion order. Missing instruments are
+  /// created in the other's insertion order, so a fixed merge order
+  /// (e.g. sweep scenario order) produces a registry whose layout and
+  /// contents are independent of thread scheduling. A disabled target
+  /// ignores the merge entirely.
+  void merge(const MetricsRegistry& other);
+
+  /// `kind,name,count,sum,mean,min,max,p50,p99` rows (RFC 4180 quoting
+  /// via util/csv.hpp). Counters fill count; gauges fill sum; latencies
+  /// fill every column.
+  void write_csv(std::ostream& out) const;
+  /// One JSON object: {"counters":{...},"gauges":{...},"latencies":{...}}.
+  void write_json(std::ostream& out) const;
+
+ private:
+  bool enabled_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<LatencyHistogram> latencies_;
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> latency_names_;
+  std::unordered_map<std::string, std::size_t> counter_index_;
+  std::unordered_map<std::string, std::size_t> gauge_index_;
+  std::unordered_map<std::string, std::size_t> latency_index_;
+};
+
+}  // namespace sbk::obs

@@ -394,6 +394,28 @@ void Fabric::heal_device(DeviceUid uid) {
   }
 }
 
+std::size_t Fabric::total_spares() const {
+  std::size_t total = 0;
+  for (const std::vector<Group>* groups :
+       {&edge_groups_, &agg_groups_, &core_groups_}) {
+    for (const Group& g : *groups) total += g.spare.size();
+  }
+  return total;
+}
+
+void Fabric::attach_metrics(obs::MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    m_failovers_ = m_reconfigurations_ = m_pool_returns_ = nullptr;
+    m_spare_pool_ = nullptr;
+    return;
+  }
+  m_failovers_ = &metrics->counter("fabric.failovers");
+  m_reconfigurations_ = &metrics->counter("fabric.circuit_reconfigurations");
+  m_pool_returns_ = &metrics->counter("fabric.pool_returns");
+  m_spare_pool_ = &metrics->gauge("fabric.spare_pool");
+  m_spare_pool_->set(static_cast<double>(total_spares()));
+}
+
 std::optional<Fabric::FailoverReport> Fabric::fail_over(SwitchPosition pos) {
   Group& g = group(pos.layer, topo::failure_group_of(k(), pos));
   if (g.spare.empty()) return std::nullopt;
@@ -428,6 +450,11 @@ std::optional<Fabric::FailoverReport> Fabric::fail_over(SwitchPosition pos) {
 
   // The position is now served by healthy hardware: bring its node back.
   network().restore_node(node_at(pos));
+  if (m_failovers_) m_failovers_->add();
+  if (m_reconfigurations_) {
+    m_reconfigurations_->add(report.circuit_switches_touched);
+  }
+  if (m_spare_pool_) m_spare_pool_->set(static_cast<double>(total_spares()));
   SBK_LOG_INFO("fabric", "failover at " << devices_[failed].name << " -> "
                                         << devices_[spare].name << " ("
                                         << report.circuit_switches_touched
@@ -445,6 +472,8 @@ void Fabric::return_to_pool(DeviceUid uid) {
   g.out.erase(it);
   g.spare.push_back(uid);
   device_state_[uid] = DeviceState::kSpare;
+  if (m_pool_returns_) m_pool_returns_->add();
+  if (m_spare_pool_) m_spare_pool_->set(static_cast<double>(total_spares()));
 }
 
 int Fabric::device_port_on(DeviceUid uid, std::size_t cs) const {

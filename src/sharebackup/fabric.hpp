@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "net/ids.hpp"
+#include "obs/metrics.hpp"
 #include "sharebackup/circuit_switch.hpp"
 #include "sharebackup/device.hpp"
 #include "topo/fat_tree.hpp"
@@ -154,6 +155,12 @@ class Fabric {
   /// or exoneration) — the paper's "replaced switches become backups".
   void return_to_pool(DeviceUid uid);
 
+  /// Counters fabric.{failovers,circuit_reconfigurations,pool_returns}
+  /// and gauge fabric.spare_pool (total spares across groups, seeded at
+  /// attach time and tracked incrementally). Pass nullptr to detach. The
+  /// registry must outlive the fabric.
+  void attach_metrics(obs::MetricsRegistry* metrics);
+
   // --- circuit tracing / probing (offline diagnosis support) ---------------
   /// Follows the circuit starting at `port` of switch `cs` through
   /// matchings and side-ring cables until it terminates at a device
@@ -228,6 +235,11 @@ class Fabric {
   std::size_t switch_devices_ = 0;
   /// Host device uid per global host index (hosts attach to layer-1 CS).
   std::vector<DeviceUid> host_device_;
+  [[nodiscard]] std::size_t total_spares() const;
+  obs::Counter* m_failovers_ = nullptr;
+  obs::Counter* m_reconfigurations_ = nullptr;
+  obs::Counter* m_pool_returns_ = nullptr;
+  obs::Gauge* m_spare_pool_ = nullptr;
 };
 
 }  // namespace sbk::sharebackup

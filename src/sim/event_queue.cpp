@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace sbk::sim {
@@ -7,7 +8,8 @@ namespace sbk::sim {
 void EventQueue::schedule_at(Seconds at, Callback fn) {
   SBK_EXPECTS_MSG(at >= now_, "cannot schedule into the past");
   SBK_EXPECTS(fn != nullptr);
-  heap_.push(Entry{at, next_seq_++, std::move(fn)});
+  heap_.push_back(Entry{at, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
 }
 
 void EventQueue::schedule_in(Seconds delay, Callback fn) {
@@ -17,17 +19,16 @@ void EventQueue::schedule_in(Seconds delay, Callback fn) {
 
 bool EventQueue::step() {
   if (heap_.empty()) return false;
-  // priority_queue::top is const; move via const_cast is the standard
-  // idiom-free workaround — copy the callback instead to stay clean.
-  Entry e = heap_.top();
-  heap_.pop();
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
   now_ = e.time;
   e.fn();
   return true;
 }
 
 void EventQueue::run_until(Seconds until) {
-  while (!heap_.empty() && heap_.top().time <= until) step();
+  while (!heap_.empty() && heap_.front().time <= until) step();
   now_ = std::max(now_, until);
 }
 

@@ -5,7 +5,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -47,7 +46,10 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  // Raw binary heap (push_heap/pop_heap) rather than std::priority_queue:
+  // top() is const there, which forces a copy of the std::function payload
+  // on every step. Owning the vector lets us move entries out.
+  std::vector<Entry> heap_;
   Seconds now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

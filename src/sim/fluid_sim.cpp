@@ -208,8 +208,13 @@ std::vector<FlowResult> FluidSimulator::run() {
     if (next_action < actions_.size()) {
       t_next = std::min(t_next, actions_[next_action].when);
     }
+    ++events_processed_;
     if (!active_.empty()) {
-      if (rates_dirty_) recompute_rates();
+      if (rates_dirty_) {
+        recompute_rates();
+      } else {
+        ++recompute_skips_;
+      }
       for (std::size_t idx : active_) {
         const FlowState& f = flows_[idx];
         if (f.rate > 0.0) {
@@ -304,6 +309,24 @@ std::vector<FlowResult> FluidSimulator::run() {
             [](const FlowResult& a, const FlowResult& b) {
               return a.spec.id < b.spec.id;
             });
+
+  if (metrics_ != nullptr) {
+    // One flush per run keeps the event loop identical whether or not a
+    // registry is attached (the perf-regression gate on the coflow
+    // benchmark depends on this).
+    std::size_t reroutes = 0, completed = 0, stalled = 0;
+    for (const FlowResult& r : results) {
+      reroutes += r.reroutes;
+      if (r.outcome == FlowOutcome::kCompleted) ++completed;
+      if (r.outcome == FlowOutcome::kStalledForever) ++stalled;
+    }
+    metrics_->counter("fluidsim.events").add(events_processed_);
+    metrics_->counter("fluidsim.allocation_rounds").add(allocation_rounds_);
+    metrics_->counter("fluidsim.recompute_skips").add(recompute_skips_);
+    metrics_->counter("fluidsim.reroutes").add(reroutes);
+    metrics_->counter("fluidsim.flows_completed").add(completed);
+    metrics_->counter("fluidsim.flows_stalled").add(stalled);
+  }
   return results;
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
 #include "routing/router.hpp"
 #include "sim/flow.hpp"
 #include "sim/max_min.hpp"
@@ -81,6 +82,20 @@ class FluidSimulator {
   [[nodiscard]] std::size_t allocation_rounds() const noexcept {
     return allocation_rounds_;
   }
+  /// Events whose allocation was reused because rates_dirty_ stayed
+  /// clear (the recompute-skip fast path).
+  [[nodiscard]] std::size_t recompute_skips() const noexcept {
+    return recompute_skips_;
+  }
+
+  /// Counters fluidsim.{events,allocation_rounds,recompute_skips,
+  /// reroutes,flows_completed,flows_stalled}, flushed once when run()
+  /// finishes. The hot loop keeps plain size_t tallies either way, so an
+  /// unattached simulator is byte-for-byte the same code path. Pass
+  /// nullptr to detach. The registry must outlive the simulator.
+  void attach_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
 
  private:
   struct FlowState {
@@ -114,6 +129,9 @@ class FluidSimulator {
   routing::LinkLoads loads_;
   std::vector<std::size_t> active_;
   std::size_t allocation_rounds_ = 0;
+  std::size_t recompute_skips_ = 0;
+  std::size_t events_processed_ = 0;
+  obs::MetricsRegistry* metrics_ = nullptr;
   bool ran_ = false;
   /// Set by every event that can change the allocation (arrival,
   /// completion, topology action); cleared after recompute_rates().

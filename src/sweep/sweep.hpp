@@ -13,12 +13,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <mutex>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -137,6 +139,30 @@ class SweepRunner {
     Summary out;
     for (const std::vector<double>& batch : batches) out.add_all(batch);
     return out;
+  }
+
+  /// Metrics-collecting sweep: each scenario gets a private
+  /// obs::MetricsRegistry (no cross-thread sharing), and after the sweep
+  /// the per-scenario registries are folded into `merged` in scenario
+  /// order — the same single deterministic merge run_summary uses, so
+  /// the merged registry is independent of the thread count. Registries
+  /// are reference-stable (deque) because instruments point into them.
+  /// fn: (const ScenarioSpec&, obs::MetricsRegistry&) -> R.
+  template <typename Fn>
+  auto run_with_metrics(std::size_t scenario_count,
+                        obs::MetricsRegistry& merged, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, const ScenarioSpec&,
+                                          obs::MetricsRegistry&>> {
+    std::deque<obs::MetricsRegistry> locals;
+    for (std::size_t i = 0; i < scenario_count; ++i) {
+      locals.emplace_back(merged.enabled());
+    }
+    auto results = run(scenario_count,
+                       [&fn, &locals](const ScenarioSpec& spec) {
+                         return fn(spec, locals[spec.index]);
+                       });
+    for (const obs::MetricsRegistry& local : locals) merged.merge(local);
+    return results;
   }
 
  private:

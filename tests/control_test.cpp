@@ -531,6 +531,287 @@ TEST(Detector, EndToEndDetectionPlusRecoveryIsFast) {
   EXPECT_FALSE(fabric.network().node_failed(victim));
 }
 
+TEST(Detector, DoubleWatchDoesNotDoubleCount) {
+  // Re-watching a watched node must reuse the existing probe chain. A
+  // second chain would double the probe rate (observable in the probe
+  // counter) and halve the effective detection time.
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  sim::EventQueue q;
+  DetectorConfig cfg;
+  cfg.probe_interval = milliseconds(1);
+  cfg.miss_threshold = 3;
+  FailureDetector det(q, ft.network(), cfg);
+  obs::MetricsRegistry metrics;
+  det.attach_metrics(&metrics);
+
+  net::NodeId victim = ft.edge(0, 0);
+  int reports = 0;
+  Seconds detected_at = -1.0;
+  det.on_node_failure([&](net::NodeId, Seconds t) {
+    ++reports;
+    detected_at = t;
+  });
+  const Seconds horizon = 0.05;
+  det.watch_node(victim, horizon);
+  det.watch_node(victim, horizon);  // duplicate watch: must be a no-op
+
+  Seconds crash = 0.0105;
+  q.schedule_at(crash, [&] { ft.network().fail_node(victim); });
+  q.run();
+
+  EXPECT_EQ(reports, 1);
+  // With one chain the 3rd consecutive miss lands > 2 intervals after
+  // the crash; a duplicated chain would cross the threshold in ~1.5.
+  EXPECT_GT(detected_at - crash, 2 * cfg.probe_interval);
+  // Probe count ≈ horizon/interval for a single chain (49 probes at
+  // 1 ms over 50 ms); a second chain would double it.
+  EXPECT_LE(metrics.counter("detector.node_probes").value(), 50u);
+}
+
+TEST(Detector, RearmAfterExpiredChainReschedules) {
+  // A large phase pushes the first probe past the horizon: the chain
+  // never starts. rearm must start probing as long as the clock has not
+  // passed the horizon (the pre-fix code left the element unwatched).
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  sim::EventQueue q;
+  DetectorConfig cfg;
+  cfg.probe_interval = milliseconds(1);
+  cfg.miss_threshold = 3;
+  cfg.phase = 0.2;  // first probe would land at 0.201 > horizon
+  FailureDetector det(q, ft.network(), cfg);
+
+  net::NodeId victim = ft.core(0);
+  int reports = 0;
+  det.on_node_failure([&](net::NodeId, Seconds) { ++reports; });
+  det.watch_node(victim, /*horizon=*/0.1);
+
+  q.schedule_at(0.010, [&] { ft.network().fail_node(victim); });
+  q.schedule_at(0.020, [&] { det.rearm_node(victim); });
+  q.run();
+  EXPECT_EQ(reports, 1);  // probing resumed at 0.021 and detected
+}
+
+TEST(Detector, DetectRecoverRearmDetectsSecondFailure) {
+  // Full cycle on the node channel: detect, recover + rearm, second
+  // failure of the same node detected again.
+  sharebackup::Fabric fabric(fp(4, 2));
+  Controller ctrl(fabric, ControllerConfig{});
+  sim::EventQueue q;
+  FailureDetector det(q, fabric.network(), DetectorConfig{});
+
+  SwitchPosition pos{Layer::kAgg, 0, 0};
+  net::NodeId victim = fabric.node_at(pos);
+  int reports = 0;
+  det.on_node_failure([&](net::NodeId, Seconds t) {
+    ++reports;
+    ctrl.set_time(t);
+    ASSERT_TRUE(ctrl.on_switch_failure(pos).recovered);
+    det.rearm_node(victim);
+  });
+  det.watch_node(victim, /*horizon=*/0.1);
+  q.schedule_at(0.010, [&] { fabric.network().fail_node(victim); });
+  q.schedule_at(0.050, [&] { fabric.network().fail_node(victim); });
+  q.run();
+  EXPECT_EQ(reports, 2);
+  EXPECT_EQ(ctrl.stats().failovers, 2u);
+}
+
+TEST(Detector, FlappingLinkResetsMissesBelowThreshold) {
+  // A link that recovers before miss_threshold consecutive misses must
+  // never be reported: each successful probe resets the streak.
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  sim::EventQueue q;
+  DetectorConfig cfg;
+  cfg.probe_interval = milliseconds(1);
+  cfg.miss_threshold = 3;
+  FailureDetector det(q, ft.network(), cfg);
+
+  net::NodeId edge = ft.edge(0, 0);
+  net::NodeId agg = ft.agg(0, 1);
+  net::LinkId link = *ft.network().find_link(edge, agg);
+  int reports = 0;
+  det.on_link_failure([&](net::LinkId, Seconds) { ++reports; });
+  det.watch_link(link, /*horizon=*/0.05);
+
+  // Flap twice: down for 2 probes, up for 1, down for 2, up for good.
+  q.schedule_at(0.0095, [&] { ft.network().fail_link(link); });
+  q.schedule_at(0.0115, [&] { ft.network().restore_link(link); });
+  q.schedule_at(0.0125, [&] { ft.network().fail_link(link); });
+  q.schedule_at(0.0145, [&] { ft.network().restore_link(link); });
+  q.run();
+  EXPECT_EQ(reports, 0);
+
+  // A sustained failure after the flapping still gets through.
+  sim::EventQueue q2;
+  FailureDetector det2(q2, ft.network(), cfg);
+  det2.on_link_failure([&](net::LinkId, Seconds) { ++reports; });
+  det2.watch_link(link, 0.05);
+  q2.schedule_at(0.010, [&] { ft.network().fail_link(link); });
+  q2.run();
+  EXPECT_EQ(reports, 1);
+  ft.network().clear_failures();
+}
+
+TEST(Detector, LinkMaskedByFailedEndpointReportedAfterNodeRecovery) {
+  // A failed endpoint masks link reports (the keep-alive channel owns
+  // that failure). When the endpoint recovers but the link stays dead,
+  // the link channel must take over and report.
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  sim::EventQueue q;
+  DetectorConfig cfg;
+  cfg.probe_interval = milliseconds(1);
+  cfg.miss_threshold = 3;
+  FailureDetector det(q, ft.network(), cfg);
+
+  net::NodeId edge = ft.edge(1, 0);
+  net::NodeId agg = ft.agg(1, 0);
+  net::LinkId link = *ft.network().find_link(edge, agg);
+  int link_reports = 0;
+  Seconds reported_at = -1.0;
+  det.on_link_failure([&](net::LinkId, Seconds t) {
+    ++link_reports;
+    reported_at = t;
+  });
+  det.watch_link(link, /*horizon=*/0.1);
+
+  const Seconds node_recovery = 0.030;
+  q.schedule_at(0.010, [&] {
+    ft.network().fail_node(agg);   // masks the link channel
+    ft.network().fail_link(link);  // the link is independently dead
+  });
+  q.schedule_at(node_recovery, [&] { ft.network().restore_node(agg); });
+  q.run();
+
+  EXPECT_EQ(link_reports, 1);
+  // The miss streak only starts once the endpoint is back.
+  EXPECT_GT(reported_at, node_recovery + 2 * cfg.probe_interval);
+  ft.network().clear_failures();
+}
+
+TEST(Detector, PhaseOffsetShiftsDetection) {
+  // Probes run at phase + i*interval; a nonzero phase shifts every
+  // probe, and therefore the detection timestamp, by exactly the phase.
+  // With the crash at 4.2 ms the 0.5 ms phase pulls the first miss (and
+  // hence the report) 0.5 ms EARLIER: 6.5 ms instead of 7 ms.
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  const Seconds crash = 0.0042;
+  auto detect_with_phase = [&](Seconds phase) {
+    sim::EventQueue q;
+    DetectorConfig cfg;
+    cfg.probe_interval = milliseconds(1);
+    cfg.miss_threshold = 3;
+    cfg.phase = phase;
+    FailureDetector det(q, ft.network(), cfg);
+    net::NodeId victim = ft.core(1);
+    Seconds detected_at = -1.0;
+    det.on_node_failure([&](net::NodeId, Seconds t) { detected_at = t; });
+    det.watch_node(victim, /*horizon=*/0.05);
+    q.schedule_at(crash, [&] { ft.network().fail_node(victim); });
+    q.run();
+    ft.network().clear_failures();
+    return detected_at;
+  };
+  Seconds base = detect_with_phase(0.0);
+  Seconds shifted = detect_with_phase(0.0005);
+  ASSERT_GT(base, 0.0);
+  ASSERT_GT(shifted, 0.0);
+  EXPECT_NEAR(base - shifted, 0.0005, 1e-12);
+}
+
+// --- recovery tracing through the controller -----------------------------------
+
+TEST(Controller, TracesControlPathSpansOnFailover) {
+  Fabric fabric(fp(6, 1));
+  ControllerConfig cfg;
+  Controller ctrl(fabric, cfg);
+  obs::RecoveryTracer tracer;
+  ctrl.attach_tracer(&tracer);
+
+  SwitchPosition pos{Layer::kAgg, 0, 1};
+  net::NodeId node = fabric.node_at(pos);
+  const Seconds detected = 0.003;
+  tracer.note_injection(
+      obs::element_for_node(fabric.network().node(node).name), 0.001);
+  fabric.network().fail_node(node);
+  ctrl.set_time(detected);
+  ASSERT_TRUE(ctrl.on_switch_failure(pos).recovered);
+
+  ASSERT_EQ(tracer.incidents().size(), 1u);
+  const obs::RecoveryIncident& inc = tracer.incidents()[0];
+  EXPECT_TRUE(inc.closed);
+  EXPECT_TRUE(obs::RecoveryTracer::spans_monotone(inc));
+  ASSERT_NE(inc.span("notification"), nullptr);
+  ASSERT_NE(inc.span("decision"), nullptr);
+  ASSERT_NE(inc.span("command"), nullptr);
+  ASSERT_NE(inc.span("reconfiguration"), nullptr);
+  EXPECT_DOUBLE_EQ(inc.span("notification")->start, detected);
+  EXPECT_NEAR(inc.span("notification")->duration(), cfg.report_latency, 1e-12);
+  EXPECT_NEAR(inc.span("decision")->duration(), cfg.processing_latency, 1e-12);
+  EXPECT_NEAR(inc.span("command")->duration(), cfg.command_latency, 1e-12);
+  EXPECT_NEAR(inc.span("reconfiguration")->duration(),
+              sharebackup::reconfiguration_latency(fabric.technology()),
+              1e-12);
+  EXPECT_DOUBLE_EQ(inc.recovered_at,
+                   detected + cfg.report_latency + cfg.processing_latency +
+                       cfg.command_latency +
+                       sharebackup::reconfiguration_latency(
+                           fabric.technology()));
+}
+
+TEST(Controller, TracesDiagnosisAndRestoreSpans) {
+  Fabric fabric(fp(6, 2));
+  Controller ctrl(fabric, ControllerConfig{});
+  obs::RecoveryTracer tracer;
+  ctrl.attach_tracer(&tracer);
+
+  // Link fault rooted at the edge side: that interface is sick, so the
+  // diagnosis confirms the edge device faulty (its restore span waits
+  // for repair) and exonerates the aggregation device immediately.
+  net::NodeId edge = fabric.fat_tree().edge(0, 0);
+  net::NodeId agg = fabric.fat_tree().agg(0, 0);
+  net::LinkId link = *fabric.network().find_link(edge, agg);
+  sharebackup::DeviceUid edge_dev =
+      fabric.device_at(*fabric.position_of_node(edge));
+  fabric.set_interface_health({edge_dev, fabric.cs_of_link(link)}, false);
+  fabric.network().fail_link(link);
+  ctrl.set_time(0.005);
+  ASSERT_TRUE(ctrl.on_link_failure(link).recovered);
+
+  ctrl.set_time(1.0);
+  ASSERT_EQ(ctrl.run_pending_diagnosis(), 1u);
+
+  ASSERT_EQ(tracer.incidents().size(), 1u);
+  const obs::RecoveryIncident& inc = tracer.incidents()[0];
+  EXPECT_TRUE(inc.closed);
+  ASSERT_NE(inc.span("diagnosis"), nullptr);
+  EXPECT_DOUBLE_EQ(inc.span("diagnosis")->start, 1.0);
+  ASSERT_NE(inc.span("restore"), nullptr);  // the exonerated agg device
+  const std::size_t restores_before_repair = inc.spans.size();
+
+  // Repairing the confirmed-faulty device closes the loop with a second
+  // restore span attributed to the same incident.
+  fabric.heal_device(edge_dev);
+  ctrl.set_time(2.0);
+  ctrl.on_device_repaired(edge_dev);
+  EXPECT_EQ(inc.spans.size(), restores_before_repair + 1);
+  EXPECT_DOUBLE_EQ(inc.spans.back().start, 2.0);
+  EXPECT_EQ(inc.spans.back().stage, "restore");
+  EXPECT_TRUE(obs::RecoveryTracer::spans_monotone(inc));
+}
+
+TEST(RecoveryLatency, GlobalRerouteClampsToOneRuleUpdate) {
+  LatencyModelParams p;
+  LatencyBreakdown one = global_reroute_latency(p, 1);
+  LatencyBreakdown zero = global_reroute_latency(p, 0);
+  // Zero requested updates is clamped: any reroute rewrites >= 1 rule,
+  // so the breakdown must match the single-update case (the unclamped
+  // arithmetic produced a reconfiguration *cheaper* than one update).
+  EXPECT_DOUBLE_EQ(zero.reconfiguration, one.reconfiguration);
+  EXPECT_DOUBLE_EQ(zero.reconfiguration, p.sdn_rule_update);
+  EXPECT_DOUBLE_EQ(zero.total(), one.total());
+  EXPECT_THROW((void)global_reroute_latency(p, -1), ContractViolation);
+}
+
 // --- controller cluster --------------------------------------------------------
 
 TEST(Cluster, PrimaryFailureTriggersElection) {

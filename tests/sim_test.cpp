@@ -46,6 +46,22 @@ TEST(EventQueue, RunUntilLeavesLaterEvents) {
   EXPECT_THROW(q.schedule_at(1.5, [] {}), ContractViolation);
 }
 
+TEST(EventQueue, ManyEqualTimestampsFireInInsertionOrder) {
+  // The heap breaks time ties on the insertion sequence number; a large
+  // batch at one timestamp must drain strictly FIFO (a plain binary
+  // heap without the tie-break would interleave them arbitrarily).
+  EventQueue q;
+  std::vector<int> fired;
+  constexpr int kBatch = 500;
+  for (int i = 0; i < kBatch; ++i) {
+    q.schedule_at(1.0, [&fired, i] { fired.push_back(i); });
+    q.schedule_at(2.0, [&fired, i] { fired.push_back(kBatch + i); });
+  }
+  q.run();
+  ASSERT_EQ(fired.size(), 2u * kBatch);
+  for (int i = 0; i < 2 * kBatch; ++i) EXPECT_EQ(fired[i], i);
+}
+
 TEST(EventQueue, EventsCanScheduleEvents) {
   EventQueue q;
   int depth = 0;

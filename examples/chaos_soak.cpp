@@ -1,0 +1,35 @@
+// Chaos soak driver: randomized control-plane fault schedules across
+// many seeds, with end-of-run robustness invariants checked per
+// scenario. Exits non-zero when any invariant is violated, so CI can
+// gate on it.
+//
+//   chaos_soak [scenarios] [master_seed] [k] [backups] [threads]
+//
+// Defaults: 200 scenarios, seed 1, k=4 fat-tree, 1 backup per group,
+// auto threads. A failing seed reproduces exactly with
+// run_chaos_scenario (see src/faultinject/chaos_soak.hpp).
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "faultinject/chaos_soak.hpp"
+
+int main(int argc, char** argv) {
+  sbk::faultinject::ChaosSoakConfig cfg;
+  auto arg = [&](int i, long fallback) {
+    return argc > i ? std::strtol(argv[i], nullptr, 10) : fallback;
+  };
+  cfg.scenarios = static_cast<std::size_t>(arg(1, 200));
+  cfg.master_seed = static_cast<std::uint64_t>(arg(2, 1));
+  cfg.k = static_cast<int>(arg(3, 4));
+  cfg.backups_per_group = static_cast<int>(arg(4, 1));
+  cfg.threads = static_cast<std::size_t>(arg(5, 0));
+
+  std::cout << "running " << cfg.scenarios << " chaos scenarios (seed "
+            << cfg.master_seed << ", k=" << cfg.k << ", n="
+            << cfg.backups_per_group << ")...\n";
+  sbk::faultinject::ChaosSoakReport report =
+      sbk::faultinject::run_chaos_soak(cfg);
+  std::cout << report.summary();
+  return report.clean() ? 0 : 1;
+}

@@ -2,26 +2,44 @@
 # Full local verification: configure, build, run every test, then run
 # every experiment harness (the micro-benchmarks in reduced mode).
 #
-# Usage: scripts/check.sh [--tsan | --bench-smoke] [build-dir]
+# Usage: scripts/check.sh [--tsan | --asan | --bench-smoke | --chaos-smoke]
+#        [build-dir]
 #
 #   --tsan         Configure a ThreadSanitizer build (-DSBK_SANITIZE=thread,
 #                  default dir build-tsan) and run the concurrency-heavy
 #                  sweep test suite under it instead of the full harness
 #                  sweep.
+#   --asan         Configure an ASan+UBSan build
+#                  (-DSBK_SANITIZE=address,undefined, default dir
+#                  build-asan) and run the fault-injection and
+#                  control-plane suites under it — the chaos paths
+#                  exercise the allocation-heavy recovery machinery that
+#                  ASan watches best.
 #   --bench-smoke  Build the Release tree (default dir build-bench) and run
 #                  micro_perf for a handful of iterations per benchmark —
 #                  a fast "do the benchmarks still run" check, not a
 #                  measurement. For real numbers use scripts/bench.sh.
+#   --chaos-smoke  Build examples/chaos_soak and run a fixed-seed 50-
+#                  scenario soak (deterministic, ~1 s); exits non-zero on
+#                  any invariant violation.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 TSAN=0
+ASAN=0
 BENCH_SMOKE=0
+CHAOS_SMOKE=0
 if [ "${1:-}" = "--tsan" ]; then
   TSAN=1
   shift
+elif [ "${1:-}" = "--asan" ]; then
+  ASAN=1
+  shift
 elif [ "${1:-}" = "--bench-smoke" ]; then
   BENCH_SMOKE=1
+  shift
+elif [ "${1:-}" = "--chaos-smoke" ]; then
+  CHAOS_SMOKE=1
   shift
 fi
 
@@ -31,6 +49,27 @@ if [ "$BENCH_SMOKE" = 1 ]; then
   cmake --build "$BUILD" --target micro_perf
   "$BUILD"/bench/micro_perf --benchmark_min_time=0.01
   echo "bench-smoke: micro_perf ran all benchmarks"
+  exit 0
+fi
+
+if [ "$CHAOS_SMOKE" = 1 ]; then
+  BUILD="${1:-build-chaos}"
+  cmake -B "$BUILD" -G Ninja
+  cmake --build "$BUILD" --target chaos_soak
+  # Fixed master seed: the soak is bit-identical across runs and thread
+  # counts, so a violation here is a regression, never flakiness.
+  "$BUILD"/examples/chaos_soak 50 1
+  echo "chaos-smoke: 50 scenarios clean"
+  exit 0
+fi
+
+if [ "$ASAN" = 1 ]; then
+  BUILD="${1:-build-asan}"
+  cmake -B "$BUILD" -G Ninja -DSBK_SANITIZE=address,undefined
+  cmake --build "$BUILD" --target faultinject_test control_plane_test
+  "$BUILD"/tests/faultinject_test
+  "$BUILD"/tests/control_plane_test
+  echo "asan: faultinject_test + control_plane_test clean"
   exit 0
 fi
 

@@ -5,15 +5,23 @@
 //
 // Event flow (all on the shared EventQueue):
 //   keep-alive miss ──> node-failure report ──┐
-//   link-probe miss ──> link-failure report ──┤ (dropped while no
-//                                             │  primary controller)
+//   link-probe miss ──> link-failure report ──┤ (control channel may
+//                                             │  lose/delay reports via
+//                                             │  the fault hook; reports
+//                                             │  arriving while no
+//                                             │  primary controller is
+//                                             │  up are buffered and
+//                                             │  replayed to the newly
+//                                             │  elected primary)
 //                                   controller acts: failover /
 //                                   dual-replace / host policy
 //                                             │
 //                       diagnosis scheduled after `diagnosis_delay`
-//                       (strictly background, §4.2)
+//                       (strictly background, §4.2) — including for
+//                       diagnoses queued by retried parked recoveries
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <optional>
 
@@ -37,6 +45,11 @@ struct ControlPlaneConfig {
   Seconds diagnosis_delay = 1.0;
   /// Mirror failovers into an ImpersonationStore (§4.3 tables).
   bool manage_tables = true;
+  /// Buffer failure reports that arrive while the cluster has no usable
+  /// primary and replay them once an election completes, instead of
+  /// dropping them (switches persist unacknowledged reports and re-send
+  /// to the new primary). Disable to get the historical drop behavior.
+  bool buffer_reports_during_election = true;
 };
 
 /// Everything §4 describes, assembled and self-driving.
@@ -61,15 +74,42 @@ class ControlPlane {
     return tables_ ? &*tables_ : nullptr;
   }
 
-  /// Reports dropped because no primary controller was available.
+  /// Reports dropped because no primary controller was available (only
+  /// with buffer_reports_during_election disabled, or without a cluster
+  /// to buffer for).
   [[nodiscard]] std::size_t reports_dropped() const noexcept {
     return reports_dropped_;
+  }
+  /// Reports lost on the control channel by the fault hook.
+  [[nodiscard]] std::size_t reports_lost() const noexcept {
+    return reports_lost_;
+  }
+  /// Reports buffered while the cluster had no primary.
+  [[nodiscard]] std::size_t reports_buffered() const noexcept {
+    return reports_buffered_;
+  }
+  /// Buffered reports replayed to a newly elected primary.
+  [[nodiscard]] std::size_t reports_replayed() const noexcept {
+    return reports_replayed_;
   }
 
   /// Observer hook: called after every handled failure event.
   using RecoveryObserver =
       std::function<void(const RecoveryOutcome&, Seconds)>;
   void on_recovery(RecoveryObserver cb) { observer_ = std::move(cb); }
+
+  /// Fault-injection surface for the switch->controller report channel.
+  /// Called once per report; the return value decides its fate:
+  /// nullopt = lost (never arrives; the detector's report_retry_interval
+  /// is the recovery mechanism), 0 = delivered immediately, d > 0 =
+  /// delivered after an extra delay of d seconds (delays reorder
+  /// reports relative to each other). Default: every report delivered
+  /// immediately.
+  using ReportFaultHook = std::function<std::optional<Seconds>(
+      bool is_link, std::uint64_t element, Seconds at)>;
+  void set_report_fault_hook(ReportFaultHook hook) {
+    report_fault_ = std::move(hook);
+  }
 
   /// Wires one tracer through the detector (detection spans) and the
   /// controller (control-path + background spans) so both report into
@@ -85,7 +125,21 @@ class ControlPlane {
   }
 
  private:
+  /// One failure report in flight or buffered (exactly one id is set).
+  struct Report {
+    std::optional<net::NodeId> node;
+    std::optional<net::LinkId> link;
+  };
+
   [[nodiscard]] bool controller_available() const;
+  /// Applies the report fault hook, then delivers (possibly later).
+  void deliver_report(Report r, Seconds t);
+  /// Hands an arrived report to the controller, or buffers/drops it
+  /// while the cluster is headless.
+  void handle_report(const Report& r, Seconds t);
+  void process_report(const Report& r, Seconds t);
+  void schedule_diagnosis_if_pending();
+  void replay_buffered(Seconds t);
 
   sharebackup::Fabric* fabric_;
   sim::EventQueue* queue_;
@@ -95,7 +149,12 @@ class ControlPlane {
   std::optional<ControllerCluster> cluster_;
   std::optional<TableManager> tables_;
   RecoveryObserver observer_;
+  ReportFaultHook report_fault_;
+  std::deque<Report> election_buffer_;
   std::size_t reports_dropped_ = 0;
+  std::size_t reports_lost_ = 0;
+  std::size_t reports_buffered_ = 0;
+  std::size_t reports_replayed_ = 0;
 };
 
 }  // namespace sbk::control

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "control/recovery_latency.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -18,23 +19,33 @@ Controller::Controller(Fabric& fabric, ControllerConfig config)
   SBK_EXPECTS(config_.probe_interval > 0.0);
   SBK_EXPECTS(config_.miss_threshold >= 1);
   SBK_EXPECTS(config_.watchdog_threshold >= 1);
+  SBK_EXPECTS(config_.command_max_retries >= 0);
+  SBK_EXPECTS(config_.command_timeout >= 0.0);
+  SBK_EXPECTS(config_.retry_backoff_initial >= 0.0);
+  SBK_EXPECTS(config_.retry_backoff_cap >= config_.retry_backoff_initial);
+  SBK_EXPECTS(config_.degraded_rule_updates >= 0);
 }
 
 void Controller::attach_metrics(obs::MetricsRegistry* metrics) {
   if (metrics == nullptr) {
     m_failovers_ = m_diagnoses_ = m_watchdog_trips_ = nullptr;
-    m_pool_exhausted_ = nullptr;
-    m_control_latency_ = nullptr;
+    m_pool_exhausted_ = m_retries_ = m_degraded_ = m_requeued_ = nullptr;
+    m_control_latency_ = m_degraded_latency_ = nullptr;
     return;
   }
   m_failovers_ = &metrics->counter("controller.failovers");
   m_diagnoses_ = &metrics->counter("controller.diagnoses");
   m_watchdog_trips_ = &metrics->counter("controller.watchdog_trips");
   m_pool_exhausted_ = &metrics->counter("controller.pool_exhausted");
+  m_retries_ = &metrics->counter("controller.retries");
+  m_degraded_ = &metrics->counter("controller.degraded_reroutes");
+  m_requeued_ = &metrics->counter("controller.requeued");
   m_control_latency_ = &metrics->latency("controller.control_latency");
+  m_degraded_latency_ = &metrics->latency("controller.degraded_latency");
 }
 
-std::size_t Controller::trace_recovery(const std::string& element) {
+std::size_t Controller::trace_recovery(const std::string& element,
+                                       Seconds command_penalty) {
   if (tracer_ == nullptr || !tracer_->enabled()) {
     return obs::RecoveryTracer::kNoIncident;
   }
@@ -43,7 +54,7 @@ std::size_t Controller::trace_recovery(const std::string& element) {
   tracer_->add_span(inc, "notification", now_, report_done);
   Seconds decided = report_done + config_.processing_latency;
   tracer_->add_span(inc, "decision", report_done, decided);
-  Seconds commanded = decided + config_.command_latency;
+  Seconds commanded = decided + config_.command_latency + command_penalty;
   tracer_->add_span(inc, "command", decided, commanded);
   Seconds reconfigured =
       commanded + sharebackup::reconfiguration_latency(fabric_->technology());
@@ -70,6 +81,114 @@ Seconds Controller::end_to_end_recovery_latency() const {
   Seconds detection =
       static_cast<double>(config_.miss_threshold) * config_.probe_interval;
   return detection + control_path_latency();
+}
+
+Seconds Controller::degraded_reroute_latency() const {
+  LatencyModelParams p;
+  p.probe_interval = config_.probe_interval;
+  p.miss_threshold = config_.miss_threshold;
+  p.control_channel_one_way = config_.report_latency;
+  p.controller_processing = config_.processing_latency;
+  LatencyBreakdown b =
+      global_reroute_latency(p, config_.degraded_rule_updates);
+  // Detection already happened by the time recovery degrades; charge
+  // only the post-detection reroute pipeline.
+  return b.total() - b.detection;
+}
+
+Controller::CommandOutcome Controller::execute_failover(
+    sharebackup::SwitchPosition pos) {
+  CommandOutcome co;
+  Seconds backoff = config_.retry_backoff_initial;
+  bool applied = false;
+  for (int attempt = 0; attempt <= config_.command_max_retries; ++attempt) {
+    CommandStatus st = command_fault_ ? command_fault_(pos, attempt)
+                                      : CommandStatus::kAck;
+    bool applies = st == CommandStatus::kAck ||
+                   st == CommandStatus::kTimeoutApplied;
+    if (applies && !applied) {
+      // The command reached the circuit switches: swap in spares until
+      // one is verified alive (a dead-on-arrival backup cascades to the
+      // next spare; the DOA unit goes out of service like any casualty).
+      std::optional<Fabric::FailoverReport> rep = fabric_->fail_over(pos);
+      if (!rep.has_value()) {
+        co.pool_exhausted = true;
+        return co;
+      }
+      while (!fabric_->device_interfaces_healthy(rep->replacement)) {
+        co.doa_cascade.push_back(*rep);
+        ++co.retries;
+        ++stats_.doa_backups;
+        audit("doa-backup", fabric_->device(rep->replacement).name +
+                                " dead on arrival; cascading to next spare");
+        fabric_->network().fail_node(fabric_->node_at(pos));
+        rep = fabric_->fail_over(pos);
+        if (!rep.has_value()) {
+          co.pool_exhausted = true;
+          return co;
+        }
+      }
+      applied = true;
+      co.report = rep;
+    }
+    if (st == CommandStatus::kAck) {
+      // Commands are idempotent: an ack for a re-sent command after a
+      // lost ack confirms the reconfiguration already in effect.
+      return co;
+    }
+    // No ack this round: charge the penalty, back off, re-send.
+    ++co.retries;
+    co.retry_penalty += st == CommandStatus::kNack
+                            ? 2.0 * config_.command_latency
+                            : config_.command_timeout;
+    if (attempt < config_.command_max_retries) {
+      co.retry_penalty += backoff;
+      backoff = std::min(2.0 * backoff, config_.retry_backoff_cap);
+    }
+  }
+  if (applied) {
+    // Retries spent, but the reconfiguration is physically in effect
+    // (every ack was lost): the position is recovered; keep the result.
+    audit("command-unacked",
+          "reconfiguration applied but never acknowledged");
+    return co;
+  }
+  co.retries_exhausted = true;
+  return co;
+}
+
+void Controller::account_command(const CommandOutcome& co,
+                                 RecoveryOutcome& outcome) {
+  stats_.retries += co.retries;
+  if (m_retries_ && co.retries > 0) m_retries_->add(co.retries);
+  outcome.retries += co.retries;
+  for (const Fabric::FailoverReport& rep : co.doa_cascade) {
+    ++stats_.failovers;
+    if (m_failovers_) m_failovers_->add();
+    mirror_failover(rep);
+    outcome.failovers.push_back(rep);
+  }
+}
+
+void Controller::degrade(RecoveryOutcome& outcome, const std::string& element,
+                         const char* cause) {
+  ++stats_.degraded_reroutes;
+  if (m_degraded_) m_degraded_->add();
+  outcome.degraded = true;
+  outcome.recovered = false;
+  outcome.degraded_latency = degraded_reroute_latency();
+  if (m_degraded_latency_) {
+    m_degraded_latency_->record(outcome.degraded_latency);
+  }
+  outcome.detail = std::string(cause) + "; degraded to global reroute";
+  audit("degraded", element + ": " + cause);
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // The incident stays open: the element is routed around, not
+    // recovered; a later hardware re-attempt closes it.
+    std::size_t inc = tracer_->ensure_incident(element, now_);
+    tracer_->add_span(inc, "degraded_reroute", now_,
+                      now_ + outcome.degraded_latency);
+  }
 }
 
 void Controller::mirror_failover(
@@ -109,6 +228,8 @@ void Controller::retry_pending() {
 
   for (SwitchPosition pos : nodes) {
     if (!fabric_->network().node_failed(fabric_->node_at(pos))) continue;
+    ++stats_.requeued;
+    if (m_requeued_) m_requeued_->add();
     RecoveryOutcome out = on_switch_failure(pos);
     if (retry_listener_) {
       retry_listener_(out, fabric_->node_at(pos), std::nullopt);
@@ -116,16 +237,30 @@ void Controller::retry_pending() {
   }
   for (net::LinkId link : links) {
     if (!fabric_->network().link_failed(link)) continue;
+    ++stats_.requeued;
+    if (m_requeued_) m_requeued_->add();
     RecoveryOutcome out = on_link_failure(link);
     if (retry_listener_) retry_listener_(out, std::nullopt, link);
   }
   retrying_ = false;
 }
 
+void Controller::acknowledge_intervention() {
+  watchdog_tripped_ = false;
+  // Start the watchdog window fresh: the serviced circuit switch's old
+  // report burst must not immediately re-trip it.
+  recent_link_reports_.clear();
+  // Failures parked while recovery was halted get their turn now.
+  retry_pending();
+}
+
 RecoveryOutcome Controller::on_switch_failure(SwitchPosition pos) {
   RecoveryOutcome outcome;
   ++stats_.node_failures_handled;
   if (watchdog_tripped_) {
+    // Parked, not lost: the failure is re-attempted when the operator
+    // acknowledges the intervention.
+    park_node(pos);
     outcome.detail = "watchdog tripped: awaiting human intervention";
     return outcome;
   }
@@ -137,38 +272,53 @@ RecoveryOutcome Controller::on_switch_failure(SwitchPosition pos) {
     outcome.detail = "stale report: position already healthy";
     return outcome;
   }
-  std::optional<Fabric::FailoverReport> report = fabric_->fail_over(pos);
-  if (!report.has_value()) {
-    ++stats_.recoveries_failed_pool_exhausted;
-    if (m_pool_exhausted_) m_pool_exhausted_->add();
+  std::string element = obs::element_for_node(
+      fabric_->network().node(fabric_->node_at(pos)).name);
+  CommandOutcome co = execute_failover(pos);
+  account_command(co, outcome);
+  if (!co.report.has_value()) {
+    if (co.pool_exhausted) {
+      ++stats_.recoveries_failed_pool_exhausted;
+      if (m_pool_exhausted_) m_pool_exhausted_->add();
+    } else {
+      ++stats_.retries_exhausted;
+    }
     park_node(pos);
-    outcome.detail = "backup pool exhausted for failure group";
+    degrade(outcome, element,
+            co.pool_exhausted ? "backup pool exhausted for failure group"
+                              : "reconfiguration command retries exhausted");
     return outcome;
   }
+  const Fabric::FailoverReport& report = *co.report;
   ++stats_.failovers;
   if (m_failovers_) m_failovers_->add();
-  mirror_failover(*report);
-  audit("failover", fabric_->device(report->failed_device).name + " -> " +
-                        fabric_->device(report->replacement).name);
+  mirror_failover(report);
+  audit("failover", fabric_->device(report.failed_device).name + " -> " +
+                        fabric_->device(report.replacement).name);
   outcome.recovered = true;
-  outcome.failovers.push_back(*report);
-  outcome.control_latency = control_path_latency();
+  outcome.failovers.push_back(report);
+  outcome.control_latency = control_path_latency() + co.retry_penalty;
   outcome.detail = "switch replaced by backup";
   if (m_control_latency_) m_control_latency_->record(outcome.control_latency);
-  trace_recovery(obs::element_for_node(
-      fabric_->network().node(fabric_->node_at(pos)).name));
+  trace_recovery(element, co.retry_penalty);
   return outcome;
 }
 
-void Controller::note_link_report_for_watchdog(std::size_t cs) {
-  recent_link_reports_.emplace_back(now_, cs);
+void Controller::note_link_report_for_watchdog(std::size_t cs,
+                                               net::LinkId link) {
+  // One entry per link: a re-transmitted report (detector re-reports,
+  // retried recoveries) refreshes the timestamp instead of inflating the
+  // count — the §5.1 signature is many *distinct* links at one switch.
+  std::erase_if(recent_link_reports_,
+                [link](const LinkReport& r) { return r.link == link; });
+  recent_link_reports_.push_back(LinkReport{now_, cs, link});
   // Evict reports that fell out of the window, then count this switch's.
   Seconds cutoff = now_ - config_.watchdog_window;
   std::erase_if(recent_link_reports_,
-                [cutoff](const auto& r) { return r.first < cutoff; });
+                [cutoff](const LinkReport& r) { return r.at < cutoff; });
   std::size_t count = static_cast<std::size_t>(
       std::count_if(recent_link_reports_.begin(), recent_link_reports_.end(),
-                    [cs](const auto& r) { return r.second == cs; }));
+                    [cs](const LinkReport& r) { return r.cs == cs; }));
   if (count >= config_.watchdog_threshold && !watchdog_tripped_) {
     watchdog_tripped_ = true;
     ++stats_.watchdog_trips;
@@ -186,8 +336,10 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
   const net::Network& net = fabric_->network();
   const net::Link& l = net.link(link);
   std::size_t cs = fabric_->cs_of_link(link);
-  note_link_report_for_watchdog(cs);
+  note_link_report_for_watchdog(cs, link);
   if (watchdog_tripped_) {
+    // Parked, not lost: re-attempted on acknowledge_intervention().
+    park_link(link);
     outcome.detail = "watchdog tripped: awaiting human intervention";
     return outcome;
   }
@@ -234,46 +386,58 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
     ++stats_.link_failures_handled;
     DeviceUid dev_a = fabric_->device_at(*pos_a);
     DeviceUid dev_b = fabric_->device_at(*pos_b);
-    std::optional<Fabric::FailoverReport> ra = fabric_->fail_over(*pos_a);
-    std::optional<Fabric::FailoverReport> rb = fabric_->fail_over(*pos_b);
-    if (!ra.has_value() || !rb.has_value()) {
+    CommandOutcome ca = execute_failover(*pos_a);
+    account_command(ca, outcome);
+    CommandOutcome cb = execute_failover(*pos_b);
+    account_command(cb, outcome);
+    if (!ca.report.has_value() || !cb.report.has_value()) {
       // Roll back nothing: a half-recovered link keeps its replacement
       // (harmless — the new switch serves the position fine); but the
       // link cannot be restored without both ends replaced.
-      ++stats_.recoveries_failed_pool_exhausted;
-      if (ra.has_value()) {
-        mirror_failover(*ra);
-        outcome.failovers.push_back(*ra);
+      bool pool = ca.pool_exhausted || cb.pool_exhausted;
+      if (pool) {
+        ++stats_.recoveries_failed_pool_exhausted;
+        if (m_pool_exhausted_) m_pool_exhausted_->add();
+      } else {
+        ++stats_.retries_exhausted;
       }
-      if (rb.has_value()) {
-        mirror_failover(*rb);
-        outcome.failovers.push_back(*rb);
+      std::size_t applied = 0;
+      for (const CommandOutcome* c : {&ca, &cb}) {
+        if (!c->report.has_value()) continue;
+        mirror_failover(*c->report);
+        outcome.failovers.push_back(*c->report);
+        ++applied;
       }
-      stats_.failovers += outcome.failovers.size();
-      if (m_failovers_) m_failovers_->add(outcome.failovers.size());
-      if (m_pool_exhausted_) m_pool_exhausted_->add();
+      stats_.failovers += applied;
+      if (m_failovers_ && applied > 0) m_failovers_->add(applied);
       park_link(link);
-      outcome.detail = "backup pool exhausted; link not recovered";
+      degrade(outcome, element,
+              pool ? "backup pool exhausted; link not recovered"
+                   : "reconfiguration command retries exhausted");
       return outcome;
     }
     stats_.failovers += 2;
     if (m_failovers_) m_failovers_->add(2);
-    mirror_failover(*ra);
-    mirror_failover(*rb);
+    mirror_failover(*ca.report);
+    mirror_failover(*cb.report);
     audit("link-failover",
-          fabric_->device(ra->failed_device).name + " & " +
-              fabric_->device(rb->failed_device).name + " replaced");
-    outcome.failovers = {*ra, *rb};
+          fabric_->device(ca.report->failed_device).name + " & " +
+              fabric_->device(cb.report->failed_device).name + " replaced");
+    outcome.failovers.push_back(*ca.report);
+    outcome.failovers.push_back(*cb.report);
     fabric_->network().fail_link(link);  // idempotent if already failed
     fabric_->network().restore_link(link);
     outcome.recovered = true;
-    outcome.control_latency = control_path_latency();
+    outcome.control_latency =
+        control_path_latency() + ca.retry_penalty + cb.retry_penalty;
     outcome.detail = "both endpoints replaced; diagnosis queued";
     if (m_control_latency_) {
       m_control_latency_->record(outcome.control_latency);
     }
-    diagnosis_queue_.push_back(
-        PendingDiagnosis{dev_a, dev_b, cs, trace_recovery(element)});
+    diagnosis_queue_.push_back(PendingDiagnosis{
+        dev_a, dev_b, cs,
+        trace_recovery(element, ca.retry_penalty + cb.retry_penalty),
+        now_});
     return outcome;
   }
 
@@ -286,18 +450,27 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
   net::NodeId host = pos_a.has_value() ? l.b : l.a;
 
   DeviceUid old_dev = fabric_->device_at(*sw_pos);
-  std::optional<Fabric::FailoverReport> report = fabric_->fail_over(*sw_pos);
-  if (!report.has_value()) {
-    ++stats_.recoveries_failed_pool_exhausted;
-    if (m_pool_exhausted_) m_pool_exhausted_->add();
+  CommandOutcome ch = execute_failover(*sw_pos);
+  account_command(ch, outcome);
+  if (!ch.report.has_value()) {
+    if (ch.pool_exhausted) {
+      ++stats_.recoveries_failed_pool_exhausted;
+      if (m_pool_exhausted_) m_pool_exhausted_->add();
+    } else {
+      ++stats_.retries_exhausted;
+    }
     park_link(link);
-    outcome.detail = "backup pool exhausted; host link not recovered";
+    degrade(outcome, element,
+            ch.pool_exhausted
+                ? "backup pool exhausted; host link not recovered"
+                : "reconfiguration command retries exhausted");
     return outcome;
   }
+  const Fabric::FailoverReport& report = *ch.report;
   ++stats_.failovers;
   if (m_failovers_) m_failovers_->add();
-  mirror_failover(*report);
-  outcome.failovers.push_back(*report);
+  mirror_failover(report);
+  outcome.failovers.push_back(report);
 
   // Re-test the link with the fresh switch: if the host side is at
   // fault, the failure persists.
@@ -309,11 +482,14 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
     fabric_->network().restore_link(link);
     outcome.recovered = true;
     outcome.detail = "edge switch replaced; host link recovered";
-    if (m_control_latency_) m_control_latency_->record(control_path_latency());
+    if (m_control_latency_) {
+      m_control_latency_->record(control_path_latency() + ch.retry_penalty);
+    }
     // The replaced switch is presumed faulty; it can still be diagnosed
     // offline against backups (not against the host).
     diagnosis_queue_.push_back(PendingDiagnosis{
-        old_dev, sharebackup::kNoDeviceUid, cs, trace_recovery(element)});
+        old_dev, sharebackup::kNoDeviceUid, cs,
+        trace_recovery(element, ch.retry_penalty), now_});
   } else {
     // Failure persists: the switch was not the problem. Redress it and
     // flag the host for troubleshooting (§4.2).
@@ -328,13 +504,19 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
     outcome.recovered = false;
     outcome.detail = "failure persists after replacement: host flagged";
   }
-  outcome.control_latency = control_path_latency();
+  outcome.control_latency = control_path_latency() + ch.retry_penalty;
   return outcome;
 }
 
-std::size_t Controller::run_pending_diagnosis() {
+std::size_t Controller::run_pending_diagnosis(Seconds queued_before) {
   std::size_t processed = 0;
-  while (!diagnosis_queue_.empty()) {
+  // Queue times are monotone, so stopping at the first too-new job
+  // processes exactly the jobs queued before the cutoff. Jobs queued by
+  // this pass's own side effects (an exoneration refills a pool, a
+  // parked recovery retries and queues a fresh diagnosis) wait for
+  // their own background pass when the caller supplies a cutoff.
+  while (!diagnosis_queue_.empty() &&
+         diagnosis_queue_.front().queued_at < queued_before) {
     PendingDiagnosis job = diagnosis_queue_.front();
     diagnosis_queue_.pop_front();
     ++processed;
@@ -367,14 +549,26 @@ std::size_t Controller::run_pending_diagnosis() {
       }
     };
 
-    if (job.b == sharebackup::kNoDeviceUid) {
-      SuspectVerdict v = engine_.diagnose_interface(job.a, job.cs);
-      handle_verdict(v);
-    } else {
+    // A queued suspect may have left the out-of-service list before the
+    // background pass ran (repaired by a technician, exonerated by an
+    // earlier job, or returned to the pool under chaos): only devices
+    // still out can be probed offline.
+    auto diagnosable = [this](DeviceUid d) {
+      return d != sharebackup::kNoDeviceUid &&
+             fabric_->device_state(d) == DeviceState::kOut;
+    };
+    bool a_ok = diagnosable(job.a);
+    bool b_ok = diagnosable(job.b);
+    if (a_ok && b_ok) {
       DiagnosisResult r = engine_.diagnose_link(job.a, job.b, job.cs);
       handle_verdict(r.first);
       handle_verdict(r.second);
+    } else if (a_ok || b_ok) {
+      SuspectVerdict v =
+          engine_.diagnose_interface(a_ok ? job.a : job.b, job.cs);
+      handle_verdict(v);
     }
+    // Neither side still out: nothing left to probe.
   }
   if (processed > 0) retry_pending();
   return processed;

@@ -19,6 +19,7 @@
 
 #include <deque>
 #include <functional>
+#include <limits>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -49,6 +50,30 @@ struct ControllerConfig {
   /// window before recovery halts and humans are paged (§5.1).
   std::size_t watchdog_threshold = 4;
   Seconds watchdog_window = 1.0;
+
+  // --- reconfiguration-command reliability -------------------------------
+  /// Re-sends of a reconfiguration command after the first attempt before
+  /// the controller stops waiting on hardware and degrades to rerouting.
+  int command_max_retries = 4;
+  /// Latency charged for a command whose ack never arrives.
+  Seconds command_timeout = milliseconds(1);
+  /// Retry backoff: starts at the initial value, doubles per retry, and
+  /// is capped (capped exponential backoff).
+  Seconds retry_backoff_initial = microseconds(200);
+  Seconds retry_backoff_cap = milliseconds(2);
+  /// Upstream forwarding-rule updates charged to a degraded recovery (the
+  /// §5.3 global-reroute path taken when no backup can be installed).
+  int degraded_rule_updates = 2;
+};
+
+/// Outcome of delivering one reconfiguration command to the failure
+/// group's circuit switches. The default control channel always acks;
+/// fault injection substitutes the other statuses.
+enum class CommandStatus {
+  kAck,             ///< delivered, applied, ack received
+  kNack,            ///< rejected by the circuit switch; not applied
+  kTimeoutLost,     ///< lost in flight; not applied, no ack
+  kTimeoutApplied,  ///< applied, but the ack was lost
 };
 
 /// What the controller did about one failure event.
@@ -57,8 +82,18 @@ struct RecoveryOutcome {
   /// Failovers executed (2 for a switch-switch link failure).
   std::vector<sharebackup::Fabric::FailoverReport> failovers;
   /// Report arrival to circuits reconfigured (excludes detection time;
-  /// see RecoveryLatencyModel for end-to-end numbers).
+  /// see RecoveryLatencyModel for end-to-end numbers). Includes retry
+  /// penalties when the command channel misbehaved.
   Seconds control_latency = 0.0;
+  /// The failure could not be recovered by backup hardware (pool empty
+  /// or command retries spent) and traffic falls back to the global
+  /// reroute path; the element stays failed and is parked for a hardware
+  /// re-attempt when a pool refills.
+  bool degraded = false;
+  /// Post-detection latency of the degraded reroute (0 when !degraded).
+  Seconds degraded_latency = 0.0;
+  /// Command re-sends plus dead-on-arrival backup cascades spent here.
+  std::size_t retries = 0;
   std::string detail;
 };
 
@@ -82,6 +117,17 @@ struct ControllerStats {
   std::size_t switches_confirmed_faulty = 0;
   std::size_t hosts_flagged = 0;
   std::size_t watchdog_trips = 0;
+  /// Command re-sends (NACK / timeout) plus dead-on-arrival cascades.
+  std::size_t retries = 0;
+  /// Backups that were dead on arrival and cascaded to the next spare.
+  std::size_t doa_backups = 0;
+  /// Recoveries abandoned because command retries were spent.
+  std::size_t retries_exhausted = 0;
+  /// Failures degraded to the global-reroute path (pool empty or
+  /// retries spent); these stay parked for a hardware re-attempt.
+  std::size_t degraded_reroutes = 0;
+  /// Parked failures re-queued for recovery (pool refill, watchdog ack).
+  std::size_t requeued = 0;
 };
 
 class Controller {
@@ -104,9 +150,15 @@ class Controller {
   RecoveryOutcome on_link_failure(net::LinkId link);
 
   // --- background work --------------------------------------------------------
-  /// Runs all queued offline diagnoses; exonerated devices return to
-  /// their pools. Returns the number processed.
-  std::size_t run_pending_diagnosis();
+  /// Runs queued offline diagnoses; exonerated devices return to their
+  /// pools. Returns the number processed. `queued_before` restricts the
+  /// pass to jobs queued strictly earlier (the ControlPlane uses it so
+  /// every job waits its full diagnosis_delay in the background — a
+  /// drain must not sweep up work queued this very instant by a retried
+  /// recovery); the default processes everything, including jobs queued
+  /// by the pass's own pool-refill retries.
+  std::size_t run_pending_diagnosis(
+      Seconds queued_before = std::numeric_limits<Seconds>::infinity());
   [[nodiscard]] std::size_t pending_diagnosis() const noexcept {
     return diagnosis_queue_.size();
   }
@@ -128,14 +180,39 @@ class Controller {
   [[nodiscard]] std::size_t pending_recoveries() const noexcept {
     return pending_nodes_.size() + pending_links_.size();
   }
+  [[nodiscard]] const std::vector<sharebackup::SwitchPosition>&
+  pending_node_recoveries() const noexcept {
+    return pending_nodes_;
+  }
+  [[nodiscard]] const std::vector<net::LinkId>& pending_link_recoveries()
+      const noexcept {
+    return pending_links_;
+  }
+  /// Re-attempts parked recoveries now. Normally retries fire
+  /// automatically on pool returns / watchdog acknowledgment; the chaos
+  /// soak's operator tick also drives this directly.
+  void retry_parked() { retry_pending(); }
+
+  /// Fault-injection surface for the controller->circuit-switch command
+  /// channel: called once per (position, attempt) and returns what
+  /// happened to that command. Commands are idempotent, so a re-send
+  /// after kTimeoutApplied is acked without a second reconfiguration.
+  /// Default (no hook): every command acks on the first attempt.
+  using CommandFaultHook =
+      std::function<CommandStatus(sharebackup::SwitchPosition pos,
+                                  int attempt)>;
+  void set_command_fault_hook(CommandFaultHook hook) {
+    command_fault_ = std::move(hook);
+  }
 
   // --- watchdog / status -------------------------------------------------------
   [[nodiscard]] bool human_intervention_required() const noexcept {
     return watchdog_tripped_;
   }
   /// Clears the watchdog after manual service (e.g. circuit switch
-  /// rebooted and re-synced from the controller).
-  void acknowledge_intervention() noexcept { watchdog_tripped_ = false; }
+  /// rebooted and re-synced from the controller) and re-attempts the
+  /// failures parked while recovery was halted.
+  void acknowledge_intervention();
 
   [[nodiscard]] const ControllerStats& stats() const noexcept {
     return stats_;
@@ -176,7 +253,8 @@ class Controller {
     tracer_ = tracer;
   }
   /// Counters controller.{failovers,diagnoses,watchdog_trips,
-  /// pool_exhausted} and latency histogram controller.control_latency.
+  /// pool_exhausted,retries,degraded_reroutes,requeued} and latency
+  /// histograms controller.{control_latency,degraded_latency}.
   /// Pass nullptr to detach. The registry must outlive the controller.
   void attach_metrics(obs::MetricsRegistry* metrics);
 
@@ -187,16 +265,45 @@ class Controller {
     std::size_t cs;
     /// Tracer incident the diagnosed link failure belongs to.
     std::size_t incident = obs::RecoveryTracer::kNoIncident;
+    /// When the job was queued (run_pending_diagnosis cutoff).
+    Seconds queued_at = 0.0;
   };
 
-  void note_link_report_for_watchdog(std::size_t cs);
+  /// Result of pushing one reconfiguration command through the (possibly
+  /// faulty) command channel, retries and DOA cascades included.
+  struct CommandOutcome {
+    /// The verified-healthy failover, absent on pool/retry exhaustion.
+    std::optional<sharebackup::Fabric::FailoverReport> report;
+    /// Failovers whose replacement was dead on arrival (each consumed a
+    /// spare and reconfigured circuits before cascading onward).
+    std::vector<sharebackup::Fabric::FailoverReport> doa_cascade;
+    Seconds retry_penalty = 0.0;
+    std::size_t retries = 0;
+    bool retries_exhausted = false;
+    bool pool_exhausted = false;
+  };
+  [[nodiscard]] CommandOutcome execute_failover(
+      sharebackup::SwitchPosition pos);
+  /// Folds a CommandOutcome's retries and DOA-cascade failovers into the
+  /// stats, metrics, table mirror and the RecoveryOutcome.
+  void account_command(const CommandOutcome& co, RecoveryOutcome& outcome);
+  /// Marks an unrecoverable failure as degraded to the global-reroute
+  /// path (latency model, counters, tracer span, audit).
+  void degrade(RecoveryOutcome& outcome, const std::string& element,
+               const char* cause);
+  [[nodiscard]] Seconds degraded_reroute_latency() const;
+
+  void note_link_report_for_watchdog(std::size_t cs, net::LinkId link);
   [[nodiscard]] Seconds control_path_latency() const;
 
   /// Records the control-path spans for a completed failover on
   /// `element` starting at now_ and closes the incident at the
-  /// reconfiguration end. Returns the incident (kNoIncident when no
-  /// tracer is attached) so background work can append to it.
-  std::size_t trace_recovery(const std::string& element);
+  /// reconfiguration end. `command_penalty` stretches the command span
+  /// by the retry penalty actually paid. Returns the incident
+  /// (kNoIncident when no tracer is attached) so background work can
+  /// append to it.
+  std::size_t trace_recovery(const std::string& element,
+                             Seconds command_penalty = 0.0);
 
   void mirror_failover(const sharebackup::Fabric::FailoverReport& report);
   void mirror_return(sharebackup::DeviceUid dev);
@@ -215,7 +322,16 @@ class Controller {
   std::vector<net::LinkId> pending_links_;
   RetryListener retry_listener_;
   bool retrying_ = false;
-  std::vector<std::pair<Seconds, std::size_t>> recent_link_reports_;
+  CommandFaultHook command_fault_;
+  /// (report time, circuit switch, link): the watchdog counts *distinct*
+  /// sick links per circuit switch, so re-transmitted reports of one
+  /// link cannot trip it.
+  struct LinkReport {
+    Seconds at;
+    std::size_t cs;
+    net::LinkId link;
+  };
+  std::vector<LinkReport> recent_link_reports_;
   std::vector<net::NodeId> flagged_hosts_;
   std::vector<AuditEntry> audit_;
   ControllerStats stats_;
@@ -230,7 +346,11 @@ class Controller {
   obs::Counter* m_diagnoses_ = nullptr;
   obs::Counter* m_watchdog_trips_ = nullptr;
   obs::Counter* m_pool_exhausted_ = nullptr;
+  obs::Counter* m_retries_ = nullptr;
+  obs::Counter* m_degraded_ = nullptr;
+  obs::Counter* m_requeued_ = nullptr;
   obs::LatencyHistogram* m_control_latency_ = nullptr;
+  obs::LatencyHistogram* m_degraded_latency_ = nullptr;
 };
 
 }  // namespace sbk::control

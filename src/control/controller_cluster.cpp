@@ -17,11 +17,23 @@ ControllerCluster::ControllerCluster(sim::EventQueue& queue,
   primary_ = config_.members - 1;
 }
 
-void ControllerCluster::start(Seconds horizon) {
-  Seconds first = queue_->now() + config_.heartbeat_interval;
-  if (first <= horizon) {
-    queue_->schedule_at(first, [this, horizon] { heartbeat_tick(horizon); });
+bool ControllerCluster::any_alive() const {
+  return std::any_of(alive_.begin(), alive_.end(),
+                     [](bool a) { return a; });
+}
+
+void ControllerCluster::schedule_tick_if_idle() {
+  if (tick_scheduled_) return;
+  Seconds next = queue_->now() + config_.heartbeat_interval;
+  if (next <= horizon_) {
+    tick_scheduled_ = true;
+    queue_->schedule_at(next, [this] { heartbeat_tick(); });
   }
+}
+
+void ControllerCluster::start(Seconds horizon) {
+  horizon_ = horizon;
+  schedule_tick_if_idle();
 }
 
 void ControllerCluster::track_availability() {
@@ -34,7 +46,13 @@ void ControllerCluster::track_availability() {
   }
 }
 
-void ControllerCluster::heartbeat_tick(Seconds horizon) {
+void ControllerCluster::heartbeat_tick() {
+  // A fully dead cluster heartbeats nothing and elects nobody; the
+  // chain stops and repair_member restarts it.
+  if (!any_alive()) {
+    tick_scheduled_ = false;
+    return;
+  }
   if (!election_in_progress_) {
     bool primary_ok =
         primary_.has_value() && alive_[*primary_];
@@ -46,8 +64,10 @@ void ControllerCluster::heartbeat_tick(Seconds horizon) {
     }
   }
   Seconds next = queue_->now() + config_.heartbeat_interval;
-  if (next <= horizon) {
-    queue_->schedule_at(next, [this, horizon] { heartbeat_tick(horizon); });
+  if (next <= horizon_) {
+    queue_->schedule_at(next, [this] { heartbeat_tick(); });
+  } else {
+    tick_scheduled_ = false;
   }
 }
 
@@ -63,8 +83,9 @@ void ControllerCluster::start_election() {
 void ControllerCluster::finish_election() {
   election_in_progress_ = false;
   primary_misses_ = 0;
-  ++term_;
-  // Highest live id wins.
+  // Highest live id wins. Every member died mid-election: the election
+  // aborts without a winner and without consuming a term — terms only
+  // advance when some live member can claim one.
   primary_.reset();
   for (std::size_t i = alive_.size(); i-- > 0;) {
     if (alive_[i]) {
@@ -74,11 +95,14 @@ void ControllerCluster::finish_election() {
   }
   track_availability();
   if (primary_.has_value()) {
+    ++term_;
     SBK_LOG_INFO("cluster", "term " << term_ << ": controller " << *primary_
                                     << " elected primary");
     if (election_cb_) election_cb_(*primary_, term_, queue_->now());
   } else {
-    SBK_LOG_WARN("cluster", "term " << term_ << ": no live controllers");
+    SBK_LOG_WARN("cluster",
+                 "election aborted: no live controllers (term stays "
+                     << term_ << ")");
   }
 }
 
@@ -91,8 +115,11 @@ void ControllerCluster::fail_member(std::size_t id) {
 void ControllerCluster::repair_member(std::size_t id) {
   SBK_EXPECTS(id < alive_.size());
   alive_[id] = true;
-  // A repaired member rejoins as a follower; if there is no primary and
-  // no election running, the next heartbeat tick will start one.
+  // A repaired member rejoins as a follower and resumes heartbeating.
+  // If the chain died with the cluster, restart it; the revived ticks
+  // miss the (dead or absent) primary and call an election, which the
+  // repaired member can win — total cluster death is survivable.
+  schedule_tick_if_idle();
 }
 
 std::optional<std::size_t> ControllerCluster::primary() const {

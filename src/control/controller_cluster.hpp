@@ -36,12 +36,19 @@ class ControllerCluster {
   /// Starts heartbeating until `horizon`.
   void start(Seconds horizon);
 
-  /// Crash / repair a member (by id in [0, members)).
+  /// Crash / repair a member (by id in [0, members)). The heartbeat
+  /// chain stops while no member is alive (a dead cluster cannot run
+  /// elections); repair_member restarts it, so a repaired member after
+  /// total cluster death resumes heartbeating, wins the next election
+  /// and available() becomes true again.
   void fail_member(std::size_t id);
   void repair_member(std::size_t id);
 
   [[nodiscard]] std::optional<std::size_t> primary() const;
   [[nodiscard]] bool member_alive(std::size_t id) const;
+  [[nodiscard]] std::size_t member_count() const noexcept {
+    return alive_.size();
+  }
   [[nodiscard]] std::size_t term() const noexcept { return term_; }
   /// True while an election is in flight (no primary to act on failures).
   [[nodiscard]] bool election_in_progress() const noexcept {
@@ -61,10 +68,12 @@ class ControllerCluster {
   [[nodiscard]] Seconds downtime() const noexcept { return downtime_; }
 
  private:
-  void heartbeat_tick(Seconds horizon);
+  void heartbeat_tick();
   void start_election();
   void finish_election();
   void track_availability();
+  [[nodiscard]] bool any_alive() const;
+  void schedule_tick_if_idle();
 
   sim::EventQueue* queue_;
   ClusterConfig config_;
@@ -76,6 +85,8 @@ class ControllerCluster {
   ElectionCallback election_cb_;
   Seconds downtime_ = 0.0;
   std::optional<Seconds> unavailable_since_;
+  Seconds horizon_ = 0.0;
+  bool tick_scheduled_ = false;
 };
 
 }  // namespace sbk::control

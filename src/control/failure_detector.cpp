@@ -11,6 +11,17 @@ FailureDetector::FailureDetector(sim::EventQueue& queue,
   SBK_EXPECTS(config_.probe_interval > 0.0);
   SBK_EXPECTS(config_.miss_threshold >= 1);
   SBK_EXPECTS(config_.phase >= 0.0);
+  SBK_EXPECTS(config_.report_retry_interval >= 0.0);
+}
+
+bool FailureDetector::report_due(const WatchState& w) const {
+  if (w.misses < config_.miss_threshold) return false;
+  if (!w.reported) return true;
+  // Already reported: re-report a still-failed element periodically so a
+  // lost report does not strand the failure forever.
+  return config_.report_retry_interval > 0.0 &&
+         queue_->now() - w.last_report >=
+             config_.report_retry_interval - 1e-12;
 }
 
 void FailureDetector::attach_metrics(obs::MetricsRegistry* metrics) {
@@ -72,11 +83,15 @@ void FailureDetector::probe_node(net::NodeId node) {
     if (w.misses == 0) w.first_miss = queue_->now();
     ++w.misses;
     if (m_misses_) m_misses_->add();
-    if (w.misses >= config_.miss_threshold && !w.reported) {
+    if (report_due(w)) {
+      bool first_report = !w.reported;
       w.reported = true;
+      w.last_report = queue_->now();
       if (m_node_reports_) m_node_reports_->add();
-      trace_detection(obs::element_for_node(net_->node(node).name),
-                      w.first_miss, queue_->now());
+      if (first_report) {
+        trace_detection(obs::element_for_node(net_->node(node).name),
+                        w.first_miss, queue_->now());
+      }
       if (node_cb_) node_cb_(node, queue_->now());
     }
   } else {
@@ -105,12 +120,16 @@ void FailureDetector::probe_link(net::LinkId link) {
     if (w.misses == 0) w.first_miss = queue_->now();
     ++w.misses;
     if (m_misses_) m_misses_->add();
-    if (w.misses >= config_.miss_threshold && !w.reported) {
+    if (report_due(w)) {
+      bool first_report = !w.reported;
       w.reported = true;
+      w.last_report = queue_->now();
       if (m_link_reports_) m_link_reports_->add();
-      trace_detection(obs::element_for_link(net_->node(l.a).name,
-                                            net_->node(l.b).name),
-                      w.first_miss, queue_->now());
+      if (first_report) {
+        trace_detection(obs::element_for_link(net_->node(l.a).name,
+                                              net_->node(l.b).name),
+                        w.first_miss, queue_->now());
+      }
       if (link_cb_) link_cb_(link, queue_->now());
     }
   } else if (!net_->link_failed(link)) {

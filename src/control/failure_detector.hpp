@@ -39,6 +39,11 @@ struct DetectorConfig {
   int miss_threshold = 3;
   /// Phase offset of the first probe (probes at phase, phase+interval, ...).
   Seconds phase = 0.0;
+  /// Re-report a still-failed element every this many seconds after the
+  /// first report (0 = report once, the historical behavior). Re-reports
+  /// are what lets the control plane survive a lost failure report: the
+  /// controller's stale-report guard makes duplicates harmless.
+  Seconds report_retry_interval = 0.0;
 };
 
 /// Watches nodes (keep-alives) and links (pairwise probes) of a Network
@@ -86,7 +91,11 @@ class FailureDetector {
     Seconds horizon = 0.0;
     /// Timestamp of the first miss of the current streak (span start).
     Seconds first_miss = 0.0;
+    /// Timestamp of the last report (for report_retry_interval).
+    Seconds last_report = 0.0;
   };
+
+  [[nodiscard]] bool report_due(const WatchState& w) const;
 
   void probe_node(net::NodeId node);
   void probe_link(net::LinkId link);

@@ -1,0 +1,113 @@
+#include "faultinject/chaos_soak.hpp"
+
+#include <exception>
+#include <sstream>
+
+#include "control/control_plane.hpp"
+#include "obs/recovery_tracer.hpp"
+#include "sharebackup/fabric.hpp"
+#include "sim/event_queue.hpp"
+
+namespace sbk::faultinject {
+
+ChaosScenarioResult run_chaos_scenario(const ChaosSoakConfig& config,
+                                       const sweep::ScenarioSpec& spec) {
+  ChaosScenarioResult result;
+  result.seed = spec.seed;
+
+  sharebackup::FabricParams fp;
+  fp.fat_tree.k = config.k;
+  fp.backups_per_group = config.backups_per_group;
+  sharebackup::Fabric fabric(fp);
+
+  sim::EventQueue queue;
+  control::ControlPlaneConfig pc;
+  pc.cluster_members = config.cluster_members;
+  pc.diagnosis_delay = config.diagnosis_delay;
+  pc.detector.report_retry_interval = config.report_retry_interval;
+  control::ControlPlane plane(fabric, queue, pc);
+  obs::RecoveryTracer tracer;
+  plane.attach_tracer(&tracer);
+
+  FaultPlan fault_plan =
+      FaultPlan::generate(fabric, config.plan, spec.seed);
+  ChaosInjector injector(fabric, plane, queue, fault_plan);
+  plane.start(config.plan.horizon);
+  injector.arm();
+
+  try {
+    queue.run();
+  } catch (const std::exception& e) {
+    result.violations.push_back(std::string("exception during run: ") +
+                                e.what());
+  }
+
+  for (std::string& v : injector.verify(&tracer)) {
+    result.violations.push_back(std::move(v));
+  }
+
+  result.failures_injected = injector.stats().switch_failures_injected +
+                             injector.stats().link_failures_injected;
+  const control::ControllerStats& cs = plane.controller().stats();
+  result.failovers = cs.failovers;
+  result.retries = cs.retries;
+  result.degraded_reroutes = cs.degraded_reroutes;
+  result.requeued = cs.requeued;
+  result.watchdog_trips = cs.watchdog_trips;
+  result.reports_lost = plane.reports_lost();
+  result.reports_buffered = plane.reports_buffered();
+  return result;
+}
+
+ChaosSoakReport run_chaos_soak(const ChaosSoakConfig& config) {
+  sweep::SweepConfig sc;
+  sc.master_seed = config.master_seed;
+  sc.threads = config.threads;
+  sweep::SweepRunner runner(sc);
+  ChaosSoakReport report;
+  report.scenarios =
+      runner.run(config.scenarios, [&config](const sweep::ScenarioSpec& s) {
+        return run_chaos_scenario(config, s);
+      });
+  return report;
+}
+
+std::size_t ChaosSoakReport::total_violations() const {
+  std::size_t n = 0;
+  for (const ChaosScenarioResult& s : scenarios) n += s.violations.size();
+  return n;
+}
+
+std::string ChaosSoakReport::summary() const {
+  std::size_t injected = 0, failovers = 0, retries = 0, degraded = 0,
+              requeued = 0, trips = 0, lost = 0, buffered = 0;
+  for (const ChaosScenarioResult& s : scenarios) {
+    injected += s.failures_injected;
+    failovers += s.failovers;
+    retries += s.retries;
+    degraded += s.degraded_reroutes;
+    requeued += s.requeued;
+    trips += s.watchdog_trips;
+    lost += s.reports_lost;
+    buffered += s.reports_buffered;
+  }
+  std::ostringstream os;
+  os << "chaos soak: " << scenarios.size() << " scenarios, " << injected
+     << " failures injected, " << failovers << " failovers, " << retries
+     << " command retries, " << degraded << " degraded reroutes, "
+     << requeued << " requeues, " << trips << " watchdog trips, " << lost
+     << " reports lost, " << buffered << " reports buffered\n";
+  if (clean()) {
+    os << "invariants: CLEAN (0 violations)\n";
+  } else {
+    os << "invariants: " << total_violations() << " VIOLATION(S)\n";
+    for (const ChaosScenarioResult& s : scenarios) {
+      for (const std::string& v : s.violations) {
+        os << "  [seed " << s.seed << "] " << v << "\n";
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace sbk::faultinject

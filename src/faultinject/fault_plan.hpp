@@ -1,0 +1,124 @@
+// Deterministic fault schedules for the recovery pipeline (robustness
+// harness). A FaultPlan is everything the chaos injector will do to one
+// simulation, fixed up front from (fabric shape, config, seed): which
+// switches and links fail and when, which initial spares are dead on
+// arrival, when controller-cluster members crash and come back, and the
+// probabilities the control-channel fault hooks roll against.
+//
+// Determinism contract: FaultPlan::generate is a pure function of
+// (fabric shape, config, seed) — two fabrics with the same parameters
+// yield bit-identical plans — and the injector derives its hook RNG
+// streams from the same seed, so an entire chaos scenario replays
+// exactly from its seed alone.
+//
+// Schedule shape: all injected failures start inside the *fault window*
+// [0, injection_window * horizon); the remaining tail of the run is
+// fault-free settle time in which lost reports are re-sent, parked
+// recoveries are retried against a clean command channel, and repairs
+// drain. End-of-run invariants (ChaosInjector::verify) are only
+// meaningful because of this quiescent tail.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "sharebackup/device.hpp"
+#include "sharebackup/fabric.hpp"
+#include "util/time.hpp"
+
+namespace sbk::faultinject {
+
+struct FaultPlanConfig {
+  /// Simulated horizon; failures are injected in the leading
+  /// injection_window fraction and the rest is settle time.
+  Seconds horizon = 2.0;
+  double injection_window = 0.6;
+
+  /// Independent switch (node) failures.
+  int switch_failures = 3;
+  /// Independent link failures (switch-switch links only; host links are
+  /// exercised by the host-policy unit tests, not the chaos soak).
+  int link_failures = 3;
+  /// Correlated bursts: each burst fails `burst_size` distinct links
+  /// sharing one circuit switch within a microsecond of each other —
+  /// exactly the localized pattern the §5.1 watchdog exists for.
+  int bursts = 1;
+  int burst_size = 3;
+
+  // --- switch -> controller report channel --------------------------------
+  double report_loss_prob = 0.15;
+  double report_delay_prob = 0.25;
+  /// Extra delay for a delayed report, uniform in (0, max]. Large enough
+  /// relative to probe_interval to reorder reports.
+  Seconds report_delay_max = milliseconds(2);
+
+  // --- controller -> circuit-switch command channel -----------------------
+  double command_nack_prob = 0.08;
+  double command_timeout_lost_prob = 0.05;
+  double command_timeout_applied_prob = 0.05;
+
+  /// Fraction of the initial spare pool that is dead on arrival (one
+  /// interface broken): failing over onto one forces a DOA cascade.
+  double doa_spare_fraction = 0.25;
+
+  // --- controller cluster -------------------------------------------------
+  /// Probability the plan includes a controller-member crash (paired
+  /// with a repair `controller_repair_delay` later).
+  double controller_crash_prob = 0.5;
+  Seconds controller_repair_delay = 0.2;
+
+  // --- background services the injector simulates -------------------------
+  /// Repair-crew tick: confirmed-faulty / out-of-service devices are
+  /// healed and returned to their pools this often.
+  Seconds repair_interval = 0.05;
+  /// Operator tick: a tripped watchdog is serviced (acknowledged) this
+  /// often, releasing parked recoveries.
+  Seconds operator_interval = 0.05;
+};
+
+struct SwitchFailureEvent {
+  Seconds at = 0.0;
+  net::NodeId node{0};
+};
+
+struct LinkFailureEvent {
+  Seconds at = 0.0;
+  net::LinkId link{0};
+  /// Which endpoint's interface is actually broken (0 = link().a side,
+  /// 1 = link().b side): offline diagnosis should confirm this device
+  /// faulty and exonerate the other.
+  int bad_side = 0;
+  /// True when this event belongs to a correlated burst.
+  bool burst = false;
+};
+
+struct ControllerCrashEvent {
+  Seconds at = 0.0;
+  std::size_t member = 0;
+  Seconds repair_at = 0.0;
+};
+
+/// A fully materialized fault schedule (see file comment).
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  FaultPlanConfig config;
+  /// End of the fault window: hooks behave cleanly at or after this time.
+  Seconds settle_at = 0.0;
+  std::vector<SwitchFailureEvent> switch_failures;
+  std::vector<LinkFailureEvent> link_failures;  ///< bursts included, sorted
+  std::vector<ControllerCrashEvent> controller_crashes;
+  std::vector<sharebackup::DeviceUid> doa_spares;
+
+  /// Materializes a plan for `fabric` from `config` and `seed`
+  /// (deterministic; see contract above).
+  [[nodiscard]] static FaultPlan generate(const sharebackup::Fabric& fabric,
+                                          const FaultPlanConfig& config,
+                                          std::uint64_t seed);
+
+  /// One-line human summary, e.g. for soak logs.
+  [[nodiscard]] std::string describe() const;
+};
+
+}  // namespace sbk::faultinject

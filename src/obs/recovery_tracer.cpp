@@ -82,6 +82,13 @@ bool RecoveryTracer::spans_monotone(const RecoveryIncident& incident,
   return true;
 }
 
+bool RecoveryTracer::all_spans_monotone(Seconds eps) const {
+  for (const RecoveryIncident& inc : incidents_) {
+    if (!spans_monotone(inc, eps)) return false;
+  }
+  return true;
+}
+
 void RecoveryTracer::write_csv(std::ostream& out) const {
   CsvWriter csv(out);
   csv.row({"incident", "element", "injected_at", "recovered_at", "stage",

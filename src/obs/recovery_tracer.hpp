@@ -98,6 +98,10 @@ class RecoveryTracer {
   [[nodiscard]] static bool spans_monotone(const RecoveryIncident& incident,
                                            Seconds eps = 1e-9);
 
+  /// True iff every recorded incident satisfies spans_monotone — the
+  /// end-of-run invariant the chaos soak asserts over whole schedules.
+  [[nodiscard]] bool all_spans_monotone(Seconds eps = 1e-9) const;
+
   /// One row per span:
   /// incident,element,injected_at,recovered_at,stage,start,end,duration
   /// (recovered_at empty while the incident is open).

@@ -105,6 +105,11 @@ std::optional<ImpersonationStore::Failover> ImpersonationStore::fail_over(
 void ImpersonationStore::return_to_pool(DeviceUid dev) {
   SBK_EXPECTS(dev < device_layer_.size());
   Group& g = group(device_layer_[dev], device_group_[dev]);
+  // Idempotent, mirroring Fabric::return_to_pool: a duplicated control
+  // command for an already-returned device is a no-op.
+  if (std::find(g.spare.begin(), g.spare.end(), dev) != g.spare.end()) {
+    return;
+  }
   auto it = std::find(g.out.begin(), g.out.end(), dev);
   SBK_EXPECTS_MSG(it != g.out.end(),
                   "device must be out of service to return to the pool");

@@ -394,6 +394,13 @@ void Fabric::heal_device(DeviceUid uid) {
   }
 }
 
+bool Fabric::device_interfaces_healthy(DeviceUid uid) const {
+  for (const DevicePort& dp : ports_of_device(uid)) {
+    if (!interface_healthy(InterfaceRef{uid, dp.cs})) return false;
+  }
+  return true;
+}
+
 std::size_t Fabric::total_spares() const {
   std::size_t total = 0;
   for (const std::vector<Group>* groups :
@@ -464,6 +471,7 @@ std::optional<Fabric::FailoverReport> Fabric::fail_over(SwitchPosition pos) {
 
 void Fabric::return_to_pool(DeviceUid uid) {
   SBK_EXPECTS(uid < devices_.size());
+  if (device_state_[uid] == DeviceState::kSpare) return;  // idempotent
   SBK_EXPECTS_MSG(device_state_[uid] == DeviceState::kOut,
                   "only out-of-service devices can return to the pool");
   Group& g = group(devices_[uid].layer, devices_[uid].group);

@@ -132,6 +132,11 @@ class Fabric {
   void set_interface_health(InterfaceRef iface, bool healthy);
   /// Heals every interface of a device (models repair).
   void heal_device(DeviceUid uid);
+  /// True iff every interface of the device is healthy. The controller
+  /// verifies a replacement with this after reconfiguration: a spare can
+  /// be dead-on-arrival, in which case the failover must cascade to the
+  /// next spare instead of declaring the position recovered.
+  [[nodiscard]] bool device_interfaces_healthy(DeviceUid uid) const;
 
   // --- failover -------------------------------------------------------------
   struct FailoverReport {
@@ -153,6 +158,8 @@ class Fabric {
 
   /// Puts an out-of-service device back into the spare pool (after repair
   /// or exoneration) — the paper's "replaced switches become backups".
+  /// Idempotent: returning a device that is already a spare is a no-op,
+  /// so a retried/duplicated control command cannot corrupt the pool.
   void return_to_pool(DeviceUid uid);
 
   /// Counters fabric.{failovers,circuit_reconfigurations,pool_returns}

@@ -93,10 +93,13 @@ TEST(ControlPlane, RepeatedFailuresAtSamePositionAreReDetected) {
 }
 
 TEST(ControlPlane, ReportsDroppedWhileClusterHasNoPrimary) {
+  // Historical drop behavior, now opt-in: with buffering disabled a
+  // report that arrives while the cluster is headless is lost.
   Fabric fabric(fp(4, 1));
   sim::EventQueue q;
   ControlPlaneConfig cfg;
   cfg.cluster_members = 2;
+  cfg.buffer_reports_during_election = false;
   // Make elections slow so the outage window is wide.
   cfg.cluster.election_duration = 0.050;
   ControlPlane plane(fabric, q, cfg);
@@ -111,8 +114,68 @@ TEST(ControlPlane, ReportsDroppedWhileClusterHasNoPrimary) {
   q.schedule_at(0.05, [&] { fabric.network().fail_node(victim); });
   q.run();
   EXPECT_GE(plane.reports_dropped(), 1u);
+  EXPECT_EQ(plane.reports_buffered(), 0u);
   EXPECT_TRUE(fabric.network().node_failed(victim));  // nobody recovered it
   EXPECT_EQ(plane.controller().stats().failovers, 0u);
+}
+
+TEST(ControlPlane, ReportsBufferedDuringElectionReplayToNewPrimary) {
+  // Default behavior: a report that lands in an election window is
+  // buffered and replayed once the new primary is elected.
+  Fabric fabric(fp(4, 1));
+  sim::EventQueue q;
+  ControlPlaneConfig cfg;
+  cfg.cluster_members = 2;
+  cfg.cluster.election_duration = 0.050;
+  ControlPlane plane(fabric, q, cfg);
+  plane.start(0.5);
+
+  // Kill only the primary: member 0 stays alive and wins the election.
+  q.schedule_at(0.01, [&] { plane.cluster()->fail_member(1); });
+  net::NodeId victim = fabric.fat_tree().core(0);
+  Seconds recovered_at = -1.0;
+  plane.on_recovery([&](const RecoveryOutcome& out, Seconds t) {
+    if (out.recovered && !out.failovers.empty()) recovered_at = t;
+  });
+  q.schedule_at(0.015, [&] { fabric.network().fail_node(victim); });
+  q.run();
+  EXPECT_EQ(plane.reports_dropped(), 0u);
+  EXPECT_GE(plane.reports_buffered(), 1u);
+  EXPECT_GE(plane.reports_replayed(), 1u);
+  EXPECT_FALSE(fabric.network().node_failed(victim));
+  EXPECT_EQ(plane.controller().stats().failovers, 1u);
+  // Recovery happened at the election-completion timestamp, not before.
+  EXPECT_GT(recovered_at, 0.015);
+}
+
+TEST(ControlPlane, TotalClusterDeathBuffersUntilMemberRepaired) {
+  // The satellite regression: every controller dies, a network failure
+  // arrives while headless, then one member is repaired. The repaired
+  // member must restart heartbeats, win an election, and receive the
+  // buffered report — the failure recovers and available() is true.
+  Fabric fabric(fp(4, 1));
+  sim::EventQueue q;
+  ControlPlaneConfig cfg;
+  cfg.cluster_members = 3;
+  ControlPlane plane(fabric, q, cfg);
+  plane.start(1.0);
+
+  q.schedule_at(0.01, [&] {
+    plane.cluster()->fail_member(0);
+    plane.cluster()->fail_member(1);
+    plane.cluster()->fail_member(2);
+  });
+  net::NodeId victim = fabric.fat_tree().core(1);
+  q.schedule_at(0.05, [&] { fabric.network().fail_node(victim); });
+  q.schedule_at(0.30, [&] { plane.cluster()->repair_member(0); });
+  q.run();
+  EXPECT_TRUE(plane.cluster()->available());
+  EXPECT_EQ(plane.cluster()->primary(), std::optional<std::size_t>(0));
+  EXPECT_EQ(plane.reports_dropped(), 0u);
+  EXPECT_GE(plane.reports_buffered(), 1u);
+  EXPECT_GE(plane.reports_replayed(), 1u);
+  EXPECT_FALSE(fabric.network().node_failed(victim));
+  EXPECT_EQ(plane.controller().stats().failovers, 1u);
 }
 
 TEST(ControlPlane, SingleControllerModeWorksWithoutCluster) {

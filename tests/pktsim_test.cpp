@@ -171,6 +171,89 @@ TEST(PktSim, RtoFloorGovernsBlackholeStall) {
   EXPECT_LT(results[0].fct(), 1.0);   // but recovered promptly after
 }
 
+TEST(PktSim, RtoFloorClampsEvenWhenNetworkHealsEarlier) {
+  // Intra-rack srtt is microseconds, so 2*srtt is far below any floor:
+  // the first retransmit fires at min_rto exactly, even if the blackhole
+  // healed long before. Two runs differing only in the floor isolate it.
+  auto run_with_floor = [](Seconds floor) {
+    FatTree ft(FatTreeParams{.k = 4});
+    routing::EcmpRouter router(ft);
+    PktSimConfig cfg = fast_config();
+    cfg.min_rto = floor;
+    PacketSimulator sim(ft.network(), router, cfg);
+    sim.add_flow(FlowSpec{1, ft.host(0, 0, 0), ft.host(0, 0, 1), 1e6, 0.0});
+    net::NodeId edge = ft.edge(0, 0);
+    sim.at(0.001, [edge](net::Network& n) { n.fail_node(edge); });
+    sim.at(0.005, [edge](net::Network& n) { n.restore_node(edge); });
+    auto results = sim.run();
+    EXPECT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+    return results[0].fct();
+  };
+  double fct_fast = run_with_floor(milliseconds(10));
+  double fct_slow = run_with_floor(milliseconds(50));
+  EXPECT_LT(fct_fast, 0.03);             // ~10 ms stall + ~8 ms transfer
+  EXPECT_GT(fct_slow, 0.05);             // waited out the 50 ms floor
+  EXPECT_GT(fct_slow - fct_fast, 0.035); // difference is the floor gap
+}
+
+TEST(PktSim, RtoBackoffIsCappedAtMaxRto) {
+  // Against a persistent blackhole the sender doubles its RTO each try;
+  // max_rto caps the doubling. A capped stack therefore probes the dead
+  // path far more often over the same wall-clock window.
+  auto timeouts_with_cap = [](Seconds cap) {
+    FatTree ft(FatTreeParams{.k = 4});
+    routing::EcmpRouter router(ft);
+    PktSimConfig cfg = fast_config();  // min_rto = 10 ms
+    cfg.max_rto = cap;
+    PacketSimulator sim(ft.network(), router, cfg);
+    sim.add_flow(FlowSpec{1, ft.host(0, 0, 0), ft.host(0, 0, 1), 1e6, 0.0});
+    net::NodeId edge = ft.edge(0, 0);
+    sim.at(0.001, [edge](net::Network& n) { n.fail_node(edge); });
+    // Far-future no-op: the sender keeps retrying while the network may
+    // still change (queue.now() <= last action), giving both runs the
+    // same 500 ms retry window.
+    sim.at(0.5, [](net::Network&) {});
+    auto results = sim.run();
+    EXPECT_EQ(results[0].outcome, FlowOutcome::kStalledForever);
+    return sim.stats().timeouts;
+  };
+  std::size_t uncapped = timeouts_with_cap(10.0);
+  std::size_t capped = timeouts_with_cap(milliseconds(20));
+  // Doubling: ~10+20+40+... covers 500 ms in ~6 tries. Capped at 20 ms:
+  // one try every 20 ms, ~25 tries.
+  EXPECT_LE(uncapped, 8u);
+  EXPECT_GE(capped, 15u);
+  EXPECT_GT(capped, 2 * uncapped);
+}
+
+TEST(PktSim, AckResetsRtoBackoffBetweenBlackholes) {
+  // Backoff state must not leak across loss episodes: after an ACK the
+  // RTO returns to its fresh base, so a second blackhole is detected at
+  // min_rto, not at the inflated value the first episode backed off to.
+  FatTree ft(FatTreeParams{.k = 4});
+  routing::EcmpRouter router(ft);
+  PktSimConfig cfg = fast_config();  // min_rto = 10 ms
+  PacketSimulator sim(ft.network(), router, cfg);
+  sim.add_flow(FlowSpec{1, ft.host(0, 0, 0), ft.host(0, 0, 1), 4e6, 0.0});
+  net::NodeId edge = ft.edge(0, 0);
+  // First episode: 1..95 ms. Retransmits at ~11/31/71/151 ms inflate the
+  // RTO to 160 ms; the 151 ms probe lands on the healed rack and its ACK
+  // resets the backoff.
+  sim.at(0.001, [edge](net::Network& n) { n.fail_node(edge); });
+  sim.at(0.095, [edge](net::Network& n) { n.restore_node(edge); });
+  // Second episode mid-transfer: 160..165 ms.
+  sim.at(0.160, [edge](net::Network& n) { n.fail_node(edge); });
+  sim.at(0.165, [edge](net::Network& n) { n.restore_node(edge); });
+  auto results = sim.run();
+  ASSERT_EQ(results[0].outcome, FlowOutcome::kCompleted);
+  EXPECT_GE(sim.stats().timeouts, 5u);  // both episodes cost RTOs
+  // With the reset, the second episode stalls ~10 ms and the transfer
+  // finishes near 200 ms. Without it the sender would sleep the carried
+  // 160-320 ms RTO and finish past 330 ms.
+  EXPECT_GT(results[0].fct(), 0.165);
+  EXPECT_LT(results[0].fct(), 0.28);
+}
+
 TEST(PktSim, ReroutesAroundPersistentFailureAfterTimeout) {
   FatTree ft(FatTreeParams{.k = 4});
   routing::EcmpRouter router(ft);

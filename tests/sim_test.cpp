@@ -62,6 +62,41 @@ TEST(EventQueue, ManyEqualTimestampsFireInInsertionOrder) {
   for (int i = 0; i < 2 * kBatch; ++i) EXPECT_EQ(fired[i], i);
 }
 
+TEST(EventQueue, HandlerSchedulingAtCurrentTimestampRunsAfterPeers) {
+  // A handler may push work at the *current* timestamp (e.g. a retried
+  // recovery re-queueing diagnosis the instant it succeeds). The new
+  // event must run in this same pass — after every event already queued
+  // at that time (FIFO seq tie-break), but before anything later.
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule_at(1.0, [&] {
+    fired.push_back(0);
+    q.schedule_at(q.now(), [&] { fired.push_back(3); });
+    q.schedule_at(2.0, [&] { fired.push_back(4); });
+  });
+  q.schedule_at(1.0, [&] { fired.push_back(1); });
+  q.schedule_at(1.0, [&] { fired.push_back(2); });
+  q.run();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, ZeroDelayChainsTerminateWithTimeUnchanged) {
+  // schedule_in(0) from inside a handler keeps the clock still while the
+  // chain drains — time never moves backward or forward spuriously.
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    EXPECT_DOUBLE_EQ(q.now(), 5.0);
+    if (++depth < 50) q.schedule_in(0.0, chain);
+  };
+  q.schedule_at(5.0, chain);
+  q.run();
+  EXPECT_EQ(depth, 50);
+  EXPECT_DOUBLE_EQ(q.now(), 5.0);
+  EXPECT_EQ(q.pending(), 0u);
+}
+
 TEST(EventQueue, EventsCanScheduleEvents) {
   EventQueue q;
   int depth = 0;

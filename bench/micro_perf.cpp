@@ -4,6 +4,8 @@
 #include <benchmark/benchmark.h>
 
 #include "control/diagnosis.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/timeseries.hpp"
 #include "pktsim/packet_sim.hpp"
 #include "routing/ecmp.hpp"
 #include "routing/global_reroute.hpp"
@@ -239,6 +241,38 @@ void BM_FluidSimCoflowTrace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FluidSimCoflowTrace)->Arg(20)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_FlightRecorderDisabled(benchmark::State& state) {
+  // The flight recorder's disabled-mode contract: a simulation with a
+  // disabled recorder and sampler ATTACHED must run at the speed of one
+  // that never heard of them (every hook is a single branch). This is
+  // the same workload as BM_FluidSimCoflowTrace(60); bench.sh asserts
+  // the two stay within the regression tolerance of each other.
+  const auto coflows = static_cast<std::size_t>(state.range(0));
+  topo::FatTreeParams ftp{.k = 8};
+  ftp.hosts_per_edge = 1;
+  ftp.host_link_capacity = 40.0;
+  topo::FatTree ft(ftp);
+  routing::EcmpRouter router(ft);
+  workload::CoflowWorkloadParams wp;
+  wp.racks = ft.host_count();
+  wp.coflows = coflows;
+  wp.duration = 60.0;
+  Rng rng(5);
+  const auto flows =
+      workload::expand_to_flows(ft, workload::generate_coflows(wp, rng));
+  obs::FlightRecorder recorder(/*enabled=*/false);
+  obs::TelemetrySampler sampler(0.01, /*enabled=*/false);
+  for (auto _ : state) {
+    sim::FluidSimulator simulator(ft.network(), router, sim::SimConfig{});
+    simulator.attach_recorder(&recorder);
+    simulator.attach_telemetry(&sampler);
+    simulator.add_flows(flows);
+    auto results = simulator.run();
+    benchmark::DoNotOptimize(results.size());
+  }
+}
+BENCHMARK(BM_FlightRecorderDisabled)->Arg(60)->Unit(benchmark::kMillisecond);
 
 void BM_PacketSimThroughput(benchmark::State& state) {
   // Packets simulated per second of wall time for one bulk transfer.

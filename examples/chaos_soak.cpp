@@ -4,32 +4,85 @@
 // gate on it.
 //
 //   chaos_soak [scenarios] [master_seed] [k] [backups] [threads]
+//              [--trace=out.json] [--telemetry=out.csv]
 //
 // Defaults: 200 scenarios, seed 1, k=4 fat-tree, 1 backup per group,
 // auto threads. A failing seed reproduces exactly with
 // run_chaos_scenario (see src/faultinject/chaos_soak.hpp).
+//
+// --trace records a flight-recorder trace of every scenario (one
+// Perfetto track per scenario index) viewable in chrome://tracing or
+// ui.perfetto.dev, and implies per-scenario telemetry sampling;
+// --telemetry additionally writes the merged time-series CSV.
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "faultinject/chaos_soak.hpp"
 
 int main(int argc, char** argv) {
   sbk::faultinject::ChaosSoakConfig cfg;
-  auto arg = [&](int i, long fallback) {
-    return argc > i ? std::strtol(argv[i], nullptr, 10) : fallback;
+  std::string trace_path;
+  std::string telemetry_path;
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      trace_path = argv[i] + 8;
+    } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      telemetry_path = argv[i] + 12;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  auto arg = [&](std::size_t i, long fallback) {
+    return positional.size() > i ? std::strtol(positional[i], nullptr, 10)
+                                 : fallback;
   };
-  cfg.scenarios = static_cast<std::size_t>(arg(1, 200));
-  cfg.master_seed = static_cast<std::uint64_t>(arg(2, 1));
-  cfg.k = static_cast<int>(arg(3, 4));
-  cfg.backups_per_group = static_cast<int>(arg(4, 1));
-  cfg.threads = static_cast<std::size_t>(arg(5, 0));
+  cfg.scenarios = static_cast<std::size_t>(arg(0, 200));
+  cfg.master_seed = static_cast<std::uint64_t>(arg(1, 1));
+  cfg.k = static_cast<int>(arg(2, 4));
+  cfg.backups_per_group = static_cast<int>(arg(3, 1));
+  cfg.threads = static_cast<std::size_t>(arg(4, 0));
+  cfg.obs.trace = !trace_path.empty() || !telemetry_path.empty();
 
   std::cout << "running " << cfg.scenarios << " chaos scenarios (seed "
             << cfg.master_seed << ", k=" << cfg.k << ", n="
             << cfg.backups_per_group << ")...\n";
-  sbk::faultinject::ChaosSoakReport report =
-      sbk::faultinject::run_chaos_soak(cfg);
+  sbk::faultinject::ChaosSoakReport report;
+  if (cfg.obs.trace) {
+    // Merged recorder: big enough to keep every scenario's events (the
+    // per-scenario rings already bound each contribution).
+    sbk::obs::FlightRecorder trace(
+        /*enabled=*/true, cfg.obs.trace_capacity * cfg.scenarios);
+    sbk::obs::TelemetryTable telemetry(/*enabled=*/true);
+    report = sbk::faultinject::run_chaos_soak(cfg, trace, telemetry);
+    if (!trace_path.empty()) {
+      std::ofstream out(trace_path);
+      trace.write_trace_json(out);
+      if (!out.good()) {
+        std::cerr << "failed to write trace to " << trace_path << "\n";
+        return 2;
+      }
+      std::cout << "wrote " << trace.events().size() << " trace events to "
+                << trace_path << " (load in chrome://tracing)\n";
+    }
+    if (!telemetry_path.empty()) {
+      std::ofstream out(telemetry_path);
+      telemetry.write_csv(out);
+      if (!out.good()) {
+        std::cerr << "failed to write telemetry to " << telemetry_path
+                  << "\n";
+        return 2;
+      }
+      std::cout << "wrote " << telemetry.rows() << " telemetry rows to "
+                << telemetry_path << "\n";
+    }
+  } else {
+    report = sbk::faultinject::run_chaos_soak(cfg);
+  }
   std::cout << report.summary();
   return report.clean() ? 0 : 1;
 }

@@ -5,7 +5,11 @@
 // Every incident's recovery timeline is traced and exported as CSV, then
 // validated against the §5.3 component latency model.
 //
-//   $ ./build/examples/failure_drill [timeline.csv]
+//   $ ./build/examples/failure_drill [timeline.csv] [trace.json]
+//
+// The optional second argument records the whole drill into a flight
+// recorder and writes a Chrome/Perfetto trace_event JSON (inspect with
+// chrome://tracing, ui.perfetto.dev, or the sbk_trace CLI).
 #include <cmath>
 #include <cstdio>
 #include <fstream>
@@ -16,6 +20,7 @@
 #include "control/failure_detector.hpp"
 #include "control/recovery_latency.hpp"
 #include "net/algo.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recovery_tracer.hpp"
 #include "sharebackup/fabric.hpp"
@@ -28,6 +33,7 @@ void say(const char* msg) { std::printf("%s\n", msg); }
 
 int main(int argc, char** argv) {
   const std::string csv_path = argc > 1 ? argv[1] : "recovery_timeline.csv";
+  const std::string trace_path = argc > 2 ? argv[2] : "";
   sharebackup::FabricParams params;
   params.fat_tree.k = 6;
   params.backups_per_group = 2;
@@ -40,11 +46,17 @@ int main(int argc, char** argv) {
 
   obs::RecoveryTracer tracer;
   obs::MetricsRegistry metrics;
+  obs::FlightRecorder recorder(/*enabled=*/!trace_path.empty());
   detector.attach_tracer(&tracer);
   detector.attach_metrics(&metrics);
   controller.attach_tracer(&tracer);
   controller.attach_metrics(&metrics);
   fabric.attach_metrics(&metrics);
+  if (recorder.enabled()) {
+    queue.attach_recorder(&recorder);
+    controller.attach_recorder(&recorder);
+    fabric.attach_recorder(&recorder);
+  }
 
   auto link_element = [&](net::LinkId lid) {
     const net::Link& l = fabric.network().link(lid);
@@ -260,6 +272,15 @@ int main(int argc, char** argv) {
   show("fabric.circuit_reconfigurations");
   if (const obs::Gauge* g = metrics.find_gauge("fabric.spare_pool")) {
     std::printf("%-36s %.0f\n", "fabric.spare_pool", g->value());
+  }
+
+  if (recorder.enabled()) {
+    export_recovery_spans(tracer, recorder);
+    std::ofstream out(trace_path);
+    recorder.write_trace_json(out);
+    expect(out.good(), "trace JSON written");
+    std::printf("\nwrote %zu trace event(s) to %s\n",
+                recorder.events().size(), trace_path.c_str());
   }
 
   if (failures == 0) std::printf("\ntimeline validation: OK\n");

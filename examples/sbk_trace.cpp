@@ -1,0 +1,390 @@
+// Trace analyzer CLI for flight-recorder exports.
+//
+//   sbk_trace summary   trace.json [--top=N]
+//   sbk_trace incidents trace.json [--telemetry=t.csv] [--window=seconds]
+//   sbk_trace check     trace.json [--timeline=timeline.csv]
+//
+// `summary` aggregates spans by (category, name) and prints the top
+// groups by cumulative wall-clock time (simulated time when no wall
+// clock was recorded), with per-group wall-time percentiles.
+//
+// `incidents` reconstructs recovery incidents from the "recovery" spans
+// (exported from a RecoveryTracer) and prints each incident's stage
+// timeline; with --telemetry it also prints how each telemetry series
+// moved in a window around the incident — the paper's
+// utilization-dips-then-restores picture, per incident.
+//
+// `check` validates the file: it must parse as trace_event JSON (the
+// loader enforces the schema), recovery spans must be monotone within
+// each incident, and with --timeline every RecoveryTracer CSV row must
+// have a matching trace span — the recovery timeline survives the
+// export round trip. Exits non-zero on any failure, so CI can gate on
+// it.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/trace_load.hpp"
+#include "util/stats.hpp"
+
+using sbk::obs::TraceEvent;
+using sbk::obs::TracePhase;
+
+namespace {
+
+struct Options {
+  std::string command;
+  std::string trace_path;
+  std::string telemetry_path;
+  std::string timeline_path;
+  std::size_t top = 10;
+  double window = 0.05;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sbk_trace summary   <trace.json> [--top=N]\n"
+               "       sbk_trace incidents <trace.json> [--telemetry=t.csv]"
+               " [--window=seconds]\n"
+               "       sbk_trace check     <trace.json>"
+               " [--timeline=timeline.csv]\n");
+  return 2;
+}
+
+std::vector<TraceEvent> load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return sbk::obs::load_trace_json(in);
+}
+
+// --- summary -----------------------------------------------------------------
+
+struct SpanGroup {
+  std::size_t count = 0;
+  double wall_us_sum = 0.0;
+  double sim_sum = 0.0;
+  std::vector<double> wall_us;
+};
+
+int cmd_summary(const Options& opt) {
+  std::vector<TraceEvent> events = load(opt.trace_path);
+  std::map<std::pair<std::string, std::string>, SpanGroup> groups;
+  std::size_t spans = 0, instants = 0, counters = 0;
+  std::set<std::uint32_t> tracks;
+  for (const TraceEvent& e : events) {
+    tracks.insert(e.track);
+    if (e.phase == TracePhase::kInstant) { ++instants; continue; }
+    if (e.phase == TracePhase::kCounter) { ++counters; continue; }
+    ++spans;
+    SpanGroup& g = groups[{e.category, e.name}];
+    ++g.count;
+    g.sim_sum += e.dur;
+    if (e.wall_us >= 0.0) {
+      g.wall_us_sum += e.wall_us;
+      g.wall_us.push_back(e.wall_us);
+    }
+  }
+  std::printf("%zu events (%zu spans, %zu instants, %zu counters) on %zu "
+              "track(s)\n\n",
+              events.size(), spans, instants, counters, tracks.size());
+
+  std::vector<std::pair<std::pair<std::string, std::string>, SpanGroup>>
+      sorted(groups.begin(), groups.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    if (a.second.wall_us_sum != b.second.wall_us_sum) {
+      return a.second.wall_us_sum > b.second.wall_us_sum;
+    }
+    return a.second.sim_sum > b.second.sim_sum;
+  });
+  std::printf("top span groups by cumulative wall time:\n");
+  std::printf("  %-32s %10s %12s %12s %12s\n", "category/name", "count",
+              "wall ms", "p50 us", "p99 us");
+  std::size_t shown = 0;
+  for (const auto& [key, g] : sorted) {
+    if (shown++ >= opt.top) break;
+    double p50 = 0.0, p99 = 0.0;
+    if (!g.wall_us.empty()) {
+      // cdf_percentile handles the single-sample case by returning the
+      // sample itself for every percentile.
+      std::vector<sbk::CdfPoint> cdf = sbk::empirical_cdf(g.wall_us);
+      p50 = sbk::cdf_percentile(cdf, 50.0);
+      p99 = sbk::cdf_percentile(cdf, 99.0);
+    }
+    std::printf("  %-32s %10zu %12.3f %12.2f %12.2f\n",
+                (key.first + "/" + key.second).c_str(), g.count,
+                g.wall_us_sum / 1e3, p50, p99);
+  }
+  return 0;
+}
+
+// --- incidents ---------------------------------------------------------------
+
+struct Incident {
+  std::uint32_t track = 0;
+  std::string detail;  ///< element#id
+  std::vector<const TraceEvent*> stages;
+  double injected = 0.0;
+  double recovered = -1.0;
+};
+
+std::vector<Incident> collect_incidents(const std::vector<TraceEvent>& events) {
+  std::map<std::pair<std::uint32_t, std::string>, Incident> by_key;
+  for (const TraceEvent& e : events) {
+    if (e.category != "recovery" || e.detail.empty()) continue;
+    Incident& inc = by_key[{e.track, e.detail}];
+    inc.track = e.track;
+    inc.detail = e.detail;
+    if (e.phase == TracePhase::kInstant && e.name == "recovered") {
+      inc.recovered = e.ts;
+    } else if (e.phase == TracePhase::kComplete) {
+      inc.stages.push_back(&e);
+    }
+  }
+  std::vector<Incident> out;
+  for (auto& [key, inc] : by_key) {
+    if (inc.stages.empty()) continue;
+    std::stable_sort(inc.stages.begin(), inc.stages.end(),
+                     [](const TraceEvent* a, const TraceEvent* b) {
+                       return a->ts < b->ts;
+                     });
+    inc.injected = inc.stages.front()->ts;
+    out.push_back(std::move(inc));
+  }
+  std::sort(out.begin(), out.end(), [](const Incident& a, const Incident& b) {
+    if (a.track != b.track) return a.track < b.track;
+    return a.injected < b.injected;
+  });
+  return out;
+}
+
+struct Telemetry {
+  std::vector<std::string> series;          ///< column names after time
+  std::vector<std::size_t> scenario;
+  std::vector<double> time;
+  std::vector<std::vector<double>> columns;  ///< per series
+};
+
+Telemetry load_telemetry(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  Telemetry t;
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("empty telemetry CSV");
+  std::vector<std::string> header = sbk::obs::split_csv_line(line);
+  if (header.size() < 3 || header[0] != "scenario" || header[1] != "time") {
+    throw std::runtime_error("not a merged telemetry CSV (want "
+                             "scenario,time,<series...>)");
+  }
+  t.series.assign(header.begin() + 2, header.end());
+  t.columns.resize(t.series.size());
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> f = sbk::obs::split_csv_line(line);
+    if (f.size() != header.size()) {
+      throw std::runtime_error("ragged telemetry CSV row");
+    }
+    t.scenario.push_back(static_cast<std::size_t>(std::stoull(f[0])));
+    t.time.push_back(std::stod(f[1]));
+    for (std::size_t c = 0; c < t.series.size(); ++c) {
+      t.columns[c].push_back(std::stod(f[c + 2]));
+    }
+  }
+  return t;
+}
+
+int cmd_incidents(const Options& opt) {
+  std::vector<TraceEvent> events = load(opt.trace_path);
+  std::vector<Incident> incidents = collect_incidents(events);
+  Telemetry telemetry;
+  bool have_telemetry = false;
+  if (!opt.telemetry_path.empty()) {
+    telemetry = load_telemetry(opt.telemetry_path);
+    have_telemetry = true;
+  }
+  std::printf("%zu recovery incident(s)\n", incidents.size());
+  for (const Incident& inc : incidents) {
+    if (inc.recovered >= 0.0) {
+      std::printf("\n[track %u] %s  injected %.6fs  recovered in %.3f ms\n",
+                  inc.track, inc.detail.c_str(), inc.injected,
+                  (inc.recovered - inc.injected) * 1e3);
+    } else {
+      std::printf("\n[track %u] %s  injected %.6fs  still open\n", inc.track,
+                  inc.detail.c_str(), inc.injected);
+    }
+    for (const TraceEvent* s : inc.stages) {
+      std::printf("    %-20s %.6fs  +%.3f ms\n", s->name.c_str(), s->ts,
+                  s->dur * 1e3);
+    }
+    if (!have_telemetry) continue;
+    // Telemetry window around the incident: the track is the scenario
+    // index, so the two outputs of one traced sweep line up directly.
+    const double lo = inc.injected - opt.window;
+    const double hi =
+        (inc.recovered >= 0.0 ? inc.recovered : inc.injected) + opt.window;
+    for (std::size_t c = 0; c < telemetry.series.size(); ++c) {
+      double mn = 0.0, mx = 0.0, first = 0.0, last = 0.0;
+      std::size_t n = 0;
+      for (std::size_t r = 0; r < telemetry.time.size(); ++r) {
+        if (telemetry.scenario[r] != inc.track) continue;
+        if (telemetry.time[r] < lo || telemetry.time[r] > hi) continue;
+        const double v = telemetry.columns[c][r];
+        if (n == 0) { mn = mx = first = v; }
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+        last = v;
+        ++n;
+      }
+      if (n == 0) continue;
+      std::printf("    ~ %-28s %zu samples in +/-%.0fms window: "
+                  "first %.4f  min %.4f  max %.4f  last %.4f\n",
+                  telemetry.series[c].c_str(), n, opt.window * 1e3, first,
+                  mn, mx, last);
+    }
+  }
+  return 0;
+}
+
+// --- check -------------------------------------------------------------------
+
+struct TimelineRow {
+  std::string element;
+  std::size_t incident = 0;
+  std::string stage;
+  double start = 0.0;
+  double end = 0.0;
+};
+
+std::vector<TimelineRow> load_timeline(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::vector<TimelineRow> rows;
+  std::string line;
+  if (!std::getline(in, line)) throw std::runtime_error("empty timeline CSV");
+  std::vector<std::string> header = sbk::obs::split_csv_line(line);
+  auto col = [&header, &path](const char* name) {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return i;
+    }
+    throw std::runtime_error(path + ": missing column " + name);
+  };
+  const std::size_t c_inc = col("incident"), c_elem = col("element"),
+                    c_stage = col("stage"), c_start = col("start"),
+                    c_end = col("end");
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> f = sbk::obs::split_csv_line(line);
+    TimelineRow r;
+    r.incident = static_cast<std::size_t>(std::stoull(f[c_inc]));
+    r.element = f[c_elem];
+    r.stage = f[c_stage];
+    r.start = std::stod(f[c_start]);
+    r.end = std::stod(f[c_end]);
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+int cmd_check(const Options& opt) {
+  int failures = 0;
+  auto expect = [&failures](bool ok, const std::string& what) {
+    if (!ok) {
+      std::printf("CHECK FAILED: %s\n", what.c_str());
+      ++failures;
+    }
+  };
+
+  std::vector<TraceEvent> events = load(opt.trace_path);  // throws on schema
+  std::printf("parsed %zu trace event(s)\n", events.size());
+  for (const TraceEvent& e : events) {
+    expect(e.dur >= 0.0, "span duration is non-negative");
+    expect(!e.name.empty(), "every event is named");
+    if (failures > 0) break;  // one representative failure is enough
+  }
+
+  std::vector<Incident> incidents = collect_incidents(events);
+  for (const Incident& inc : incidents) {
+    double prev_start = -1e300;
+    for (const TraceEvent* s : inc.stages) {
+      expect(s->ts >= prev_start - 1e-9,
+             inc.detail + ": recovery spans are monotone");
+      prev_start = s->ts;
+    }
+    if (inc.recovered >= 0.0) {
+      expect(inc.recovered >= inc.injected - 1e-9,
+             inc.detail + ": recovery does not precede injection");
+    }
+  }
+  std::printf("%zu recovery incident(s) monotone\n", incidents.size());
+
+  if (!opt.timeline_path.empty()) {
+    // Cross-check: every RecoveryTracer CSV row must appear in the trace
+    // as a "recovery" span with the same stage and timestamps. (Ring
+    // overflow could evict spans; the check demands a lossless export.)
+    std::vector<TimelineRow> rows = load_timeline(opt.timeline_path);
+    std::size_t matched = 0;
+    for (const TimelineRow& r : rows) {
+      const std::string detail =
+          r.element + "#" + std::to_string(r.incident);
+      bool found = false;
+      for (const TraceEvent& e : events) {
+        if (e.phase != TracePhase::kComplete || e.category != "recovery") {
+          continue;
+        }
+        if (e.name != r.stage || e.detail != detail) continue;
+        if (std::fabs(e.ts - r.start) > 1e-9) continue;
+        if (std::fabs((e.ts + e.dur) - r.end) > 1e-9) continue;
+        found = true;
+        break;
+      }
+      expect(found, "timeline row present in trace: " + detail + " " +
+                        r.stage);
+      if (found) ++matched;
+    }
+    std::printf("timeline cross-check: %zu/%zu row(s) matched\n", matched,
+                rows.size());
+  }
+
+  if (failures == 0) std::printf("trace check: OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
+      opt.telemetry_path = argv[i] + 12;
+    } else if (std::strncmp(argv[i], "--timeline=", 11) == 0) {
+      opt.timeline_path = argv[i] + 11;
+    } else if (std::strncmp(argv[i], "--top=", 6) == 0) {
+      opt.top = static_cast<std::size_t>(std::strtoul(argv[i] + 6, nullptr,
+                                                      10));
+    } else if (std::strncmp(argv[i], "--window=", 9) == 0) {
+      opt.window = std::strtod(argv[i] + 9, nullptr);
+    } else if (opt.command.empty()) {
+      opt.command = argv[i];
+    } else if (opt.trace_path.empty()) {
+      opt.trace_path = argv[i];
+    } else {
+      return usage();
+    }
+  }
+  if (opt.command.empty() || opt.trace_path.empty()) return usage();
+  try {
+    if (opt.command == "summary") return cmd_summary(opt);
+    if (opt.command == "incidents") return cmd_incidents(opt);
+    if (opt.command == "check") return cmd_check(opt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sbk_trace: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

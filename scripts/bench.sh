@@ -88,5 +88,29 @@ EOF
   rm -f BENCH_micro.json.base
 fi
 
+# Disabled-observability overhead gate: the same fluid-sim workload with
+# a disabled recorder and sampler attached must stay within the
+# regression tolerance of the untouched run (the hooks are supposed to
+# cost one branch each).
+python3 - "$TOL" BENCH_micro.json.new <<'EOF' || STATUS=$?
+import json, sys
+
+tol = float(sys.argv[1])
+with open(sys.argv[2]) as f:
+    fresh = {b["name"]: b for b in json.load(f)["benchmarks"]}
+ref = fresh.get("BM_FluidSimCoflowTrace/60")
+dis = fresh.get("BM_FlightRecorderDisabled/60")
+if ref is None or dis is None:
+    print("bench.sh: recorder-overhead pair not present; skipping gate")
+    sys.exit(0)
+ratio = dis["real_time"] / ref["real_time"] if ref["real_time"] else 1.0
+print(f"bench.sh: disabled-recorder overhead {ratio:.2f}x of baseline "
+      f"workload (tolerance {1.0 + tol:.2f}x)")
+if ratio > 1.0 + tol:
+    print("bench.sh: disabled flight recorder adds measurable overhead",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+
 mv BENCH_micro.json.new BENCH_micro.json
 exit "$STATUS"

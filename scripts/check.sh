@@ -2,8 +2,8 @@
 # Full local verification: configure, build, run every test, then run
 # every experiment harness (the micro-benchmarks in reduced mode).
 #
-# Usage: scripts/check.sh [--tsan | --asan | --bench-smoke | --chaos-smoke]
-#        [build-dir]
+# Usage: scripts/check.sh [--tsan | --asan | --bench-smoke | --chaos-smoke |
+#        --trace-smoke] [build-dir]
 #
 #   --tsan         Configure a ThreadSanitizer build (-DSBK_SANITIZE=thread,
 #                  default dir build-tsan) and run the concurrency-heavy
@@ -22,13 +22,47 @@
 #   --chaos-smoke  Build examples/chaos_soak and run a fixed-seed 50-
 #                  scenario soak (deterministic, ~1 s); exits non-zero on
 #                  any invariant violation.
+#   --trace-smoke  Build examples/failure_drill + sbk_trace, record the
+#                  drill into a flight-recorder trace, validate the
+#                  Perfetto trace_event JSON against a minimal schema,
+#                  and cross-check its recovery spans against the
+#                  RecoveryTracer timeline CSV (sbk_trace check exits
+#                  non-zero on any mismatch). Also runs in the default
+#                  full-verification matrix.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+run_trace_smoke() {
+  local BUILD="$1"
+  "$BUILD"/examples/failure_drill "$BUILD/recovery_timeline.csv" \
+    "$BUILD/drill_trace.json" >/dev/null
+  "$BUILD"/examples/sbk_trace check "$BUILD/drill_trace.json" \
+    --timeline="$BUILD/recovery_timeline.csv"
+  "$BUILD"/examples/sbk_trace summary "$BUILD/drill_trace.json" >/dev/null
+  python3 - "$BUILD/drill_trace.json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "traceEvents missing or empty"
+for e in events:
+    assert {"name", "cat", "ph", "pid", "tid", "ts"} <= e.keys(), \
+        f"event missing required keys: {e}"
+    assert e["ph"] in ("X", "i", "C"), f"unknown phase: {e}"
+    if e["ph"] == "X":
+        assert e.get("dur", -1) >= 0, f"span without duration: {e}"
+assert any(e["cat"] == "recovery" for e in events), \
+    "no recovery spans exported into the trace"
+print(f"trace-smoke: Perfetto JSON OK ({len(events)} events)")
+EOF
+}
 
 TSAN=0
 ASAN=0
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
+TRACE_SMOKE=0
 if [ "${1:-}" = "--tsan" ]; then
   TSAN=1
   shift
@@ -41,6 +75,17 @@ elif [ "${1:-}" = "--bench-smoke" ]; then
 elif [ "${1:-}" = "--chaos-smoke" ]; then
   CHAOS_SMOKE=1
   shift
+elif [ "${1:-}" = "--trace-smoke" ]; then
+  TRACE_SMOKE=1
+  shift
+fi
+
+if [ "$TRACE_SMOKE" = 1 ]; then
+  BUILD="${1:-build-trace}"
+  cmake -B "$BUILD" -G Ninja
+  cmake --build "$BUILD" --target failure_drill sbk_trace
+  run_trace_smoke "$BUILD"
+  exit 0
 fi
 
 if [ "$BENCH_SMOKE" = 1 ]; then
@@ -92,9 +137,10 @@ ctest --test-dir "$BUILD" --output-on-failure
 
 # Trace smoke: the failure drill must emit a well-formed recovery
 # timeline (it exits non-zero itself when the measured spans disagree
-# with the §5.3 latency model), and the CSV must parse with monotone
-# spans per incident.
-"$BUILD"/examples/failure_drill "$BUILD/recovery_timeline.csv" >/dev/null
+# with the §5.3 latency model), the CSV must parse with monotone spans
+# per incident, and the flight-recorder trace must pass the Perfetto
+# schema check and match the timeline span-for-span.
+run_trace_smoke "$BUILD"
 python3 - "$BUILD/recovery_timeline.csv" <<'EOF'
 import csv, sys
 

@@ -61,9 +61,15 @@ void ControlPlane::deliver_report(Report r, Seconds t) {
       // Lost on the control channel. The detector's
       // report_retry_interval (when configured) re-sends later.
       ++reports_lost_;
+      if (recorder_ != nullptr) {
+        recorder_->instant("control", "report_lost", t);
+      }
       return;
     }
     if (*delay > 0.0) {
+      if (recorder_ != nullptr) {
+        recorder_->instant("control", "report_delayed", t);
+      }
       queue_->schedule_in(*delay, [this, r] {
         handle_report(r, queue_->now());
       });
@@ -78,8 +84,14 @@ void ControlPlane::handle_report(const Report& r, Seconds t) {
     if (cluster_.has_value() && config_.buffer_reports_during_election) {
       election_buffer_.push_back(r);
       ++reports_buffered_;
+      if (recorder_ != nullptr) {
+        recorder_->instant("control", "report_buffered", t);
+      }
     } else {
       ++reports_dropped_;
+      if (recorder_ != nullptr) {
+        recorder_->instant("control", "report_dropped", t);
+      }
     }
     return;
   }
@@ -126,6 +138,9 @@ void ControlPlane::replay_buffered(Seconds t) {
     Report r = election_buffer_.front();
     election_buffer_.pop_front();
     ++reports_replayed_;
+    if (recorder_ != nullptr) {
+      recorder_->instant("control", "report_replayed", t);
+    }
     process_report(r, t);
   }
 }

@@ -123,6 +123,13 @@ class ControlPlane {
     detector_.attach_metrics(metrics);
     controller_.attach_metrics(metrics);
   }
+  /// Wires one flight recorder through the controller (control-path
+  /// spans) and the report channel (lost/delayed/buffered/replayed
+  /// instants). Pass nullptr to detach; must outlive `this`.
+  void attach_recorder(obs::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+    controller_.attach_recorder(recorder);
+  }
 
  private:
   /// One failure report in flight or buffered (exactly one id is set).
@@ -150,6 +157,7 @@ class ControlPlane {
   std::optional<TableManager> tables_;
   RecoveryObserver observer_;
   ReportFaultHook report_fault_;
+  obs::FlightRecorder* recorder_ = nullptr;
   std::deque<Report> election_buffer_;
   std::size_t reports_dropped_ = 0;
   std::size_t reports_lost_ = 0;

@@ -182,6 +182,9 @@ void Controller::degrade(RecoveryOutcome& outcome, const std::string& element,
   }
   outcome.detail = std::string(cause) + "; degraded to global reroute";
   audit("degraded", element + ": " + cause);
+  if (recorder_ != nullptr) {
+    recorder_->instant("control", "degraded", now_, element);
+  }
   if (tracer_ != nullptr && tracer_->enabled()) {
     // The incident stays open: the element is routed around, not
     // recovered; a later hardware re-attempt closes it.
@@ -255,6 +258,7 @@ void Controller::acknowledge_intervention() {
 }
 
 RecoveryOutcome Controller::on_switch_failure(SwitchPosition pos) {
+  obs::ScopedSpan span(recorder_, "control", "switch_failure", now_);
   RecoveryOutcome outcome;
   ++stats_.node_failures_handled;
   if (watchdog_tripped_) {
@@ -323,6 +327,10 @@ void Controller::note_link_report_for_watchdog(std::size_t cs,
     watchdog_tripped_ = true;
     ++stats_.watchdog_trips;
     if (m_watchdog_trips_) m_watchdog_trips_->add();
+    if (recorder_ != nullptr) {
+      recorder_->instant("control", "watchdog_trip", now_,
+                         fabric_->circuit_switch(cs).name());
+    }
     SBK_LOG_WARN("controller",
                  "suspected circuit switch failure at "
                      << fabric_->circuit_switch(cs).name() << " (" << count
@@ -332,6 +340,7 @@ void Controller::note_link_report_for_watchdog(std::size_t cs,
 }
 
 RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
+  obs::ScopedSpan span(recorder_, "control", "link_failure", now_);
   RecoveryOutcome outcome;
   const net::Network& net = fabric_->network();
   const net::Link& l = net.link(link);
@@ -509,6 +518,7 @@ RecoveryOutcome Controller::on_link_failure(net::LinkId link) {
 }
 
 std::size_t Controller::run_pending_diagnosis(Seconds queued_before) {
+  obs::ScopedSpan span(recorder_, "control", "diagnosis_pass", now_);
   std::size_t processed = 0;
   // Queue times are monotone, so stopping at the first too-new job
   // processes exactly the jobs queued before the cutoff. Jobs queued by

@@ -27,6 +27,7 @@
 
 #include "control/diagnosis.hpp"
 #include "control/table_manager.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/recovery_tracer.hpp"
 #include "sharebackup/fabric.hpp"
@@ -231,8 +232,13 @@ class Controller {
   [[nodiscard]] Seconds end_to_end_recovery_latency() const;
 
   /// Advances the watchdog's notion of time (reports are timestamped with
-  /// it). Tests and the control-plane simulation drive this.
-  void set_time(Seconds now) noexcept { now_ = now; }
+  /// it). Tests and the control-plane simulation drive this. The fabric's
+  /// trace clock follows so its failover/pool instants carry the same
+  /// timestamps.
+  void set_time(Seconds now) noexcept {
+    now_ = now;
+    fabric_->set_trace_time(now);
+  }
 
   /// Attaches the §4.3 routing-table mirror: every failover / pool
   /// return the controller performs is reflected in the manager's
@@ -257,6 +263,14 @@ class Controller {
   /// histograms controller.{control_latency,degraded_latency}.
   /// Pass nullptr to detach. The registry must outlive the controller.
   void attach_metrics(obs::MetricsRegistry* metrics);
+
+  /// Wall-clock-timed spans around failure handling and diagnosis
+  /// passes, plus instants for degraded recoveries and watchdog trips
+  /// (sim timestamps from set_time()). Pass nullptr to detach; the
+  /// recorder must outlive the controller.
+  void attach_recorder(obs::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
 
  private:
   struct PendingDiagnosis {
@@ -338,6 +352,7 @@ class Controller {
   bool watchdog_tripped_ = false;
   Seconds now_ = 0.0;
   obs::RecoveryTracer* tracer_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
   /// Incident to attach a "restore" span to when a confirmed-faulty
   /// device comes back via on_device_repaired().
   std::unordered_map<sharebackup::DeviceUid, std::size_t>

@@ -12,6 +12,13 @@ namespace sbk::faultinject {
 
 ChaosScenarioResult run_chaos_scenario(const ChaosSoakConfig& config,
                                        const sweep::ScenarioSpec& spec) {
+  return run_chaos_scenario(config, spec, nullptr, nullptr);
+}
+
+ChaosScenarioResult run_chaos_scenario(const ChaosSoakConfig& config,
+                                       const sweep::ScenarioSpec& spec,
+                                       obs::FlightRecorder* recorder,
+                                       obs::TelemetrySampler* sampler) {
   ChaosScenarioResult result;
   result.seed = spec.seed;
 
@@ -28,6 +35,49 @@ ChaosScenarioResult run_chaos_scenario(const ChaosSoakConfig& config,
   control::ControlPlane plane(fabric, queue, pc);
   obs::RecoveryTracer tracer;
   plane.attach_tracer(&tracer);
+  if (recorder != nullptr) {
+    queue.attach_recorder(recorder);
+    plane.attach_recorder(recorder);
+    fabric.attach_recorder(recorder);
+  }
+
+  const bool sampling = sampler != nullptr && sampler->enabled();
+  if (sampling) {
+    const net::Network& net = fabric.network();
+    const double links = static_cast<double>(net.link_count());
+    sampler->add_probe("queue.pending", [&queue] {
+      return static_cast<double>(queue.pending());
+    });
+    sampler->add_probe("fabric.spare_pool", [&fabric] {
+      return static_cast<double>(fabric.total_spares());
+    });
+    // The soak carries no traffic, so the utilization analog is the
+    // fraction of packet links currently alive: it dips on injections
+    // and restores as recoveries land.
+    sampler->add_probe("net.live_link_frac", [&net, links] {
+      return 1.0 - static_cast<double>(net.failed_link_count()) / links;
+    });
+    sampler->add_probe("controller.pending_diagnosis", [&plane] {
+      return static_cast<double>(plane.controller().pending_diagnosis());
+    });
+    sampler->add_probe("controller.pending_recoveries", [&plane] {
+      return static_cast<double>(plane.controller().pending_recoveries());
+    });
+    sampler->add_probe("plane.reports_buffered", [&plane] {
+      return static_cast<double>(plane.reports_buffered());
+    });
+    // Pre-scheduled cadence events: queue events at equal timestamps
+    // fire in insertion order, so scheduling these before the control
+    // plane and the injector arm themselves guarantees each sample sees
+    // the state *before* any same-instant injection or recovery.
+    sampler->start(0.0);
+    for (std::size_t i = 1;; ++i) {
+      const Seconds t =
+          static_cast<double>(i) * config.obs.telemetry_interval;
+      if (t > config.plan.horizon) break;
+      queue.schedule_at(t, [sampler, t] { sampler->sample_now(t); });
+    }
+  }
 
   FaultPlan fault_plan =
       FaultPlan::generate(fabric, config.plan, spec.seed);
@@ -45,6 +95,8 @@ ChaosScenarioResult run_chaos_scenario(const ChaosSoakConfig& config,
   for (std::string& v : injector.verify(&tracer)) {
     result.violations.push_back(std::move(v));
   }
+
+  if (recorder != nullptr) export_recovery_spans(tracer, *recorder);
 
   result.failures_injected = injector.stats().switch_failures_injected +
                              injector.stats().link_failures_injected;
@@ -69,6 +121,28 @@ ChaosSoakReport run_chaos_soak(const ChaosSoakConfig& config) {
       runner.run(config.scenarios, [&config](const sweep::ScenarioSpec& s) {
         return run_chaos_scenario(config, s);
       });
+  return report;
+}
+
+ChaosSoakReport run_chaos_soak(const ChaosSoakConfig& config,
+                               obs::FlightRecorder& trace,
+                               obs::TelemetryTable& telemetry) {
+  if (!config.obs.trace) return run_chaos_soak(config);
+  sweep::SweepConfig sc;
+  sc.master_seed = config.master_seed;
+  sc.threads = config.threads;
+  sweep::SweepRunner runner(sc);
+  sweep::SweepRunner::TraceOptions opts;
+  opts.recorder_capacity = config.obs.trace_capacity;
+  opts.telemetry_interval = config.obs.telemetry_interval;
+  ChaosSoakReport report;
+  report.scenarios = runner.run_traced(
+      config.scenarios, trace, telemetry,
+      [&config](const sweep::ScenarioSpec& s, obs::FlightRecorder& rec,
+                obs::TelemetrySampler& sampler) {
+        return run_chaos_scenario(config, s, &rec, &sampler);
+      },
+      opts);
   return report;
 }
 

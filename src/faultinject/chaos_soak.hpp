@@ -41,6 +41,19 @@ struct ChaosSoakConfig {
   /// Fault-schedule shape, shared by every scenario (the per-scenario
   /// seed drives everything else).
   FaultPlanConfig plan;
+
+  /// Observability knobs for the tracing overloads. `trace` gates
+  /// everything: when false the traced soak behaves exactly like the
+  /// plain one (no recorder/sampler is attached anywhere, so scenario
+  /// execution is bit-identical to an untraced run).
+  struct ChaosObsConfig {
+    bool trace = false;
+    /// Per-scenario flight-recorder ring capacity.
+    std::size_t trace_capacity = obs::FlightRecorder::kDefaultCapacity;
+    /// Telemetry sampling cadence in sim seconds.
+    Seconds telemetry_interval = milliseconds(10);
+  };
+  ChaosObsConfig obs;
 };
 
 struct ChaosScenarioResult {
@@ -72,7 +85,29 @@ struct ChaosSoakReport {
 [[nodiscard]] ChaosScenarioResult run_chaos_scenario(
     const ChaosSoakConfig& config, const sweep::ScenarioSpec& spec);
 
+/// Traced variant: wires `recorder` through the event queue, control
+/// plane, and fabric, registers the standard chaos probes on `sampler`
+/// (queue depth, backup-pool occupancy, live-link fraction, controller
+/// backlog, report-channel buffering), drives the sampler from
+/// pre-scheduled queue events on the telemetry cadence, and exports the
+/// RecoveryTracer's timeline into the recorder as "recovery" spans.
+/// Either pointer may be null (that side is skipped); with both null
+/// this is exactly the plain overload.
+[[nodiscard]] ChaosScenarioResult run_chaos_scenario(
+    const ChaosSoakConfig& config, const sweep::ScenarioSpec& spec,
+    obs::FlightRecorder* recorder, obs::TelemetrySampler* sampler);
+
 /// Runs the full soak.
 [[nodiscard]] ChaosSoakReport run_chaos_soak(const ChaosSoakConfig& config);
+
+/// Traced soak built on SweepRunner::run_traced: per-scenario recorders
+/// and samplers merged into `trace` (scenario index = Perfetto track)
+/// and `telemetry` in scenario order, so both are independent of the
+/// thread count (wall-clock span durations aside). Requires
+/// config.obs.trace; with it false the outputs stay empty and the soak
+/// runs exactly like the plain overload.
+[[nodiscard]] ChaosSoakReport run_chaos_soak(const ChaosSoakConfig& config,
+                                             obs::FlightRecorder& trace,
+                                             obs::TelemetryTable& telemetry);
 
 }  // namespace sbk::faultinject

@@ -4,6 +4,7 @@
 
 #include "util/assert.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 
 namespace sbk::obs {
 
@@ -31,22 +32,6 @@ const T* find(std::string_view name, const std::deque<T>& items,
               const std::unordered_map<std::string, std::size_t>& index) {
   auto it = index.find(std::string(name));
   return it == index.end() ? nullptr : &items[it->second];
-}
-
-std::string json_escape(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
 }
 
 }  // namespace

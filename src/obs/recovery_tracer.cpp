@@ -2,6 +2,7 @@
 
 #include "util/assert.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 
 namespace sbk::obs {
 
@@ -94,13 +95,16 @@ void RecoveryTracer::write_csv(std::ostream& out) const {
   csv.row({"incident", "element", "injected_at", "recovered_at", "stage",
            "start", "end", "duration"});
   for (const RecoveryIncident& inc : incidents_) {
+    // Times use the exact round-trip form: this CSV is re-parsed and
+    // cross-checked against flight-recorder traces (sbk_trace check),
+    // where 6-digit rounding would show up as phantom mismatches.
     const std::string recovered =
-        inc.closed ? CsvWriter::num(inc.recovered_at) : std::string{};
+        inc.closed ? CsvWriter::num_exact(inc.recovered_at) : std::string{};
     for (const RecoverySpan& s : inc.spans) {
       csv.row({CsvWriter::num(inc.id), inc.element,
-               CsvWriter::num(inc.injected_at), recovered, s.stage,
-               CsvWriter::num(s.start), CsvWriter::num(s.end),
-               CsvWriter::num(s.duration())});
+               CsvWriter::num_exact(inc.injected_at), recovered, s.stage,
+               CsvWriter::num_exact(s.start), CsvWriter::num_exact(s.end),
+               CsvWriter::num_exact(s.duration())});
     }
   }
 }
@@ -110,18 +114,19 @@ void RecoveryTracer::write_json(std::ostream& out) const {
   for (std::size_t i = 0; i < incidents_.size(); ++i) {
     const RecoveryIncident& inc = incidents_[i];
     if (i > 0) out << ",";
-    out << "{\"incident\":" << inc.id << ",\"element\":\"" << inc.element
-        << "\",\"injected_at\":" << CsvWriter::num(inc.injected_at);
+    out << "{\"incident\":" << inc.id << ",\"element\":\""
+        << json_escape(inc.element)
+        << "\",\"injected_at\":" << CsvWriter::num_exact(inc.injected_at);
     if (inc.closed) {
-      out << ",\"recovered_at\":" << CsvWriter::num(inc.recovered_at);
+      out << ",\"recovered_at\":" << CsvWriter::num_exact(inc.recovered_at);
     }
     out << ",\"spans\":[";
     for (std::size_t j = 0; j < inc.spans.size(); ++j) {
       const RecoverySpan& s = inc.spans[j];
       if (j > 0) out << ",";
-      out << "{\"stage\":\"" << s.stage
-          << "\",\"start\":" << CsvWriter::num(s.start)
-          << ",\"end\":" << CsvWriter::num(s.end) << "}";
+      out << "{\"stage\":\"" << json_escape(s.stage)
+          << "\",\"start\":" << CsvWriter::num_exact(s.start)
+          << ",\"end\":" << CsvWriter::num_exact(s.end) << "}";
     }
     out << "]}";
   }

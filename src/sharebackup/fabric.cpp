@@ -462,6 +462,12 @@ std::optional<Fabric::FailoverReport> Fabric::fail_over(SwitchPosition pos) {
     m_reconfigurations_->add(report.circuit_switches_touched);
   }
   if (m_spare_pool_) m_spare_pool_->set(static_cast<double>(total_spares()));
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    recorder_->instant("fabric", "failover", trace_now_,
+                       devices_[failed].name + " -> " + devices_[spare].name);
+    recorder_->counter("fabric", "spare_pool", trace_now_,
+                       static_cast<double>(total_spares()));
+  }
   SBK_LOG_INFO("fabric", "failover at " << devices_[failed].name << " -> "
                                         << devices_[spare].name << " ("
                                         << report.circuit_switches_touched
@@ -482,6 +488,12 @@ void Fabric::return_to_pool(DeviceUid uid) {
   device_state_[uid] = DeviceState::kSpare;
   if (m_pool_returns_) m_pool_returns_->add();
   if (m_spare_pool_) m_spare_pool_->set(static_cast<double>(total_spares()));
+  if (recorder_ != nullptr && recorder_->enabled()) {
+    recorder_->instant("fabric", "pool_return", trace_now_,
+                       devices_[uid].name);
+    recorder_->counter("fabric", "spare_pool", trace_now_,
+                       static_cast<double>(total_spares()));
+  }
 }
 
 int Fabric::device_port_on(DeviceUid uid, std::size_t cs) const {

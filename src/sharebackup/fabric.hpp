@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "net/ids.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "sharebackup/circuit_switch.hpp"
 #include "sharebackup/device.hpp"
@@ -168,6 +169,19 @@ class Fabric {
   /// registry must outlive the fabric.
   void attach_metrics(obs::MetricsRegistry* metrics);
 
+  /// Spares currently pooled across all failure groups (the telemetry
+  /// backup-pool-occupancy probe).
+  [[nodiscard]] std::size_t total_spares() const;
+
+  /// Instants for failovers / pool returns plus a "fabric.spare_pool"
+  /// counter track, timestamped with set_trace_time() (the fabric has no
+  /// clock of its own; the controller forwards its own time through
+  /// set_time()). Pass nullptr to detach; must outlive the fabric.
+  void attach_recorder(obs::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  void set_trace_time(Seconds now) noexcept { trace_now_ = now; }
+
   // --- circuit tracing / probing (offline diagnosis support) ---------------
   /// Follows the circuit starting at `port` of switch `cs` through
   /// matchings and side-ring cables until it terminates at a device
@@ -242,11 +256,12 @@ class Fabric {
   std::size_t switch_devices_ = 0;
   /// Host device uid per global host index (hosts attach to layer-1 CS).
   std::vector<DeviceUid> host_device_;
-  [[nodiscard]] std::size_t total_spares() const;
   obs::Counter* m_failovers_ = nullptr;
   obs::Counter* m_reconfigurations_ = nullptr;
   obs::Counter* m_pool_returns_ = nullptr;
   obs::Gauge* m_spare_pool_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  Seconds trace_now_ = 0.0;
 };
 
 }  // namespace sbk::sharebackup

@@ -23,6 +23,7 @@ bool EventQueue::step() {
   Entry e = std::move(heap_.back());
   heap_.pop_back();
   now_ = e.time;
+  obs::ScopedSpan span(recorder_, "queue", "dispatch", now_);
   e.fn();
   return true;
 }

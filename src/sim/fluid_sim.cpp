@@ -46,8 +46,11 @@ void FluidSimulator::at(Seconds when,
 void FluidSimulator::try_route(std::size_t idx, Seconds now,
                                bool is_reroute) {
   FlowState& f = flows_[idx];
-  net::Path path =
-      router_->route(*net_, f.spec.src, f.spec.dst, f.spec.id, &loads_);
+  net::Path path;
+  {
+    obs::ScopedSpan span(recorder_, "fluidsim", "route", now);
+    path = router_->route(*net_, f.spec.src, f.spec.dst, f.spec.id, &loads_);
+  }
   if (path.empty()) {
     f.stalled = true;
     f.path = {};
@@ -60,8 +63,13 @@ void FluidSimulator::try_route(std::size_t idx, Seconds now,
   f.stalled = false;
   f.active = true;
   rates_dirty_ = true;
-  if (is_reroute) ++f.reroutes;
-  (void)now;
+  if (is_reroute) {
+    ++f.reroutes;
+    if (recorder_ != nullptr && recorder_->enabled()) {
+      recorder_->instant("fluidsim", "reroute", now,
+                         "flow#" + std::to_string(f.spec.id));
+    }
+  }
 }
 
 void FluidSimulator::admit(std::size_t idx, Seconds now) {
@@ -93,7 +101,8 @@ void FluidSimulator::finish_flow(std::size_t idx, Seconds now) {
   f.finish = now;
 }
 
-void FluidSimulator::recompute_rates() {
+void FluidSimulator::recompute_rates(Seconds now) {
+  obs::ScopedSpan span(recorder_, "fluidsim", "max_min_solve", now);
   ++allocation_rounds_;
   rates_dirty_ = false;
   if (cfg_.allocation == AllocationModel::kPerLinkEqualShare) {
@@ -122,6 +131,50 @@ void FluidSimulator::recompute_rates() {
   for (std::size_t i = 0; i < active_.size(); ++i) {
     flows_[active_[i]].rate = rates_[i];
   }
+}
+
+void FluidSimulator::fill_directed_utilization(std::vector<double>& used) const {
+  used.assign(net_->link_count() * 2, 0.0);
+  for (std::size_t idx : active_) {
+    const FlowState& f = flows_[idx];
+    for (net::DirectedLink dl : f.dlinks) {
+      used[dl.link.index() * 2 + (dl.forward ? 0 : 1)] += f.rate;
+    }
+  }
+}
+
+double FluidSimulator::mean_active_rate() const {
+  if (active_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t idx : active_) sum += flows_[idx].rate;
+  return sum / static_cast<double>(active_.size());
+}
+
+double FluidSimulator::link_utilization_mean() const {
+  std::vector<double> used;
+  fill_directed_utilization(used);
+  double sum = 0.0;
+  std::size_t loaded = 0;
+  for (std::size_t slot = 0; slot < used.size(); ++slot) {
+    if (used[slot] <= 0.0) continue;
+    const double cap = net_->link(net::LinkId(static_cast<std::uint32_t>(slot / 2))).capacity;
+    if (cap <= 0.0) continue;
+    sum += used[slot] / cap;
+    ++loaded;
+  }
+  return loaded == 0 ? 0.0 : sum / static_cast<double>(loaded);
+}
+
+double FluidSimulator::link_utilization_max() const {
+  std::vector<double> used;
+  fill_directed_utilization(used);
+  double best = 0.0;
+  for (std::size_t slot = 0; slot < used.size(); ++slot) {
+    if (used[slot] <= 0.0) continue;
+    const double cap = net_->link(net::LinkId(static_cast<std::uint32_t>(slot / 2))).capacity;
+    if (cap > 0.0) best = std::max(best, used[slot] / cap);
+  }
+  return best;
 }
 
 void FluidSimulator::handle_topology_change(Seconds now) {
@@ -192,6 +245,7 @@ std::vector<FlowResult> FluidSimulator::run() {
   std::size_t next_arrival = 0;
   std::size_t next_action = 0;
   Seconds now = 0.0;
+  if (telemetry_ != nullptr) telemetry_->start(0.0);
   const double eps_units =
       cfg_.completion_epsilon_bytes / cfg_.unit_bytes_per_second;
 
@@ -211,7 +265,7 @@ std::vector<FlowResult> FluidSimulator::run() {
     ++events_processed_;
     if (!active_.empty()) {
       if (rates_dirty_) {
-        recompute_rates();
+        recompute_rates(now);
       } else {
         ++recompute_skips_;
       }
@@ -226,6 +280,10 @@ std::vector<FlowResult> FluidSimulator::run() {
     }
     SBK_ASSERT_MSG(t_next >= now - kTimeEps, "time must move forward");
     t_next = std::max(t_next, now);
+
+    // Sample cadence boundaries falling inside (now, t_next] while the
+    // rates that governed that interval are still in place.
+    if (telemetry_ != nullptr) telemetry_->advance_to(t_next);
 
     // Advance fluid state.
     Seconds dt = t_next - now;
@@ -274,6 +332,9 @@ std::vector<FlowResult> FluidSimulator::run() {
       actions_[next_action].fn(*net_);
       ++next_action;
       topo_changed = true;
+      if (recorder_ != nullptr) {
+        recorder_->instant("fluidsim", "topology_action", now);
+      }
     }
     if (topo_changed) {
       // Capacity edits and failure flips change allocations even when no

@@ -16,7 +16,9 @@
 #include <vector>
 
 #include "net/network.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "routing/router.hpp"
 #include "sim/flow.hpp"
 #include "sim/max_min.hpp"
@@ -97,6 +99,34 @@ class FluidSimulator {
     metrics_ = metrics;
   }
 
+  /// Structured trace events: wall-clock-timed spans around max-min
+  /// solves and route computations, instants for topology actions and
+  /// reroutes. nullptr (the default) keeps the hot loop to a single
+  /// pointer test per event. The recorder must outlive the simulator.
+  void attach_recorder(obs::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
+  /// Fixed-cadence time-series sampling, driven from simulation time (the
+  /// sampler's cadence boundaries are visited as the run loop crosses
+  /// them, so sampling is deterministic). Register probes — e.g. the
+  /// active_flow_count/link_utilization accessors below — before run().
+  void attach_telemetry(obs::TelemetrySampler* telemetry) noexcept {
+    telemetry_ = telemetry;
+  }
+
+  // --- telemetry probe accessors (valid mid-run, cheap to call) ---------
+  [[nodiscard]] std::size_t active_flow_count() const noexcept {
+    return active_.size();
+  }
+  /// Mean rate (capacity units/s) over active flows; 0 when none.
+  [[nodiscard]] double mean_active_rate() const;
+  /// Mean / max utilization (allocated rate / capacity, per direction)
+  /// over the directed links currently carrying at least one active flow.
+  /// Both are 0 when nothing is flowing.
+  [[nodiscard]] double link_utilization_mean() const;
+  [[nodiscard]] double link_utilization_max() const;
+
  private:
   struct FlowState {
     FlowSpec spec;
@@ -118,8 +148,9 @@ class FluidSimulator {
   void admit(std::size_t idx, Seconds now);
   void try_route(std::size_t idx, Seconds now, bool is_reroute);
   void finish_flow(std::size_t idx, Seconds now);
-  void recompute_rates();
+  void recompute_rates(Seconds now);
   void handle_topology_change(Seconds now);
+  void fill_directed_utilization(std::vector<double>& used) const;
 
   net::Network* net_;
   routing::Router* router_;
@@ -132,6 +163,8 @@ class FluidSimulator {
   std::size_t recompute_skips_ = 0;
   std::size_t events_processed_ = 0;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  obs::TelemetrySampler* telemetry_ = nullptr;
   bool ran_ = false;
   /// Set by every event that can change the allocation (arrival,
   /// completion, topology action); cleared after recompute_rates().

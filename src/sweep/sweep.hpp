@@ -20,7 +20,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/thread_pool.hpp"
@@ -162,6 +164,51 @@ class SweepRunner {
                          return fn(spec, locals[spec.index]);
                        });
     for (const obs::MetricsRegistry& local : locals) merged.merge(local);
+    return results;
+  }
+
+  /// Knobs for run_traced's per-scenario observability objects.
+  struct TraceOptions {
+    /// Ring capacity of each scenario's private recorder (the merged
+    /// recorder's capacity is whatever the caller constructed it with).
+    std::size_t recorder_capacity = obs::FlightRecorder::kDefaultCapacity;
+    /// Cadence of each scenario's TelemetrySampler, in sim seconds.
+    Seconds telemetry_interval = 0.01;
+  };
+
+  /// Tracing sweep: each scenario gets a private FlightRecorder and
+  /// TelemetrySampler (no cross-thread sharing). After the sweep the
+  /// per-scenario recorders are merged into `trace` with the scenario
+  /// index as the Perfetto track, and the samplers are appended to
+  /// `telemetry`, both in scenario order — so, wall-clock fields aside,
+  /// the merged trace and the telemetry table are independent of the
+  /// thread count. Each scenario also gets a "sweep"/"scenario" span.
+  /// fn: (const ScenarioSpec&, obs::FlightRecorder&,
+  ///      obs::TelemetrySampler&) -> R.
+  template <typename Fn>
+  auto run_traced(std::size_t scenario_count, obs::FlightRecorder& trace,
+                  obs::TelemetryTable& telemetry, Fn&& fn,
+                  TraceOptions opts = {})
+      -> std::vector<std::invoke_result_t<Fn&, const ScenarioSpec&,
+                                          obs::FlightRecorder&,
+                                          obs::TelemetrySampler&>> {
+    std::deque<obs::FlightRecorder> recorders;
+    std::deque<obs::TelemetrySampler> samplers;
+    for (std::size_t i = 0; i < scenario_count; ++i) {
+      recorders.emplace_back(trace.enabled(), opts.recorder_capacity);
+      samplers.emplace_back(opts.telemetry_interval, telemetry.enabled());
+    }
+    auto results =
+        run(scenario_count, [&fn, &recorders, &samplers](
+                                const ScenarioSpec& spec) {
+          obs::FlightRecorder& rec = recorders[spec.index];
+          obs::ScopedSpan span(&rec, "sweep", "scenario", 0.0);
+          return fn(spec, rec, samplers[spec.index]);
+        });
+    for (std::size_t i = 0; i < scenario_count; ++i) {
+      trace.merge(recorders[i], static_cast<std::uint32_t>(i));
+      telemetry.append(i, samplers[i]);
+    }
     return results;
   }
 

@@ -1,5 +1,6 @@
 #include "util/csv.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <sstream>
 
@@ -43,6 +44,14 @@ std::string CsvWriter::num(double v) {
     os << v;
   }
   return os.str();
+}
+
+std::string CsvWriter::num_exact(double v) {
+  if (!std::isfinite(v)) return num(v);
+  char buf[32];
+  auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec != std::errc{}) return num(v);
+  return std::string(buf, ptr);
 }
 
 std::string CsvWriter::num(std::size_t v) { return std::to_string(v); }

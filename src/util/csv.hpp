@@ -21,8 +21,13 @@ class CsvWriter {
   void row(const std::vector<std::string>& fields);
   void row(std::initializer_list<std::string_view> fields);
 
-  /// Convenience: formats doubles with enough precision to round-trip.
+  /// Convenience: formats doubles compactly (6 significant digits) for
+  /// human-facing experiment tables.
   [[nodiscard]] static std::string num(double v);
+  /// Shortest representation that round-trips the exact double — for
+  /// outputs that are re-parsed and compared (e.g. recovery timelines
+  /// cross-checked against flight-recorder traces).
+  [[nodiscard]] static std::string num_exact(double v);
   [[nodiscard]] static std::string num(std::size_t v);
   [[nodiscard]] static std::string num(long long v);
   [[nodiscard]] static std::string num(int v);

@@ -1,0 +1,18 @@
+// Minimal JSON string escaping shared by every exporter (metrics,
+// recovery tracer, flight recorder). Keeping it in one place is what
+// guarantees a metric/span/trace name containing quotes, backslashes, or
+// control characters can never corrupt an exported document.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace sbk {
+
+/// Escapes `s` for embedding inside a JSON string literal: quotes and
+/// backslashes are backslash-escaped, and control characters (< 0x20)
+/// become \n/\r/\t or \u00XX. The result does NOT include the
+/// surrounding quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+}  // namespace sbk

@@ -91,6 +91,27 @@ std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
   return cdf;
 }
 
+double cdf_percentile(const std::vector<CdfPoint>& cdf, double p) {
+  SBK_EXPECTS(!cdf.empty());
+  SBK_EXPECTS(p >= 0.0 && p <= 100.0);
+  // A single-point CDF (one underlying sample) has no bracketing pair to
+  // interpolate between: every percentile is that sample.
+  if (cdf.size() == 1) return cdf.front().value;
+  const double f = p / 100.0;
+  if (f <= cdf.front().fraction) return cdf.front().value;
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    if (f <= cdf[i].fraction) {
+      const CdfPoint& a = cdf[i - 1];
+      const CdfPoint& b = cdf[i];
+      const double span = b.fraction - a.fraction;
+      if (span <= 0.0) return b.value;  // repeated fraction: step function
+      const double t = (f - a.fraction) / span;
+      return a.value + t * (b.value - a.value);
+    }
+  }
+  return cdf.back().value;
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
   // Validate before deriving anything: computing the width first would
   // turn bins == 0 or hi <= lo into an inf/NaN width instead of a clean

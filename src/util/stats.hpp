@@ -56,6 +56,13 @@ struct CdfPoint {
 [[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
                                                   std::size_t max_points = 100);
 
+/// Reads a percentile (p in [0, 100]) back off an empirical CDF by
+/// linear interpolation between the bracketing points. A single-point
+/// CDF returns that sample for every percentile (no two-point
+/// interpolation exists to run); an empty CDF is a precondition
+/// violation.
+[[nodiscard]] double cdf_percentile(const std::vector<CdfPoint>& cdf, double p);
+
 /// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
 /// samples clamp to the first/last bucket.
 class Histogram {

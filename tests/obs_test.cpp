@@ -115,6 +115,30 @@ TEST(Metrics, CsvAndJsonExport) {
   EXPECT_NE(json.str().find("\"counters\""), std::string::npos);
 }
 
+TEST(Metrics, ExportEscapesNamesWithCommasAndQuotes) {
+  // Regression: instrument names derived from link elements carry commas
+  // (e.g. "link:E[0,0]-A[0,1]"); the CSV export must quote them per
+  // RFC 4180 and the JSON export must escape embedded quotes, or one
+  // metric row silently becomes several columns downstream.
+  MetricsRegistry reg;
+  reg.counter("link:E[0,0]-A[0,1].failures").add(2);
+  reg.gauge("pool \"spare\"").set(1.0);
+
+  std::ostringstream csv;
+  reg.write_csv(csv);
+  EXPECT_NE(csv.str().find("counter,\"link:E[0,0]-A[0,1].failures\",2"),
+            std::string::npos)
+      << csv.str();
+  EXPECT_NE(csv.str().find("gauge,\"pool \"\"spare\"\"\",,1"),
+            std::string::npos)
+      << csv.str();
+
+  std::ostringstream json;
+  reg.write_json(json);
+  EXPECT_NE(json.str().find("\"pool \\\"spare\\\"\":1"), std::string::npos)
+      << json.str();
+}
+
 TEST(SweepMetrics, MergedRegistryIndependentOfThreadCount) {
   auto sweep_csv = [](std::size_t threads) {
     sweep::SweepConfig cfg;

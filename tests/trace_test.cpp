@@ -1,0 +1,300 @@
+// Tests for the flight recorder and time-series telemetry: ring-buffer
+// overwrite semantics, disabled no-op guarantees, deterministic sweep
+// merging, the Perfetto JSON round trip, exact-cadence sampling, and —
+// the load-bearing property — bit-identical traced output at any sweep
+// thread count (wall-clock fields excluded, as the one declared
+// nondeterministic channel).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "faultinject/chaos_soak.hpp"
+#include "net/algo.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/trace_load.hpp"
+#include "routing/router.hpp"
+#include "sim/fluid_sim.hpp"
+#include "topo/fat_tree.hpp"
+
+namespace sbk::obs {
+namespace {
+
+// --- flight recorder ---------------------------------------------------------
+
+TEST(FlightRecorder, RingOverwritesOldestAndCountsDrops) {
+  FlightRecorder rec(/*enabled=*/true, /*capacity=*/4);
+  for (int i = 0; i < 6; ++i) {
+    std::string name = "e";
+    name += std::to_string(i);
+    rec.instant("t", name, static_cast<double>(i));
+  }
+  EXPECT_EQ(rec.size(), 4u);
+  EXPECT_EQ(rec.recorded(), 6u);
+  EXPECT_EQ(rec.dropped(), 2u);
+  std::vector<TraceEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first, with the two earliest events shed.
+  EXPECT_EQ(events.front().name, "e2");
+  EXPECT_EQ(events.back().name, "e5");
+}
+
+TEST(FlightRecorder, DisabledRecorderRecordsNothing) {
+  FlightRecorder rec(/*enabled=*/false, /*capacity=*/4);
+  rec.instant("t", "a", 1.0);
+  rec.complete("t", "b", 1.0, 2.0);
+  rec.counter("t", "c", 1.0, 3.0);
+  { ScopedSpan span(&rec, "t", "scoped", 1.0); }
+  { ScopedSpan span(nullptr, "t", "detached", 1.0); }
+  EXPECT_EQ(rec.size(), 0u);
+  EXPECT_EQ(rec.recorded(), 0u);
+}
+
+TEST(FlightRecorder, ScopedSpanRecordsOnScopeExit) {
+  FlightRecorder rec;
+  {
+    ScopedSpan span(&rec, "phase", "solve", 2.0);
+    span.set_end(2.5);
+    span.set_detail("iter=3");
+    EXPECT_EQ(rec.size(), 0u);  // nothing until the scope closes
+  }
+  std::vector<TraceEvent> events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].phase, TracePhase::kComplete);
+  EXPECT_EQ(events[0].category, "phase");
+  EXPECT_EQ(events[0].name, "solve");
+  EXPECT_DOUBLE_EQ(events[0].ts, 2.0);
+  EXPECT_DOUBLE_EQ(events[0].dur, 0.5);
+  EXPECT_EQ(events[0].detail, "iter=3");
+  EXPECT_GE(events[0].wall_us, 0.0);  // a wall clock was actually read
+}
+
+TEST(FlightRecorder, MergeAssignsTracksInScenarioOrder) {
+  FlightRecorder a, b, merged;
+  a.instant("t", "from_a", 1.0);
+  b.instant("t", "from_b", 2.0);
+  b.counter("t", "depth", 2.5, 7.0);
+  merged.merge(a, 0);
+  merged.merge(b, 1);
+  std::vector<TraceEvent> events = merged.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].track, 0u);
+  EXPECT_EQ(events[0].name, "from_a");
+  EXPECT_EQ(events[1].track, 1u);
+  EXPECT_EQ(events[2].track, 1u);
+  EXPECT_DOUBLE_EQ(events[2].value, 7.0);
+}
+
+TEST(FlightRecorder, TraceJsonRoundTripsThroughLoader) {
+  FlightRecorder rec;
+  rec.instant("control", "degraded", 0.125, "link:E[0,0]-A[0,1]");
+  rec.complete("fluidsim", "max_min_solve", 0.25, 0.3125, 17.5,
+               "needs \"quotes\", commas");
+  rec.counter("fabric", "spare_pool", 0.5, 9.0);
+
+  std::ostringstream out;
+  rec.write_trace_json(out);
+  std::vector<TraceEvent> back = load_trace_json(out.str());
+  ASSERT_EQ(back.size(), 3u);
+
+  EXPECT_EQ(back[0].phase, TracePhase::kInstant);
+  EXPECT_EQ(back[0].category, "control");
+  EXPECT_EQ(back[0].name, "degraded");
+  EXPECT_NEAR(back[0].ts, 0.125, 1e-12);
+  EXPECT_EQ(back[0].detail, "link:E[0,0]-A[0,1]");
+
+  EXPECT_EQ(back[1].phase, TracePhase::kComplete);
+  EXPECT_NEAR(back[1].ts, 0.25, 1e-12);
+  EXPECT_NEAR(back[1].dur, 0.0625, 1e-12);
+  EXPECT_DOUBLE_EQ(back[1].wall_us, 17.5);
+  EXPECT_EQ(back[1].detail, "needs \"quotes\", commas");
+
+  EXPECT_EQ(back[2].phase, TracePhase::kCounter);
+  EXPECT_DOUBLE_EQ(back[2].value, 9.0);
+}
+
+// --- telemetry sampler -------------------------------------------------------
+
+TEST(Telemetry, SamplesExactCadenceBoundaries) {
+  double state = 0.0;
+  TelemetrySampler sampler(0.25);
+  sampler.add_probe("state", [&state] { return state; });
+  sampler.start(0.0);
+  state = 1.0;
+  sampler.advance_to(0.6);   // boundaries 0.25, 0.5
+  state = 2.0;
+  sampler.advance_to(1.0);   // boundaries 0.75, 1.0 (inclusive)
+  ASSERT_EQ(sampler.rows(), 5u);
+  // Exact multiples — no accumulated drift.
+  EXPECT_DOUBLE_EQ(sampler.times()[1], 0.25);
+  EXPECT_DOUBLE_EQ(sampler.times()[4], 1.0);
+  const std::vector<double>& col = sampler.column(0);
+  EXPECT_DOUBLE_EQ(col[0], 0.0);
+  EXPECT_DOUBLE_EQ(col[2], 1.0);
+  EXPECT_DOUBLE_EQ(col[4], 2.0);
+}
+
+TEST(Telemetry, SampleNowReanchorsWithoutDuplicates) {
+  TelemetrySampler sampler(0.5);
+  sampler.add_probe("one", [] { return 1.0; });
+  sampler.start(0.0);
+  sampler.sample_now(0.3);   // ad-hoc sample between boundaries
+  sampler.sample_now(0.5);   // lands exactly on a boundary
+  sampler.advance_to(1.0);   // must not re-take 0.5
+  std::vector<double> expected{0.0, 0.3, 0.5, 1.0};
+  ASSERT_EQ(sampler.rows(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sampler.times()[i], expected[i]) << "row " << i;
+  }
+}
+
+TEST(Telemetry, DisabledSamplerIsANoOp) {
+  TelemetrySampler sampler(0.1, /*enabled=*/false);
+  sampler.add_probe("x", [] { return 1.0; });
+  sampler.start(0.0);
+  sampler.advance_to(5.0);
+  sampler.sample_now(2.0);
+  EXPECT_EQ(sampler.rows(), 0u);
+  EXPECT_TRUE(sampler.series_names().empty());
+}
+
+TEST(Telemetry, DownsampledCsvEmitsMinMeanMaxPerBucket) {
+  double state = 0.0;
+  TelemetrySampler sampler(0.25);
+  sampler.add_probe("v", [&state] { return state; });
+  for (double t : {0.0, 0.25, 0.5, 0.75}) {
+    state = t * 4.0;  // 0, 1, 2, 3
+    sampler.sample_now(t);
+  }
+  std::ostringstream out;
+  sampler.write_downsampled_csv(out, 0.5);
+  std::istringstream lines(out.str());
+  std::string header, row0, row1;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row0));
+  ASSERT_TRUE(std::getline(lines, row1));
+  EXPECT_EQ(header, "time,v.min,v.mean,v.max");
+  EXPECT_EQ(row0, "0,0,0.5,1");   // bucket [0, 0.5): samples 0, 1
+  EXPECT_EQ(row1, "0.5,2,2.5,3");  // bucket [0.5, 1): samples 2, 3
+}
+
+TEST(Telemetry, TableMergesSamplersInScenarioOrder) {
+  TelemetryTable table;
+  for (std::size_t scenario = 0; scenario < 2; ++scenario) {
+    TelemetrySampler s(1.0);
+    s.add_probe("depth", [scenario] { return static_cast<double>(scenario); });
+    s.start(0.0);
+    s.advance_to(1.0);
+    table.append(scenario, s);
+  }
+  EXPECT_EQ(table.rows(), 4u);
+  std::ostringstream out;
+  table.write_csv(out);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "scenario,time,depth");
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "0,0,0");
+}
+
+// --- fluid-sim integration ---------------------------------------------------
+
+struct ShortestRouter final : routing::Router {
+  net::Path route(const net::Network& net, net::NodeId src, net::NodeId dst,
+                  std::uint64_t, const routing::LinkLoads*) override {
+    return net::shortest_path(net, src, dst);
+  }
+  const char* name() const noexcept override { return "shortest"; }
+};
+
+TEST(Telemetry, FluidSimReportsUtilizationAndFlowCount) {
+  topo::FatTree ft(topo::FatTreeParams{.k = 4});
+  ShortestRouter router;
+  sim::SimConfig cfg;
+  cfg.unit_bytes_per_second = 1.0;
+  sim::FluidSimulator fluid(ft.network(), router, cfg);
+  // Two flows sharing the source NIC: done at t=10 and t=15.
+  fluid.add_flow(sim::FlowSpec{1, ft.host(0), ft.host(8), 10.0, 0.0});
+  fluid.add_flow(sim::FlowSpec{2, ft.host(0), ft.host(12), 5.0, 0.0});
+
+  FlightRecorder recorder;
+  TelemetrySampler sampler(1.0);
+  sampler.add_probe("flows", [&fluid] {
+    return static_cast<double>(fluid.active_flow_count());
+  });
+  sampler.add_probe("util_max", [&fluid] {
+    return fluid.link_utilization_max();
+  });
+  fluid.attach_recorder(&recorder);
+  fluid.attach_telemetry(&sampler);
+  (void)fluid.run();
+
+  ASSERT_GE(sampler.rows(), 3u);
+  const std::vector<double>& flows = sampler.column(0);
+  const std::vector<double>& util = sampler.column(1);
+  // Samples see the state *before* same-instant events, so row 0 (t=0)
+  // predates the arrivals; from t=1 both flows saturate the shared NIC.
+  EXPECT_DOUBLE_EQ(flows[0], 0.0);
+  EXPECT_DOUBLE_EQ(flows[1], 2.0);
+  EXPECT_DOUBLE_EQ(util[1], 1.0);
+  // The flow count only ever decreases as flows complete.
+  for (std::size_t i = 2; i < flows.size(); ++i) {
+    EXPECT_LE(flows[i], flows[i - 1]);
+  }
+
+  // The recorder captured the solver's self-profiling spans.
+  std::size_t solves = 0;
+  for (const TraceEvent& e : recorder.events()) {
+    if (e.category == "fluidsim" && e.name == "max_min_solve") ++solves;
+  }
+  EXPECT_GE(solves, 2u);  // at least one solve per flow completion
+}
+
+// --- thread-count invariance (the sweep determinism contract) ---------------
+
+/// Serializes every event field EXCEPT wall_us, the declared
+/// nondeterministic channel.
+std::string deterministic_fingerprint(const FlightRecorder& rec) {
+  std::ostringstream os;
+  for (const TraceEvent& e : rec.events()) {
+    os << static_cast<char>(e.phase) << '|' << e.track << '|' << e.category
+       << '|' << e.name << '|' << e.ts << '|' << e.dur << '|' << e.value
+       << '|' << e.detail << '\n';
+  }
+  return os.str();
+}
+
+TEST(TracedSweep, OutputIndependentOfThreadCount) {
+  auto run = [](std::size_t threads) {
+    faultinject::ChaosSoakConfig cfg;
+    cfg.scenarios = 4;
+    cfg.master_seed = 7;
+    cfg.threads = threads;
+    cfg.obs.trace = true;
+    FlightRecorder trace(/*enabled=*/true,
+                         cfg.obs.trace_capacity * cfg.scenarios);
+    TelemetryTable telemetry;
+    faultinject::ChaosSoakReport report =
+        run_chaos_soak(cfg, trace, telemetry);
+    EXPECT_TRUE(report.clean());
+    std::ostringstream tel;
+    telemetry.write_csv(tel);
+    return std::make_pair(deterministic_fingerprint(trace), tel.str());
+  };
+  const auto serial = run(1);
+  EXPECT_FALSE(serial.first.empty());
+  EXPECT_NE(serial.second.find("net.live_link_frac"), std::string::npos);
+  const auto four = run(4);
+  const auto eight = run(8);
+  // Bit-identical trace content (minus wall clocks) and telemetry CSV.
+  EXPECT_EQ(serial.first, four.first);
+  EXPECT_EQ(serial.first, eight.first);
+  EXPECT_EQ(serial.second, four.second);
+  EXPECT_EQ(serial.second, eight.second);
+}
+
+}  // namespace
+}  // namespace sbk::obs

@@ -3,6 +3,7 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
 
 #include "util/assert.hpp"
 #include "util/csv.hpp"
@@ -150,6 +151,48 @@ TEST(Cdf, SingleSampleCollapsesToOneStep) {
   ASSERT_EQ(cdf.size(), 1u);
   EXPECT_DOUBLE_EQ(cdf[0].value, 3.5);
   EXPECT_DOUBLE_EQ(cdf[0].fraction, 1.0);
+}
+
+TEST(Summary, SingleSamplePercentileIsTheSample) {
+  // Regression: the interpolated rank formula degenerates at n == 1
+  // (rank span of zero); every percentile of one sample is that sample.
+  Summary s;
+  s.add(7.25);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 7.25);
+  EXPECT_DOUBLE_EQ(s.median(), 7.25);
+  EXPECT_DOUBLE_EQ(s.percentile(99), 7.25);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 7.25);
+}
+
+TEST(Cdf, PercentileReadsBackOffTheCurve) {
+  auto cdf = empirical_cdf({10.0, 20.0, 30.0, 40.0}, 10);
+  EXPECT_DOUBLE_EQ(cdf_percentile(cdf, 0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf_percentile(cdf, 100), 40.0);
+  // F(10)=0.25, F(20)=0.5: p=37.5 interpolates halfway between them.
+  EXPECT_DOUBLE_EQ(cdf_percentile(cdf, 37.5), 15.0);
+  // Below the first point's fraction there is nothing to bracket.
+  EXPECT_DOUBLE_EQ(cdf_percentile(cdf, 10), 10.0);
+}
+
+TEST(Cdf, PercentileOfSingleSampleCdfIsTheSample) {
+  // Regression: a one-sample CDF has a single point at F = 1, so the
+  // two-point interpolation has no bracketing pair; every percentile
+  // must return the sample instead of reading past the curve.
+  auto cdf = empirical_cdf({3.5}, 10);
+  EXPECT_DOUBLE_EQ(cdf_percentile(cdf, 0), 3.5);
+  EXPECT_DOUBLE_EQ(cdf_percentile(cdf, 50), 3.5);
+  EXPECT_DOUBLE_EQ(cdf_percentile(cdf, 100), 3.5);
+  EXPECT_THROW((void)cdf_percentile({}, 50), ContractViolation);
+}
+
+TEST(Csv, NumExactRoundTripsFullPrecision) {
+  // num() compresses to 6 significant digits for human-facing tables;
+  // num_exact() must round-trip the exact double for outputs that are
+  // re-parsed and compared (recovery timelines vs. traces).
+  const double v = 0.01225007;
+  EXPECT_EQ(CsvWriter::num(v), "0.0122501");  // lossy by design
+  EXPECT_EQ(std::stod(CsvWriter::num_exact(v)), v);
+  EXPECT_EQ(CsvWriter::num_exact(3.0), "3");
 }
 
 TEST(Cdf, RejectsFewerThanTwoMaxPoints) {

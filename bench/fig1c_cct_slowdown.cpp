@@ -2,10 +2,16 @@
 // slowdown under a single node or link failure, on 5-minute trace
 // partitions over a k=16 rack-level fat-tree (10:1 oversubscribed).
 //
-// Architectures, as in §2.2:
+// Architectures, as in §2.2, plus the two proactive-protection
+// baselines from the comparison matrix:
 //   * fat-tree: ECMP normally; affected flows rerouted globally
 //     optimally (EcmpWithGlobalRerouteRouter);
 //   * F10: AB-wired fat-tree with local 3-hop rerouting (F10Router);
+//   * SPIDER: pre-installed local detours, zero controller involvement;
+//     flows whose failure its 4-hop detour budget cannot cover (e.g. a
+//     downstream agg death) stall until repair (SpiderProtectRouter);
+//   * backup rules: precomputed per-destination backup next-hops with
+//     reactive global fallback (BackupRulesRouter);
 //   * ShareBackup: hardware replacement — the failure is repaired within
 //     ~ms, so the final state equals the healthy network (slowdown 1).
 //
@@ -38,9 +44,11 @@
 #include "bench_util.hpp"
 #include "bench_workload.hpp"
 #include "control/controller.hpp"
+#include "routing/backup_rules.hpp"
 #include "routing/ecmp.hpp"
 #include "routing/f10.hpp"
 #include "routing/global_reroute.hpp"
+#include "routing/spider.hpp"
 #include "sharebackup/fabric.hpp"
 #include "sim/fluid_sim.hpp"
 #include "sweep/sweep.hpp"
@@ -145,6 +153,7 @@ struct SeriesBatch {
 /// Everything one failure scenario produces.
 struct ScenarioBatch {
   SeriesBatch ft_node, ft_link, f10_node, f10_link;
+  SeriesBatch spider_node, spider_link, bkup_node, bkup_link;
 
   bool operator==(const ScenarioBatch&) const = default;
 };
@@ -229,6 +238,9 @@ int main(int argc, char** argv) {
   auto healthy_f10 = run_ccts(ab, f10_router, flows);
   auto paths_ft = healthy_paths(plain, ft_router, flows);
   auto paths_f10 = healthy_paths(ab, f10_router, flows);
+  // SPIDER and backup rules hash the same structural candidate sets as
+  // the reactive fat-tree front-end (same salt), so their healthy CCTs,
+  // paths, and affected sets are the fat-tree ones.
   std::printf("healthy CCTs: fat-tree %zu coflows, F10 %zu coflows\n\n",
               healthy_ft.size(), healthy_f10.size());
 
@@ -253,7 +265,9 @@ int main(int argc, char** argv) {
 
   // One sweep scenario: stratified failure draws — one node failure per
   // switch layer and one link failure per link class, each simulated on
-  // both rerouting architectures (12 fluid simulations). The topologies
+  // every rerouting/protection architecture (24 fluid simulations; the
+  // plain-wired victims are also replayed under SPIDER-protect and
+  // backup-rules routing). The topologies
   // and routers are scenario-private because the simulator mutates the
   // Network via the scheduled failure/repair actions; node and link ids
   // are identical across copies (construction is deterministic), so the
@@ -264,6 +278,8 @@ int main(int argc, char** argv) {
     topo::FatTree my_ab(bench::paper_fat_tree(k, topo::Wiring::kAb));
     routing::EcmpWithGlobalRerouteRouter my_ft_router(my_plain, 1);
     routing::F10Router my_f10_router(my_ab, 1);
+    routing::SpiderProtectRouter my_spider(my_plain, 1);
+    routing::BackupRulesRouter my_bkup(my_plain, 1);
     ScenarioBatch out;
 
     int pod = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k)));
@@ -286,6 +302,12 @@ int main(int argc, char** argv) {
         collect(healthy_ft,
                 run_ccts(my_plain, my_ft_router, flows, node_scenario(victim)),
                 aff, out.ft_node);
+        collect(healthy_ft,
+                run_ccts(my_plain, my_spider, flows, node_scenario(victim)),
+                aff, out.spider_node);
+        collect(healthy_ft,
+                run_ccts(my_plain, my_bkup, flows, node_scenario(victim)),
+                aff, out.bkup_node);
       }
       {
         net::NodeId victim = victim_in(my_ab);
@@ -323,6 +345,12 @@ int main(int argc, char** argv) {
         collect(healthy_ft,
                 run_ccts(my_plain, my_ft_router, flows, link_scenario(victim)),
                 aff, out.ft_link);
+        collect(healthy_ft,
+                run_ccts(my_plain, my_spider, flows, link_scenario(victim)),
+                aff, out.spider_link);
+        collect(healthy_ft,
+                run_ccts(my_plain, my_bkup, flows, link_scenario(victim)),
+                aff, out.bkup_link);
       }
       {
         net::LinkId victim = link_in(my_ab);
@@ -347,7 +375,7 @@ int main(int argc, char** argv) {
     t0 = std::chrono::steady_clock::now();
     auto ref_batches = reference.run(scenarios, scenario_fn);
     double serial_s = seconds_since(t0);
-    std::printf("sweep: %zu scenarios x 12 sims, threads=%zu: %.2fs; "
+    std::printf("sweep: %zu scenarios x 24 sims, threads=%zu: %.2fs; "
                 "threads=1: %.2fs; speedup %.2fx; parallel==serial: %s\n\n",
                 scenarios, runner.threads(), parallel_s, serial_s,
                 parallel_s > 0.0 ? serial_s / parallel_s : 0.0,
@@ -356,16 +384,21 @@ int main(int argc, char** argv) {
                     bench::fmt(serial_s), bench::fmt(parallel_s),
                     bench::fmt(parallel_s > 0.0 ? serial_s / parallel_s : 0.0)});
   } else {
-    std::printf("sweep: %zu scenarios x 12 sims, threads=1: %.2fs\n\n",
+    std::printf("sweep: %zu scenarios x 24 sims, threads=1: %.2fs\n\n",
                 scenarios, parallel_s);
   }
 
   SlowdownStats ft_node, ft_link, f10_node, f10_link, sb_node, sb_edge;
+  SlowdownStats spider_node, spider_link, bkup_node, bkup_link;
   for (const ScenarioBatch& b : batches) {
     ft_node.merge(b.ft_node);
     ft_link.merge(b.ft_link);
     f10_node.merge(b.f10_node);
     f10_link.merge(b.f10_link);
+    spider_node.merge(b.spider_node);
+    spider_link.merge(b.spider_link);
+    bkup_node.merge(b.bkup_node);
+    bkup_link.merge(b.bkup_link);
   }
 
   // --- ShareBackup: the same failures, repaired in ~ms by failover ------
@@ -406,6 +439,10 @@ int main(int argc, char** argv) {
   print_series("fat-tree, link", ft_link);
   print_series("F10, node", f10_node);
   print_series("F10, link", f10_link);
+  print_series("SPIDER, node", spider_node);
+  print_series("SPIDER, link", spider_link);
+  print_series("backup-rules, node", bkup_node);
+  print_series("backup-rules, link", bkup_link);
   print_series("ShareBackup, agg", sb_node);
   print_series("ShareBackup, edge", sb_edge);
 

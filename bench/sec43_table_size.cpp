@@ -1,10 +1,15 @@
 // Experiment E9 — §4.3: size of the combined failure-group routing table
 // stored on every edge-group switch for live impersonation:
 // k/2 in-bound + k^2/4 VLAN-tagged out-bound entries; 1056 at k=64,
-// within commodity TCAM capacity.
+// within commodity TCAM capacity. Extended with the pre-installed
+// protection state the SDN baselines need for the same coverage:
+// SPIDER detours (3k^3 fabric-wide, 3k on the worst switch) and van
+// Adrichem per-destination backup rules ((5/8)k^4 fabric-wide, k^2/2
+// per switch) — the per-switch column is the TCAM-relevant one.
 #include <cstdio>
 
 #include "bench_util.hpp"
+#include "cost/cost_model.hpp"
 #include "routing/two_level.hpp"
 
 using namespace sbk;
@@ -29,6 +34,30 @@ int main() {
     bench::csv_row({std::to_string(k), std::to_string(k * k * k / 4),
                     std::to_string(inbound), std::to_string(outbound),
                     std::to_string(t.size())});
+  }
+
+  bench::banner("E9b — pre-installed protection state per strategy",
+                "Whole-fabric and worst-single-switch table entries each "
+                "protection scheme pre-installs (rack-level hosts). "
+                "ShareBackup's entries sit on idle backups; SPIDER/backup-"
+                "rules consume live-switch TCAM.");
+  std::printf("%-5s %-16s %16s %16s\n", "k", "scheme", "fabric-entries",
+              "per-switch-max");
+  for (int k : {8, 16, 32, 64}) {
+    const cost::ProtectionTableFootprint rows[] = {
+        cost::sharebackup_table_footprint(k, 1),
+        cost::spider_table_footprint(k),
+        cost::backup_rules_table_footprint(k),
+        cost::reactive_table_footprint("ecmp+global-reroute"),
+        cost::reactive_table_footprint("f10"),
+    };
+    for (const auto& f : rows) {
+      std::printf("%-5d %-16s %16lld %16lld\n", k, f.scheme.c_str(),
+                  f.protection_entries, f.per_switch_max);
+      bench::csv_row({std::to_string(k), f.scheme,
+                      std::to_string(f.protection_entries),
+                      std::to_string(f.per_switch_max)});
+    }
   }
   return 0;
 }

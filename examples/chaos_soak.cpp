@@ -14,38 +14,56 @@
 // Perfetto track per scenario index) viewable in chrome://tracing or
 // ui.perfetto.dev, and implies per-scenario telemetry sampling;
 // --telemetry additionally writes the merged time-series CSV.
-#include <cstdlib>
-#include <cstring>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "faultinject/chaos_soak.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+int usage(const std::string& error) {
+  if (!error.empty()) std::fprintf(stderr, "chaos_soak: %s\n", error.c_str());
+  std::fprintf(stderr,
+               "usage: chaos_soak [scenarios] [master_seed] [k] [backups]"
+               " [threads]\n"
+               "                  [--trace=out.json] [--telemetry=out.csv]\n");
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  const sbk::cli::ParseResult args = sbk::cli::parse_args(
+      argc, argv, {{"trace", true}, {"telemetry", true}},
+      /*max_positional=*/5);
+  if (!args.ok()) return usage(args.error);
+
   sbk::faultinject::ChaosSoakConfig cfg;
-  std::string trace_path;
-  std::string telemetry_path;
-  std::vector<const char*> positional;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      trace_path = argv[i] + 8;
-    } else if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
-      telemetry_path = argv[i] + 12;
-    } else {
-      positional.push_back(argv[i]);
-    }
-  }
-  auto arg = [&](std::size_t i, long fallback) {
-    return positional.size() > i ? std::strtol(positional[i], nullptr, 10)
-                                 : fallback;
+  const std::string trace_path = args.value_of("trace").value_or("");
+  const std::string telemetry_path = args.value_of("telemetry").value_or("");
+  auto arg = [&args](std::size_t i, long long fallback,
+                     std::optional<long long>& slot) {
+    if (args.positional.size() <= i) { slot = fallback; return; }
+    slot = sbk::cli::parse_int(args.positional[i]);
   };
-  cfg.scenarios = static_cast<std::size_t>(arg(0, 200));
-  cfg.master_seed = static_cast<std::uint64_t>(arg(1, 1));
-  cfg.k = static_cast<int>(arg(2, 4));
-  cfg.backups_per_group = static_cast<int>(arg(3, 1));
-  cfg.threads = static_cast<std::size_t>(arg(4, 0));
+  std::optional<long long> scenarios, seed, k, backups, threads;
+  arg(0, 200, scenarios);
+  arg(1, 1, seed);
+  arg(2, 4, k);
+  arg(3, 1, backups);
+  arg(4, 0, threads);
+  if (!scenarios || !seed || !k || !backups || !threads) {
+    return usage("positional arguments must be integers");
+  }
+  cfg.scenarios = static_cast<std::size_t>(*scenarios);
+  cfg.master_seed = static_cast<std::uint64_t>(*seed);
+  cfg.k = static_cast<int>(*k);
+  cfg.backups_per_group = static_cast<int>(*backups);
+  cfg.threads = static_cast<std::size_t>(*threads);
   cfg.obs.trace = !trace_path.empty() || !telemetry_path.empty();
 
   std::cout << "running " << cfg.scenarios << " chaos scenarios (seed "

@@ -32,6 +32,7 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/trace_load.hpp"
+#include "util/cli.hpp"
 #include "util/stats.hpp"
 
 using sbk::obs::TraceEvent;
@@ -48,7 +49,8 @@ struct Options {
   double window = 0.05;
 };
 
-int usage() {
+int usage(const std::string& error = "") {
+  if (!error.empty()) std::fprintf(stderr, "sbk_trace: %s\n", error.c_str());
   std::fprintf(stderr,
                "usage: sbk_trace summary   <trace.json> [--top=N]\n"
                "       sbk_trace incidents <trace.json> [--telemetry=t.csv]"
@@ -358,26 +360,29 @@ int cmd_check(const Options& opt) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  const sbk::cli::ParseResult args = sbk::cli::parse_args(
+      argc, argv,
+      {{"telemetry", true}, {"timeline", true}, {"top", true},
+       {"window", true}},
+      /*max_positional=*/2);
+  if (!args.ok()) return usage(args.error);
+
   Options opt;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--telemetry=", 12) == 0) {
-      opt.telemetry_path = argv[i] + 12;
-    } else if (std::strncmp(argv[i], "--timeline=", 11) == 0) {
-      opt.timeline_path = argv[i] + 11;
-    } else if (std::strncmp(argv[i], "--top=", 6) == 0) {
-      opt.top = static_cast<std::size_t>(std::strtoul(argv[i] + 6, nullptr,
-                                                      10));
-    } else if (std::strncmp(argv[i], "--window=", 9) == 0) {
-      opt.window = std::strtod(argv[i] + 9, nullptr);
-    } else if (opt.command.empty()) {
-      opt.command = argv[i];
-    } else if (opt.trace_path.empty()) {
-      opt.trace_path = argv[i];
-    } else {
-      return usage();
-    }
+  opt.telemetry_path = args.value_of("telemetry").value_or("");
+  opt.timeline_path = args.value_of("timeline").value_or("");
+  if (auto top = args.value_of("top")) {
+    const auto n = sbk::cli::parse_int(*top);
+    if (!n || *n < 0) return usage("--top wants a non-negative integer");
+    opt.top = static_cast<std::size_t>(*n);
   }
-  if (opt.command.empty() || opt.trace_path.empty()) return usage();
+  if (auto window = args.value_of("window")) {
+    const auto w = sbk::cli::parse_double(*window);
+    if (!w) return usage("--window wants a number of seconds");
+    opt.window = *w;
+  }
+  if (args.positional.size() < 2) return usage();
+  opt.command = args.positional[0];
+  opt.trace_path = args.positional[1];
   try {
     if (opt.command == "summary") return cmd_summary(opt);
     if (opt.command == "incidents") return cmd_incidents(opt);

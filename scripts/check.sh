@@ -3,7 +3,7 @@
 # every experiment harness (the micro-benchmarks in reduced mode).
 #
 # Usage: scripts/check.sh [--tsan | --asan | --bench-smoke | --chaos-smoke |
-#        --trace-smoke] [build-dir]
+#        --trace-smoke | --baselines-smoke] [build-dir]
 #
 #   --tsan         Configure a ThreadSanitizer build (-DSBK_SANITIZE=thread,
 #                  default dir build-tsan) and run the concurrency-heavy
@@ -22,6 +22,14 @@
 #   --chaos-smoke  Build examples/chaos_soak and run a fixed-seed 50-
 #                  scenario soak (deterministic, ~1 s); exits non-zero on
 #                  any invariant violation.
+#   --baselines-smoke
+#                  Build examples/baseline_matrix and race all five
+#                  protection strategies (ShareBackup, F10, ECMP+global
+#                  reroute, SPIDER, backup rules) through a small
+#                  fixed-seed churn + coflow run, export the comparison
+#                  CSV, and validate its schema. baseline_matrix itself
+#                  exits non-zero if any strategy ever returned an
+#                  invalid or dead path.
 #   --trace-smoke  Build examples/failure_drill + sbk_trace, record the
 #                  drill into a flight-recorder trace, validate the
 #                  Perfetto trace_event JSON against a minimal schema,
@@ -63,6 +71,7 @@ ASAN=0
 BENCH_SMOKE=0
 CHAOS_SMOKE=0
 TRACE_SMOKE=0
+BASELINES_SMOKE=0
 if [ "${1:-}" = "--tsan" ]; then
   TSAN=1
   shift
@@ -78,6 +87,52 @@ elif [ "${1:-}" = "--chaos-smoke" ]; then
 elif [ "${1:-}" = "--trace-smoke" ]; then
   TRACE_SMOKE=1
   shift
+elif [ "${1:-}" = "--baselines-smoke" ]; then
+  BASELINES_SMOKE=1
+  shift
+fi
+
+if [ "$BASELINES_SMOKE" = 1 ]; then
+  BUILD="${1:-build-baselines}"
+  cmake -B "$BUILD" -G Ninja
+  cmake --build "$BUILD" --target baseline_matrix
+  # Fixed master seed: the matrix is bit-identical across runs and
+  # thread counts, so any change here is a real behavior change.
+  "$BUILD"/examples/baseline_matrix 4 1 8 1 0 \
+    --csv="$BUILD/baseline_matrix.csv"
+  python3 - "$BUILD/baseline_matrix.csv" <<'EOF'
+import csv, sys
+
+expected_header = ["strategy", "recovery_latency_s", "packet_loss",
+                   "cct_slowdown", "table_entries", "table_per_switch",
+                   "flows_probed", "flows_lost", "backup_fallback_frac"]
+expected_strategies = ["sharebackup", "f10", "ecmp+global-reroute",
+                       "spider-protect", "backup-rules"]
+with open(sys.argv[1]) as f:
+    reader = csv.DictReader(f)
+    assert reader.fieldnames == expected_header, \
+        f"unexpected header: {reader.fieldnames}"
+    rows = list(reader)
+assert [r["strategy"] for r in rows] == expected_strategies, \
+    f"unexpected strategy rows: {[r['strategy'] for r in rows]}"
+for r in rows:
+    assert float(r["recovery_latency_s"]) > 0, f"no latency model: {r}"
+    assert 0 <= float(r["packet_loss"]) <= 1, f"loss out of range: {r}"
+    assert float(r["cct_slowdown"]) >= 1, f"slowdown below 1: {r}"
+    assert int(r["flows_lost"]) <= int(r["flows_probed"]), f"bad tally: {r}"
+by_name = {r["strategy"]: r for r in rows}
+assert float(by_name["sharebackup"]["packet_loss"]) == 0, \
+    "ShareBackup must leave no residual blackholes"
+for proactive in ("sharebackup", "spider-protect", "backup-rules"):
+    assert int(by_name[proactive]["table_entries"]) > 0, \
+        f"{proactive} should pre-install table state"
+for reactive in ("f10", "ecmp+global-reroute"):
+    assert int(by_name[reactive]["table_entries"]) == 0, \
+        f"{reactive} pre-installs nothing"
+print(f"baselines-smoke: comparison CSV OK ({len(rows)} strategies)")
+EOF
+  echo "baselines-smoke: 5-strategy matrix clean"
+  exit 0
 fi
 
 if [ "$TRACE_SMOKE" = 1 ]; then

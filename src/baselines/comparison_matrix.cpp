@@ -1,0 +1,506 @@
+#include "baselines/comparison_matrix.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "control/controller.hpp"
+#include "control/recovery_latency.hpp"
+#include "cost/cost_model.hpp"
+#include "routing/backup_rules.hpp"
+#include "routing/ecmp.hpp"
+#include "routing/f10.hpp"
+#include "routing/global_reroute.hpp"
+#include "routing/spider.hpp"
+#include "sharebackup/fabric.hpp"
+#include "sim/fluid_sim.hpp"
+#include "sweep/sweep.hpp"
+#include "util/assert.hpp"
+#include "util/csv.hpp"
+#include "workload/coflow_gen.hpp"
+
+namespace sbk::baselines {
+
+namespace {
+
+constexpr std::size_t kStrategyCount = kAllStrategies.size();
+
+/// The paper's experiment topology: rack-aggregate hosts, 10:1
+/// oversubscribed edges (bench_workload.hpp's paper_fat_tree).
+topo::FatTreeParams matrix_fat_tree(int k, topo::Wiring wiring) {
+  topo::FatTreeParams p{.k = k, .wiring = wiring};
+  p.hosts_per_edge = 1;
+  p.host_link_capacity = 10.0 * (k / 2);
+  return p;
+}
+
+// --- fault draws ------------------------------------------------------------
+// Victims are drawn as *structural descriptors* and resolved per
+// topology, so the plain and AB fat-trees (whose agg-core link ids
+// differ) and the ShareBackup fabric all see the same logical faults.
+
+struct SwitchVictim {
+  int layer = 0;  // 0 edge, 1 agg, 2 core
+  int pod = 0;
+  int idx = 0;
+  int core = 0;
+};
+
+struct LinkVictim {
+  int lclass = 0;  // 0 host link, 1 edge-agg, 2 agg-core
+  int host = 0;
+  int pod = 0;
+  int edge = 0;
+  int agg = 0;
+  int core = 0;
+};
+
+SwitchVictim draw_switch(Rng& rng, int k) {
+  SwitchVictim v;
+  v.layer = static_cast<int>(rng.uniform_index(3));
+  v.pod = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k)));
+  v.idx = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k / 2)));
+  v.core = static_cast<int>(
+      rng.uniform_index(static_cast<std::size_t>(k * k / 4)));
+  return v;
+}
+
+LinkVictim draw_link(Rng& rng, int k, int hosts) {
+  LinkVictim v;
+  v.lclass = static_cast<int>(rng.uniform_index(3));
+  v.host = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(hosts)));
+  v.pod = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k)));
+  v.edge = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k / 2)));
+  v.agg = static_cast<int>(rng.uniform_index(static_cast<std::size_t>(k / 2)));
+  v.core = static_cast<int>(
+      rng.uniform_index(static_cast<std::size_t>(k * k / 4)));
+  return v;
+}
+
+net::NodeId resolve_switch(const topo::FatTree& ft, const SwitchVictim& v) {
+  switch (v.layer) {
+    case 0: return ft.edge(v.pod, v.idx);
+    case 1: return ft.agg(v.pod, v.idx);
+    default: return ft.core(v.core);
+  }
+}
+
+net::LinkId resolve_link(const topo::FatTree& ft, const LinkVictim& v) {
+  switch (v.lclass) {
+    case 0: return ft.host_link(ft.host(v.host));
+    case 1:
+      return *ft.network().find_link(ft.edge(v.pod, v.edge),
+                                     ft.agg(v.pod, v.agg));
+    default:
+      return *ft.network().find_link(ft.core(v.core),
+                                     ft.agg_for_core(v.core, v.pod));
+  }
+}
+
+topo::SwitchPosition position_of(const SwitchVictim& v) {
+  switch (v.layer) {
+    case 0: return {topo::Layer::kEdge, v.pod, v.idx};
+    case 1: return {topo::Layer::kAgg, v.pod, v.idx};
+    default: return {topo::Layer::kCore, -1, v.core};
+  }
+}
+
+/// Per-scenario churn tallies; merged in scenario order after the sweep
+/// (operator== backs the bit-identity acceptance test).
+struct ChurnBatch {
+  std::array<std::size_t, kStrategyCount> probed{};
+  std::array<std::size_t, kStrategyCount> lost{};
+  std::size_t backup_hits = 0;
+  std::size_t backup_fallbacks = 0;
+  std::size_t spider_failovers = 0;
+  std::size_t spider_detour_misses = 0;
+  std::size_t violations = 0;
+
+  friend bool operator==(const ChurnBatch&, const ChurnBatch&) = default;
+};
+
+ChurnBatch churn_scenario(const MatrixConfig& cfg,
+                          const sweep::ScenarioSpec& spec) {
+  Rng rng = spec.rng();
+  const int k = cfg.k;
+
+  std::vector<SwitchVictim> switch_victims;
+  for (int i = 0; i < cfg.switch_failures; ++i) {
+    switch_victims.push_back(draw_switch(rng, k));
+  }
+  topo::FatTree plain(matrix_fat_tree(k, topo::Wiring::kPlain));
+  topo::FatTree ab(matrix_fat_tree(k, topo::Wiring::kAb));
+  const int hosts = plain.host_count();
+  std::vector<LinkVictim> link_victims;
+  for (int i = 0; i < cfg.link_failures; ++i) {
+    link_victims.push_back(draw_link(rng, k, hosts));
+  }
+
+  // Probes are stored as global host indices and resolved per topology:
+  // node ids happen to coincide across the plain/AB/fabric builds, but
+  // the matrix should not depend on that accident.
+  struct Probe {
+    int src = 0, dst = 0;
+  };
+  std::vector<Probe> probes;
+  probes.reserve(cfg.flows_per_scenario);
+  for (std::size_t f = 0; f < cfg.flows_per_scenario; ++f) {
+    const auto s = rng.uniform_index(static_cast<std::size_t>(hosts));
+    auto d = rng.uniform_index(static_cast<std::size_t>(hosts - 1));
+    if (d >= s) ++d;  // distinct hosts, uniform over the rest
+    probes.push_back({static_cast<int>(s), static_cast<int>(d)});
+  }
+
+  // Fail the same logical victims everywhere (idempotent on repeats).
+  for (topo::FatTree* ft : {&plain, &ab}) {
+    for (const SwitchVictim& v : switch_victims) {
+      ft->network().fail_node(resolve_switch(*ft, v));
+    }
+    for (const LinkVictim& v : link_victims) {
+      ft->network().fail_link(resolve_link(*ft, v));
+    }
+  }
+
+  ChurnBatch out;
+  routing::EcmpWithGlobalRerouteRouter ecmp_gr(plain, spec.seed);
+  routing::F10Router f10(ab, spec.seed);
+  routing::SpiderProtectRouter spider(plain, spec.seed);
+  routing::BackupRulesRouter backup(plain, spec.seed);
+
+  auto tally = [&out](std::size_t strategy, const net::Network& net,
+                      const net::Path& p) {
+    ++out.probed[strategy];
+    if (p.empty()) {
+      ++out.lost[strategy];
+    } else if (!net::is_valid_path(net, p) || !net::is_live_path(net, p)) {
+      ++out.violations;
+    }
+  };
+
+  for (std::size_t f = 0; f < probes.size(); ++f) {
+    const Probe& pr = probes[f];
+    tally(1, ab.network(),
+          f10.route(ab.network(), ab.host(pr.src), ab.host(pr.dst), f,
+                    nullptr));
+    const net::NodeId ps = plain.host(pr.src);
+    const net::NodeId pd = plain.host(pr.dst);
+    tally(2, plain.network(), ecmp_gr.route(plain.network(), ps, pd, f,
+                                            nullptr));
+    tally(3, plain.network(), spider.route(plain.network(), ps, pd, f,
+                                           nullptr));
+    tally(4, plain.network(), backup.route(plain.network(), ps, pd, f,
+                                           nullptr));
+  }
+  out.backup_hits = backup.backup_hits();
+  out.backup_fallbacks = backup.global_fallbacks();
+  out.spider_failovers = spider.failovers();
+  out.spider_detour_misses = spider.detour_misses();
+
+  // ShareBackup: the same faults land on a fabric whose controller
+  // swaps in backup hardware; residual loss is what replacement cannot
+  // fix (host links, exhausted pools).
+  sharebackup::FabricParams fp;
+  fp.fat_tree = matrix_fat_tree(k, topo::Wiring::kPlain);
+  fp.backups_per_group = cfg.backups_per_group;
+  sharebackup::Fabric fabric(fp);
+  control::Controller ctrl(fabric, control::ControllerConfig{});
+  const topo::FatTree& sb_ft = fabric.fat_tree();
+  for (const LinkVictim& v : link_victims) {
+    const net::LinkId link = resolve_link(sb_ft, v);
+    if (fabric.network().link_failed(link)) continue;
+    fabric.network().fail_link(link);
+    (void)ctrl.on_link_failure(link);
+  }
+  for (const SwitchVictim& v : switch_victims) {
+    const net::NodeId node = resolve_switch(sb_ft, v);
+    if (fabric.network().node_failed(node)) continue;
+    fabric.network().fail_node(node);
+    (void)ctrl.on_switch_failure(position_of(v));
+  }
+  routing::EcmpRouter sb_router(sb_ft, spec.seed);
+  for (std::size_t f = 0; f < probes.size(); ++f) {
+    tally(0, fabric.network(),
+          sb_router.route(fabric.network(), sb_ft.host(probes[f].src),
+                          sb_ft.host(probes[f].dst), f, nullptr));
+  }
+  return out;
+}
+
+// --- CCT probe --------------------------------------------------------------
+
+std::map<sim::CoflowId, double> coflow_ccts(
+    const std::vector<sim::FlowResult>& results) {
+  std::map<sim::CoflowId, double> ccts;
+  for (const auto& c : sim::aggregate_coflows(results)) {
+    if (c.all_completed && c.cct() > 0.0) ccts[c.id] = c.cct();
+  }
+  return ccts;
+}
+
+/// Mean slowdown over affected coflows; 1.0 when none are affected.
+double mean_affected_slowdown(const std::map<sim::CoflowId, double>& healthy,
+                              const std::map<sim::CoflowId, double>& failed,
+                              const std::set<sim::CoflowId>& affected) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& [id, base] : healthy) {
+    if (!affected.contains(id)) continue;
+    auto it = failed.find(id);
+    if (it == failed.end()) continue;  // unfinished under failure
+    sum += it->second / base;
+    ++n;
+  }
+  return n == 0 ? 1.0 : sum / static_cast<double>(n);
+}
+
+struct CctProbe {
+  std::array<double, kStrategyCount> slowdown{1.0, 1.0, 1.0, 1.0, 1.0};
+};
+
+CctProbe run_cct_probe(const MatrixConfig& cfg) {
+  CctProbe out;
+  const Seconds duration = cfg.cct_duration;
+
+  topo::FatTree wl_ft(matrix_fat_tree(cfg.k, topo::Wiring::kPlain));
+  workload::CoflowWorkloadParams wp;
+  wp.racks = wl_ft.host_count();
+  wp.coflows = cfg.cct_coflows;
+  wp.duration = duration;
+  Rng wl_rng(20170003);
+  const std::vector<sim::FlowSpec> flows =
+      workload::expand_to_flows(wl_ft, workload::generate_coflows(wp, wl_rng));
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.unit_bytes_per_second = cfg.unit_bytes_per_second;
+  sim_cfg.allocation = sim::AllocationModel::kPerLinkEqualShare;
+
+  // The representative failure: agg (0,0) dies at t=0 and is repaired at
+  // the end of the partition (fig1c's failure model). Rerouting
+  // strategies route around it and congest the survivors.
+  auto run_strategy = [&](std::size_t strategy, topo::Wiring wiring,
+                          auto make_router) {
+    topo::FatTree healthy_ft(matrix_fat_tree(cfg.k, wiring));
+    auto healthy_router = make_router(healthy_ft);
+    sim::FluidSimulator healthy_sim(healthy_ft.network(), healthy_router,
+                                    sim_cfg);
+    healthy_sim.add_flows(flows);
+    const auto healthy = coflow_ccts(healthy_sim.run());
+
+    // Affected set: coflows with a flow whose healthy path uses the
+    // victim (router state is epoch-cached, so these route calls are
+    // cheap and leave the simulation unperturbed).
+    const net::NodeId victim = healthy_ft.agg(0, 0);
+    std::set<sim::CoflowId> affected;
+    for (const auto& f : flows) {
+      if (f.src == f.dst) continue;
+      const net::Path p = healthy_router.route(healthy_ft.network(), f.src,
+                                               f.dst, f.id, nullptr);
+      if (net::path_uses_node(p, victim)) affected.insert(f.coflow);
+    }
+
+    topo::FatTree failed_ft(matrix_fat_tree(cfg.k, wiring));
+    auto failed_router = make_router(failed_ft);
+    sim::FluidSimulator failed_sim(failed_ft.network(), failed_router,
+                                   sim_cfg);
+    failed_sim.add_flows(flows);
+    const net::NodeId failed_victim = failed_ft.agg(0, 0);
+    failed_sim.at(0.0, [failed_victim](net::Network& n) {
+      n.fail_node(failed_victim);
+    });
+    failed_sim.at(duration, [failed_victim](net::Network& n) {
+      n.restore_node(failed_victim);
+    });
+    const auto failed = coflow_ccts(failed_sim.run());
+    out.slowdown[strategy] = mean_affected_slowdown(healthy, failed, affected);
+  };
+
+  run_strategy(1, topo::Wiring::kAb, [](topo::FatTree& ft) {
+    return routing::F10Router(ft, 1);
+  });
+  run_strategy(2, topo::Wiring::kPlain, [](topo::FatTree& ft) {
+    return routing::EcmpWithGlobalRerouteRouter(ft, 1);
+  });
+  run_strategy(3, topo::Wiring::kPlain, [](topo::FatTree& ft) {
+    return routing::SpiderProtectRouter(ft, 1);
+  });
+  run_strategy(4, topo::Wiring::kPlain, [](topo::FatTree& ft) {
+    return routing::BackupRulesRouter(ft, 1);
+  });
+
+  // ShareBackup: paths pinned, hardware replaced mid-run. The healthy
+  // reference is the same router on the healthy fabric.
+  {
+    sharebackup::FabricParams fp;
+    fp.fat_tree = matrix_fat_tree(cfg.k, topo::Wiring::kPlain);
+    fp.backups_per_group = cfg.backups_per_group;
+
+    sharebackup::Fabric healthy_fabric(fp);
+    routing::EcmpWithGlobalRerouteRouter healthy_router(
+        healthy_fabric.fat_tree(), 1);
+    sim::SimConfig pinned = sim_cfg;
+    pinned.reroute_on_path_failure = false;
+    sim::FluidSimulator healthy_sim(healthy_fabric.network(), healthy_router,
+                                    pinned);
+    healthy_sim.add_flows(flows);
+    const auto healthy = coflow_ccts(healthy_sim.run());
+
+    const net::NodeId victim =
+        healthy_fabric.node_at({topo::Layer::kAgg, 0, 0});
+    std::set<sim::CoflowId> affected;
+    for (const auto& f : flows) {
+      if (f.src == f.dst) continue;
+      const net::Path p = healthy_router.route(healthy_fabric.network(),
+                                               f.src, f.dst, f.id, nullptr);
+      if (net::path_uses_node(p, victim)) affected.insert(f.coflow);
+    }
+
+    sharebackup::Fabric fabric(fp);
+    control::Controller ctrl(fabric, control::ControllerConfig{});
+    routing::EcmpWithGlobalRerouteRouter router(fabric.fat_tree(), 1);
+    sim::FluidSimulator failed_sim(fabric.network(), router, pinned);
+    failed_sim.add_flows(flows);
+    const net::NodeId fv = fabric.node_at({topo::Layer::kAgg, 0, 0});
+    const Seconds recover = ctrl.end_to_end_recovery_latency();
+    failed_sim.at(duration / 2, [fv](net::Network& n) { n.fail_node(fv); });
+    failed_sim.at(duration / 2 + recover, [&ctrl](net::Network&) {
+      (void)ctrl.on_switch_failure({topo::Layer::kAgg, 0, 0});
+    });
+    const auto failed = coflow_ccts(failed_sim.run());
+    out.slowdown[0] = mean_affected_slowdown(healthy, failed, affected);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kShareBackup: return "sharebackup";
+    case Strategy::kF10: return "f10";
+    case Strategy::kEcmpGlobalReroute: return "ecmp+global-reroute";
+    case Strategy::kSpiderProtect: return "spider-protect";
+    case Strategy::kBackupRules: return "backup-rules";
+  }
+  return "?";
+}
+
+ComparisonMatrix run_comparison_matrix(const MatrixConfig& cfg) {
+  SBK_EXPECTS_MSG(cfg.k >= 4 && cfg.k % 2 == 0, "k must be even and >= 4");
+  SBK_EXPECTS(cfg.scenarios > 0 && cfg.flows_per_scenario > 0);
+
+  sweep::SweepConfig sc;
+  sc.master_seed = cfg.master_seed;
+  sc.threads = cfg.threads;
+  sweep::SweepRunner runner(sc);
+  const std::vector<ChurnBatch> batches =
+      runner.run(cfg.scenarios, [&cfg](const sweep::ScenarioSpec& spec) {
+        return churn_scenario(cfg, spec);
+      });
+
+  ChurnBatch total;
+  for (const ChurnBatch& b : batches) {
+    for (std::size_t s = 0; s < kStrategyCount; ++s) {
+      total.probed[s] += b.probed[s];
+      total.lost[s] += b.lost[s];
+    }
+    total.backup_hits += b.backup_hits;
+    total.backup_fallbacks += b.backup_fallbacks;
+    total.spider_failovers += b.spider_failovers;
+    total.spider_detour_misses += b.spider_detour_misses;
+    total.violations += b.violations;
+  }
+
+  const CctProbe cct = run_cct_probe(cfg);
+
+  const std::size_t backup_affected =
+      total.backup_hits + total.backup_fallbacks;
+  const double fallback_frac =
+      backup_affected == 0
+          ? 0.0
+          : static_cast<double>(total.backup_fallbacks) /
+                static_cast<double>(backup_affected);
+
+  const control::LatencyModelParams lp;
+  const std::array<double, kStrategyCount> latency = {
+      control::sharebackup_latency(
+          lp, sharebackup::CircuitTechnology::kElectricalCrosspoint)
+          .total(),
+      control::local_reroute_latency(lp, "f10-local").total(),
+      control::global_reroute_latency(lp, cfg.global_rule_updates).total(),
+      control::spider_protect_latency(lp).total(),
+      control::backup_rules_latency(lp, fallback_frac,
+                                    cfg.global_rule_updates)
+          .total(),
+  };
+
+  const std::array<cost::ProtectionTableFootprint, kStrategyCount> tables = {
+      cost::sharebackup_table_footprint(cfg.k, cfg.backups_per_group),
+      cost::reactive_table_footprint("f10"),
+      cost::reactive_table_footprint("ecmp+global-reroute"),
+      cost::spider_table_footprint(cfg.k),
+      cost::backup_rules_table_footprint(cfg.k),
+  };
+
+  ComparisonMatrix m;
+  m.violations = total.violations;
+  for (std::size_t s = 0; s < kStrategyCount; ++s) {
+    StrategyRow row;
+    row.strategy = to_string(kAllStrategies[s]);
+    row.recovery_latency = latency[s];
+    row.flows_probed = total.probed[s];
+    row.flows_lost = total.lost[s];
+    row.packet_loss = total.probed[s] == 0
+                          ? 0.0
+                          : static_cast<double>(total.lost[s]) /
+                                static_cast<double>(total.probed[s]);
+    row.cct_slowdown = cct.slowdown[s];
+    row.table_entries = tables[s].protection_entries;
+    row.table_per_switch = tables[s].per_switch_max;
+    if (kAllStrategies[s] == Strategy::kBackupRules) {
+      row.backup_fallback_frac = fallback_frac;
+    }
+    m.rows.push_back(std::move(row));
+  }
+  return m;
+}
+
+void write_matrix_csv(const ComparisonMatrix& m, std::ostream& out) {
+  CsvWriter csv(out);
+  csv.row({"strategy", "recovery_latency_s", "packet_loss", "cct_slowdown",
+           "table_entries", "table_per_switch", "flows_probed", "flows_lost",
+           "backup_fallback_frac"});
+  for (const StrategyRow& r : m.rows) {
+    csv.row({r.strategy, CsvWriter::num_exact(r.recovery_latency),
+             CsvWriter::num_exact(r.packet_loss),
+             CsvWriter::num_exact(r.cct_slowdown),
+             CsvWriter::num(static_cast<long long>(r.table_entries)),
+             CsvWriter::num(static_cast<long long>(r.table_per_switch)),
+             CsvWriter::num(r.flows_probed), CsvWriter::num(r.flows_lost),
+             CsvWriter::num_exact(r.backup_fallback_frac)});
+  }
+}
+
+std::string matrix_summary(const ComparisonMatrix& m) {
+  std::ostringstream os;
+  os << "strategy              latency(ms)   loss      cct-slow  "
+        "table(fabric/switch)\n";
+  for (const StrategyRow& r : m.rows) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%-20s %10.3f %8.4f %11.3f   %lld / %lld\n",
+                  r.strategy.c_str(), r.recovery_latency * 1e3,
+                  r.packet_loss, r.cct_slowdown, r.table_entries,
+                  r.table_per_switch);
+    os << line;
+  }
+  if (m.violations != 0) {
+    os << "VIOLATIONS: " << m.violations << " routed paths failed the "
+       << "live/valid invariants\n";
+  }
+  return os.str();
+}
+
+}  // namespace sbk::baselines

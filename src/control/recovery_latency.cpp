@@ -60,6 +60,40 @@ LatencyBreakdown global_reroute_latency(const LatencyModelParams& p,
   return b;
 }
 
+LatencyBreakdown spider_protect_latency(const LatencyModelParams& p) {
+  LatencyBreakdown b;
+  b.scheme = "spider-protect";
+  b.detection = detection_time(p);
+  b.notification = 0.0;       // stateful failover at the detecting switch
+  b.decision = p.local_decision;
+  b.reconfiguration = 0.0;    // detour rules pre-installed: 0 rule updates
+  return b;
+}
+
+LatencyBreakdown backup_rules_latency(const LatencyModelParams& p,
+                                      double fallback_fraction,
+                                      int fallback_rule_updates) {
+  SBK_EXPECTS_MSG(fallback_fraction >= 0.0 && fallback_fraction <= 1.0,
+                  "fallback_fraction is a probability");
+  LatencyBreakdown fast;
+  fast.scheme = "backup-rules";
+  fast.detection = detection_time(p);
+  fast.notification = 0.0;    // backup next-hop already in the table
+  fast.decision = p.local_decision;
+  fast.reconfiguration = 0.0;
+  if (fallback_fraction == 0.0) return fast;
+  const LatencyBreakdown slow =
+      global_reroute_latency(p, fallback_rule_updates);
+  const double keep = 1.0 - fallback_fraction;
+  LatencyBreakdown b;
+  b.scheme = "backup-rules";
+  b.detection = fast.detection;  // both paths pay the same detection
+  b.notification = fallback_fraction * slow.notification;
+  b.decision = keep * fast.decision + fallback_fraction * slow.decision;
+  b.reconfiguration = fallback_fraction * slow.reconfiguration;
+  return b;
+}
+
 std::vector<LatencyBreakdown> latency_comparison(
     const LatencyModelParams& p) {
   return {
@@ -69,6 +103,8 @@ std::vector<LatencyBreakdown> latency_comparison(
       local_reroute_latency(p, "f10-local"),
       local_reroute_latency(p, "aspen-local"),
       global_reroute_latency(p, /*rule_updates=*/4),
+      spider_protect_latency(p),
+      backup_rules_latency(p),
   };
 }
 

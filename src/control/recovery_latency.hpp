@@ -56,6 +56,25 @@ struct LatencyModelParams {
 [[nodiscard]] LatencyBreakdown global_reroute_latency(
     const LatencyModelParams& p, int rule_updates);
 
+/// SPIDER-style stateful data-plane failover: detours are pre-installed,
+/// so recovery is detection plus one local state-machine transition —
+/// zero controller involvement and rule_updates = 0 (no forwarding-rule
+/// write happens at failure time, the defining difference from
+/// local_reroute_latency).
+[[nodiscard]] LatencyBreakdown spider_protect_latency(
+    const LatencyModelParams& p);
+
+/// Precomputed per-destination backup next-hops: the fast path equals
+/// SPIDER's (pre-installed, local, no rule write). `fallback_fraction`
+/// in [0, 1] is the measured share of affected flows whose primary AND
+/// backup were both dead — those pay the full global-reroute cycle with
+/// `fallback_rule_updates` rule changes. The returned breakdown is the
+/// expectation over the two paths, so a soak-measured fallback rate
+/// plugs straight in.
+[[nodiscard]] LatencyBreakdown backup_rules_latency(
+    const LatencyModelParams& p, double fallback_fraction = 0.0,
+    int fallback_rule_updates = 4);
+
 /// All schemes side by side (the §5.3 comparison).
 [[nodiscard]] std::vector<LatencyBreakdown> latency_comparison(
     const LatencyModelParams& p);

@@ -90,6 +90,50 @@ std::vector<CostCurvePoint> cost_curves(const std::vector<int>& ks,
   return out;
 }
 
+ProtectionTableFootprint sharebackup_table_footprint(int k, int n) {
+  check_k(k);
+  SBK_EXPECTS(n >= 0);
+  ProtectionTableFootprint f;
+  f.scheme = "sharebackup";
+  const long long per_backup = static_cast<long long>(k) / 2 +
+                               static_cast<long long>(k) * k / 4;
+  f.protection_entries = (5LL * k * n / 2) * per_backup;
+  f.per_switch_max = n > 0 ? per_backup : 0;
+  return f;
+}
+
+ProtectionTableFootprint spider_table_footprint(int k) {
+  check_k(k);
+  ProtectionTableFootprint f;
+  f.scheme = "spider-protect";
+  // 3 entries per direction of each of the k^3/2 switch-switch links.
+  f.protection_entries = 3LL * k * k * k;
+  // Worst device: an agg switch detects failures on its k/2 down-links
+  // and k/2 up-links (1 group entry each) and serves as intermediate
+  // for detours of its neighbors' k incident links (2 entries each):
+  // k + 2k = 3k entries.
+  f.per_switch_max = 3LL * k;
+  return f;
+}
+
+ProtectionTableFootprint backup_rules_table_footprint(int k) {
+  check_k(k);
+  ProtectionTableFootprint f;
+  f.scheme = "backup-rules";
+  // One uncompressed backup next-hop per destination at every switch:
+  // (5/4)k^2 switches x k^2/2 destinations.
+  const long long destinations = static_cast<long long>(k) * k / 2;
+  f.protection_entries = (5LL * k * k / 4) * destinations;
+  f.per_switch_max = destinations;
+  return f;
+}
+
+ProtectionTableFootprint reactive_table_footprint(const std::string& scheme) {
+  ProtectionTableFootprint f;
+  f.scheme = scheme;
+  return f;
+}
+
 double backup_ratio(int k, int n) {
   check_k(k);
   return static_cast<double>(n) / (k / 2.0);

@@ -92,6 +92,45 @@ struct CostCurvePoint {
 [[nodiscard]] std::vector<CostCurvePoint> cost_curves(
     const std::vector<int>& ks, Medium medium);
 
+// --- protection-strategy rule-table accounting -----------------------------
+//
+// Pre-installed forwarding state each protection scheme carries on top
+// of the ordinary two-level tables, for the §4.3 table-size comparison.
+// With the paper's rack-level hosts (hosts_per_edge = 1) a k-ary
+// fat-tree has k^2/2 destinations, k^2/2 edge + k^2/2 agg + k^2/4 core
+// switches, and k^3/2 switch-switch links.
+//
+//   ShareBackup: backup switches pre-load impersonation tables of
+//     k/2 + k^2/4 entries each (§4.3); (5/2)kn backups total. Live
+//     switches carry nothing extra.
+//   SPIDER: per protected switch-switch link and direction, one
+//     failover-group entry at the detecting switch plus forwarding
+//     entries at the two intermediate detour switches (every fat-tree
+//     bypass within the 4-hop bound has at most two intermediates) —
+//     3 entries x 2 directions x k^3/2 links = 3k^3.
+//   Backup rules (van Adrichem): one backup next-hop per destination at
+//     every switch, uncompressed (fast-failover entries cannot share
+//     the two-level prefix aggregation): (5/4)k^2 x k^2/2 = (5/8)k^4.
+
+/// One protection scheme's pre-installed state, in table entries.
+struct ProtectionTableFootprint {
+  std::string scheme;
+  long long protection_entries = 0;   ///< whole-fabric total
+  long long per_switch_max = 0;       ///< worst single device
+};
+
+/// ShareBackup impersonation-table total: (5/2)kn backups holding
+/// (k/2 + k^2/4) entries each.
+[[nodiscard]] ProtectionTableFootprint sharebackup_table_footprint(int k,
+                                                                   int n);
+/// SPIDER pre-installed detours: 3k^3 entries fabric-wide.
+[[nodiscard]] ProtectionTableFootprint spider_table_footprint(int k);
+/// van Adrichem backup next-hops: (5/8)k^4 entries fabric-wide.
+[[nodiscard]] ProtectionTableFootprint backup_rules_table_footprint(int k);
+/// Reactive schemes (ECMP + global reroute, F10) pre-install nothing.
+[[nodiscard]] ProtectionTableFootprint reactive_table_footprint(
+    const std::string& scheme);
+
 /// Backup ratio n / (k/2) (§5.1).
 [[nodiscard]] double backup_ratio(int k, int n);
 

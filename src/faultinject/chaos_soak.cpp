@@ -4,11 +4,76 @@
 #include <sstream>
 
 #include "control/control_plane.hpp"
+#include "net/path.hpp"
 #include "obs/recovery_tracer.hpp"
+#include "routing/backup_rules.hpp"
+#include "routing/global_reroute.hpp"
+#include "routing/spider.hpp"
 #include "sharebackup/fabric.hpp"
 #include "sim/event_queue.hpp"
+#include "util/rng.hpp"
 
 namespace sbk::faultinject {
+
+namespace {
+
+/// Races the three non-ShareBackup protection strategies over the
+/// fabric's post-recovery network: the same rng-drawn host pairs go
+/// through ECMP + global reroute, SPIDER-protect, and precomputed
+/// backup rules, tallying pairs each strategy cannot route. Returned
+/// non-empty paths must be valid and live — anything else is a router
+/// bug surfaced as a soak violation. Derived purely from the scenario
+/// seed, so the race is bit-identical at any thread count.
+void race_reachability(const ChaosSoakConfig& config,
+                       const sweep::ScenarioSpec& spec,
+                       const sharebackup::Fabric& fabric,
+                       ChaosScenarioResult& result) {
+  const topo::FatTree& ft = fabric.fat_tree();
+  const net::Network& net = fabric.network();
+  routing::EcmpWithGlobalRerouteRouter global_reroute(ft, spec.seed);
+  routing::SpiderProtectRouter spider(ft, spec.seed);
+  routing::BackupRulesRouter backup(ft, spec.seed);
+  struct Racer {
+    routing::Router* router;
+    std::size_t* unreachable;
+  };
+  const Racer racers[] = {
+      {&global_reroute, &result.unreachable_global_reroute},
+      {&spider, &result.unreachable_spider},
+      {&backup, &result.unreachable_backup_rules},
+  };
+
+  // Separate stream from the fault plan's (which consumed spec.rng()'s
+  // sequence during generate), re-derived so adding probes never
+  // perturbs the injected schedule.
+  Rng rng(sweep::derive_seed(spec.seed, 0x5eedf00dULL));
+  const std::size_t hosts = static_cast<std::size_t>(ft.host_count());
+  for (std::size_t p = 0; p < config.reachability_probes; ++p) {
+    const net::NodeId src =
+        ft.host(static_cast<int>(rng.uniform_index(hosts)));
+    net::NodeId dst = src;
+    while (dst == src) {
+      dst = ft.host(static_cast<int>(rng.uniform_index(hosts)));
+    }
+    ++result.probes_routed;
+    for (const Racer& racer : racers) {
+      const net::Path path =
+          racer.router->route(net, src, dst, spec.seed ^ p, nullptr);
+      if (path.nodes.empty()) {
+        ++*racer.unreachable;
+      } else if (!net::is_valid_path(net, path) ||
+                 !net::is_live_path(net, path)) {
+        std::ostringstream os;
+        os << racer.router->name() << " returned an invalid or dead path"
+           << " for probe " << p << " (" << src.value() << " -> "
+           << dst.value() << ")";
+        result.violations.push_back(os.str());
+      }
+    }
+  }
+}
+
+}  // namespace
 
 ChaosScenarioResult run_chaos_scenario(const ChaosSoakConfig& config,
                                        const sweep::ScenarioSpec& spec) {
@@ -108,6 +173,10 @@ ChaosScenarioResult run_chaos_scenario(const ChaosSoakConfig& config,
   result.watchdog_trips = cs.watchdog_trips;
   result.reports_lost = plane.reports_lost();
   result.reports_buffered = plane.reports_buffered();
+
+  if (config.reachability_probes > 0) {
+    race_reachability(config, spec, fabric, result);
+  }
   return result;
 }
 
@@ -154,7 +223,8 @@ std::size_t ChaosSoakReport::total_violations() const {
 
 std::string ChaosSoakReport::summary() const {
   std::size_t injected = 0, failovers = 0, retries = 0, degraded = 0,
-              requeued = 0, trips = 0, lost = 0, buffered = 0;
+              requeued = 0, trips = 0, lost = 0, buffered = 0, probes = 0,
+              un_global = 0, un_spider = 0, un_backup = 0;
   for (const ChaosScenarioResult& s : scenarios) {
     injected += s.failures_injected;
     failovers += s.failovers;
@@ -164,6 +234,10 @@ std::string ChaosSoakReport::summary() const {
     trips += s.watchdog_trips;
     lost += s.reports_lost;
     buffered += s.reports_buffered;
+    probes += s.probes_routed;
+    un_global += s.unreachable_global_reroute;
+    un_spider += s.unreachable_spider;
+    un_backup += s.unreachable_backup_rules;
   }
   std::ostringstream os;
   os << "chaos soak: " << scenarios.size() << " scenarios, " << injected
@@ -171,6 +245,12 @@ std::string ChaosSoakReport::summary() const {
      << " command retries, " << degraded << " degraded reroutes, "
      << requeued << " requeues, " << trips << " watchdog trips, " << lost
      << " reports lost, " << buffered << " reports buffered\n";
+  if (probes > 0) {
+    os << "reachability race: " << probes
+       << " host pairs/strategy, unreachable: global-reroute " << un_global
+       << ", spider-protect " << un_spider << ", backup-rules " << un_backup
+       << "\n";
+  }
   if (clean()) {
     os << "invariants: CLEAN (0 violations)\n";
   } else {

@@ -42,6 +42,14 @@ struct ChaosSoakConfig {
   /// seed drives everything else).
   FaultPlanConfig plan;
 
+  /// Post-run reachability race: after the event queue drains, this many
+  /// rng-drawn host pairs are routed over the fabric's end-state network
+  /// with each non-ShareBackup protection strategy (ECMP + global
+  /// reroute, SPIDER-protect, precomputed backup rules). Any non-empty
+  /// path that is invalid or dead is a soak violation; empty paths count
+  /// into the per-strategy unreachable tallies. 0 disables the race.
+  std::size_t reachability_probes = 32;
+
   /// Observability knobs for the tracing overloads. `trace` gates
   /// everything: when false the traced soak behaves exactly like the
   /// plain one (no recorder/sampler is attached anywhere, so scenario
@@ -68,6 +76,14 @@ struct ChaosScenarioResult {
   std::size_t watchdog_trips = 0;
   std::size_t reports_lost = 0;
   std::size_t reports_buffered = 0;
+  /// Post-recovery reachability race (see
+  /// ChaosSoakConfig::reachability_probes). `probes_routed` is the pair
+  /// count actually raced; the unreachable tallies say how many of those
+  /// pairs each strategy could not route on the end-state network.
+  std::size_t probes_routed = 0;
+  std::size_t unreachable_global_reroute = 0;
+  std::size_t unreachable_spider = 0;
+  std::size_t unreachable_backup_rules = 0;
 };
 
 struct ChaosSoakReport {

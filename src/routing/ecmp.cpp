@@ -11,7 +11,7 @@ net::Path EcmpRouter::route(const net::Network& net, net::NodeId src,
   SBK_EXPECTS_MSG(&net == &ft_->network(),
                   "router is bound to a different network instance");
   const std::vector<net::Path>& candidates =
-      cache_.lookup(net.topology_version(), src, dst, [&] {
+      cache_.lookup(net, src, dst, [&] {
         return candidate_paths(*ft_, src, dst, /*live_only=*/true);
       });
   if (candidates.empty()) return {};

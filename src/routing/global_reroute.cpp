@@ -13,7 +13,7 @@ net::Path MinCongestionRouter::route(const net::Network& net, net::NodeId src,
   SBK_EXPECTS_MSG(&net == &ft_->network(),
                   "router is bound to a different network instance");
   const std::vector<net::Path>& candidates =
-      cache_.lookup(net.topology_version(), src, dst, [&] {
+      cache_.lookup(net, src, dst, [&] {
         return candidate_paths(*ft_, src, dst, /*live_only=*/true);
       });
   if (candidates.empty()) return {};
@@ -60,7 +60,7 @@ net::Path EcmpWithGlobalRerouteRouter::route(const net::Network& net,
   // Hash over the *structural* candidate set, so the choice of an
   // unaffected flow is identical to what it would be with no failures.
   const std::vector<net::Path>& structural =
-      structural_.lookup(net.structure_version(), src, dst, [&] {
+      structural_.lookup(net, src, dst, [&] {
         return candidate_paths(*ft_, src, dst, /*live_only=*/false);
       });
   if (!structural.empty()) {

@@ -22,7 +22,7 @@ class MinCongestionRouter final : public Router {
  public:
   explicit MinCongestionRouter(const topo::FatTree& ft,
                                std::uint64_t salt = 0)
-      : ft_(&ft), salt_(salt) {}
+      : ft_(&ft), salt_(salt), cache_(EpochSource::kTopology) {}
 
   [[nodiscard]] net::Path route(const net::Network& net, net::NodeId src,
                                 net::NodeId dst, std::uint64_t flow_id,
@@ -47,7 +47,10 @@ class EcmpWithGlobalRerouteRouter final : public Router {
  public:
   explicit EcmpWithGlobalRerouteRouter(const topo::FatTree& ft,
                                        std::uint64_t salt = 0)
-      : ft_(&ft), salt_(salt), optimizer_(ft, salt) {}
+      : ft_(&ft),
+        salt_(salt),
+        optimizer_(ft, salt),
+        structural_(EpochSource::kStructure) {}
 
   [[nodiscard]] net::Path route(const net::Network& net, net::NodeId src,
                                 net::NodeId dst, std::uint64_t flow_id,

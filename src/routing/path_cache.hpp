@@ -13,6 +13,15 @@
 //     (live_only = false candidate sets, neighbor-link lookups), which
 //     then survive failure churn untouched.
 //
+// Each cache is bound to one EpochSource at construction and reads that
+// counter itself on every lookup. The earlier API took a raw epoch value
+// from the caller, which let one instance be keyed on topology_version()
+// in one call and structure_version() in another; because the counters
+// are independent they can momentarily hold equal values, at which point
+// the cache would serve a live-filtered set as if it were structural (or
+// vice versa). Binding the source at construction makes that mix-up
+// unrepresentable.
+//
 // Caches are per-router-instance and unsynchronized: the sweep engine's
 // contract already requires routers to be scenario-private (see
 // sweep::SweepRunner), so no locking is needed on the hot path.
@@ -25,27 +34,44 @@
 
 #include "net/network.hpp"
 #include "net/path.hpp"
+#include "util/keys.hpp"
 
 namespace sbk::routing {
 
+/// Which Network version counter validates a cache's entries.
+enum class EpochSource {
+  kTopology,   ///< topology_version(): failures, repairs, capacity, rewiring
+  kStructure,  ///< structure_version(): rewiring only
+};
+
+/// Reads the counter an EpochSource names.
+[[nodiscard]] inline std::uint64_t epoch_of(const net::Network& net,
+                                            EpochSource source) noexcept {
+  return source == EpochSource::kTopology ? net.topology_version()
+                                          : net.structure_version();
+}
+
 /// Cache of candidate-path sets per (src, dst) host pair, invalidated as
-/// a whole when the supplied epoch moves. The fill callback runs on miss
-/// and its result is stored verbatim — element order included, so hash
-/// selection over the cached vector equals hash selection over a fresh
-/// enumeration.
+/// a whole when the bound epoch counter moves. The fill callback runs on
+/// miss and its result is stored verbatim — element order included, so
+/// hash selection over the cached vector equals hash selection over a
+/// fresh enumeration.
 class EpochPathCache {
  public:
+  explicit EpochPathCache(EpochSource source) noexcept : source_(source) {}
+
   template <typename Fill>
-  [[nodiscard]] const std::vector<net::Path>& lookup(std::uint64_t epoch,
+  [[nodiscard]] const std::vector<net::Path>& lookup(const net::Network& net,
                                                      net::NodeId src,
                                                      net::NodeId dst,
                                                      Fill&& fill) {
+    const std::uint64_t epoch = epoch_of(net, source_);
     if (epoch != epoch_ || !valid_) {
       paths_.clear();
       epoch_ = epoch;
       valid_ = true;
     }
-    const std::uint64_t key = pair_key(src, dst);
+    const std::uint64_t key = util::pack_pair_key(src.value(), dst.value());
     auto it = paths_.find(key);
     if (it == paths_.end()) {
       it = paths_.emplace(key, fill()).first;
@@ -53,15 +79,14 @@ class EpochPathCache {
     return it->second;
   }
 
+  /// Counter this cache validates against (fixed for its lifetime).
+  [[nodiscard]] EpochSource source() const noexcept { return source_; }
+
   /// Entries currently held (exposed for tests pinning invalidation).
   [[nodiscard]] std::size_t size() const noexcept { return paths_.size(); }
 
  private:
-  [[nodiscard]] static std::uint64_t pair_key(net::NodeId src,
-                                              net::NodeId dst) noexcept {
-    return (static_cast<std::uint64_t>(src.value()) << 32) | dst.value();
-  }
-
+  EpochSource source_;
   std::uint64_t epoch_ = 0;
   bool valid_ = false;  // first lookup always fills
   std::unordered_map<std::uint64_t, std::vector<net::Path>> paths_;
@@ -82,8 +107,7 @@ class NeighborLinkCache {
       epoch_ = epoch;
       valid_ = true;
     }
-    const std::uint64_t key =
-        (static_cast<std::uint64_t>(a.value()) << 32) | b.value();
+    const std::uint64_t key = util::pack_pair_key(a.value(), b.value());
     auto it = links_.find(key);
     if (it == links_.end()) {
       it = links_.emplace(key, net.find_link(a, b)).first;

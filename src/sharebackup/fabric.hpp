@@ -37,6 +37,7 @@
 #include "sharebackup/device.hpp"
 #include "topo/fat_tree.hpp"
 #include "topo/position.hpp"
+#include "util/keys.hpp"
 #include "util/time.hpp"
 
 namespace sbk::sharebackup {
@@ -237,9 +238,11 @@ class Fabric {
   [[nodiscard]] DeviceUid new_device(bool is_host, Layer layer, int group,
                                      std::string name);
   void register_port(DeviceUid dev, std::size_t cs, int port);
-  [[nodiscard]] static std::uint64_t iface_key(InterfaceRef iface) noexcept {
-    return (static_cast<std::uint64_t>(iface.device) << 32) |
-           static_cast<std::uint64_t>(iface.cs);
+  // iface.cs is a std::size_t: packing it unmasked into the low word
+  // would let a cs >= 2^32 bleed into the device word and alias another
+  // interface's health entry, so the checked pack is load-bearing here.
+  [[nodiscard]] static std::uint64_t iface_key(InterfaceRef iface) {
+    return util::pack_pair_key(iface.device, iface.cs);
   }
 
   FabricParams params_;

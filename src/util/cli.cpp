@@ -1,0 +1,87 @@
+#include "util/cli.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace sbk::cli {
+
+std::optional<std::string> ParseResult::value_of(
+    std::string_view name) const {
+  std::optional<std::string> out;
+  for (const ParsedFlag& f : flags) {
+    if (f.name == name) out = f.value;
+  }
+  return out;
+}
+
+bool ParseResult::has(std::string_view name) const {
+  for (const ParsedFlag& f : flags) {
+    if (f.name == name) return true;
+  }
+  return false;
+}
+
+ParseResult parse_args(int argc, const char* const* argv,
+                       const std::vector<FlagSpec>& specs,
+                       std::size_t max_positional) {
+  ParseResult out;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (out.positional.size() >= max_positional) {
+        out.error = "unexpected extra argument '" + std::string(arg) + "'";
+        return out;
+      }
+      out.positional.emplace_back(arg);
+      continue;
+    }
+    const std::size_t eq = arg.find('=');
+    const std::string_view name =
+        arg.substr(2, eq == std::string_view::npos ? eq : eq - 2);
+    const FlagSpec* spec = nullptr;
+    for (const FlagSpec& s : specs) {
+      if (s.name == name) { spec = &s; break; }
+    }
+    if (spec == nullptr) {
+      out.error = "unknown flag '--" + std::string(name) + "'";
+      return out;
+    }
+    if (spec->requires_value) {
+      if (eq == std::string_view::npos || eq + 1 == arg.size()) {
+        out.error = "flag '--" + std::string(name) +
+                    "' requires a value: --" + std::string(name) + "=<value>";
+        return out;
+      }
+      out.flags.push_back({std::string(name), std::string(arg.substr(eq + 1))});
+    } else {
+      if (eq != std::string_view::npos) {
+        out.error = "flag '--" + std::string(name) + "' takes no value";
+        return out;
+      }
+      out.flags.push_back({std::string(name), ""});
+    }
+  }
+  return out;
+}
+
+std::optional<long long> parse_int(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(buf.c_str(), &end, 10);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<double> parse_double(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  std::string buf(text);
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (errno != 0 || end != buf.c_str() + buf.size()) return std::nullopt;
+  return v;
+}
+
+}  // namespace sbk::cli

@@ -1,0 +1,43 @@
+// Safe packing of two 32-bit-sized identifiers into one 64-bit map key.
+//
+// The naive `(uint64_t(a) << 32) | b` is a correctness trap twice over:
+// if `b` is wider than 32 bits its high bits bleed into `a`'s word
+// (e.g. (device=1, cs=2^32) collides with (device=2, cs=0)), and if
+// either operand is a negative signed integer the implicit conversion
+// sign-extends it across the whole key. Both failure modes silently
+// alias two distinct (a, b) pairs onto one entry — a cache or health map
+// then cross-contaminates unrelated objects. pack_pair_key() rejects
+// out-of-range operands with a contract violation and masks explicitly,
+// so a collision is impossible by construction.
+#pragma once
+
+#include <cstdint>
+#include <type_traits>
+
+#include "util/assert.hpp"
+
+namespace sbk::util {
+
+/// True when `v` fits losslessly in an unsigned 32-bit word (in
+/// particular: non-negative for signed inputs).
+template <typename T>
+[[nodiscard]] constexpr bool fits_u32(T v) noexcept {
+  static_assert(std::is_integral_v<T>, "pack_pair_key takes integral ids");
+  if constexpr (std::is_signed_v<T>) {
+    if (v < 0) return false;
+  }
+  return static_cast<std::uint64_t>(v) <= 0xFFFF'FFFFull;
+}
+
+/// Packs (a, b) into `a << 32 | b` after checking both operands fit in
+/// 32 bits. Distinct pairs map to distinct keys; violations throw
+/// sbk::ContractViolation instead of aliasing.
+template <typename A, typename B>
+[[nodiscard]] constexpr std::uint64_t pack_pair_key(A a, B b) {
+  SBK_EXPECTS_MSG(fits_u32(a), "pack_pair_key: first id exceeds 32 bits");
+  SBK_EXPECTS_MSG(fits_u32(b), "pack_pair_key: second id exceeds 32 bits");
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(b));
+}
+
+}  // namespace sbk::util

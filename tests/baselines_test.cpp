@@ -1,0 +1,95 @@
+// Tests for the five-strategy protection comparison matrix: schema,
+// router invariants, footprint cross-checks, and thread-count
+// bit-identity (the acceptance gate the CSV artifact leans on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include "baselines/comparison_matrix.hpp"
+#include "cost/cost_model.hpp"
+
+namespace sbk::baselines {
+namespace {
+
+MatrixConfig tiny_config(std::size_t threads) {
+  MatrixConfig cfg;
+  cfg.k = 4;
+  cfg.backups_per_group = 1;
+  cfg.scenarios = 3;
+  cfg.flows_per_scenario = 24;
+  cfg.master_seed = 7;
+  cfg.threads = threads;
+  cfg.cct_coflows = 8;
+  cfg.cct_duration = 20.0;
+  return cfg;
+}
+
+TEST(ComparisonMatrixTest, RowsCoverEveryStrategyWithInvariantsClean) {
+  const ComparisonMatrix m = run_comparison_matrix(tiny_config(1));
+  EXPECT_EQ(m.violations, 0u);
+  ASSERT_EQ(m.rows.size(), kAllStrategies.size());
+  for (std::size_t i = 0; i < kAllStrategies.size(); ++i) {
+    EXPECT_EQ(m.rows[i].strategy, to_string(kAllStrategies[i]));
+    EXPECT_GT(m.rows[i].recovery_latency, 0.0);
+    EXPECT_GE(m.rows[i].packet_loss, 0.0);
+    EXPECT_LE(m.rows[i].packet_loss, 1.0);
+    EXPECT_GE(m.rows[i].cct_slowdown, 1.0);
+    EXPECT_EQ(m.rows[i].flows_probed, 3u * 24u);
+  }
+
+  // Table footprints in the matrix are exactly the src/cost closed
+  // forms (k=4, n=1).
+  EXPECT_EQ(m.rows[0].table_entries,
+            cost::sharebackup_table_footprint(4, 1).protection_entries);
+  EXPECT_EQ(m.rows[1].table_entries, 0);  // F10 is reactive
+  EXPECT_EQ(m.rows[2].table_entries, 0);
+  EXPECT_EQ(m.rows[3].table_entries,
+            cost::spider_table_footprint(4).protection_entries);
+  EXPECT_EQ(m.rows[4].table_entries,
+            cost::backup_rules_table_footprint(4).protection_entries);
+
+  // ShareBackup's hardware replacement leaves no residual blackholes;
+  // reroute strategies may lose flows but never more than SPIDER, whose
+  // 4-hop detour budget cannot cover downstream failures.
+  EXPECT_DOUBLE_EQ(m.rows[0].packet_loss, 0.0);
+  EXPECT_LE(m.rows[2].packet_loss, m.rows[3].packet_loss);
+}
+
+TEST(ComparisonMatrixTest, BitIdenticalAcrossThreadCounts) {
+  const ComparisonMatrix serial = run_comparison_matrix(tiny_config(1));
+  EXPECT_EQ(serial, run_comparison_matrix(tiny_config(4)));
+  EXPECT_EQ(serial, run_comparison_matrix(tiny_config(8)));
+}
+
+TEST(ComparisonMatrixTest, CsvSchemaIsStable) {
+  const ComparisonMatrix m = run_comparison_matrix(tiny_config(0));
+  std::ostringstream out;
+  write_matrix_csv(m, out);
+  std::istringstream in(out.str());
+  std::string header;
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header,
+            "strategy,recovery_latency_s,packet_loss,cct_slowdown,"
+            "table_entries,table_per_switch,flows_probed,flows_lost,"
+            "backup_fallback_frac");
+  std::size_t rows = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++rows;
+    // Every data row has exactly 8 commas (9 fields, none quoted).
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 8)
+        << line;
+  }
+  EXPECT_EQ(rows, kAllStrategies.size());
+
+  const std::string summary = matrix_summary(m);
+  for (Strategy s : kAllStrategies) {
+    EXPECT_NE(summary.find(to_string(s)), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace sbk::baselines

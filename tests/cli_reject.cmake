@@ -1,0 +1,23 @@
+# Negative CLI test driver: runs ${EXE} with ${ARGS} and fails unless
+# the tool exits non-zero AND prints a usage message. Invoked via
+# `cmake -DEXE=... -DARGS=... -P cli_reject.cmake` from add_test — see
+# tests/CMakeLists.txt.
+if(NOT DEFINED EXE)
+  message(FATAL_ERROR "cli_reject.cmake needs -DEXE=<binary>")
+endif()
+execute_process(
+  COMMAND ${EXE} ${ARGS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "expected a non-zero exit for args [${ARGS}], got success.\n"
+    "stdout: ${out}\nstderr: ${err}")
+endif()
+string(FIND "${out}${err}" "usage:" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+    "rejected args [${ARGS}] without printing a usage message.\n"
+    "stdout: ${out}\nstderr: ${err}")
+endif()

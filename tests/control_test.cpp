@@ -876,7 +876,7 @@ TEST(Cluster, RepairedMemberCanBeReelected) {
 TEST(RecoveryLatency, ShareBackupComparableToLocalRerouting) {
   LatencyModelParams p;
   auto rows = latency_comparison(p);
-  ASSERT_EQ(rows.size(), 5u);
+  ASSERT_EQ(rows.size(), 7u);
 
   const LatencyBreakdown* sb_xp = nullptr;
   const LatencyBreakdown* sb_mems = nullptr;
@@ -901,6 +901,35 @@ TEST(RecoveryLatency, ShareBackupComparableToLocalRerouting) {
   EXPECT_GT(global->total(), f10->total());
   // Crosspoint reconfigures ~570x faster than MEMS (70ns vs 40us).
   EXPECT_LT(sb_xp->reconfiguration, sb_mems->reconfiguration);
+}
+
+TEST(RecoveryLatency, SpiderFastPathSkipsRuleUpdatesEntirely) {
+  LatencyModelParams p;
+  const LatencyBreakdown spider = spider_protect_latency(p);
+  EXPECT_DOUBLE_EQ(spider.notification, 0.0);
+  // The defining property: pre-installed detours mean zero rule writes
+  // at failure time, so SPIDER undercuts even local rerouting (which
+  // pays one SDN rule update).
+  EXPECT_DOUBLE_EQ(spider.reconfiguration, 0.0);
+  EXPECT_LT(spider.total(), local_reroute_latency(p).total());
+  EXPECT_DOUBLE_EQ(spider.detection, local_reroute_latency(p).detection);
+}
+
+TEST(RecoveryLatency, BackupRulesExpectationInterpolatesToGlobalReroute) {
+  LatencyModelParams p;
+  const LatencyBreakdown pure = backup_rules_latency(p);
+  EXPECT_DOUBLE_EQ(pure.total(), spider_protect_latency(p).total());
+
+  const LatencyBreakdown global = global_reroute_latency(p, 4);
+  const LatencyBreakdown mixed = backup_rules_latency(p, 0.25, 4);
+  EXPECT_GT(mixed.total(), pure.total());
+  EXPECT_LT(mixed.total(), global.total());
+  // fallback_fraction == 1 degenerates to the full reactive cycle.
+  const LatencyBreakdown all_slow = backup_rules_latency(p, 1.0, 4);
+  EXPECT_DOUBLE_EQ(all_slow.total(), global.total());
+
+  EXPECT_THROW(backup_rules_latency(p, 1.5), ContractViolation);
+  EXPECT_THROW(backup_rules_latency(p, -0.1), ContractViolation);
 }
 
 TEST(RecoveryLatency, GlobalRerouteScalesWithRuleUpdates) {

@@ -128,6 +128,30 @@ TEST(CostModel, CountsMatchBuiltFabricCensus) {
   }
 }
 
+TEST(CostModel, ProtectionTableFootprintClosedForms) {
+  // k=8, n=1: 20 backups x (4 + 16) = 400 impersonation entries;
+  // SPIDER 3k^3 = 1536 with 3k = 24 at the busiest switch; backup rules
+  // (5/8)k^4 = 2560 with k^2/2 = 32 per switch; reactive schemes
+  // pre-install nothing.
+  auto sb = sharebackup_table_footprint(8, 1);
+  EXPECT_EQ(sb.protection_entries, 400);
+  EXPECT_EQ(sb.per_switch_max, 20);
+  auto sp = spider_table_footprint(8);
+  EXPECT_EQ(sp.protection_entries, 1536);
+  EXPECT_EQ(sp.per_switch_max, 24);
+  auto br = backup_rules_table_footprint(8);
+  EXPECT_EQ(br.protection_entries, 2560);
+  EXPECT_EQ(br.per_switch_max, 32);
+  auto re = reactive_table_footprint("ecmp+global-reroute");
+  EXPECT_EQ(re.protection_entries, 0);
+  EXPECT_EQ(re.per_switch_max, 0);
+  EXPECT_EQ(re.scheme, "ecmp+global-reroute");
+  // Doubling n doubles only ShareBackup's total (more backups, same
+  // per-device table).
+  EXPECT_EQ(sharebackup_table_footprint(8, 2).protection_entries, 800);
+  EXPECT_EQ(sharebackup_table_footprint(8, 2).per_switch_max, 20);
+}
+
 TEST(CostModel, InvalidParametersRejected) {
   PriceSet p = PriceSet::electrical();
   EXPECT_THROW((void)fat_tree_cost(5, p), sbk::ContractViolation);

@@ -415,5 +415,26 @@ TEST(Fabric, PositionDeviceRoundTrip) {
   EXPECT_FALSE(fabric.position_of_device(spares[0]).has_value());
 }
 
+TEST(Fabric, InterfaceHealthRejectsOutOfRangeCircuitSwitchIds) {
+  // The interface-health map keys on (device, cs) packed into 64 bits.
+  // cs is a std::size_t: before the checked packing, a cs of 2^32 + 5
+  // silently aliased (device + 1, 5) and flipped the health of an
+  // unrelated device's interface. Now it is a contract violation.
+  Fabric fabric(params(4, 1));
+  const InterfaceRef adversarial{DeviceUid{1},
+                                 (std::size_t{1} << 32) + 5};
+  EXPECT_THROW(fabric.set_interface_health(adversarial, false),
+               ContractViolation);
+  EXPECT_THROW((void)fabric.interface_healthy(adversarial),
+               ContractViolation);
+  // In-range ids keep working and stay isolated per device.
+  const InterfaceRef fine{DeviceUid{1}, 0};
+  fabric.set_interface_health(fine, false);
+  EXPECT_FALSE(fabric.interface_healthy(fine));
+  EXPECT_TRUE(fabric.interface_healthy(InterfaceRef{DeviceUid{2}, 0}));
+  fabric.set_interface_health(fine, true);
+  EXPECT_TRUE(fabric.interface_healthy(fine));
+}
+
 }  // namespace
 }  // namespace sbk::sharebackup

@@ -312,6 +312,43 @@ TEST(ChaosSoak, BitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(a.watchdog_trips, b.watchdog_trips);
     EXPECT_EQ(a.reports_lost, b.reports_lost);
     EXPECT_EQ(a.reports_buffered, b.reports_buffered);
+    EXPECT_EQ(a.probes_routed, b.probes_routed);
+    EXPECT_EQ(a.unreachable_global_reroute, b.unreachable_global_reroute);
+    EXPECT_EQ(a.unreachable_spider, b.unreachable_spider);
+    EXPECT_EQ(a.unreachable_backup_rules, b.unreachable_backup_rules);
+  }
+}
+
+TEST(ChaosSoak, ReachabilityRaceProbesEveryStrategy) {
+  // The post-recovery race routes the same host pairs with all three
+  // non-ShareBackup strategies over the end-state network; any invalid
+  // or dead path would surface as a violation. ShareBackup's whole
+  // point is that the end-state is fully repaired at small fault rates,
+  // so reachability stays perfect for every strategy here.
+  ChaosSoakConfig cfg = small_soak(4, 1);
+  cfg.reachability_probes = 16;
+  ChaosSoakReport report = run_chaos_soak(cfg);
+  EXPECT_TRUE(report.clean()) << report.summary();
+  for (const auto& s : report.scenarios) {
+    EXPECT_EQ(s.probes_routed, 16u);
+    EXPECT_EQ(s.unreachable_global_reroute, 0u);
+    EXPECT_EQ(s.unreachable_spider, 0u);
+    EXPECT_EQ(s.unreachable_backup_rules, 0u);
+  }
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("reachability race"), std::string::npos);
+
+  // Disabling the race zeroes the tallies without touching the rest of
+  // the scenario (the probe rng stream is separate from the fault
+  // plan's).
+  cfg.reachability_probes = 0;
+  ChaosSoakReport quiet = run_chaos_soak(cfg);
+  ASSERT_EQ(quiet.scenarios.size(), report.scenarios.size());
+  for (std::size_t i = 0; i < quiet.scenarios.size(); ++i) {
+    EXPECT_EQ(quiet.scenarios[i].probes_routed, 0u);
+    EXPECT_EQ(quiet.scenarios[i].failures_injected,
+              report.scenarios[i].failures_injected);
+    EXPECT_EQ(quiet.scenarios[i].failovers, report.scenarios[i].failovers);
   }
 }
 

@@ -1,16 +1,22 @@
 // Tests for the routing policies: structural path enumeration, ECMP,
-// global min-congestion rerouting, and F10 local rerouting with 3-hop
-// detours.
+// global min-congestion rerouting, F10 local rerouting with 3-hop
+// detours, SPIDER-style pre-installed detours, precomputed backup
+// rules, and the epoch-source-tagged path caches.
 #include <gtest/gtest.h>
 
 #include <map>
 #include <set>
 
+#include "net/network.hpp"
 #include "net/path.hpp"
+#include "routing/backup_rules.hpp"
 #include "routing/ecmp.hpp"
 #include "routing/f10.hpp"
 #include "routing/fat_tree_paths.hpp"
 #include "routing/global_reroute.hpp"
+#include "routing/path_cache.hpp"
+#include "routing/spider.hpp"
+#include "sweep/sweep.hpp"
 #include "topo/fat_tree.hpp"
 
 namespace sbk::routing {
@@ -323,6 +329,308 @@ TEST(F10, UnreachableWhenDestinationEdgeDies) {
   Path p = router.route(ft.network(), ft.host(0, 0, 0), ft.host(1, 0, 0),
                         5, nullptr);
   EXPECT_TRUE(p.empty());
+}
+
+TEST(PathCache, EpochSourceIsBoundAtConstruction) {
+  EpochPathCache topo_cache(EpochSource::kTopology);
+  EpochPathCache struct_cache(EpochSource::kStructure);
+  EXPECT_EQ(topo_cache.source(), EpochSource::kTopology);
+  EXPECT_EQ(struct_cache.source(), EpochSource::kStructure);
+}
+
+TEST(PathCache, CounterAliasingCannotConfuseEpochSources) {
+  // The pre-fix API took a raw epoch value from the caller, so a cache
+  // filled under topology_version() could later be probed with
+  // structure_version(); the counters are independent and can hold
+  // equal values, at which point stale live-filtered entries would be
+  // served as fresh. This test manufactures exactly that collision and
+  // checks both caches refill according to their *own* counter.
+  net::Network net;
+  const net::NodeId h0 = net.add_node(net::NodeKind::kHost, "h0");
+  const net::NodeId h1 = net.add_node(net::NodeKind::kHost, "h1");
+  const net::NodeId h2 = net.add_node(net::NodeKind::kHost, "h2");
+  const net::NodeId h3 = net.add_node(net::NodeKind::kHost, "h3");
+  const net::LinkId l = net.add_link(h0, h1, 1.0);
+
+  EpochPathCache topo_cache(EpochSource::kTopology);
+  EpochPathCache struct_cache(EpochSource::kStructure);
+  std::size_t topo_fills = 0;
+  std::size_t struct_fills = 0;
+  auto topo_fill = [&topo_fills] {
+    ++topo_fills;
+    return std::vector<Path>{};
+  };
+  auto struct_fill = [&struct_fills] {
+    ++struct_fills;
+    return std::vector<Path>{};
+  };
+
+  (void)topo_cache.lookup(net, h0, h1, topo_fill);
+  (void)struct_cache.lookup(net, h0, h1, struct_fill);
+  EXPECT_EQ(topo_fills, 1u);
+  EXPECT_EQ(struct_fills, 1u);
+
+  // Failure churn moves topology_version only: the topology-tagged
+  // cache refills, the structural one keeps serving its entry.
+  net.fail_link(l);
+  net.restore_link(l);
+  (void)topo_cache.lookup(net, h0, h1, topo_fill);
+  (void)struct_cache.lookup(net, h0, h1, struct_fill);
+  EXPECT_EQ(topo_fills, 2u);
+  EXPECT_EQ(struct_fills, 1u);
+  const std::uint64_t topo_fill_epoch = net.topology_version();
+
+  // Two rewirings advance structure_version until its raw value equals
+  // the epoch the topology cache was last filled under — the collision
+  // the old raw-epoch API could trip over.
+  net.retarget_link(l, h1, h2);
+  net.retarget_link(l, h2, h3);
+  ASSERT_EQ(net.structure_version(), topo_fill_epoch);
+  ASSERT_NE(net.topology_version(), topo_fill_epoch);
+
+  // Each cache consults its own bound counter, so both see the change.
+  (void)topo_cache.lookup(net, h0, h1, topo_fill);
+  (void)struct_cache.lookup(net, h0, h1, struct_fill);
+  EXPECT_EQ(topo_fills, 3u);
+  EXPECT_EQ(struct_fills, 2u);
+}
+
+TEST(Spider, HealthyFlowsMatchReactiveBaselineExactly) {
+  // SPIDER's primary selection hashes the same structural candidate set
+  // as the reactive front-end, so with no failures the two strategies
+  // route every flow identically — comparisons isolate the protection
+  // mechanism, not path selection noise.
+  FatTree ft(FatTreeParams{.k = 4});
+  SpiderProtectRouter spider(ft, /*salt=*/9);
+  EcmpWithGlobalRerouteRouter reactive(ft, /*salt=*/9);
+  for (std::uint64_t f = 0; f < 32; ++f) {
+    EXPECT_EQ(spider.route(ft.network(), ft.host(0), ft.host(13), f, nullptr),
+              reactive.route(ft.network(), ft.host(0), ft.host(13), f,
+                             nullptr));
+  }
+  EXPECT_EQ(spider.failovers(), 0u);
+  EXPECT_EQ(spider.detour_misses(), 0u);
+}
+
+TEST(Spider, LinkFailoverSplicesLiveDetourAtDetectingSwitch) {
+  FatTree ft(FatTreeParams{.k = 4});
+  NodeId src = ft.host(0, 0, 0);
+  NodeId dst = ft.host(1, 0, 0);
+  SpiderProtectRouter router(ft);
+  const Path primary = router.route(ft.network(), src, dst, 5, nullptr);
+  ASSERT_EQ(primary.hops(), 6u);
+
+  // Kill the edge->agg link the primary uses; detection happens at the
+  // edge switch, which flips to its pre-installed detour locally.
+  ft.network().fail_link(primary.links[1]);
+  const Path p = router.route(ft.network(), src, dst, 5, nullptr);
+  ASSERT_FALSE(p.empty());
+  EXPECT_TRUE(net::is_valid_path(ft.network(), p));
+  EXPECT_TRUE(net::is_live_path(ft.network(), p));
+  EXPECT_EQ(router.failovers(), 1u);
+  EXPECT_EQ(router.detour_misses(), 0u);
+  // The spliced path shares the primary prefix through the detecting
+  // switch and avoids the dead link.
+  EXPECT_EQ(p.nodes[0], primary.nodes[0]);
+  EXPECT_EQ(p.nodes[1], primary.nodes[1]);
+  EXPECT_EQ(p.links[0], primary.links[0]);
+  for (net::LinkId pl : p.links) EXPECT_NE(pl, primary.links[1]);
+}
+
+TEST(Spider, UpstreamAggDeathMergesAtDestinationEdge) {
+  FatTree ft(FatTreeParams{.k = 4});
+  NodeId src = ft.host(0, 0, 0);
+  NodeId dst = ft.host(1, 0, 0);
+  SpiderProtectRouter router(ft);
+  const Path primary = router.route(ft.network(), src, dst, 3, nullptr);
+  ASSERT_EQ(primary.hops(), 6u);
+
+  // Kill the source-side aggregation switch. The detecting edge switch
+  // cannot reach the primary core within budget (that needs the dead
+  // agg), but the destination edge is 4 structural hops away via any
+  // other core row — the merge point skips the whole dead segment.
+  ft.network().fail_node(primary.nodes[2]);
+  const Path p = router.route(ft.network(), src, dst, 3, nullptr);
+  ASSERT_FALSE(p.empty());
+  EXPECT_TRUE(net::is_valid_path(ft.network(), p));
+  EXPECT_TRUE(net::is_live_path(ft.network(), p));
+  EXPECT_EQ(router.failovers(), 1u);
+  EXPECT_EQ(router.detour_misses(), 0u);
+  EXPECT_FALSE(net::path_uses_node(p, primary.nodes[2]));
+  EXPECT_EQ(p.nodes.back(), dst);
+  EXPECT_EQ(p.hops(), 6u);  // 1-hop prefix + 4-hop detour + final hop
+}
+
+TEST(Spider, DownstreamAggFailureExceedsDetourBudgetAndIsLost) {
+  // SPIDER's documented coverage limit: an aggregation switch that dies
+  // *downstream* of the core is detected at the core, and in plain
+  // wiring the destination pod can only be re-entered through another
+  // core row — 6+ hops, beyond any 4-hop pre-installed detour. The
+  // flow stalls until repair instead of bouncing back.
+  FatTree ft(FatTreeParams{.k = 4});
+  NodeId src = ft.host(1, 0, 0);
+  NodeId dst = ft.host(0, 0, 0);
+  SpiderProtectRouter router(ft);
+  const Path primary = router.route(ft.network(), src, dst, 3, nullptr);
+  ASSERT_EQ(primary.hops(), 6u);
+
+  ft.network().fail_node(primary.nodes[4]);  // destination-side agg
+  const Path p = router.route(ft.network(), src, dst, 3, nullptr);
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(router.failovers(), 1u);
+  EXPECT_EQ(router.detour_misses(), 1u);
+}
+
+TEST(Spider, SecondFailureOnDetourLosesFlow) {
+  // Detours are installed blind to the live failure set; a second
+  // failure that lands on the detour itself is outside SPIDER's
+  // protection and loses the flow.
+  FatTree ft(FatTreeParams{.k = 4});
+  NodeId src = ft.host(0, 0, 0);
+  NodeId dst = ft.host(1, 0, 0);
+  SpiderProtectRouter router(ft);
+  const Path primary = router.route(ft.network(), src, dst, 7, nullptr);
+  ASSERT_EQ(primary.hops(), 6u);
+
+  // Kill every uplink of the detecting edge switch: the primary's
+  // edge->agg link triggers the failover, and whatever detour was
+  // pre-installed is dead on its first hop.
+  const NodeId edge = primary.nodes[1];
+  for (int j = 0; j < 2; ++j) {
+    ft.network().fail_link(*ft.network().find_link(edge, ft.agg(0, j)));
+  }
+  const Path p = router.route(ft.network(), src, dst, 7, nullptr);
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(router.failovers(), 1u);
+  EXPECT_EQ(router.detour_misses(), 1u);
+}
+
+TEST(Spider, IntraPodLinkFailureMergesWithoutLooping) {
+  // Regression: the old exact-rejoin construction could splice a detour
+  // whose interior contained a node the resumed primary suffix would
+  // revisit, producing a node-repeating (invalid) path. The merge-point
+  // construction rejoins at the downstream edge directly.
+  FatTree ft(FatTreeParams{.k = 4});
+  NodeId src = ft.host(0, 0, 0);
+  NodeId dst = ft.host(0, 1, 0);
+  SpiderProtectRouter router(ft);
+  const Path primary = router.route(ft.network(), src, dst, 1, nullptr);
+  ASSERT_EQ(primary.hops(), 4u);
+
+  ft.network().fail_link(primary.links[1]);
+  const Path p = router.route(ft.network(), src, dst, 1, nullptr);
+  ASSERT_FALSE(p.empty());
+  EXPECT_TRUE(net::is_valid_path(ft.network(), p));
+  EXPECT_TRUE(net::is_live_path(ft.network(), p));
+  EXPECT_EQ(p.hops(), 4u);  // via the pod's other aggregation switch
+  EXPECT_EQ(router.failovers(), 1u);
+  EXPECT_EQ(router.detour_misses(), 0u);
+}
+
+TEST(BackupRules, HealthyFlowsNeverTouchBackupOrFallback) {
+  FatTree ft(FatTreeParams{.k = 4});
+  BackupRulesRouter router(ft, /*salt=*/9);
+  EcmpWithGlobalRerouteRouter reactive(ft, /*salt=*/9);
+  for (std::uint64_t f = 0; f < 32; ++f) {
+    const Path p =
+        router.route(ft.network(), ft.host(2), ft.host(11), f, nullptr);
+    EXPECT_TRUE(net::is_valid_path(ft.network(), p));
+    EXPECT_EQ(p, reactive.route(ft.network(), ft.host(2), ft.host(11), f,
+                                nullptr));
+  }
+  EXPECT_EQ(router.backup_hits(), 0u);
+  EXPECT_EQ(router.global_fallbacks(), 0u);
+}
+
+TEST(BackupRules, PrefixSharingBackupActivatesAtFirstDeadHop) {
+  FatTree ft(FatTreeParams{.k = 4});
+  NodeId src = ft.host(0, 0, 0);
+  NodeId dst = ft.host(1, 0, 0);
+  BackupRulesRouter router(ft);
+  const Path primary = router.route(ft.network(), src, dst, 5, nullptr);
+  ASSERT_EQ(primary.hops(), 6u);
+
+  // Kill the primary's edge->agg link: the edge switch's pre-installed
+  // backup next-hop takes over, keeping the already-traversed prefix.
+  ft.network().fail_link(primary.links[1]);
+  const Path p = router.route(ft.network(), src, dst, 5, nullptr);
+  ASSERT_FALSE(p.empty());
+  EXPECT_TRUE(net::is_valid_path(ft.network(), p));
+  EXPECT_TRUE(net::is_live_path(ft.network(), p));
+  EXPECT_EQ(router.backup_hits(), 1u);
+  EXPECT_EQ(router.global_fallbacks(), 0u);
+  EXPECT_EQ(p.links[0], primary.links[0]);
+  EXPECT_NE(p.nodes, primary.nodes);
+}
+
+TEST(BackupRules, ExhaustionFallsBackToGlobalReroute) {
+  FatTree ft(FatTreeParams{.k = 4});
+  NodeId src = ft.host(0, 0, 0);
+  NodeId dst = ft.host(1, 0, 0);
+  BackupRulesRouter router(ft);
+  const Path primary = router.route(ft.network(), src, dst, 5, nullptr);
+  ASSERT_EQ(primary.hops(), 6u);
+
+  // Sever every uplink of the primary's aggregation switch: no
+  // alternative candidate shares the prefix through that agg and stays
+  // alive, so the precomputed rules are exhausted and the flow takes
+  // the reactive global-reroute slow path.
+  const NodeId agg = primary.nodes[2];
+  int j = -1;
+  for (int a = 0; a < 2; ++a) {
+    if (ft.agg(0, a) == agg) j = a;
+  }
+  ASSERT_GE(j, 0);
+  for (int c : ft.cores_of_agg(0, j)) {
+    ft.network().fail_link(*ft.network().find_link(ft.core(c), agg));
+  }
+  const Path p = router.route(ft.network(), src, dst, 5, nullptr);
+  ASSERT_FALSE(p.empty());
+  EXPECT_TRUE(net::is_valid_path(ft.network(), p));
+  EXPECT_TRUE(net::is_live_path(ft.network(), p));
+  EXPECT_EQ(router.backup_hits(), 0u);
+  EXPECT_EQ(router.global_fallbacks(), 1u);
+  EXPECT_FALSE(net::path_uses_node(p, agg));
+}
+
+TEST(ProtectionRouters, SweepIsBitIdenticalAcrossThreadCounts) {
+  // Scenario-private SPIDER and backup-rules routers under random churn
+  // must produce byte-identical path sets at any worker count — the
+  // determinism contract the comparison matrix and chaos soak lean on.
+  auto run_at = [](std::size_t threads) {
+    sweep::SweepConfig sc;
+    sc.master_seed = 42;
+    sc.threads = threads;
+    sweep::SweepRunner runner(sc);
+    return runner.run(12, [](const sweep::ScenarioSpec& spec) {
+      Rng rng = spec.rng();
+      FatTree ft(FatTreeParams{.k = 4});
+      net::Network& net = ft.network();
+      // One random switch + one random link failure per scenario.
+      const int half = 2;
+      net.fail_node(ft.agg(static_cast<int>(rng.uniform_index(4)),
+                           static_cast<int>(rng.uniform_index(half))));
+      net.fail_link(
+          net::LinkId{static_cast<net::LinkId::value_type>(
+              rng.uniform_index(net.link_count()))});
+      SpiderProtectRouter spider(ft, spec.seed);
+      BackupRulesRouter backup(ft, spec.seed);
+      std::vector<Path> out;
+      for (std::uint64_t f = 0; f < 20; ++f) {
+        const NodeId a = ft.host(static_cast<int>(rng.uniform_index(16)));
+        NodeId b = a;
+        while (b == a) {
+          b = ft.host(static_cast<int>(rng.uniform_index(16)));
+        }
+        out.push_back(spider.route(net, a, b, f, nullptr));
+        out.push_back(backup.route(net, a, b, f, nullptr));
+      }
+      return out;
+    });
+  };
+  const auto serial = run_at(1);
+  EXPECT_EQ(serial, run_at(4));
+  EXPECT_EQ(serial, run_at(8));
 }
 
 TEST(StructuralHops, Classification) {

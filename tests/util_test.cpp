@@ -6,13 +6,89 @@
 #include <string>
 
 #include "util/assert.hpp"
+#include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/keys.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
 
 namespace sbk {
 namespace {
+
+TEST(PackPairKey, DistinctPairsGetDistinctKeys) {
+  // The adversarial aliasing cases the naive shift-or packing gets
+  // wrong: (1, 2^32) vs (2, 0) collide when the low word bleeds.
+  EXPECT_NE(util::pack_pair_key(0u, 1u), util::pack_pair_key(1u, 0u));
+  EXPECT_NE(util::pack_pair_key(7u, 9u), util::pack_pair_key(9u, 7u));
+  EXPECT_EQ(util::pack_pair_key(3u, 4u),
+            (std::uint64_t{3} << 32) | std::uint64_t{4});
+  // Full u32 range round-trips without truncation.
+  const std::uint64_t key = util::pack_pair_key(0xFFFF'FFFFu, 0xFFFF'FFFEu);
+  EXPECT_EQ(key >> 32, 0xFFFF'FFFFull);
+  EXPECT_EQ(key & 0xFFFF'FFFFull, 0xFFFF'FFFEull);
+}
+
+TEST(PackPairKey, RejectsOperandsWiderThan32Bits) {
+  // A std::size_t circuit-switch id of 2^32 + 5 would silently alias
+  // with (device + 1, 5) under the naive packing; the checked version
+  // refuses instead.
+  const std::size_t huge = (std::size_t{1} << 32) + 5;
+  EXPECT_THROW((void)util::pack_pair_key(std::size_t{1}, huge),
+               ContractViolation);
+  EXPECT_THROW((void)util::pack_pair_key(huge, std::size_t{0}),
+               ContractViolation);
+  EXPECT_NO_THROW((void)util::pack_pair_key(std::size_t{1}, std::size_t{5}));
+}
+
+TEST(PackPairKey, RejectsNegativeSignedOperands) {
+  // Sign extension would smear a negative id across both words.
+  EXPECT_THROW((void)util::pack_pair_key(-1, 0), ContractViolation);
+  EXPECT_THROW((void)util::pack_pair_key(0, -2), ContractViolation);
+  EXPECT_EQ(util::pack_pair_key(1, 2), util::pack_pair_key(1u, 2u));
+}
+
+TEST(Cli, ParsesFlagsAndPositionals) {
+  const char* argv[] = {"prog", "12", "--csv=out.csv", "34", "--top=5"};
+  auto r = cli::parse_args(5, const_cast<char**>(argv),
+                           {{"csv", true}, {"top", true}}, 4);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.positional.size(), 2u);
+  EXPECT_EQ(r.positional[0], "12");
+  EXPECT_EQ(r.positional[1], "34");
+  EXPECT_EQ(r.value_of("csv").value_or(""), "out.csv");
+  EXPECT_EQ(r.value_of("top").value_or(""), "5");
+  EXPECT_FALSE(r.value_of("absent").has_value());
+}
+
+TEST(Cli, RejectsUnknownFlagsAndMissingValues) {
+  {
+    const char* argv[] = {"prog", "--bogus=1"};
+    auto r = cli::parse_args(2, const_cast<char**>(argv), {{"csv", true}}, 4);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("--bogus"), std::string::npos);
+  }
+  {
+    const char* argv[] = {"prog", "--csv"};
+    auto r = cli::parse_args(2, const_cast<char**>(argv), {{"csv", true}}, 4);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("requires a value"), std::string::npos);
+  }
+  {
+    const char* argv[] = {"prog", "a", "b"};
+    auto r = cli::parse_args(3, const_cast<char**>(argv), {}, 1);
+    EXPECT_FALSE(r.ok());
+    EXPECT_NE(r.error.find("extra argument"), std::string::npos);
+  }
+}
+
+TEST(Cli, ParseIntAndDoubleRejectPartialTokens) {
+  EXPECT_EQ(cli::parse_int("42").value_or(-1), 42);
+  EXPECT_FALSE(cli::parse_int("42x").has_value());
+  EXPECT_FALSE(cli::parse_int("").has_value());
+  EXPECT_DOUBLE_EQ(cli::parse_double("2.5").value_or(-1.0), 2.5);
+  EXPECT_FALSE(cli::parse_double("2.5GB").has_value());
+}
 
 TEST(Assert, ExpectsThrowsContractViolation) {
   EXPECT_THROW(SBK_EXPECTS(1 == 2), ContractViolation);

@@ -14,6 +14,7 @@
 #include "sharebackup/leaf_spine.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/fluid_sim.hpp"
+#include "sim/incremental_max_min.hpp"
 #include "sim/max_min.hpp"
 #include "topo/fat_tree.hpp"
 #include "util/rng.hpp"
@@ -30,7 +31,13 @@ void BM_FatTreeBuild(benchmark::State& state) {
     benchmark::DoNotOptimize(ft.network().link_count());
   }
 }
-BENCHMARK(BM_FatTreeBuild)->Arg(8)->Arg(16)->Arg(32);
+BENCHMARK(BM_FatTreeBuild)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(48)   // 27,648 hosts — the paper's datacenter scale
+    ->Arg(64)   // 65,536 hosts
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FabricBuild(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
@@ -126,6 +133,86 @@ void BM_MaxMinAllocation(benchmark::State& state) {
                           static_cast<std::int64_t>(demands.size()));
 }
 BENCHMARK(BM_MaxMinAllocation)->Arg(64)->Arg(256)->Arg(1024);
+
+// Pod-local hotspot population for the incremental-vs-full comparison:
+// `per_pod` flows per pod, all sourced from the pod's first host, so
+// every pod's flows share that host's directed uplink and each pod is
+// exactly one allocation component. (Flows that only share a cable in
+// *opposite* directions occupy different directed slots and are not
+// coupled — a scattered ring of pairs would decompose into singleton
+// components and make the incremental numbers meaninglessly fast.)
+std::vector<std::vector<net::DirectedLink>> pod_hotspot_flows(
+    topo::FatTree& ft, routing::EcmpRouter& router, int per_pod) {
+  std::vector<std::vector<net::DirectedLink>> links;
+  links.reserve(static_cast<std::size_t>(ft.pods()) *
+                static_cast<std::size_t>(per_pod));
+  const int hosts_per_pod = ft.host_count() / ft.pods();
+  std::uint64_t id = 0;
+  for (int p = 0; p < ft.pods(); ++p) {
+    const int base = p * hosts_per_pod;
+    for (int f = 0; f < per_pod; ++f) {
+      const int dst = base + 1 + f % (hosts_per_pod - 1);
+      net::Path path = router.route(ft.network(), ft.host(base),
+                                    ft.host(dst), id++, nullptr);
+      links.push_back(path.directed_links(ft.network()));
+    }
+  }
+  return links;
+}
+
+void BM_MaxMinIncremental(benchmark::State& state) {
+  // Single-failure-group churn at k=32: 32 pods x 64 pod-local flows
+  // (2048 total). Each iteration removes one flow, re-adds it, and
+  // re-solves; only the victim pod's ~64-flow component is recomputed.
+  // BM_MaxMinFullResolve drives the identical churn through a monolithic
+  // solve of all 2048 flows — the ratio of the two is the incremental
+  // speedup for event-local churn.
+  topo::FatTree ft(topo::FatTreeParams{.k = 32});
+  routing::EcmpRouter router(ft);
+  const auto links = pod_hotspot_flows(ft, router, /*per_pod=*/64);
+  sim::IncrementalMaxMin inc;
+  inc.bind(ft.network());
+  std::vector<sim::IncrementalMaxMin::FlowSlot> slots;
+  slots.reserve(links.size());
+  for (const auto& l : links) slots.push_back(inc.add_flow(l));
+  inc.solve();
+  const std::size_t resolved_at_start = inc.total_resolved_flows();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t victim = (i * 997) % slots.size();  // rotates pods
+    inc.remove_flow(slots[victim]);
+    slots[victim] = inc.add_flow(links[victim]);
+    inc.solve();
+    benchmark::DoNotOptimize(inc.rate(slots[victim]));
+    ++i;
+  }
+  state.counters["flows"] = static_cast<double>(links.size());
+  state.counters["resolved_per_event"] =
+      i == 0 ? 0.0
+             : static_cast<double>(inc.total_resolved_flows() -
+                                   resolved_at_start) /
+                   static_cast<double>(i);
+}
+BENCHMARK(BM_MaxMinIncremental);
+
+void BM_MaxMinFullResolve(benchmark::State& state) {
+  // Denominator for BM_MaxMinIncremental: the same k=32 pod-local
+  // population, every event re-solved from scratch the way the
+  // pre-incremental FluidSimulator did.
+  topo::FatTree ft(topo::FatTreeParams{.k = 32});
+  routing::EcmpRouter router(ft);
+  const auto links = pod_hotspot_flows(ft, router, /*per_pod=*/64);
+  sim::MaxMinSolver solver;
+  std::vector<double> rates;
+  for (auto _ : state) {
+    solver.begin(ft.network(), links.size());
+    for (const auto& l : links) solver.add_demand(l);
+    solver.solve_into(rates);
+    benchmark::DoNotOptimize(rates.data());
+  }
+  state.counters["flows"] = static_cast<double>(links.size());
+}
+BENCHMARK(BM_MaxMinFullResolve);
 
 void BM_FabricFailover(benchmark::State& state) {
   sharebackup::FabricParams p;
@@ -273,6 +360,57 @@ void BM_FlightRecorderDisabled(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FlightRecorderDisabled)->Arg(60)->Unit(benchmark::kMillisecond);
+
+void BM_FluidSimFailureStorm(benchmark::State& state) {
+  // Datacenter-scale end-to-end: a k=48 fat-tree (27,648 hosts; hoisted
+  // — building it is BM_FatTreeBuild/48's job) carrying pod-local
+  // hotspot traffic through a storm of capacity drain/restore pairs.
+  // Every storm event dirties exactly one pod's component, so the
+  // default incremental allocator re-solves a few dozen flows per event
+  // where a full resolve would redo the whole population. Each drain is
+  // paired with a restore to the original capacity, leaving the hoisted
+  // network pristine between iterations.
+  topo::FatTree ft(topo::FatTreeParams{.k = 48});
+  routing::EcmpRouter router(ft);
+  constexpr int kStormPods = 12;
+  constexpr int kPerPod = 32;
+  const int hosts_per_pod = ft.host_count() / ft.pods();
+  std::vector<sim::FlowSpec> flows;
+  std::vector<net::LinkId> uplinks;  // each storm pod's hotspot uplink
+  std::uint64_t id = 0;
+  for (int p = 0; p < kStormPods; ++p) {
+    const net::NodeId src = ft.host(p * hosts_per_pod);
+    uplinks.push_back(*ft.network().find_link(src, ft.edge_of_host(src)));
+    for (int f = 0; f < kPerPod; ++f) {
+      sim::FlowSpec fs;
+      fs.id = id++;
+      fs.src = src;
+      fs.dst = ft.host(p * hosts_per_pod + 1 + f);
+      fs.bytes = 1.0;
+      fs.start = 0.0;
+      flows.push_back(fs);
+    }
+  }
+  for (auto _ : state) {
+    sim::FluidSimulator simulator(ft.network(), router, sim::SimConfig{});
+    simulator.add_flows(flows);
+    for (int p = 0; p < kStormPods; ++p) {
+      const net::LinkId l = uplinks[static_cast<std::size_t>(p)];
+      const double cap = ft.network().link(l).capacity;
+      simulator.at(1.0 + p, [l](net::Network& n) {
+        n.set_link_capacity(l, 0.25);
+      });
+      simulator.at(1.5 + p, [l, cap](net::Network& n) {
+        n.set_link_capacity(l, cap);
+      });
+    }
+    auto results = simulator.run();
+    benchmark::DoNotOptimize(results.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(flows.size()));
+}
+BENCHMARK(BM_FluidSimFailureStorm)->Unit(benchmark::kMillisecond);
 
 void BM_PacketSimThroughput(benchmark::State& state) {
   // Packets simulated per second of wall time for one bulk transfer.

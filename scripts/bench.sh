@@ -16,7 +16,19 @@
 #   BENCH_MIN_TIME    --benchmark_min_time value (default 0.1).
 #
 # Exit status is non-zero if any benchmark present in both the baseline
-# and the fresh run slowed down by more than BENCH_TOLERANCE.
+# and the fresh run slowed down by more than BENCH_TOLERANCE, or if the
+# k=48 scale_smoke footprint gate (peak RSS / wall time) fails.
+#
+# A baseline recorded from a debug build is not comparable to a Release
+# run (every ratio would read as a huge "improvement", masking real
+# regressions), so such baselines are rejected: the comparison is
+# skipped with a loud warning instead of gating on garbage. Fresh
+# recordings get the build tree's CMAKE_BUILD_TYPE stamped into the
+# JSON as context.sbk_build_type; for baselines predating that stamp
+# the check falls back to google-benchmark's own
+# context.library_build_type (which here reflects the *system*
+# benchmark library and reads "debug" even under -O2 — hence the
+# explicit stamp).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,10 +50,41 @@ cmake --build "$BUILD" --target micro_perf
   --benchmark_min_time="$MIN_TIME" \
   >BENCH_micro.json.new
 
+# Stamp the recording with the build tree's actual CMAKE_BUILD_TYPE so
+# the debug-baseline rejection below can trust future baselines.
+BUILD_TYPE=$(sed -n 's/^CMAKE_BUILD_TYPE:[^=]*=//p' "$BUILD/CMakeCache.txt")
+python3 - "$BUILD_TYPE" BENCH_micro.json.new <<'EOF'
+import json, sys
+path = sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+doc["context"]["sbk_build_type"] = (sys.argv[1] or "unknown").lower()
+with open(path, "w") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+EOF
+
 if [ "$COMPARE" = 1 ]; then
   if ! git show HEAD:BENCH_micro.json >BENCH_micro.json.base 2>/dev/null; then
     echo "bench.sh: no committed BENCH_micro.json baseline at HEAD;" \
          "skipping comparison" >&2
+    rm -f BENCH_micro.json.base
+    COMPARE=0
+  fi
+fi
+
+if [ "$COMPARE" = 1 ]; then
+  BASE_BUILD_TYPE=$(python3 -c 'import json, sys
+ctx = json.load(open(sys.argv[1])).get("context", {})
+print(ctx.get("sbk_build_type",
+              ctx.get("library_build_type", "unknown")).lower())' \
+    BENCH_micro.json.base)
+  if [ "$BASE_BUILD_TYPE" = "debug" ]; then
+    echo "bench.sh: *** WARNING *** committed BENCH_micro.json was" \
+         "recorded from a DEBUG build; its timings are not comparable" \
+         "to this Release run. Skipping the regression gate." \
+         "Re-baseline with scripts/bench.sh --no-compare and commit the" \
+         "refreshed BENCH_micro.json." >&2
     rm -f BENCH_micro.json.base
     COMPARE=0
   fi
@@ -111,6 +154,17 @@ if ratio > 1.0 + tol:
           file=sys.stderr)
     sys.exit(1)
 EOF
+
+# Peak-RSS footprint gate: the k=48 failure storm must stay inside the
+# committed memory and wall-time budgets (see check.sh --scale-smoke for
+# the budget rationale). A/B identity is skipped here — it is a
+# correctness property owned by ctest and check.sh, not a perf gate.
+cmake --build "$BUILD" --target scale_smoke
+if ! "$BUILD"/examples/scale_smoke 48 --storm-pods=48 --per-pod=64 \
+    --max-rss-mb=256 --max-seconds=60 --skip-ab; then
+  echo "bench.sh: scale_smoke footprint gate failed" >&2
+  STATUS=1
+fi
 
 mv BENCH_micro.json.new BENCH_micro.json
 exit "$STATUS"

@@ -3,7 +3,7 @@
 # every experiment harness (the micro-benchmarks in reduced mode).
 #
 # Usage: scripts/check.sh [--tsan | --asan | --bench-smoke | --chaos-smoke |
-#        --trace-smoke | --baselines-smoke] [build-dir]
+#        --trace-smoke | --baselines-smoke | --scale-smoke] [build-dir]
 #
 #   --tsan         Configure a ThreadSanitizer build (-DSBK_SANITIZE=thread,
 #                  default dir build-tsan) and run the concurrency-heavy
@@ -30,6 +30,12 @@
 #                  CSV, and validate its schema. baseline_matrix itself
 #                  exits non-zero if any strategy ever returned an
 #                  invalid or dead path.
+#   --scale-smoke  Build examples/scale_smoke (Release) and run the
+#                  datacenter-scale gate: first an A/B check that the
+#                  incremental max-min allocator reproduces the full
+#                  re-solve bit-for-bit, then a k=48 fat-tree failure
+#                  storm (27,648 hosts, 3,072 flows) whose peak RSS and
+#                  wall time are asserted against committed budgets.
 #   --trace-smoke  Build examples/failure_drill + sbk_trace, record the
 #                  drill into a flight-recorder trace, validate the
 #                  Perfetto trace_event JSON against a minimal schema,
@@ -72,6 +78,7 @@ BENCH_SMOKE=0
 CHAOS_SMOKE=0
 TRACE_SMOKE=0
 BASELINES_SMOKE=0
+SCALE_SMOKE=0
 if [ "${1:-}" = "--tsan" ]; then
   TSAN=1
   shift
@@ -90,6 +97,24 @@ elif [ "${1:-}" = "--trace-smoke" ]; then
 elif [ "${1:-}" = "--baselines-smoke" ]; then
   BASELINES_SMOKE=1
   shift
+elif [ "${1:-}" = "--scale-smoke" ]; then
+  SCALE_SMOKE=1
+  shift
+fi
+
+if [ "$SCALE_SMOKE" = 1 ]; then
+  BUILD="${1:-build-bench}"
+  cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD" --target scale_smoke
+  # Committed budgets: the k=48 storm peaks near 25 MB and well under a
+  # second on a developer box (flat CSR adjacency + incremental
+  # dirty-component solves), so these bounds only trip on an
+  # order-of-magnitude blowup — an accidental return to per-event full
+  # re-solves or hashed fabric state — never on machine noise.
+  "$BUILD"/examples/scale_smoke 48 --storm-pods=48 --per-pod=64 \
+    --max-rss-mb=256 --max-seconds=60
+  echo "scale-smoke: k=48 failure storm within memory and time budgets"
+  exit 0
 fi
 
 if [ "$BASELINES_SMOKE" = 1 ]; then

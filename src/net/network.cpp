@@ -18,11 +18,60 @@ const char* to_string(NodeKind kind) noexcept {
 
 bool is_switch(NodeKind kind) noexcept { return kind != NodeKind::kHost; }
 
+void Network::reserve(std::size_t nodes, std::size_t links) {
+  nodes_.reserve(nodes);
+  adj_blocks_.reserve(nodes);
+  links_.reserve(links);
+  // Each link contributes two adjacency entries; builders that also call
+  // reserve_degree() never grow past this, and incremental builds waste
+  // at most the doubling slack on top.
+  adj_arena_.reserve(links * 2);
+}
+
+void Network::reserve_degree(NodeId id, std::uint32_t degree) {
+  SBK_EXPECTS(id.valid() && id.index() < nodes_.size());
+  AdjBlock& b = adj_blocks_[id.index()];
+  if (b.capacity >= degree) return;
+  const auto new_off = static_cast<std::uint32_t>(adj_arena_.size());
+  adj_arena_.resize(adj_arena_.size() + degree);
+  std::copy_n(adj_arena_.begin() + b.offset, b.count,
+              adj_arena_.begin() + new_off);
+  b.offset = new_off;
+  b.capacity = degree;
+}
+
+void Network::adj_append(NodeId id, Adjacency entry) {
+  AdjBlock& b = adj_blocks_[id.index()];
+  if (b.count == b.capacity) {
+    const std::uint32_t new_cap = b.capacity == 0 ? 4 : b.capacity * 2;
+    const auto new_off = static_cast<std::uint32_t>(adj_arena_.size());
+    adj_arena_.resize(adj_arena_.size() + new_cap);
+    std::copy_n(adj_arena_.begin() + b.offset, b.count,
+                adj_arena_.begin() + new_off);
+    b.offset = new_off;
+    b.capacity = new_cap;
+  }
+  adj_arena_[b.offset + b.count++] = entry;
+}
+
+void Network::adj_erase_link(NodeId id, LinkId link) {
+  AdjBlock& b = adj_blocks_[id.index()];
+  Adjacency* begin = adj_arena_.data() + b.offset;
+  Adjacency* end = begin + b.count;
+  Adjacency* it = std::find_if(
+      begin, end, [link](const Adjacency& a) { return a.link == link; });
+  SBK_ASSERT(it != end);
+  std::copy(it + 1, end, it);
+  --b.count;
+}
+
 NodeId Network::add_node(NodeKind kind, std::string name, std::int32_t pod,
                          std::int32_t index) {
   nodes_.push_back(Node{kind, std::move(name), pod, index, false});
-  adjacency_.emplace_back();
-  return NodeId(static_cast<NodeId::value_type>(nodes_.size() - 1));
+  adj_blocks_.emplace_back();
+  auto id = NodeId(static_cast<NodeId::value_type>(nodes_.size() - 1));
+  by_kind_[static_cast<std::size_t>(kind)].push_back(id);
+  return id;
 }
 
 LinkId Network::add_link(NodeId a, NodeId b, double capacity) {
@@ -32,8 +81,8 @@ LinkId Network::add_link(NodeId a, NodeId b, double capacity) {
   SBK_EXPECTS(capacity > 0.0);
   links_.push_back(Link{a, b, capacity, false});
   auto id = LinkId(static_cast<LinkId::value_type>(links_.size() - 1));
-  adjacency_[a.index()].push_back({id, b});
-  adjacency_[b.index()].push_back({id, a});
+  adj_append(a, {id, b});
+  adj_append(b, {id, a});
   ++topo_version_;
   ++structure_version_;
   return id;
@@ -69,8 +118,9 @@ Link& Network::mutable_link(LinkId id) {
 }
 
 std::span<const Adjacency> Network::adjacent(NodeId id) const {
-  SBK_EXPECTS(id.valid() && id.index() < adjacency_.size());
-  return adjacency_[id.index()];
+  SBK_EXPECTS(id.valid() && id.index() < adj_blocks_.size());
+  const AdjBlock& b = adj_blocks_[id.index()];
+  return {adj_arena_.data() + b.offset, b.count};
 }
 
 NodeId Network::head(DirectedLink dl) const {
@@ -97,19 +147,12 @@ DirectedLink Network::directed(LinkId id, NodeId from) const {
   return DirectedLink{id, from == l.a};
 }
 
-std::vector<NodeId> Network::nodes_of_kind(NodeKind kind) const {
-  std::vector<NodeId> out;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (nodes_[i].kind == kind)
-      out.push_back(NodeId(static_cast<NodeId::value_type>(i)));
-  }
-  return out;
+std::span<const NodeId> Network::nodes_of_kind(NodeKind kind) const {
+  return by_kind_[static_cast<std::size_t>(kind)];
 }
 
 std::size_t Network::count_of_kind(NodeKind kind) const {
-  return static_cast<std::size_t>(
-      std::count_if(nodes_.begin(), nodes_.end(),
-                    [kind](const Node& n) { return n.kind == kind; }));
+  return by_kind_[static_cast<std::size_t>(kind)].size();
 }
 
 void Network::fail_node(NodeId id) {
@@ -169,19 +212,17 @@ void Network::retarget_link(LinkId id, NodeId from, NodeId to) {
   SBK_EXPECTS(to.valid() && to.index() < nodes_.size());
 
   // Remove the adjacency entry at `from`, add one at `to`.
-  auto& from_adj = adjacency_[from.index()];
-  auto it = std::find_if(from_adj.begin(), from_adj.end(),
-                         [id](const Adjacency& a) { return a.link == id; });
-  SBK_ASSERT(it != from_adj.end());
-  NodeId other = it->peer;
-  from_adj.erase(it);
-  adjacency_[to.index()].push_back({id, other});
+  NodeId other = (l.a == from) ? l.b : l.a;
+  adj_erase_link(from, id);
+  adj_append(to, {id, other});
 
   // Fix the peer's adjacency entry to point at the new endpoint.
-  auto& other_adj = adjacency_[other.index()];
-  auto oit = std::find_if(other_adj.begin(), other_adj.end(),
-                          [id](const Adjacency& a) { return a.link == id; });
-  SBK_ASSERT(oit != other_adj.end());
+  const AdjBlock& ob = adj_blocks_[other.index()];
+  Adjacency* obegin = adj_arena_.data() + ob.offset;
+  Adjacency* oend = obegin + ob.count;
+  Adjacency* oit = std::find_if(
+      obegin, oend, [id](const Adjacency& a) { return a.link == id; });
+  SBK_ASSERT(oit != oend);
   oit->peer = to;
 
   if (l.a == from) l.a = to; else l.b = to;

@@ -8,6 +8,7 @@
 // separately and *rewrites* Network links when circuits are reconfigured.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -65,11 +66,28 @@ struct DirectedLink {
 /// indices; removal is not supported (failures are flags), so ids stay
 /// stable for the lifetime of the network — routing tables and the
 /// simulator rely on this.
+///
+/// Adjacency lives in one flat arena (per-node blocks inside a single
+/// contiguous array) instead of a vector-of-vectors: one allocation for
+/// the whole graph, and neighbor iteration during routing/BFS walks
+/// touches consecutive cache lines. Blocks that outgrow their capacity
+/// relocate to the arena tail with doubled capacity (amortized O(1));
+/// builders that know degrees up front use reserve()/reserve_degree()
+/// to lay every block out exactly once.
 class Network {
  public:
   Network() = default;
 
   // --- construction -----------------------------------------------------
+  /// Pre-sizes node/link/adjacency storage: one arena reservation instead
+  /// of incremental growth. Topology builders call this once with their
+  /// exact element counts before the add_* loops.
+  void reserve(std::size_t nodes, std::size_t links);
+  /// Pre-allocates an adjacency block of exactly `degree` slots for a
+  /// node whose final degree is known (fat-tree builders know every
+  /// port count). Must run before the node's first add_link; a later
+  /// add_link beyond `degree` still works via block relocation.
+  void reserve_degree(NodeId id, std::uint32_t degree);
   NodeId add_node(NodeKind kind, std::string name, std::int32_t pod = -1,
                   std::int32_t index = -1);
   /// Adds a full-duplex link between distinct existing nodes.
@@ -95,8 +113,11 @@ class Network {
   /// endpoint.
   [[nodiscard]] DirectedLink directed(LinkId link, NodeId from) const;
 
-  /// All node ids of a given kind, in id order.
-  [[nodiscard]] std::vector<NodeId> nodes_of_kind(NodeKind kind) const;
+  /// All node ids of a given kind, in id order. The span points into a
+  /// per-kind index maintained on add_node (nodes never change kind), so
+  /// repeated calls on hot paths cost nothing; it is invalidated by
+  /// add_node.
+  [[nodiscard]] std::span<const NodeId> nodes_of_kind(NodeKind kind) const;
   [[nodiscard]] std::size_t count_of_kind(NodeKind kind) const;
 
   /// Changes a link's capacity in place. Zero is allowed and models a
@@ -149,12 +170,23 @@ class Network {
   void retarget_link(LinkId id, NodeId from, NodeId to);
 
  private:
+  /// One node's slice of the adjacency arena.
+  struct AdjBlock {
+    std::uint32_t offset = 0;
+    std::uint32_t count = 0;
+    std::uint32_t capacity = 0;
+  };
+
   [[nodiscard]] Node& mutable_node(NodeId id);
   [[nodiscard]] Link& mutable_link(LinkId id);
+  void adj_append(NodeId id, Adjacency entry);
+  void adj_erase_link(NodeId id, LinkId link);
 
   std::vector<Node> nodes_;
   std::vector<Link> links_;
-  std::vector<std::vector<Adjacency>> adjacency_;
+  std::vector<AdjBlock> adj_blocks_;   // per node, indexes into adj_arena_
+  std::vector<Adjacency> adj_arena_;   // all adjacency entries, one slab
+  std::array<std::vector<NodeId>, 4> by_kind_;  // dense per-kind node index
   std::size_t failed_nodes_ = 0;
   std::size_t failed_links_ = 0;
   std::uint64_t topo_version_ = 0;

@@ -1,7 +1,6 @@
 #include "net/path.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "util/assert.hpp"
 
@@ -28,9 +27,12 @@ std::vector<DirectedLink> Path::directed_links(const Network& net) const {
 
 bool is_valid_path(const Network& net, const Path& path) {
   if (!is_valid_walk(net, path)) return false;
-  std::unordered_set<NodeId> seen;
-  for (NodeId n : path.nodes) {
-    if (!seen.insert(n).second) return false;  // repeated node
+  // Paths are a handful of hops (≤ 6 in any fat-tree route), so a
+  // quadratic scan beats hashing every node id.
+  for (std::size_t i = 1; i < path.nodes.size(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      if (path.nodes[j] == path.nodes[i]) return false;  // repeated node
+    }
   }
   return true;
 }

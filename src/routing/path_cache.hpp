@@ -29,11 +29,11 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "net/network.hpp"
 #include "net/path.hpp"
+#include "util/flat_map.hpp"
 #include "util/keys.hpp"
 
 namespace sbk::routing {
@@ -56,6 +56,11 @@ enum class EpochSource {
 /// miss and its result is stored verbatim — element order included, so
 /// hash selection over the cached vector equals hash selection over a
 /// fresh enumeration.
+///
+/// Storage is a util::FlatKeyMap, so the returned reference is valid
+/// only until the next lookup() on this cache (table growth relocates
+/// values). Every router consumes the candidate set before routing the
+/// next flow, which satisfies that.
 class EpochPathCache {
  public:
   explicit EpochPathCache(EpochSource source) noexcept : source_(source) {}
@@ -72,11 +77,7 @@ class EpochPathCache {
       valid_ = true;
     }
     const std::uint64_t key = util::pack_pair_key(src.value(), dst.value());
-    auto it = paths_.find(key);
-    if (it == paths_.end()) {
-      it = paths_.emplace(key, fill()).first;
-    }
-    return it->second;
+    return paths_.find_or_emplace(key, fill);
   }
 
   /// Counter this cache validates against (fixed for its lifetime).
@@ -89,7 +90,7 @@ class EpochPathCache {
   EpochSource source_;
   std::uint64_t epoch_ = 0;
   bool valid_ = false;  // first lookup always fills
-  std::unordered_map<std::uint64_t, std::vector<net::Path>> paths_;
+  util::FlatKeyMap<std::vector<net::Path>> paths_;
 };
 
 /// Memoized Network::find_link, keyed on structure_version(): the
@@ -108,17 +109,14 @@ class NeighborLinkCache {
       valid_ = true;
     }
     const std::uint64_t key = util::pack_pair_key(a.value(), b.value());
-    auto it = links_.find(key);
-    if (it == links_.end()) {
-      it = links_.emplace(key, net.find_link(a, b)).first;
-    }
-    return it->second;
+    return links_.find_or_emplace(key,
+                                  [&net, a, b] { return net.find_link(a, b); });
   }
 
  private:
   std::uint64_t epoch_ = 0;
   bool valid_ = false;
-  std::unordered_map<std::uint64_t, std::optional<net::LinkId>> links_;
+  util::FlatKeyMap<std::optional<net::LinkId>> links_;
 };
 
 }  // namespace sbk::routing

@@ -31,6 +31,7 @@ DeviceUid Fabric::new_device(bool is_host, Layer layer, int grp,
   devices_.push_back(PhysicalDevice{uid, is_host, layer, grp, std::move(name)});
   device_state_.push_back(DeviceState::kInService);
   device_ports_.emplace_back();
+  iface_unhealthy_.emplace_back();
   if (!is_host) ++switch_devices_;
   return uid;
 }
@@ -105,6 +106,7 @@ std::size_t Fabric::cs_index(int cs_layer, int pod, int m) const {
 
 void Fabric::register_port(DeviceUid dev, std::size_t cs, int port) {
   device_ports_[dev].push_back(DevicePort{cs, port});
+  iface_unhealthy_[dev].push_back(0);
 }
 
 void Fabric::build_circuit_switches() {
@@ -374,17 +376,37 @@ const std::vector<Fabric::DevicePort>& Fabric::ports_of_device(
 }
 
 bool Fabric::interface_healthy(InterfaceRef iface) const {
-  auto it = iface_unhealthy_.find(iface_key(iface));
-  return it == iface_unhealthy_.end() || !it->second;
+  // iface_key's checked pack is still the contract gate for oversized
+  // cs values (see the header note), even though the flat storage no
+  // longer consumes the key for cabled ports.
+  const std::uint64_t key = iface_key(iface);
+  if (iface.device < device_ports_.size()) {
+    const std::vector<DevicePort>& ports = device_ports_[iface.device];
+    for (std::size_t i = 0; i < ports.size(); ++i) {
+      if (ports[i].cs == iface.cs) return !iface_unhealthy_[iface.device][i];
+    }
+  }
+  return std::find(uncabled_unhealthy_.begin(), uncabled_unhealthy_.end(),
+                   key) == uncabled_unhealthy_.end();
 }
 
 void Fabric::set_interface_health(InterfaceRef iface, bool healthy) {
   SBK_EXPECTS(iface.device < devices_.size());
   SBK_EXPECTS(iface.cs < switches_.size());
+  const std::vector<DevicePort>& ports = device_ports_[iface.device];
+  for (std::size_t i = 0; i < ports.size(); ++i) {
+    if (ports[i].cs == iface.cs) {
+      iface_unhealthy_[iface.device][i] = healthy ? 0 : 1;
+      return;
+    }
+  }
+  const std::uint64_t key = iface_key(iface);
+  auto it = std::find(uncabled_unhealthy_.begin(), uncabled_unhealthy_.end(),
+                      key);
   if (healthy) {
-    iface_unhealthy_.erase(iface_key(iface));
-  } else {
-    iface_unhealthy_[iface_key(iface)] = true;
+    if (it != uncabled_unhealthy_.end()) uncabled_unhealthy_.erase(it);
+  } else if (it == uncabled_unhealthy_.end()) {
+    uncabled_unhealthy_.push_back(key);
   }
 }
 

@@ -27,7 +27,6 @@
 #include <cstdint>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/ids.hpp"
@@ -255,7 +254,15 @@ class Fabric {
   std::vector<Group> core_groups_;
   std::vector<CircuitSwitch> switches_;
   std::size_t cs_layer1_per_pod_ = 0;
-  std::unordered_map<std::uint64_t, bool> iface_unhealthy_;
+  /// Per-cabled-port unhealthy flags, parallel to device_ports_ (same
+  /// outer and inner indexing). Probing storms during recovery hit this
+  /// once per cable end, so it is flat; devices hold a handful of ports
+  /// and a linear cs scan stays in one cache line.
+  std::vector<std::vector<std::uint8_t>> iface_unhealthy_;
+  /// Marks on (device, cs) pairs with no cable between them — reachable
+  /// through the public API, vanishingly rare in practice (fault
+  /// injectors mark cabled ends). Linear scan, usually empty.
+  std::vector<std::uint64_t> uncabled_unhealthy_;
   std::size_t switch_devices_ = 0;
   /// Host device uid per global host index (hosts attach to layer-1 CS).
   std::vector<DeviceUid> host_device_;

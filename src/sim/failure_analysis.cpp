@@ -1,6 +1,7 @@
 #include "sim/failure_analysis.hpp"
 
-#include <unordered_set>
+#include <algorithm>
+#include <cstdint>
 
 #include "util/assert.hpp"
 
@@ -30,28 +31,38 @@ std::vector<RoutedFlow> route_snapshot(const net::Network& net,
 
 ImpactResult measure_impact(const std::vector<RoutedFlow>& snapshot,
                             const FailureSet& failures) {
-  std::unordered_set<net::NodeId> bad_nodes(failures.nodes.begin(),
-                                            failures.nodes.end());
-  std::unordered_set<net::LinkId> bad_links(failures.links.begin(),
-                                            failures.links.end());
+  // Failure membership as flat bitmaps over the dense id index spaces,
+  // sized by the largest failed index (this function takes no Network,
+  // so the universe bound comes from the failure set itself); path
+  // elements beyond the bitmap are trivially healthy.
+  std::vector<std::uint8_t> bad_node;
+  for (net::NodeId n : failures.nodes) {
+    if (n.index() >= bad_node.size()) bad_node.resize(n.index() + 1, 0);
+    bad_node[n.index()] = 1;
+  }
+  std::vector<std::uint8_t> bad_link;
+  for (net::LinkId l : failures.links) {
+    if (l.index() >= bad_link.size()) bad_link.resize(l.index() + 1, 0);
+    bad_link[l.index()] = 1;
+  }
 
   ImpactResult r;
-  std::unordered_set<CoflowId> coflows;
-  std::unordered_set<CoflowId> affected_coflows;
+  std::vector<CoflowId> coflows;
+  std::vector<CoflowId> affected_coflows;
   for (const RoutedFlow& rf : snapshot) {
     ++r.total_flows;
-    if (rf.spec.coflow != kNoCoflow) coflows.insert(rf.spec.coflow);
+    if (rf.spec.coflow != kNoCoflow) coflows.push_back(rf.spec.coflow);
 
     bool affected = false;
     for (net::NodeId n : rf.path.nodes) {
-      if (bad_nodes.contains(n)) {
+      if (n.index() < bad_node.size() && bad_node[n.index()]) {
         affected = true;
         break;
       }
     }
     if (!affected) {
       for (net::LinkId l : rf.path.links) {
-        if (bad_links.contains(l)) {
+        if (l.index() < bad_link.size() && bad_link[l.index()]) {
           affected = true;
           break;
         }
@@ -59,11 +70,18 @@ ImpactResult measure_impact(const std::vector<RoutedFlow>& snapshot,
     }
     if (affected) {
       ++r.affected_flows;
-      if (rf.spec.coflow != kNoCoflow) affected_coflows.insert(rf.spec.coflow);
+      if (rf.spec.coflow != kNoCoflow) {
+        affected_coflows.push_back(rf.spec.coflow);
+      }
     }
   }
-  r.total_coflows = coflows.size();
-  r.affected_coflows = affected_coflows.size();
+  auto distinct = [](std::vector<CoflowId>& v) {
+    std::sort(v.begin(), v.end());
+    return static_cast<std::size_t>(
+        std::unique(v.begin(), v.end()) - v.begin());
+  };
+  r.total_coflows = distinct(coflows);
+  r.affected_coflows = distinct(affected_coflows);
   return r;
 }
 

@@ -1,37 +1,74 @@
 #include "sim/flow.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 namespace sbk::sim {
 
+namespace {
+void fold_flow(CoflowResult& c, const FlowResult& f) {
+  if (c.flow_count == 0) {
+    c.id = f.spec.coflow;
+    c.arrival = f.spec.start;
+  }
+  ++c.flow_count;
+  c.arrival = std::min(c.arrival, f.spec.start);
+  if (f.outcome == FlowOutcome::kCompleted) {
+    ++c.completed;
+    c.finish = std::max(c.finish, f.finish);
+  }
+}
+}  // namespace
+
 std::vector<CoflowResult> aggregate_coflows(
     const std::vector<FlowResult>& flows) {
-  std::unordered_map<CoflowId, CoflowResult> by_id;
+  // Every workload generator in the repo numbers coflows densely from 0,
+  // so aggregation is a flat vector indexed by id. Sparse or adversarial
+  // id spaces (max id far beyond the tagged-flow count) fall back to
+  // sort-and-scan grouping — either way, no hashing.
+  CoflowId max_id = 0;
+  std::size_t tagged = 0;
   for (const FlowResult& f : flows) {
     if (f.spec.coflow == kNoCoflow) continue;
-    CoflowResult& c = by_id[f.spec.coflow];
-    if (c.flow_count == 0) {
-      c.id = f.spec.coflow;
-      c.arrival = f.spec.start;
-    }
-    ++c.flow_count;
-    c.arrival = std::min(c.arrival, f.spec.start);
-    if (f.outcome == FlowOutcome::kCompleted) {
-      ++c.completed;
-      c.finish = std::max(c.finish, f.finish);
-    }
+    ++tagged;
+    max_id = std::max(max_id, f.spec.coflow);
   }
   std::vector<CoflowResult> out;
-  out.reserve(by_id.size());
-  for (auto& [id, c] : by_id) {
+  if (tagged == 0) return out;
+
+  if (max_id < tagged * 2 + 1024) {
+    std::vector<CoflowResult> slots(static_cast<std::size_t>(max_id) + 1);
+    for (const FlowResult& f : flows) {
+      if (f.spec.coflow == kNoCoflow) continue;
+      fold_flow(slots[f.spec.coflow], f);
+    }
+    out.reserve(tagged);
+    for (CoflowResult& c : slots) {
+      if (c.flow_count == 0) continue;
+      c.all_completed = (c.completed == c.flow_count);
+      out.push_back(c);  // slot order == ascending id: already sorted
+    }
+    out.shrink_to_fit();
+    return out;
+  }
+
+  std::vector<std::size_t> order;
+  order.reserve(tagged);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (flows[i].spec.coflow != kNoCoflow) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(),
+            [&flows](std::size_t a, std::size_t b) {
+              return flows[a].spec.coflow < flows[b].spec.coflow;
+            });
+  for (std::size_t i = 0; i < order.size();) {
+    const CoflowId id = flows[order[i]].spec.coflow;
+    CoflowResult c;
+    for (; i < order.size() && flows[order[i]].spec.coflow == id; ++i) {
+      fold_flow(c, flows[order[i]]);
+    }
     c.all_completed = (c.completed == c.flow_count);
     out.push_back(c);
   }
-  std::sort(out.begin(), out.end(),
-            [](const CoflowResult& a, const CoflowResult& b) {
-              return a.id < b.id;
-            });
   return out;
 }
 

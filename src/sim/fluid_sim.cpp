@@ -63,6 +63,7 @@ void FluidSimulator::try_route(std::size_t idx, Seconds now,
   f.stalled = false;
   f.active = true;
   rates_dirty_ = true;
+  if (use_incremental()) f.alloc_slot = inc_.add_flow(f.dlinks);
   if (is_reroute) {
     ++f.reroutes;
     if (recorder_ != nullptr && recorder_->enabled()) {
@@ -95,6 +96,10 @@ void FluidSimulator::finish_flow(std::size_t idx, Seconds now) {
   f.active = false;
   f.stalled = false;
   f.remaining_bytes = 0.0;
+  if (f.alloc_slot != IncrementalMaxMin::kNoSlot) {
+    inc_.remove_flow(f.alloc_slot);
+    f.alloc_slot = IncrementalMaxMin::kNoSlot;
+  }
   for (net::DirectedLink dl : f.dlinks) loads_.add(dl, -1.0);
   f.dlinks.clear();
   f.rate = 0.0;
@@ -117,6 +122,16 @@ void FluidSimulator::recompute_rates(Seconds now) {
         rate = std::min(rate, share);
       }
       f.rate = rate;
+    }
+    return;
+  }
+  if (use_incremental()) {
+    // Re-solve only the components dirtied since the last event; every
+    // other active flow keeps its previous (still-valid) rate.
+    inc_.solve();
+    for (std::size_t idx : active_) {
+      FlowState& f = flows_[idx];
+      f.rate = inc_.rate(f.alloc_slot);
     }
     return;
   }
@@ -189,6 +204,10 @@ void FluidSimulator::handle_topology_change(Seconds now) {
     f.dlinks.clear();
     f.active = false;
     rates_dirty_ = true;
+    if (f.alloc_slot != IncrementalMaxMin::kNoSlot) {
+      inc_.remove_flow(f.alloc_slot);
+      f.alloc_slot = IncrementalMaxMin::kNoSlot;
+    }
     if (cfg_.reroute_on_path_failure) {
       try_route(idx, now, /*is_reroute=*/true);
     } else {
@@ -215,6 +234,7 @@ void FluidSimulator::handle_topology_change(Seconds now) {
         f.stalled = false;
         f.active = true;
         rates_dirty_ = true;
+        if (use_incremental()) f.alloc_slot = inc_.add_flow(f.dlinks);
         active_.push_back(idx);
       }
       continue;
@@ -227,6 +247,10 @@ void FluidSimulator::handle_topology_change(Seconds now) {
 std::vector<FlowResult> FluidSimulator::run() {
   SBK_EXPECTS_MSG(!ran_, "simulator instances are single-shot");
   ran_ = true;
+  // Bind here, not in the constructor: the capacity snapshot must
+  // baseline whatever direct mutations the caller made before run();
+  // every later mutation arrives through an action, which re-diffs.
+  if (use_incremental()) inc_.bind(*net_);
 
   // Arrival order by start time (stable on ties by id for determinism).
   std::vector<std::size_t> arrivals(flows_.size());
@@ -340,7 +364,10 @@ std::vector<FlowResult> FluidSimulator::run() {
       // Capacity edits and failure flips change allocations even when no
       // flow's path membership moves; the epoch counter catches exactly
       // the actions that mutated something (no-op actions stay clean).
-      if (net_->topology_version() != topo_before) rates_dirty_ = true;
+      if (net_->topology_version() != topo_before) {
+        rates_dirty_ = true;
+        if (use_incremental()) inc_.note_topology_change();
+      }
       handle_topology_change(now);
     }
   }

@@ -21,6 +21,7 @@
 #include "obs/timeseries.hpp"
 #include "routing/router.hpp"
 #include "sim/flow.hpp"
+#include "sim/incremental_max_min.hpp"
 #include "sim/max_min.hpp"
 #include "util/time.hpp"
 
@@ -55,6 +56,12 @@ struct SimConfig {
   /// A flow is complete when its remaining volume drops below this many
   /// bytes (absorbs floating-point drift).
   double completion_epsilon_bytes = 0.5;
+  /// Under kMaxMinFair, maintain per-link flow membership between events
+  /// and re-solve only the connected component an event dirtied
+  /// (IncrementalMaxMin) instead of the whole fabric. Bit-identical to
+  /// the full re-solve (property-tested); disable only to benchmark the
+  /// monolithic path or to bisect a suspected divergence.
+  bool incremental_max_min = true;
 };
 
 class FluidSimulator {
@@ -139,6 +146,8 @@ class FluidSimulator {
     bool stalled = false;
     bool done = false;
     std::size_t reroutes = 0;
+    /// Registration in the incremental allocator while active.
+    IncrementalMaxMin::FlowSlot alloc_slot = IncrementalMaxMin::kNoSlot;
   };
   struct Action {
     Seconds when;
@@ -171,8 +180,13 @@ class FluidSimulator {
   /// While false, the previous rates are provably still valid and
   /// recomputation is skipped.
   bool rates_dirty_ = true;
+  [[nodiscard]] bool use_incremental() const noexcept {
+    return cfg_.allocation == AllocationModel::kMaxMinFair &&
+           cfg_.incremental_max_min;
+  }
   MaxMinSolver solver_;        // scratch reused across allocation events
   std::vector<double> rates_;  // scratch: per-active-flow solver output
+  IncrementalMaxMin inc_;      // cross-event state (incremental mode)
 };
 
 }  // namespace sbk::sim

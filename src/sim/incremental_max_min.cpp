@@ -1,0 +1,222 @@
+#include "sim/incremental_max_min.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace sbk::sim {
+
+void IncrementalMaxMin::bind(const net::Network& net) {
+  net_ = &net;
+  flows_.clear();
+  free_flows_.clear();
+  alive_ = 0;
+  next_seq_ = 0;
+  members_.clear();
+  free_members_.clear();
+  link_head_.assign(net.link_count() * 2, kNoMember);
+  cap_snapshot_.resize(net.link_count());
+  for (std::size_t i = 0; i < net.link_count(); ++i) {
+    cap_snapshot_[i] =
+        net.link(net::LinkId(static_cast<std::uint32_t>(i))).capacity;
+  }
+  dirty_slots_.clear();
+  dirty_flows_.clear();
+  slot_dirty_.assign(link_head_.size(), 0);
+  flow_dirty_.clear();
+  slot_seen_.assign(link_head_.size(), 0);
+  flow_seen_.clear();
+  seen_stamp_ = 0;
+  solves_ = 0;
+  last_dirty_flows_ = 0;
+  total_resolved_flows_ = 0;
+}
+
+void IncrementalMaxMin::ensure_link_arrays() {
+  // Structural surgery (add_link) mid-run grows the slot universe; the
+  // new links' flows arrive through add_flow, so growing lazily here is
+  // enough.
+  const std::size_t slots = net_->link_count() * 2;
+  if (link_head_.size() >= slots) return;
+  link_head_.resize(slots, kNoMember);
+  slot_dirty_.resize(slots, 0);
+  slot_seen_.resize(slots, 0);
+  const std::size_t old_links = cap_snapshot_.size();
+  cap_snapshot_.resize(net_->link_count());
+  for (std::size_t i = old_links; i < cap_snapshot_.size(); ++i) {
+    cap_snapshot_[i] =
+        net_->link(net::LinkId(static_cast<std::uint32_t>(i))).capacity;
+  }
+}
+
+void IncrementalMaxMin::mark_slot_dirty(std::size_t s) {
+  if (!slot_dirty_[s]) {
+    slot_dirty_[s] = 1;
+    dirty_slots_.push_back(static_cast<std::uint32_t>(s));
+  }
+}
+
+void IncrementalMaxMin::mark_flow_dirty(FlowSlot f) {
+  if (!flow_dirty_[f]) {
+    flow_dirty_[f] = 1;
+    dirty_flows_.push_back(f);
+  }
+}
+
+IncrementalMaxMin::FlowSlot IncrementalMaxMin::add_flow(
+    std::span<const net::DirectedLink> links) {
+  SBK_EXPECTS_MSG(net_ != nullptr, "bind() must precede add_flow()");
+  ensure_link_arrays();
+
+  FlowSlot f;
+  if (!free_flows_.empty()) {
+    f = free_flows_.back();
+    free_flows_.pop_back();
+  } else {
+    f = static_cast<FlowSlot>(flows_.size());
+    flows_.emplace_back();
+    flow_dirty_.push_back(0);
+    flow_seen_.push_back(0);
+  }
+  FlowRec& rec = flows_[f];
+  rec.links.assign(links.begin(), links.end());
+  rec.members.clear();
+  rec.rate = std::numeric_limits<double>::infinity();
+  rec.seq = next_seq_++;
+  rec.alive = true;
+  ++alive_;
+
+  for (net::DirectedLink dl : rec.links) {
+    const std::size_t s = link_slot(dl);
+    std::uint32_t m;
+    if (!free_members_.empty()) {
+      m = free_members_.back();
+      free_members_.pop_back();
+    } else {
+      m = static_cast<std::uint32_t>(members_.size());
+      members_.emplace_back();
+    }
+    Member& mem = members_[m];
+    mem.flow = f;
+    mem.slot = static_cast<std::uint32_t>(s);
+    mem.prev = kNoMember;
+    mem.next = link_head_[s];
+    if (mem.next != kNoMember) members_[mem.next].prev = m;
+    link_head_[s] = m;
+    rec.members.push_back(m);
+  }
+
+  if (rec.links.empty()) return f;  // +inf already; touches no component
+  mark_flow_dirty(f);
+  return f;
+}
+
+void IncrementalMaxMin::remove_flow(FlowSlot slot) {
+  SBK_EXPECTS(slot < flows_.size());
+  FlowRec& rec = flows_[slot];
+  SBK_EXPECTS_MSG(rec.alive, "double remove of a flow slot");
+
+  for (std::uint32_t m : rec.members) {
+    Member& mem = members_[m];
+    // The survivors on this link gain the departed flow's share: their
+    // component must re-solve.
+    mark_slot_dirty(mem.slot);
+    if (mem.prev != kNoMember) {
+      members_[mem.prev].next = mem.next;
+    } else {
+      link_head_[mem.slot] = mem.next;
+    }
+    if (mem.next != kNoMember) members_[mem.next].prev = mem.prev;
+    free_members_.push_back(m);
+  }
+  rec.members.clear();
+  rec.links.clear();
+  rec.alive = false;
+  // A queued dirty mark on this flow is skipped at solve() via `alive`.
+  --alive_;
+  free_flows_.push_back(slot);
+}
+
+void IncrementalMaxMin::note_topology_change() {
+  SBK_EXPECTS_MSG(net_ != nullptr, "bind() must precede note_topology_change");
+  ensure_link_arrays();
+  for (std::size_t i = 0; i < cap_snapshot_.size(); ++i) {
+    const double cap =
+        net_->link(net::LinkId(static_cast<std::uint32_t>(i))).capacity;
+    if (cap != cap_snapshot_[i]) {
+      cap_snapshot_[i] = cap;
+      mark_slot_dirty(i * 2);
+      mark_slot_dirty(i * 2 + 1);
+    }
+  }
+}
+
+void IncrementalMaxMin::solve() {
+  if (dirty_slots_.empty() && dirty_flows_.empty()) return;
+
+  // Close the dirty seeds to full components: alternate expanding flows
+  // (over their links) and links (over their membership chains) until
+  // the frontier drains.
+  ++seen_stamp_;
+  comp_flows_.clear();
+  bfs_slots_.clear();
+
+  auto visit_slot = [this](std::size_t s) {
+    if (slot_seen_[s] == seen_stamp_) return;
+    slot_seen_[s] = seen_stamp_;
+    bfs_slots_.push_back(static_cast<std::uint32_t>(s));
+  };
+  auto visit_flow = [this](FlowSlot f) {
+    if (flow_seen_[f] == seen_stamp_) return;
+    flow_seen_[f] = seen_stamp_;
+    comp_flows_.push_back(f);
+  };
+
+  for (std::uint32_t s : dirty_slots_) {
+    slot_dirty_[s] = 0;
+    visit_slot(s);
+  }
+  for (FlowSlot f : dirty_flows_) {
+    flow_dirty_[f] = 0;
+    if (flows_[f].alive) visit_flow(f);
+  }
+  dirty_slots_.clear();
+  dirty_flows_.clear();
+
+  std::size_t next_flow = 0;
+  std::size_t next_slot = 0;
+  while (next_flow < comp_flows_.size() || next_slot < bfs_slots_.size()) {
+    while (next_flow < comp_flows_.size()) {
+      const FlowRec& rec = flows_[comp_flows_[next_flow++]];
+      for (net::DirectedLink dl : rec.links) visit_slot(link_slot(dl));
+    }
+    while (next_slot < bfs_slots_.size()) {
+      for (std::uint32_t m = link_head_[bfs_slots_[next_slot++]];
+           m != kNoMember; m = members_[m].next) {
+        visit_flow(members_[m].flow);
+      }
+    }
+  }
+
+  if (comp_flows_.empty()) return;  // e.g. a drained link carrying no flow
+
+  // Deterministic sub-solve order: admission sequence, the same relative
+  // order a monolithic driver would present these demands in.
+  std::sort(comp_flows_.begin(), comp_flows_.end(),
+            [this](FlowSlot a, FlowSlot b) {
+              return flows_[a].seq < flows_[b].seq;
+            });
+
+  solver_.begin(*net_, comp_flows_.size());
+  for (FlowSlot f : comp_flows_) solver_.add_demand(flows_[f].links);
+  solver_.solve_into(sub_rates_);
+  for (std::size_t i = 0; i < comp_flows_.size(); ++i) {
+    flows_[comp_flows_[i]].rate = sub_rates_[i];
+  }
+
+  ++solves_;
+  last_dirty_flows_ = comp_flows_.size();
+  total_resolved_flows_ += comp_flows_.size();
+}
+
+}  // namespace sbk::sim

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <unordered_map>
 
 #include "util/assert.hpp"
 
@@ -180,19 +179,26 @@ std::vector<double> max_min_rates_reference(
   std::vector<double> rate(n, std::numeric_limits<double>::infinity());
   if (n == 0) return rate;
 
-  // Build the link occupancy structures only for links actually used.
+  // Build link occupancy only for links actually used: a dense
+  // slot -> state index table (directed slots are a flat id space sized
+  // by the network) plus a compact vector of touched-link states.
   struct LinkState {
     double residual = 0.0;      // capacity minus frozen flows' rates
     std::size_t unfrozen = 0;   // flows not yet fixed
     std::vector<std::size_t> flows;
   };
-  std::unordered_map<std::size_t, LinkState> links;
+  constexpr std::size_t kUntouched = std::numeric_limits<std::size_t>::max();
+  std::vector<std::size_t> slot_to_idx(net.link_count() * 2, kUntouched);
+  std::vector<LinkState> links;
   for (std::size_t f = 0; f < n; ++f) {
     for (net::DirectedLink dl : demands[f].links) {
-      LinkState& ls = links[ref_slot(dl)];
-      if (ls.flows.empty()) {
-        ls.residual = std::max(net.link(dl.link).capacity, 0.0);
+      std::size_t& idx = slot_to_idx[ref_slot(dl)];
+      if (idx == kUntouched) {
+        idx = links.size();
+        links.emplace_back();
+        links.back().residual = std::max(net.link(dl.link).capacity, 0.0);
       }
+      LinkState& ls = links[idx];
       ls.flows.push_back(f);
       ++ls.unfrozen;
     }
@@ -208,7 +214,7 @@ std::vector<double> max_min_rates_reference(
 
   while (remaining > 0) {
     double bottleneck_share = std::numeric_limits<double>::infinity();
-    for (const auto& [s, ls] : links) {
+    for (const LinkState& ls : links) {
       if (ls.unfrozen == 0) continue;
       double share = ls.residual / static_cast<double>(ls.unfrozen);
       bottleneck_share = std::min(bottleneck_share, share);
@@ -218,7 +224,7 @@ std::vector<double> max_min_rates_reference(
     bottleneck_share = std::max(bottleneck_share, 0.0);
 
     std::vector<std::size_t> to_freeze;
-    for (const auto& [s, ls] : links) {
+    for (const LinkState& ls : links) {
       if (ls.unfrozen == 0) continue;
       double share = ls.residual / static_cast<double>(ls.unfrozen);
       if (share <= bottleneck_share * (1.0 + 1e-12) + 1e-15) {
@@ -237,7 +243,7 @@ std::vector<double> max_min_rates_reference(
       rate[f] = bottleneck_share;
       --remaining;
       for (net::DirectedLink dl : demands[f].links) {
-        LinkState& ls = links[ref_slot(dl)];
+        LinkState& ls = links[slot_to_idx[ref_slot(dl)]];
         ls.residual -= bottleneck_share;
         if (ls.residual < 0.0) ls.residual = 0.0;  // absorb fp noise
         --ls.unfrozen;

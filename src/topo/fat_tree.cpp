@@ -30,6 +30,17 @@ void FatTree::build() {
   const int k = params_.k;
   const int half = k / 2;
 
+  // Size the whole graph up front: every node/link count and degree is a
+  // closed-form function of k, so the Network lays its adjacency arena
+  // out exactly once (no relocation during the build).
+  const std::size_t n_switches = static_cast<std::size_t>(k) * half * 2 +
+                                 static_cast<std::size_t>(half) * half;
+  const std::size_t n_hosts =
+      static_cast<std::size_t>(k) * half * params_.hosts_per_edge;
+  const std::size_t n_links =
+      n_hosts + static_cast<std::size_t>(k) * half * half * 2;
+  net_.reserve(n_switches + n_hosts, n_links);
+
   host_index_of_node_.assign(
       static_cast<std::size_t>(k * half * params_.hosts_per_edge +
                                k * k + half * half),
@@ -73,6 +84,18 @@ void FatTree::build() {
       }
     }
   }
+
+  // Exact per-node adjacency blocks (see Network::reserve_degree).
+  const auto edge_degree =
+      static_cast<std::uint32_t>(half + params_.hosts_per_edge);
+  for (net::NodeId e : edges_) net_.reserve_degree(e, edge_degree);
+  for (net::NodeId a : aggs_) {
+    net_.reserve_degree(a, static_cast<std::uint32_t>(k));
+  }
+  for (net::NodeId c : cores_) {
+    net_.reserve_degree(c, static_cast<std::uint32_t>(k));
+  }
+  for (net::NodeId h : hosts_) net_.reserve_degree(h, 1);
 
   // Host - edge links.
   global = 0;

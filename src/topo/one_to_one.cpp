@@ -13,16 +13,20 @@ OneToOneBackup::OneToOneBackup(const FatTreeParams& params) : ft_(params) {
   const std::size_t original_links = net.link_count();
   std::vector<net::NodeId> primaries = ft_.all_switches();
 
-  shadow_.assign(net.node_count(), net::NodeId{});
+  // Shadows are appended after the originals, so the final node universe
+  // is originals + one shadow per switch; size the role vectors once.
+  const std::size_t final_nodes = net.node_count() + primaries.size();
+  shadow_.assign(final_nodes, net::NodeId{});
+  primary_of_shadow_.assign(final_nodes, net::NodeId{});
+  active_.assign(final_nodes, net::NodeId{});
   for (net::NodeId p : primaries) {
     const net::Node& node = net.node(p);
     net::NodeId s = net.add_node(node.kind, node.name + "'", node.pod,
                                  node.index);
     net.fail_node(s);  // powered off until activation
-    if (s.index() >= shadow_.size()) shadow_.resize(s.index() + 1);
     shadow_[p.index()] = s;
-    primary_of_shadow_[s] = p;
-    active_[p] = p;
+    primary_of_shadow_[s.index()] = p;
+    active_[p.index()] = p;
     ++census_.extra_switches;
   }
 
@@ -52,18 +56,18 @@ OneToOneBackup::OneToOneBackup(const FatTreeParams& params) : ft_(params) {
 }
 
 net::NodeId OneToOneBackup::shadow_of(net::NodeId node) const {
-  if (auto it = primary_of_shadow_.find(node);
-      it != primary_of_shadow_.end()) {
-    return it->second;  // the "shadow" of a shadow is its primary
-  }
   SBK_EXPECTS(node.index() < shadow_.size());
+  if (primary_of_shadow_[node.index()].valid()) {
+    return primary_of_shadow_[node.index()];  // a shadow's "shadow": primary
+  }
   net::NodeId s = shadow_[node.index()];
   SBK_EXPECTS_MSG(s.valid(), "node has no shadow (is it a host?)");
   return s;
 }
 
 bool OneToOneBackup::is_shadow(net::NodeId node) const {
-  return primary_of_shadow_.contains(node);
+  return node.index() < primary_of_shadow_.size() &&
+         primary_of_shadow_[node.index()].valid();
 }
 
 net::NodeId OneToOneBackup::activate_shadow(net::NodeId primary) {
@@ -75,24 +79,26 @@ net::NodeId OneToOneBackup::activate_shadow(net::NodeId primary) {
   SBK_EXPECTS_MSG(ft_.network().node_failed(standby),
                   "standby must be powered off (not already active)");
   ft_.network().restore_node(standby);
-  active_[primary] = standby;
+  active_[primary.index()] = standby;
   return standby;
 }
 
 void OneToOneBackup::stand_down(net::NodeId repaired) {
   // The repaired box stays powered off as the new standby; nothing to do
   // beyond asserting the invariant (it must not be the active one).
-  net::NodeId primary = is_shadow(repaired) ? primary_of_shadow_.at(repaired)
-                                            : repaired;
+  net::NodeId primary = is_shadow(repaired)
+                            ? primary_of_shadow_[repaired.index()]
+                            : repaired;
   SBK_EXPECTS_MSG(active_of(primary) != repaired,
                   "cannot stand down the active switch");
   SBK_EXPECTS(ft_.network().node_failed(repaired));
 }
 
 net::NodeId OneToOneBackup::active_of(net::NodeId primary) const {
-  auto it = active_.find(primary);
-  SBK_EXPECTS_MSG(it != active_.end(), "unknown primary switch");
-  return it->second;
+  SBK_EXPECTS_MSG(primary.index() < active_.size() &&
+                      active_[primary.index()].valid(),
+                  "unknown primary switch");
+  return active_[primary.index()];
 }
 
 OneToOneBackup::Census OneToOneBackup::census() const { return census_; }

@@ -25,7 +25,6 @@
 #pragma once
 
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "topo/fat_tree.hpp"
@@ -68,10 +67,13 @@ class OneToOneBackup {
   [[nodiscard]] Census census() const;
 
  private:
+  // All three role maps are dense vectors over the node index space
+  // (invalid NodeId = no entry): the doubled network's ids are
+  // contiguous, so there is nothing to hash.
   FatTree ft_;
-  std::vector<net::NodeId> shadow_;          // by primary node index
-  std::unordered_map<net::NodeId, net::NodeId> primary_of_shadow_;
-  std::unordered_map<net::NodeId, net::NodeId> active_;  // primary -> active
+  std::vector<net::NodeId> shadow_;             // by primary node index
+  std::vector<net::NodeId> primary_of_shadow_;  // by shadow node index
+  std::vector<net::NodeId> active_;             // by primary node index
   Census census_;
 };
 

@@ -1,0 +1,110 @@
+// Open-addressed hash map from 64-bit keys to values, stored in two flat
+// parallel arrays (keys, values) with linear probing — the cache-line
+// friendly replacement for std::unordered_map on routing hot paths.
+//
+// Why not unordered_map: libstdc++'s node-based buckets cost one heap
+// allocation and at least one dependent pointer chase per entry. The
+// router caches (EpochPathCache, NeighborLinkCache) are hit once per
+// route() call during failure storms, so at k=48/64 sweep scale those
+// chases dominate the lookup. A flat table probes consecutive slots of
+// one array instead, and clearing for epoch invalidation is a memset-
+// class pass that keeps the allocation.
+//
+// Contract: keys must not equal kEmptyKey (~0). Every key produced by
+// util::pack_pair_key satisfies this — it would require both packed ids
+// to be 0xFFFFFFFF, which fits_u32 admits but no dense NodeId space
+// reaches. Insertion order is irrelevant to callers (lookup-only maps);
+// there is deliberately no iteration API.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace sbk::util {
+
+/// Minimal flat hash map: find / find_or_emplace / clear. Grows by
+/// doubling at 70% load; capacity is a power of two so the probe mask is
+/// a single AND. Values are move-relocated on growth.
+template <typename V>
+class FlatKeyMap {
+ public:
+  static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  /// Pointer to the value for `key`, or nullptr if absent. Never grows.
+  [[nodiscard]] V* find(std::uint64_t key) noexcept {
+    if (size_ == 0) return nullptr;
+    const std::size_t mask = keys_.size() - 1;
+    for (std::size_t i = probe_start(key, mask);; i = (i + 1) & mask) {
+      if (keys_[i] == key) return &values_[i];
+      if (keys_[i] == kEmptyKey) return nullptr;
+    }
+  }
+
+  /// The value for `key`, default-inserting via `make()` (called only on
+  /// miss). References stay valid until the next insertion.
+  template <typename Make>
+  V& find_or_emplace(std::uint64_t key, Make&& make) {
+    SBK_EXPECTS_MSG(key != kEmptyKey, "FlatKeyMap: reserved key");
+    if ((size_ + 1) * 10 >= keys_.size() * 7) grow();
+    const std::size_t mask = keys_.size() - 1;
+    for (std::size_t i = probe_start(key, mask);; i = (i + 1) & mask) {
+      if (keys_[i] == key) return values_[i];
+      if (keys_[i] == kEmptyKey) {
+        keys_[i] = key;
+        values_[i] = make();
+        ++size_;
+        return values_[i];
+      }
+    }
+  }
+
+  /// Empties the map but keeps the table allocation (epoch invalidation
+  /// happens often; reallocating each time would defeat the cache).
+  void clear() noexcept {
+    if (size_ == 0) return;
+    keys_.assign(keys_.size(), kEmptyKey);
+    // Values are left constructed-but-stale; slots are dead until their
+    // key is re-claimed, at which point find_or_emplace overwrites.
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  /// splitmix64 finalizer: pack_pair_key output is strongly structured
+  /// (host indices in both halves), so probe starts must be mixed or
+  /// consecutive pairs would pile into runs.
+  [[nodiscard]] static std::size_t probe_start(std::uint64_t key,
+                                               std::size_t mask) noexcept {
+    std::uint64_t z = key + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<std::size_t>(z ^ (z >> 31)) & mask;
+  }
+
+  void grow() {
+    const std::size_t new_cap = keys_.empty() ? 16 : keys_.size() * 2;
+    std::vector<std::uint64_t> old_keys = std::move(keys_);
+    std::vector<V> old_values = std::move(values_);
+    keys_.assign(new_cap, kEmptyKey);
+    values_.clear();
+    values_.resize(new_cap);
+    const std::size_t mask = new_cap - 1;
+    for (std::size_t s = 0; s < old_keys.size(); ++s) {
+      if (old_keys[s] == kEmptyKey) continue;
+      std::size_t i = probe_start(old_keys[s], mask);
+      while (keys_[i] != kEmptyKey) i = (i + 1) & mask;
+      keys_[i] = old_keys[s];
+      values_[i] = std::move(old_values[s]);
+    }
+  }
+
+  std::vector<std::uint64_t> keys_;
+  std::vector<V> values_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace sbk::util

@@ -8,6 +8,7 @@
 #include "util/assert.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/flat_map.hpp"
 #include "util/keys.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -310,6 +311,68 @@ TEST(Csv, NumFormatsIntegersWithoutDecimalNoise) {
   EXPECT_EQ(CsvWriter::num(3.0), "3");
   EXPECT_EQ(CsvWriter::num(3.25), "3.25");
   EXPECT_EQ(CsvWriter::num(std::size_t{17}), "17");
+}
+
+TEST(FlatKeyMap, FindMissReturnsNullAndEmplaceInserts) {
+  util::FlatKeyMap<int> m;
+  EXPECT_EQ(m.find(7), nullptr);  // empty map: no probe table yet
+  int& v = m.find_or_emplace(7, [] { return 42; });
+  EXPECT_EQ(v, 42);
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), 42);
+  EXPECT_EQ(m.size(), 1u);
+  // Second emplace with the same key must NOT call the factory.
+  bool called = false;
+  int& again = m.find_or_emplace(7, [&called] {
+    called = true;
+    return -1;
+  });
+  EXPECT_EQ(again, 42);
+  EXPECT_FALSE(called);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatKeyMap, SurvivesGrowthAndStructuredKeys) {
+  // pack_pair_key output is highly structured (small ints in each half);
+  // insert a few thousand such keys to push through several growth
+  // doublings and verify every value survives relocation.
+  util::FlatKeyMap<std::uint64_t> m;
+  for (std::uint32_t a = 0; a < 64; ++a) {
+    for (std::uint32_t b = 0; b < 64; ++b) {
+      const std::uint64_t key = util::pack_pair_key(a, b);
+      m.find_or_emplace(key, [a, b] {
+        return static_cast<std::uint64_t>(a) * 1000 + b;
+      });
+    }
+  }
+  EXPECT_EQ(m.size(), 64u * 64u);
+  for (std::uint32_t a = 0; a < 64; ++a) {
+    for (std::uint32_t b = 0; b < 64; ++b) {
+      auto* v = m.find(util::pack_pair_key(a, b));
+      ASSERT_NE(v, nullptr);
+      EXPECT_EQ(*v, static_cast<std::uint64_t>(a) * 1000 + b);
+    }
+  }
+}
+
+TEST(FlatKeyMap, ClearEmptiesButAllowsReuse) {
+  util::FlatKeyMap<std::string> m;
+  for (std::uint64_t k = 1; k <= 100; ++k) {
+    m.find_or_emplace(k, [k] { return std::to_string(k); });
+  }
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(50), nullptr);
+  std::string& v = m.find_or_emplace(50, [] { return std::string("fresh"); });
+  EXPECT_EQ(v, "fresh");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatKeyMap, RejectsReservedKey) {
+  util::FlatKeyMap<int> m;
+  EXPECT_THROW(m.find_or_emplace(util::FlatKeyMap<int>::kEmptyKey,
+                                 [] { return 0; }),
+               ContractViolation);
 }
 
 TEST(Time, UnitHelpers) {

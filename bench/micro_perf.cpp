@@ -3,13 +3,17 @@
 // failover, offline diagnosis, table lookups, and whole fluid-sim runs.
 #include <benchmark/benchmark.h>
 
+#include "control/controller.hpp"
 #include "control/diagnosis.hpp"
+#include "faultinject/fault_plan.hpp"
+#include "faultinject/report_stream.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/timeseries.hpp"
 #include "pktsim/packet_sim.hpp"
 #include "routing/ecmp.hpp"
 #include "routing/global_reroute.hpp"
 #include "routing/impersonation.hpp"
+#include "service/controller_service.hpp"
 #include "sharebackup/fabric.hpp"
 #include "sharebackup/leaf_spine.hpp"
 #include "sim/event_queue.hpp"
@@ -17,6 +21,7 @@
 #include "sim/incremental_max_min.hpp"
 #include "sim/max_min.hpp"
 #include "topo/fat_tree.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "workload/coflow_gen.hpp"
 
@@ -245,6 +250,40 @@ void BM_OfflineDiagnosis(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_OfflineDiagnosis);
+
+void BM_ServiceIngest(benchmark::State& state) {
+  // One full ControllerService lifecycle per iteration: the prebuilt
+  // report stream (failures with resends, probes, operator cadences)
+  // runs inline through the bounded ingress model, the controller
+  // dispatch, and the shutdown settle sweep. Stream construction is
+  // hoisted — it is deterministic and identical every iteration.
+  Log::set_level(LogLevel::kError);  // watchdog churn is part of the run
+  sharebackup::FabricParams p;
+  p.fat_tree.k = 6;
+  p.backups_per_group = 2;
+  sharebackup::Fabric plan_fabric(p);
+  faultinject::FaultPlanConfig pcfg;
+  pcfg.switch_failures = 6;
+  pcfg.link_failures = 9;
+  const faultinject::FaultPlan plan =
+      faultinject::FaultPlan::generate(plan_fabric, pcfg, /*seed=*/11);
+  faultinject::ReportStreamConfig scfg;
+  scfg.repeats = 3;
+  scfg.time_scale = 0.02;
+  const std::vector<service::ServiceMessage> stream =
+      faultinject::build_report_stream(plan, scfg);
+  for (auto _ : state) {
+    sharebackup::Fabric fabric(p);
+    control::Controller controller(fabric, control::ControllerConfig{});
+    controller.set_audit_limit(1000);
+    service::ControllerService svc(fabric, controller);
+    svc.run_inline(stream);
+    benchmark::DoNotOptimize(svc.stats().submitted);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_ServiceIngest);
 
 void BM_CombinedTableLookup(benchmark::State& state) {
   routing::TwoLevelTableBuilder builder(64);

@@ -1,12 +1,19 @@
 // Trace analyzer CLI for flight-recorder exports.
 //
 //   sbk_trace summary   trace.json [--top=N]
+//   sbk_trace service   trace.json
 //   sbk_trace incidents trace.json [--telemetry=t.csv] [--window=seconds]
 //   sbk_trace check     trace.json [--timeline=timeline.csv]
 //
 // `summary` aggregates spans by (category, name) and prints the top
 // groups by cumulative wall-clock time (simulated time when no wall
 // clock was recorded), with per-group wall-time percentiles.
+//
+// `service` digests the "service" category a ControllerService records:
+// batch spans (count, size-weighted virtual service time), queue-depth
+// counter samples, sampled decision latencies (p50/p99), backpressure
+// on/off edges with total asserted virtual time, and overflow/shed
+// instants.
 //
 // `incidents` reconstructs recovery incidents from the "recovery" spans
 // (exported from a RecoveryTracer) and prints each incident's stage
@@ -53,6 +60,7 @@ int usage(const std::string& error = "") {
   if (!error.empty()) std::fprintf(stderr, "sbk_trace: %s\n", error.c_str());
   std::fprintf(stderr,
                "usage: sbk_trace summary   <trace.json> [--top=N]\n"
+               "       sbk_trace service   <trace.json>\n"
                "       sbk_trace incidents <trace.json> [--telemetry=t.csv]"
                " [--window=seconds]\n"
                "       sbk_trace check     <trace.json>"
@@ -123,6 +131,82 @@ int cmd_summary(const Options& opt) {
                 (key.first + "/" + key.second).c_str(), g.count,
                 g.wall_us_sum / 1e3, p50, p99);
   }
+  return 0;
+}
+
+// --- service -----------------------------------------------------------------
+
+int cmd_service(const Options& opt) {
+  std::vector<TraceEvent> events = load(opt.trace_path);
+  std::size_t batches = 0;
+  double batch_sim_sum = 0.0;
+  double span_lo = 0.0, span_hi = 0.0;
+  bool have_span = false;
+  std::vector<double> depth_samples;
+  std::vector<double> latency_us;
+  std::size_t overflow_drops = 0, probe_sheds = 0, drains = 0;
+  // Backpressure edges come in (on, off) pairs in virtual-time order;
+  // a trailing unmatched "on" is closed at the last service event.
+  std::size_t bp_on = 0;
+  double bp_time = 0.0, bp_since = 0.0;
+  bool bp_open = false;
+  for (const TraceEvent& e : events) {
+    if (e.category != "service") continue;
+    if (!have_span) { span_lo = span_hi = e.ts; have_span = true; }
+    span_lo = std::min(span_lo, e.ts);
+    span_hi = std::max(span_hi, e.ts + e.dur);
+    if (e.phase == TracePhase::kComplete && e.name == "batch") {
+      ++batches;
+      batch_sim_sum += e.dur;
+    } else if (e.phase == TracePhase::kCounter) {
+      if (e.name == "queue_depth") depth_samples.push_back(e.value);
+      if (e.name == "decision_latency_us") latency_us.push_back(e.value);
+    } else if (e.phase == TracePhase::kInstant) {
+      if (e.name == "overflow_drop") ++overflow_drops;
+      if (e.name == "probe_shed") ++probe_sheds;
+      if (e.name == "drained") ++drains;
+      if (e.name == "backpressure_on") {
+        ++bp_on;
+        bp_open = true;
+        bp_since = e.ts;
+      }
+      if (e.name == "backpressure_off" && bp_open) {
+        bp_time += e.ts - bp_since;
+        bp_open = false;
+      }
+    }
+  }
+  if (!have_span) {
+    std::printf("no \"service\" events in %s\n", opt.trace_path.c_str());
+    return 1;
+  }
+  if (bp_open) bp_time += span_hi - bp_since;
+
+  std::printf("service trace over %.6f virtual seconds\n", span_hi - span_lo);
+  std::printf("  batches              %10zu  (%.3f virtual ms in service)\n",
+              batches, batch_sim_sum * 1e3);
+  if (!depth_samples.empty()) {
+    double peak = 0.0, sum = 0.0;
+    for (double d : depth_samples) {
+      peak = std::max(peak, d);
+      sum += d;
+    }
+    std::printf("  queue depth          %10zu samples  mean %.1f  peak %.0f\n",
+                depth_samples.size(), sum / depth_samples.size(), peak);
+  }
+  if (!latency_us.empty()) {
+    std::vector<sbk::CdfPoint> cdf = sbk::empirical_cdf(latency_us);
+    std::printf("  decision latency     %10zu samples  p50 %.1f us"
+                "  p99 %.1f us\n",
+                latency_us.size(), sbk::cdf_percentile(cdf, 50.0),
+                sbk::cdf_percentile(cdf, 99.0));
+  }
+  std::printf("  backpressure         %10zu engagement(s), %.3f virtual ms"
+              " asserted\n",
+              bp_on, bp_time * 1e3);
+  std::printf("  overflow drops       %10zu\n", overflow_drops);
+  std::printf("  probes shed          %10zu\n", probe_sheds);
+  std::printf("  drain completions    %10zu\n", drains);
   return 0;
 }
 
@@ -385,6 +469,7 @@ int main(int argc, char** argv) {
   opt.trace_path = args.positional[1];
   try {
     if (opt.command == "summary") return cmd_summary(opt);
+    if (opt.command == "service") return cmd_service(opt);
     if (opt.command == "incidents") return cmd_incidents(opt);
     if (opt.command == "check") return cmd_check(opt);
   } catch (const std::exception& e) {

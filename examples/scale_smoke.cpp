@@ -16,8 +16,6 @@
 // A JSON summary goes to stdout (and to --json=FILE when given); the
 // exit code is 0 only when the A/B phase matched and every gate held,
 // so check.sh --scale-smoke can fail CI on a memory or time regression.
-#include <sys/resource.h>
-
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -33,6 +31,7 @@
 #include "sim/fluid_sim.hpp"
 #include "topo/fat_tree.hpp"
 #include "util/cli.hpp"
+#include "util/rss.hpp"
 
 namespace {
 
@@ -45,13 +44,6 @@ int usage(const std::string& error) {
                "                   [--max-rss-mb=X] [--max-seconds=X]\n"
                "                   [--skip-ab] [--json=out.json]\n");
   return 2;
-}
-
-double peak_rss_mb() {
-  struct rusage ru{};
-  getrusage(RUSAGE_SELF, &ru);
-  // Linux reports ru_maxrss in KiB.
-  return static_cast<double>(ru.ru_maxrss) / 1024.0;
 }
 
 /// Pod-local hotspot storm scenario: `per_pod` flows out of each storm
@@ -188,7 +180,7 @@ int main(int argc, char** argv) {
   const double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
-  const double rss_mb = peak_rss_mb();
+  const double rss_mb = sbk::util::peak_rss_mb();
 
   std::size_t finished = 0;
   for (const auto& r : results) {

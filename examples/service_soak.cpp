@@ -1,0 +1,359 @@
+// Sustained-churn soak for the always-on controller service (ROADMAP
+// item 2): replays a FaultPlan-derived report stream — hundreds of
+// thousands of failure reports, probe results, and operator commands —
+// through the ControllerService and measures what the paper's
+// sub-millisecond claim looks like under saturation.
+//
+//   service_soak [--threads=N] [--seed=S] [--k=K] [--backups=N]
+//                [--repeats=N] [--resends=N] [--time-scale=X] [--pace=X]
+//                [--min-reports=N] [--min-throughput=X] [--max-p99-ms=X]
+//                [--max-rss-mb=X] [--verify-threads] [--json=FILE]
+//                [--trace=FILE] [--metrics=FILE]
+//
+// Knobs:
+//   --threads      producer threads feeding the service (0 = inline,
+//                  single-threaded; default 4)
+//   --time-scale   virtual-time compression of the stream (the
+//                  saturation knob; smaller = higher arrival rate
+//                  against the service's fixed virtual service rate)
+//   --pace         wall-clock pacing in virtual-seconds-per-wall-second
+//                  (0 = replay flat out; this knob never changes
+//                  virtual-time outcomes, only the wall-clock feed rate)
+//   --verify-threads  re-runs the soak with 1 and 8 producer threads and
+//                  fails unless all fingerprints are bit-identical
+//
+// Gates (exit 1 on violation): --min-reports on processed failure
+// reports (default 100000), --min-throughput on wall msgs/s,
+// --max-p99-ms on virtual p99 decision latency, --max-rss-mb on peak
+// RSS. A JSON summary goes to stdout (and --json=FILE).
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "faultinject/fault_plan.hpp"
+#include "faultinject/report_stream.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "service/controller_service.hpp"
+#include "sharebackup/fabric.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+#include "util/rss.hpp"
+
+namespace {
+
+namespace fi = sbk::faultinject;
+namespace svc = sbk::service;
+
+int usage(const std::string& error) {
+  if (!error.empty()) {
+    std::fprintf(stderr, "service_soak: %s\n", error.c_str());
+  }
+  std::fprintf(
+      stderr,
+      "usage: service_soak [--threads=N] [--seed=S] [--k=K] [--backups=N]\n"
+      "                    [--repeats=N] [--resends=N] [--time-scale=X]\n"
+      "                    [--pace=X] [--min-reports=N]\n"
+      "                    [--min-throughput=X] [--max-p99-ms=X]\n"
+      "                    [--max-rss-mb=X] [--verify-threads]\n"
+      "                    [--json=FILE] [--trace=FILE] [--metrics=FILE]\n");
+  return 2;
+}
+
+struct PassResult {
+  /// Service + controller deterministic outputs, one line.
+  std::string fingerprint;
+  double wall_seconds = 0.0;
+  double throughput = 0.0;  ///< processed messages per wall second
+  double p50_ms = 0.0;      ///< virtual decision latency, milliseconds
+  double p99_ms = 0.0;
+  svc::ServiceStats stats;
+  svc::IngressStats ingress;
+  sbk::control::ControllerStats ctl;
+};
+
+/// One full service lifecycle against a fresh fabric + controller.
+PassResult run_pass(const std::vector<svc::ServiceMessage>& stream, int k,
+                    int backups, int threads, double pace,
+                    const svc::ServiceConfig& scfg,
+                    sbk::obs::MetricsRegistry* metrics,
+                    sbk::obs::FlightRecorder* recorder) {
+  sbk::sharebackup::Fabric fabric(sbk::sharebackup::FabricParams{
+      .fat_tree = {.k = k}, .backups_per_group = backups});
+  sbk::control::Controller controller(fabric, sbk::control::ControllerConfig{});
+  // Always-on service: the audit trail must not grow without bound.
+  controller.set_audit_limit(10000);
+  controller.attach_metrics(metrics);
+  controller.attach_recorder(recorder);
+  svc::ControllerService service(fabric, controller, scfg);
+  service.attach_metrics(metrics);
+  service.attach_recorder(recorder);
+
+  if (threads <= 0) {
+    service.run_inline(stream);
+  } else {
+    std::vector<int> producer_ids;
+    producer_ids.reserve(static_cast<std::size_t>(threads));
+    for (int p = 0; p < threads; ++p) {
+      producer_ids.push_back(service.add_producer());
+    }
+    service.start();
+    const sbk::Seconds first_at = stream.empty() ? 0.0 : stream.front().at;
+    std::vector<std::thread> producers;
+    producers.reserve(static_cast<std::size_t>(threads));
+    for (int p = 0; p < threads; ++p) {
+      producers.emplace_back([&, p] {
+        const auto wall0 = std::chrono::steady_clock::now();
+        for (std::size_t i = static_cast<std::size_t>(p); i < stream.size();
+             i += static_cast<std::size_t>(threads)) {
+          if (pace > 0.0) {
+            const double wall_offset = (stream[i].at - first_at) / pace;
+            std::this_thread::sleep_until(
+                wall0 + std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(wall_offset)));
+          }
+          service.submit(producer_ids[static_cast<std::size_t>(p)],
+                         stream[i]);
+        }
+        service.finish_producer(producer_ids[static_cast<std::size_t>(p)]);
+      });
+    }
+    for (std::thread& t : producers) t.join();
+    service.drain_and_stop();
+  }
+
+  PassResult r;
+  r.stats = service.stats();
+  r.ingress = service.ingress_stats();
+  r.ctl = controller.stats();
+  r.wall_seconds = r.stats.wall_seconds;
+  r.throughput = r.wall_seconds > 0.0
+                     ? static_cast<double>(r.ingress.processed) /
+                           r.wall_seconds
+                     : 0.0;
+  if (!service.decision_latency().empty()) {
+    r.p50_ms = service.decision_latency().percentile(50.0) * 1e3;
+    r.p99_ms = service.decision_latency().percentile(99.0) * 1e3;
+  }
+  // Fingerprint covers both the service's and the controller's
+  // deterministic outputs — thread-count identity must hold end to end.
+  std::ostringstream fp;
+  fp << service.fingerprint() << ";ctl:failovers=" << r.ctl.failovers
+     << ",node=" << r.ctl.node_failures_handled
+     << ",link=" << r.ctl.link_failures_handled
+     << ",diag=" << r.ctl.diagnoses_run
+     << ",exon=" << r.ctl.switches_exonerated
+     << ",faulty=" << r.ctl.switches_confirmed_faulty
+     << ",wd=" << r.ctl.watchdog_trips << ",retries=" << r.ctl.retries
+     << ",doa=" << r.ctl.doa_backups << ",degraded=" << r.ctl.degraded_reroutes
+     << ",requeued=" << r.ctl.requeued
+     << ",pool_exhausted=" << r.ctl.recoveries_failed_pool_exhausted;
+  r.fingerprint = fp.str();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const sbk::cli::ParseResult args = sbk::cli::parse_args(
+      argc, argv,
+      {{"threads", true},
+       {"seed", true},
+       {"k", true},
+       {"backups", true},
+       {"repeats", true},
+       {"resends", true},
+       {"time-scale", true},
+       {"pace", true},
+       {"min-reports", true},
+       {"min-throughput", true},
+       {"max-p99-ms", true},
+       {"max-rss-mb", true},
+       {"verify-threads", false},
+       {"json", true},
+       {"trace", true},
+       {"metrics", true}},
+      /*max_positional=*/0);
+  if (!args.ok()) return usage(args.error);
+
+  auto int_flag = [&args](const char* name, long long fallback)
+      -> std::optional<long long> {
+    const auto text = args.value_of(name);
+    if (!text) return fallback;
+    return sbk::cli::parse_int(*text);
+  };
+  auto double_flag = [&args](const char* name, double fallback)
+      -> std::optional<double> {
+    const auto text = args.value_of(name);
+    if (!text) return fallback;
+    return sbk::cli::parse_double(*text);
+  };
+  const auto threads = int_flag("threads", 4);
+  const auto seed = int_flag("seed", 1);
+  const auto k = int_flag("k", 8);
+  const auto backups = int_flag("backups", 2);
+  const auto repeats = int_flag("repeats", 220);
+  const auto resends = int_flag("resends", 3);
+  const auto time_scale = double_flag("time-scale", 0.02);
+  const auto pace = double_flag("pace", 0.0);
+  const auto min_reports = int_flag("min-reports", 100000);
+  const auto min_throughput = double_flag("min-throughput", 0.0);
+  const auto max_p99_ms = double_flag("max-p99-ms", 0.0);
+  const auto max_rss_mb = double_flag("max-rss-mb", 0.0);
+  if (!threads || !seed || !k || !backups || !repeats || !resends ||
+      !time_scale || !pace || !min_reports || !min_throughput ||
+      !max_p99_ms || !max_rss_mb) {
+    return usage("flag values must be numeric");
+  }
+  if (*k < 4 || *k % 2 != 0) return usage("--k must be even and >= 4");
+  if (*threads < 0 || *repeats < 1 || *resends < 1 || *time_scale <= 0.0) {
+    return usage("--threads >= 0, --repeats/--resends >= 1, "
+                 "--time-scale > 0");
+  }
+
+  // A denser-than-default plan: the soak wants a report torrent, not the
+  // chaos soak's sparse trickle.
+  sbk::sharebackup::Fabric shape_fabric(sbk::sharebackup::FabricParams{
+      .fat_tree = {.k = static_cast<int>(*k)},
+      .backups_per_group = static_cast<int>(*backups)});
+  fi::FaultPlanConfig pcfg;
+  pcfg.switch_failures = 60;
+  pcfg.link_failures = 90;
+  pcfg.bursts = 4;
+  pcfg.burst_size = 3;
+  const fi::FaultPlan plan = fi::FaultPlan::generate(
+      shape_fabric, pcfg, static_cast<std::uint64_t>(*seed));
+
+  fi::ReportStreamConfig rcfg;
+  rcfg.repeats = static_cast<int>(*repeats);
+  rcfg.resends = static_cast<int>(*resends);
+  rcfg.time_scale = *time_scale;
+  const std::vector<svc::ServiceMessage> stream =
+      fi::build_report_stream(plan, rcfg);
+  const fi::ReportStreamBreakdown mix = fi::breakdown(stream);
+
+  std::cout << "service_soak: " << mix.total << " messages ("
+            << mix.failure_reports << " failure reports, "
+            << mix.probe_results << " probes, " << mix.operator_commands
+            << " operator commands) over " << mix.span
+            << " virtual s, threads=" << *threads << "\n";
+
+  // A 100k-report soak trips the watchdog hundreds of times by design;
+  // keep its per-trip WARN lines out of the soak output.
+  sbk::Log::set_level(sbk::LogLevel::kError);
+
+  svc::ServiceConfig scfg;
+  // Watermarks sized to the burst shape rather than the hard bound:
+  // injection-window bursts push queue depth past ~200, so backpressure
+  // (and healthy-probe shedding) exercises every repeat while the
+  // 4096-deep queue still accepts every failure report (zero overflow
+  // at the default time scale).
+  scfg.ingress.high_water = 160;
+  scfg.ingress.low_water = 64;
+  sbk::obs::MetricsRegistry metrics(/*enabled=*/true);
+  sbk::obs::FlightRecorder recorder(/*enabled=*/true);
+  const PassResult r =
+      run_pass(stream, static_cast<int>(*k), static_cast<int>(*backups),
+               static_cast<int>(*threads), *pace, scfg, &metrics, &recorder);
+  const double rss_mb = sbk::util::peak_rss_mb();
+
+  const std::uint64_t failure_reports_processed =
+      r.stats.node_reports + r.stats.link_reports;
+  bool verify_ok = true;
+  if (args.has("verify-threads")) {
+    for (int alt : {0, 1, 8}) {
+      if (alt == *threads) continue;
+      const PassResult v =
+          run_pass(stream, static_cast<int>(*k), static_cast<int>(*backups),
+                   alt, /*pace=*/0.0, scfg, nullptr, nullptr);
+      const bool same = v.fingerprint == r.fingerprint;
+      std::cout << "  verify threads=" << alt << (alt == 0 ? " (inline)" : "")
+                << ": " << (same ? "identical" : "MISMATCH") << "\n";
+      if (!same) {
+        std::cout << "    primary: " << r.fingerprint << "\n    alt:     "
+                  << v.fingerprint << "\n";
+        verify_ok = false;
+      }
+    }
+  }
+
+  const bool reports_ok =
+      failure_reports_processed >= static_cast<std::uint64_t>(*min_reports);
+  const bool throughput_ok =
+      *min_throughput <= 0.0 || r.throughput >= *min_throughput;
+  const bool p99_ok = *max_p99_ms <= 0.0 || r.p99_ms <= *max_p99_ms;
+  const bool rss_ok = *max_rss_mb <= 0.0 || rss_mb <= *max_rss_mb;
+  const bool pass =
+      reports_ok && throughput_ok && p99_ok && rss_ok && verify_ok;
+
+  std::ostringstream json;
+  json << "{\"messages\":" << mix.total
+       << ",\"failure_reports_offered\":" << mix.failure_reports
+       << ",\"failure_reports_processed\":" << failure_reports_processed
+       << ",\"accepted\":" << r.ingress.accepted
+       << ",\"processed\":" << r.ingress.processed
+       << ",\"dropped_overflow\":" << r.ingress.dropped_overflow
+       << ",\"shed_probes\":" << r.ingress.shed_probes
+       << ",\"batches\":" << r.ingress.batches
+       << ",\"peak_queue_depth\":" << r.ingress.peak_depth
+       << ",\"max_batch\":" << r.ingress.max_batch_seen
+       << ",\"backpressure_engaged\":" << r.ingress.backpressure_engaged
+       << ",\"failovers\":" << r.ctl.failovers
+       << ",\"degraded\":" << r.ctl.degraded_reroutes
+       << ",\"watchdog_trips\":" << r.ctl.watchdog_trips
+       << ",\"wall_seconds\":" << r.wall_seconds
+       << ",\"throughput_msgs_per_s\":" << r.throughput
+       << ",\"decision_latency_p50_ms\":" << r.p50_ms
+       << ",\"decision_latency_p99_ms\":" << r.p99_ms
+       << ",\"peak_rss_mb\":" << rss_mb
+       << ",\"reports_ok\":" << (reports_ok ? "true" : "false")
+       << ",\"throughput_ok\":" << (throughput_ok ? "true" : "false")
+       << ",\"p99_ok\":" << (p99_ok ? "true" : "false")
+       << ",\"rss_ok\":" << (rss_ok ? "true" : "false")
+       << ",\"verify_ok\":" << (verify_ok ? "true" : "false")
+       << ",\"pass\":" << (pass ? "true" : "false") << "}";
+  std::cout << json.str() << "\n";
+
+  if (const auto path = args.value_of("json")) {
+    std::ofstream out(std::string{*path});
+    out << json.str() << "\n";
+    if (!out.good()) {
+      std::cerr << "failed to write " << *path << "\n";
+      return 2;
+    }
+  }
+  if (const auto path = args.value_of("trace")) {
+    std::ofstream out(std::string{*path});
+    recorder.write_trace_json(out);
+    if (!out.good()) {
+      std::cerr << "failed to write " << *path << "\n";
+      return 2;
+    }
+    std::cout << "wrote " << recorder.size() << " trace events to " << *path
+              << "\n";
+  }
+  if (const auto path = args.value_of("metrics")) {
+    std::ofstream out(std::string{*path});
+    metrics.write_json(out);
+    if (!out.good()) {
+      std::cerr << "failed to write " << *path << "\n";
+      return 2;
+    }
+  }
+  if (!pass) {
+    std::fprintf(stderr, "service_soak: GATE FAILED%s%s%s%s%s\n",
+                 reports_ok ? "" : " [min-reports]",
+                 throughput_ok ? "" : " [min-throughput]",
+                 p99_ok ? "" : " [max-p99-ms]", rss_ok ? "" : " [max-rss-mb]",
+                 verify_ok ? "" : " [verify-threads]");
+  }
+  return pass ? 0 : 1;
+}

@@ -205,6 +205,14 @@ void Controller::mirror_return(DeviceUid dev) {
 
 void Controller::audit(std::string event, std::string detail) {
   audit_.push_back(AuditEntry{now_, std::move(event), std::move(detail)});
+  // Amortized O(1) trim: let the log run to twice the limit, then shed
+  // the oldest block in one move.
+  if (audit_limit_ != 0 && audit_.size() >= 2 * audit_limit_) {
+    const std::size_t drop = audit_.size() - audit_limit_;
+    audit_.erase(audit_.begin(),
+                 audit_.begin() + static_cast<std::ptrdiff_t>(drop));
+    audit_dropped_ += drop;
+  }
 }
 
 void Controller::park_node(SwitchPosition pos) {
@@ -222,29 +230,44 @@ void Controller::park_link(net::LinkId link) {
 }
 
 void Controller::retry_pending() {
-  if (retrying_) return;  // a retried recovery replenished a pool itself
+  if (retrying_) {
+    // Re-entrant trigger (a retried recovery replenished a pool itself,
+    // or a watchdog ack landed mid-pass): the outer pass must make
+    // another sweep, or commands parked back during this pass would sit
+    // out a refill they are now entitled to.
+    retry_again_ = true;
+    return;
+  }
   retrying_ = true;
-  std::vector<SwitchPosition> nodes = std::move(pending_nodes_);
-  pending_nodes_.clear();
-  std::vector<net::LinkId> links = std::move(pending_links_);
-  pending_links_.clear();
+  do {
+    retry_again_ = false;
+    std::vector<SwitchPosition> nodes = std::move(pending_nodes_);
+    pending_nodes_.clear();
+    std::vector<net::LinkId> links = std::move(pending_links_);
+    pending_links_.clear();
 
-  for (SwitchPosition pos : nodes) {
-    if (!fabric_->network().node_failed(fabric_->node_at(pos))) continue;
-    ++stats_.requeued;
-    if (m_requeued_) m_requeued_->add();
-    RecoveryOutcome out = on_switch_failure(pos);
-    if (retry_listener_) {
-      retry_listener_(out, fabric_->node_at(pos), std::nullopt);
+    for (SwitchPosition pos : nodes) {
+      if (!fabric_->network().node_failed(fabric_->node_at(pos))) continue;
+      ++stats_.requeued;
+      if (m_requeued_) m_requeued_->add();
+      RecoveryOutcome out = on_switch_failure(pos);
+      if (retry_listener_) {
+        retry_listener_(out, fabric_->node_at(pos), std::nullopt);
+      }
     }
-  }
-  for (net::LinkId link : links) {
-    if (!fabric_->network().link_failed(link)) continue;
-    ++stats_.requeued;
-    if (m_requeued_) m_requeued_->add();
-    RecoveryOutcome out = on_link_failure(link);
-    if (retry_listener_) retry_listener_(out, std::nullopt, link);
-  }
+    for (net::LinkId link : links) {
+      if (!fabric_->network().link_failed(link)) continue;
+      ++stats_.requeued;
+      if (m_requeued_) m_requeued_->add();
+      RecoveryOutcome out = on_link_failure(link);
+      if (retry_listener_) retry_listener_(out, std::nullopt, link);
+    }
+    // Terminates: a re-run happens only when a nested trigger fired
+    // during this pass, and each re-run either consumes spares or parks
+    // everything back without firing another trigger.
+  } while (retry_again_ &&
+           (!pending_nodes_.empty() || !pending_links_.empty()));
+  retry_again_ = false;
   retrying_ = false;
 }
 

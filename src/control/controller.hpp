@@ -225,6 +225,14 @@ class Controller {
   [[nodiscard]] const std::vector<AuditEntry>& audit_log() const noexcept {
     return audit_;
   }
+  /// Bounds the in-memory audit trail for always-on service use: once
+  /// the log exceeds `limit` entries the oldest are shed in blocks
+  /// (amortized O(1)) and counted in audit_dropped(). 0 (the default)
+  /// keeps every entry — single-run harness behavior.
+  void set_audit_limit(std::size_t limit) noexcept { audit_limit_ = limit; }
+  [[nodiscard]] std::size_t audit_dropped() const noexcept {
+    return audit_dropped_;
+  }
 
   /// End-to-end recovery latency for one failure under this config:
   /// detection (worst-case probe misses) + report + processing + command
@@ -336,6 +344,9 @@ class Controller {
   std::vector<net::LinkId> pending_links_;
   RetryListener retry_listener_;
   bool retrying_ = false;
+  /// Set by a re-entrant retry_pending() trigger (pool refill or
+  /// watchdog ack landing while a pass runs); the outer pass re-sweeps.
+  bool retry_again_ = false;
   CommandFaultHook command_fault_;
   /// (report time, circuit switch, link): the watchdog counts *distinct*
   /// sick links per circuit switch, so re-transmitted reports of one
@@ -348,6 +359,8 @@ class Controller {
   std::vector<LinkReport> recent_link_reports_;
   std::vector<net::NodeId> flagged_hosts_;
   std::vector<AuditEntry> audit_;
+  std::size_t audit_limit_ = 0;  ///< 0 = unbounded
+  std::size_t audit_dropped_ = 0;
   ControllerStats stats_;
   bool watchdog_tripped_ = false;
   Seconds now_ = 0.0;

@@ -42,10 +42,10 @@ net::Path BackupRulesRouter::route(const Network& net, net::NodeId src,
                   "router is bound to a different network instance");
   if (src == dst) return Path{{src}, {}};
 
-  const std::vector<Path>& candidates =
-      structural_.lookup(net, src, dst, [&] {
-        return candidate_paths(*ft_, src, dst, /*live_only=*/false);
-      });
+  const EpochPathCache::Ref entry = structural_.lookup(net, src, dst, [&] {
+    return candidate_paths(*ft_, src, dst, /*live_only=*/false);
+  });
+  const std::vector<Path>& candidates = *entry;
   if (candidates.empty()) return {};
   const std::uint64_t h = mix64(flow_id ^ mix64(salt_));
   const std::size_t n = candidates.size();

@@ -10,10 +10,10 @@ net::Path EcmpRouter::route(const net::Network& net, net::NodeId src,
                             const LinkLoads* /*loads*/) {
   SBK_EXPECTS_MSG(&net == &ft_->network(),
                   "router is bound to a different network instance");
-  const std::vector<net::Path>& candidates =
-      cache_.lookup(net, src, dst, [&] {
-        return candidate_paths(*ft_, src, dst, /*live_only=*/true);
-      });
+  const EpochPathCache::Ref entry = cache_.lookup(net, src, dst, [&] {
+    return candidate_paths(*ft_, src, dst, /*live_only=*/true);
+  });
+  const std::vector<net::Path>& candidates = *entry;
   if (candidates.empty()) return {};
   std::uint64_t h = mix64(flow_id ^ mix64(salt_));
   return candidates[h % candidates.size()];

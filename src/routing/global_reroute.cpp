@@ -12,10 +12,10 @@ net::Path MinCongestionRouter::route(const net::Network& net, net::NodeId src,
                                      const LinkLoads* loads) {
   SBK_EXPECTS_MSG(&net == &ft_->network(),
                   "router is bound to a different network instance");
-  const std::vector<net::Path>& candidates =
-      cache_.lookup(net, src, dst, [&] {
-        return candidate_paths(*ft_, src, dst, /*live_only=*/true);
-      });
+  const EpochPathCache::Ref entry = cache_.lookup(net, src, dst, [&] {
+    return candidate_paths(*ft_, src, dst, /*live_only=*/true);
+  });
+  const std::vector<net::Path>& candidates = *entry;
   if (candidates.empty()) return {};
   if (loads == nullptr) {
     std::uint64_t h = mix64(flow_id ^ mix64(salt_));
@@ -59,10 +59,10 @@ net::Path EcmpWithGlobalRerouteRouter::route(const net::Network& net,
                   "router is bound to a different network instance");
   // Hash over the *structural* candidate set, so the choice of an
   // unaffected flow is identical to what it would be with no failures.
-  const std::vector<net::Path>& structural =
-      structural_.lookup(net, src, dst, [&] {
-        return candidate_paths(*ft_, src, dst, /*live_only=*/false);
-      });
+  const EpochPathCache::Ref entry = structural_.lookup(net, src, dst, [&] {
+    return candidate_paths(*ft_, src, dst, /*live_only=*/false);
+  });
+  const std::vector<net::Path>& structural = *entry;
   if (!structural.empty()) {
     std::uint64_t h = mix64(flow_id ^ mix64(salt_));
     const net::Path& chosen = structural[h % structural.size()];

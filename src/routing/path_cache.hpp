@@ -57,19 +57,21 @@ enum class EpochSource {
 /// hash selection over the cached vector equals hash selection over a
 /// fresh enumeration.
 ///
-/// Storage is a util::FlatKeyMap, so the returned reference is valid
-/// only until the next lookup() on this cache (table growth relocates
-/// values). Every router consumes the candidate set before routing the
-/// next flow, which satisfies that.
+/// Storage is a util::FlatKeyMap, so the returned entry is valid only
+/// until the next lookup() on this cache (table growth relocates
+/// values). lookup() returns a checked FlatKeyMap Ref that asserts on
+/// dereference after such a relocation, so "consume the candidate set
+/// before routing the next flow" is enforced at run time instead of by
+/// comment.
 class EpochPathCache {
  public:
+  using Ref = util::FlatKeyMap<std::vector<net::Path>>::Ref;
+
   explicit EpochPathCache(EpochSource source) noexcept : source_(source) {}
 
   template <typename Fill>
-  [[nodiscard]] const std::vector<net::Path>& lookup(const net::Network& net,
-                                                     net::NodeId src,
-                                                     net::NodeId dst,
-                                                     Fill&& fill) {
+  [[nodiscard]] Ref lookup(const net::Network& net, net::NodeId src,
+                           net::NodeId dst, Fill&& fill) {
     const std::uint64_t epoch = epoch_of(net, source_);
     if (epoch != epoch_ || !valid_) {
       paths_.clear();
@@ -77,7 +79,7 @@ class EpochPathCache {
       valid_ = true;
     }
     const std::uint64_t key = util::pack_pair_key(src.value(), dst.value());
-    return paths_.find_or_emplace(key, fill);
+    return paths_.find_or_emplace_ref(key, std::forward<Fill>(fill));
   }
 
   /// Counter this cache validates against (fixed for its lifetime).
@@ -109,6 +111,9 @@ class NeighborLinkCache {
       valid_ = true;
     }
     const std::uint64_t key = util::pack_pair_key(a.value(), b.value());
+    // Audited against FlatKeyMap's reference-validity contract: the
+    // entry is copied into the optional return value before this call
+    // returns, so no reference outlives a future rehash.
     return links_.find_or_emplace(key,
                                   [&net, a, b] { return net.find_link(a, b); });
   }

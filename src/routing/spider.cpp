@@ -84,10 +84,10 @@ net::Path SpiderProtectRouter::route(const Network& net, NodeId src,
   if (src == dst) return Path{{src}, {}};
   if (net.node_failed(src) || net.node_failed(dst)) return {};
 
-  const std::vector<Path>& candidates =
-      structural_.lookup(net, src, dst, [&] {
-        return candidate_paths(*ft_, src, dst, /*live_only=*/false);
-      });
+  const EpochPathCache::Ref entry = structural_.lookup(net, src, dst, [&] {
+    return candidate_paths(*ft_, src, dst, /*live_only=*/false);
+  });
+  const std::vector<Path>& candidates = *entry;
   if (candidates.empty()) return {};
   const std::uint64_t h = mix64(flow_id ^ mix64(salt_));
   const Path& primary = candidates[h % candidates.size()];

@@ -1,0 +1,217 @@
+// The always-on controller service (ROADMAP item 2): the ShareBackup
+// Controller stood up as a long-lived event-loop daemon that ingests a
+// continuous stream of failure reports, probe results, and operator
+// commands over the narrow ServiceMessage interface.
+//
+// Architecture:
+//
+//     producer threads          service loop thread
+//     ----------------          -------------------
+//     submit(p, msg) ──► per-producer staging deque
+//                               │  pull strictly below the minimum
+//                               │  (at, seq) watermark, sort, offer
+//                               ▼
+//                         IngressQueue (bounded, batched, virtual time)
+//                               │  BatchFn
+//                               ▼
+//                         Controller dispatch (failures, probes, ops)
+//
+// Determinism contract: every queueing decision — admission, overflow
+// drop, probe shed, backpressure edge, batch boundary, decision latency
+// — is computed by the IngressQueue in *virtual* time from the sorted
+// message schedule. Producer threads only control the wall-clock pace at
+// which that schedule is revealed. The watermark protocol below
+// guarantees the loop offers messages in exact (at, seq) order no matter
+// how many producers feed it or how the OS schedules them, so service
+// stats and metrics are bit-identical across 1/4/8 producer threads
+// (tested), and `run_inline` on one thread reproduces them too.
+//
+// Watermark protocol (the part worth reading twice): a producer's
+// watermark is a lower bound on the key of anything it will ever deliver
+// next. submit() publishes the incoming message's (at, seq) as the
+// watermark *before* blocking on staging space, and raises it to
+// (at, seq + 1) after the push; finish_producer() raises it to +inf.
+// The loop releases staged messages with keys strictly below the minimum
+// watermark across unfinished producers. Liveness: if every producer is
+// blocked on a full staging deque, every stream message below the
+// minimum in-hand key is already staged (each producer's unstaged
+// messages are >= its own watermark), so the loop always finds
+// releasable work and frees space. Progress never requires a timeout.
+//
+// Shutdown protocol: finish_producer() for every producer, then
+// drain_and_stop(). The loop pulls the remaining staging (watermarks all
+// +inf), the IngressQueue drains every accepted message (processed ==
+// accepted, asserted), and a bounded settle loop steps virtual time in
+// watchdog-window increments running diagnosis / watchdog-ack / parked
+// retries until the controller has no runnable work left.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "service/ingress_queue.hpp"
+#include "service/message.hpp"
+#include "sharebackup/fabric.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace sbk::service {
+
+struct ServiceConfig {
+  IngressConfig ingress;
+  /// Per-producer staging bound; submit() blocks when full (this is the
+  /// wall-clock backpressure path — it bounds memory but never changes
+  /// virtual-time outcomes).
+  std::size_t staging_capacity = 1024;
+  /// Every Nth processed message also records its decision latency into
+  /// the flight recorder as a counter sample (all messages feed the
+  /// deterministic Summary regardless).
+  std::size_t latency_sample_every = 64;
+  /// Shutdown settle: virtual-time step between rounds (a watchdog
+  /// window must be able to slide past the last report burst) and the
+  /// round cap.
+  Seconds sweep_step = 1.25;
+  std::size_t max_sweep_rounds = 16;
+};
+
+/// Deterministic service-level accounting (wall_seconds excepted — it is
+/// the one explicitly nondeterministic field and is excluded from
+/// fingerprint()).
+struct ServiceStats {
+  std::uint64_t submitted = 0;  ///< accepted by submit()/run_inline
+  // Processed (dispatched-to-controller) counts by kind.
+  std::uint64_t node_reports = 0;
+  std::uint64_t link_reports = 0;
+  std::uint64_t probe_results = 0;   ///< healthy probes (telemetry)
+  std::uint64_t sick_probes = 0;     ///< unhealthy probes -> re-reports
+  std::uint64_t operator_commands = 0;
+  // What dispatch did.
+  std::uint64_t failures_injected = 0;  ///< first reports grounded
+  std::uint64_t stale_reports = 0;      ///< element already healthy
+  std::uint64_t repairs_performed = 0;  ///< devices healed by kRepairAll
+  std::uint64_t watchdog_acks = 0;
+  std::uint64_t retry_sweeps = 0;       ///< kRetryParked dispatched
+  std::uint64_t diagnosis_runs = 0;     ///< jobs processed by kRunDiagnosis
+  std::uint64_t final_sweep_rounds = 0;
+  /// Wall-clock seconds between start() and drain completion (or around
+  /// run_inline). Nondeterministic; excluded from fingerprint().
+  double wall_seconds = 0.0;
+};
+
+class ControllerService {
+ public:
+  ControllerService(sharebackup::Fabric& fabric,
+                    control::Controller& controller,
+                    ServiceConfig config = {});
+  ControllerService(const ControllerService&) = delete;
+  ControllerService& operator=(const ControllerService&) = delete;
+  ~ControllerService();
+
+  /// Counters/gauges service.* and latency histograms
+  /// service.decision_latency / service.batch_size. Pass nullptr to
+  /// detach; the registry must outlive the service.
+  void attach_metrics(obs::MetricsRegistry* metrics) noexcept {
+    metrics_ = metrics;
+  }
+  /// Batch spans, backpressure/overflow instants, and sampled
+  /// queue-depth counters under category "service". Pass nullptr to
+  /// detach; the recorder must outlive the service.
+  void attach_recorder(obs::FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+
+  // --- threaded mode ---------------------------------------------------------
+  /// Registers one producer; returns its id. All producers must be added
+  /// before start().
+  int add_producer();
+  /// Launches the service loop thread. Requires >= 1 producer.
+  void start();
+  /// Delivers one message on behalf of `producer`. Messages of one
+  /// producer must be nondecreasing in (at, seq); seq is globally unique
+  /// across producers. Blocks (wall-clock backpressure) while the
+  /// producer's staging deque is full. Thread-safe across producers.
+  void submit(int producer, const ServiceMessage& msg);
+  /// Declares that `producer` will submit nothing further.
+  void finish_producer(int producer);
+  /// Waits for the loop to ingest everything, drains the ingress queue,
+  /// runs the shutdown settle sweep, and joins the loop thread. Requires
+  /// every producer to be finished.
+  void drain_and_stop();
+
+  // --- synchronous mode ------------------------------------------------------
+  /// Runs the full lifecycle on the calling thread: offers `stream`
+  /// (which must already be sorted by (at, seq)) straight into the
+  /// ingress model, drains, and settles. Mutually exclusive with
+  /// start(). Produces bit-identical stats to the threaded mode fed the
+  /// same stream.
+  void run_inline(const std::vector<ServiceMessage>& stream);
+
+  // --- results ---------------------------------------------------------------
+  [[nodiscard]] const ServiceStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const IngressStats& ingress_stats() const noexcept {
+    return ingress_.stats();
+  }
+  /// Virtual-time decision-latency distribution (arrival -> batch end).
+  [[nodiscard]] const Summary& decision_latency() const noexcept {
+    return decision_latency_;
+  }
+  [[nodiscard]] const Summary& batch_sizes() const noexcept {
+    return ingress_.batch_sizes();
+  }
+  /// One line summarizing every deterministic output (service stats,
+  /// ingress stats, latency distribution). Two runs of the same stream —
+  /// any producer count, threaded or inline — produce the same string.
+  [[nodiscard]] std::string fingerprint() const;
+
+ private:
+  struct Producer {
+    std::deque<ServiceMessage> staging;
+    /// Watermark: lower bound on the key of the next delivery.
+    Seconds wm_at = 0.0;
+    std::uint64_t wm_seq = 0;
+    bool has_wm = false;  ///< false until the first submit
+    bool finished = false;
+  };
+
+  void loop_main();
+  /// IngressQueue BatchFn: dispatches one batch into the controller.
+  void dispatch_batch(const std::vector<ServiceMessage>& batch,
+                      Seconds start, Seconds end);
+  void handle_message(const ServiceMessage& msg, Seconds start);
+  void handle_operator(const ServiceMessage& msg);
+  /// Shutdown settle loop (see file header).
+  void final_sweep();
+  void publish_metrics();
+
+  sharebackup::Fabric* fabric_;
+  control::Controller* controller_;
+  ServiceConfig config_;
+  IngressQueue ingress_;
+  /// Closed switch-device universe for kRepairAll (every position's
+  /// seed device plus every initial spare), captured at construction.
+  std::vector<sharebackup::DeviceUid> switch_devices_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;   ///< producers -> loop
+  std::condition_variable cv_space_;  ///< loop -> blocked producers
+  std::vector<Producer> producers_;
+  std::thread loop_;
+  bool started_ = false;
+  bool stopped_ = false;
+
+  ServiceStats stats_;
+  Summary decision_latency_;
+  double wall_start_us_ = 0.0;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+};
+
+}  // namespace sbk::service

@@ -1,0 +1,81 @@
+// The narrow message interface of the always-on controller service.
+//
+// Everything the ControllerService ingests — failure reports from
+// switches, link-probe results from the detector plane, and operator
+// commands from the repair crew / NOC — is one ServiceMessage. Messages
+// carry a *virtual* arrival timestamp (`at`, simulation seconds) and a
+// globally unique sequence number (`seq`); together they form the total
+// admission order (at, seq), which is what makes every queueing decision
+// of the service a pure function of the message schedule (see
+// controller_service.hpp for the determinism contract).
+#pragma once
+
+#include <cstdint>
+
+#include "net/ids.hpp"
+#include "util/time.hpp"
+
+namespace sbk::service {
+
+enum class MessageKind : std::uint8_t {
+  /// A switch stopped answering keep-alives (node-failure report).
+  kNodeFailureReport,
+  /// A link probe chain declared a link dead (link-failure report).
+  kLinkFailureReport,
+  /// One link-probe outcome forwarded to the service. Healthy results
+  /// are pure telemetry (and the first thing shed under backpressure);
+  /// unhealthy results are re-reports of a sick link.
+  kProbeResult,
+  /// Repair-crew / NOC action (see OperatorOp).
+  kOperatorCommand,
+};
+
+enum class OperatorOp : std::uint8_t {
+  /// Repair-crew tick: heal every out-of-service switch device and
+  /// return it to its backup pool (refills trigger parked retries).
+  kRepairAll,
+  /// Service a tripped circuit-switch watchdog (§5.1 human
+  /// intervention); a no-op while the watchdog is clear.
+  kAckWatchdog,
+  /// Re-attempt parked recoveries now (NOC-driven sweep).
+  kRetryParked,
+  /// Run queued offline diagnoses that were enqueued strictly before
+  /// this command's arrival time.
+  kRunDiagnosis,
+};
+
+struct ServiceMessage {
+  MessageKind kind = MessageKind::kProbeResult;
+  /// Virtual arrival time at the service's ingress (simulation seconds).
+  Seconds at = 0.0;
+  /// Global tie-break for identical arrival times; unique per stream.
+  std::uint64_t seq = 0;
+
+  // --- payload (which fields are meaningful depends on `kind`) ----------
+  net::NodeId node{0};  ///< kNodeFailureReport: the silent switch
+  net::LinkId link{0};  ///< kLinkFailureReport / kProbeResult: the link
+  /// First report of a failure instance: the element is actually taken
+  /// down in the network when the report is dispatched (the traffic
+  /// generator grounds the failure); re-sent reports carry false and
+  /// exercise the controller's stale-report guard.
+  bool inject = false;
+  /// kLinkFailureReport with inject: which endpoint's interface is
+  /// physically broken (0 = link().a side, 1 = link().b side), so
+  /// offline diagnosis has a real culprit.
+  int bad_side = 0;
+  /// kProbeResult: the probed link looked healthy (telemetry) or sick
+  /// (a re-report routed to link-failure handling).
+  bool healthy = true;
+  OperatorOp op = OperatorOp::kRetryParked;  ///< kOperatorCommand
+};
+
+/// The total admission order of the service: arrival time, then
+/// sequence number. Strict weak ordering; no two messages of one stream
+/// share a seq.
+[[nodiscard]] inline bool arrives_before(const ServiceMessage& a,
+                                         const ServiceMessage& b) noexcept {
+  if (a.at != b.at) return a.at < b.at;
+  return a.seq < b.seq;
+}
+
+}  // namespace sbk::service

@@ -28,10 +28,68 @@ namespace sbk::util {
 /// Minimal flat hash map: find / find_or_emplace / clear. Grows by
 /// doubling at 70% load; capacity is a power of two so the probe mask is
 /// a single AND. Values are move-relocated on growth.
+///
+/// Reference validity: raw pointers/references from find / find_or_emplace
+/// are invalidated by the next insertion (rehash) or clear(). That
+/// "consume immediately" contract used to be enforced by code review
+/// only; the generation counter below makes it checkable. find_ref /
+/// find_or_emplace_ref return a Ref that captures the map's generation
+/// and asserts on dereference after any rehash or clear — use them at
+/// call sites that hold a result across other map operations. The
+/// counter is maintained unconditionally (one increment per rehash; the
+/// check is one u64 compare per Ref deref) — gating the *layout* on
+/// NDEBUG would be an ODR trap for mixed-build link lines, and this
+/// repo's contracts are never compiled out anyway.
 template <typename V>
 class FlatKeyMap {
  public:
   static constexpr std::uint64_t kEmptyKey = ~0ull;
+
+  /// A checked reference into the map: remembers the generation at
+  /// acquisition and asserts it unchanged on every dereference, so a
+  /// stale use-after-rehash fails loudly instead of reading a
+  /// move-relocated slot.
+  class Ref {
+   public:
+    Ref() noexcept = default;
+
+    [[nodiscard]] bool valid() const noexcept { return map_ != nullptr; }
+    // Accessors are deliberately not noexcept: the staleness check
+    // throws ContractViolation, which tests catch with EXPECT_THROW.
+    [[nodiscard]] V& operator*() const {
+      check();
+      return *value_;
+    }
+    [[nodiscard]] V* operator->() const {
+      check();
+      return value_;
+    }
+    /// Escape hatch for call sites that consume immediately.
+    [[nodiscard]] V* get() const {
+      check();
+      return value_;
+    }
+
+   private:
+    friend class FlatKeyMap;
+    Ref(V* value, const FlatKeyMap* map) noexcept
+        : value_(value), map_(map), generation_(map->generation_) {}
+    void check() const {
+      SBK_ASSERT_MSG(map_ != nullptr, "FlatKeyMap::Ref: empty ref");
+      SBK_ASSERT_MSG(generation_ == map_->generation_,
+                     "FlatKeyMap::Ref: stale reference used after a "
+                     "rehash/clear of the underlying map");
+    }
+    V* value_ = nullptr;
+    const FlatKeyMap* map_ = nullptr;
+    std::uint64_t generation_ = 0;
+  };
+
+  /// Bumped by every operation that relocates or invalidates slots
+  /// (grow, clear). Refs check against it on dereference.
+  [[nodiscard]] std::uint64_t generation() const noexcept {
+    return generation_;
+  }
 
   /// Pointer to the value for `key`, or nullptr if absent. Never grows.
   [[nodiscard]] V* find(std::uint64_t key) noexcept {
@@ -61,6 +119,17 @@ class FlatKeyMap {
     }
   }
 
+  /// Checked-reference variants (see Ref). An invalid Ref (valid() ==
+  /// false) means the key is absent.
+  [[nodiscard]] Ref find_ref(std::uint64_t key) noexcept {
+    V* v = find(key);
+    return v == nullptr ? Ref{} : Ref{v, this};
+  }
+  template <typename Make>
+  [[nodiscard]] Ref find_or_emplace_ref(std::uint64_t key, Make&& make) {
+    return Ref{&find_or_emplace(key, std::forward<Make>(make)), this};
+  }
+
   /// Empties the map but keeps the table allocation (epoch invalidation
   /// happens often; reallocating each time would defeat the cache).
   void clear() noexcept {
@@ -69,6 +138,7 @@ class FlatKeyMap {
     // Values are left constructed-but-stale; slots are dead until their
     // key is re-claimed, at which point find_or_emplace overwrites.
     size_ = 0;
+    ++generation_;
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -86,6 +156,7 @@ class FlatKeyMap {
   }
 
   void grow() {
+    ++generation_;  // every outstanding Ref is now stale
     const std::size_t new_cap = keys_.empty() ? 16 : keys_.size() * 2;
     std::vector<std::uint64_t> old_keys = std::move(keys_);
     std::vector<V> old_values = std::move(values_);
@@ -105,6 +176,7 @@ class FlatKeyMap {
   std::vector<std::uint64_t> keys_;
   std::vector<V> values_;
   std::size_t size_ = 0;
+  std::uint64_t generation_ = 0;
 };
 
 }  // namespace sbk::util

@@ -1,0 +1,27 @@
+#include "util/rss.hpp"
+
+#if defined(_WIN32)
+// getrusage is POSIX-only; peak_rss_mb() reports 0.0 on Windows.
+#else
+#include <sys/resource.h>
+#endif
+
+namespace sbk::util {
+
+double peak_rss_mb() {
+#if defined(_WIN32)
+  return 0.0;
+#else
+  struct rusage ru{};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0.0;
+#if defined(__APPLE__)
+  // Darwin reports ru_maxrss in bytes.
+  return static_cast<double>(ru.ru_maxrss) / (1024.0 * 1024.0);
+#else
+  // Linux and the BSDs following it report kilobytes.
+  return static_cast<double>(ru.ru_maxrss) / 1024.0;
+#endif
+#endif
+}
+
+}  // namespace sbk::util

@@ -1,0 +1,15 @@
+// Process peak-RSS measurement for the memory gates (scale_smoke,
+// service_soak). One helper so the ru_maxrss unit quirk is handled in
+// exactly one place: Linux reports it in kilobytes, macOS/BSD in bytes
+// — a naive /1024 is off by 1024x on Darwin and would make an RSS gate
+// trivially pass (or fail) there.
+#pragma once
+
+namespace sbk::util {
+
+/// Peak resident set size of the calling process in MiB (getrusage;
+/// platform units normalized). Returns 0.0 where getrusage is
+/// unavailable.
+[[nodiscard]] double peak_rss_mb();
+
+}  // namespace sbk::util

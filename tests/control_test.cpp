@@ -118,6 +118,56 @@ TEST(Controller, ParkedRecoveryRetriesWhenPoolReplenishes) {
   fabric.check_invariants();
 }
 
+// Regression: a pool refill that lands *during* a retry pass (here: the
+// retry listener repairs a casualty after a later parked entry already
+// failed its attempt and re-parked) must schedule another sweep. The
+// old code's re-entrancy guard returned without recording the trigger,
+// so the re-parked command sat out a refill it was entitled to and
+// stayed parked until some unrelated future event.
+TEST(Controller, RefillDuringRetryPassRequeuesReparkedCommand) {
+  Fabric fabric(fp(6, 1));
+  Controller ctrl(fabric, ControllerConfig{});
+  const SwitchPosition first{Layer::kEdge, 0, 0};
+  const SwitchPosition second{Layer::kEdge, 0, 1};
+  const SwitchPosition third{Layer::kEdge, 0, 2};
+
+  // Consume the group's only spare, then park two more failures.
+  fabric.network().fail_node(fabric.node_at(first));
+  auto r1 = ctrl.on_switch_failure(first);
+  ASSERT_TRUE(r1.recovered);
+  fabric.network().fail_node(fabric.node_at(second));
+  ASSERT_FALSE(ctrl.on_switch_failure(second).recovered);
+  fabric.network().fail_node(fabric.node_at(third));
+  ASSERT_FALSE(ctrl.on_switch_failure(third).recovered);
+  ASSERT_EQ(ctrl.pending_recoveries(), 2u);
+
+  // Retry pass 1 (triggered below): `second` wins the refilled spare;
+  // its listener callback stashes the casualty. `third` then fails its
+  // attempt and re-parks; *that* callback repairs the stashed casualty,
+  // refilling the pool mid-pass — the re-entrant retry_pending() call
+  // must flag a re-run rather than silently returning.
+  std::optional<sharebackup::DeviceUid> casualty;
+  ctrl.set_retry_listener([&](const RecoveryOutcome& out,
+                              std::optional<net::NodeId>,
+                              std::optional<net::LinkId>) {
+    if (out.recovered && !out.failovers.empty()) {
+      casualty = out.failovers[0].failed_device;
+    } else if (!out.recovered && casualty.has_value()) {
+      auto repair = *casualty;
+      casualty.reset();
+      ctrl.on_device_repaired(repair);  // re-entrant trigger
+    }
+  });
+
+  ctrl.on_device_repaired(r1.failovers[0].failed_device);
+  EXPECT_EQ(ctrl.pending_recoveries(), 0u);
+  EXPECT_FALSE(fabric.network().node_failed(fabric.node_at(second)));
+  EXPECT_FALSE(fabric.network().node_failed(fabric.node_at(third)));
+  // second once, third twice (failed pass-1 attempt + pass-2 success).
+  EXPECT_EQ(ctrl.stats().requeued, 3u);
+  fabric.check_invariants();
+}
+
 TEST(Controller, LinkFailureReplacesBothSidesAndRestoresLink) {
   Fabric fabric(fp(6, 1));
   Controller ctrl(fabric, ControllerConfig{});

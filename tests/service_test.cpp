@@ -1,0 +1,287 @@
+// Tests for the always-on controller service (ROADMAP item 2): the
+// bounded-ingress queueing model (overflow, backpressure hysteresis,
+// batch formation, decision latency) and the ControllerService
+// determinism contract — drain exactly-once, and bit-identical stats
+// across producer-thread counts.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "control/controller.hpp"
+#include "faultinject/fault_plan.hpp"
+#include "faultinject/report_stream.hpp"
+#include "service/controller_service.hpp"
+#include "service/ingress_queue.hpp"
+#include "service/message.hpp"
+#include "sharebackup/fabric.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace sbk::service {
+namespace {
+
+namespace fi = sbk::faultinject;
+
+ServiceMessage report_at(Seconds at, std::uint64_t seq) {
+  ServiceMessage m;
+  m.kind = MessageKind::kNodeFailureReport;
+  m.at = at;
+  m.seq = seq;
+  return m;
+}
+
+ServiceMessage probe_at(Seconds at, std::uint64_t seq, bool healthy = true) {
+  ServiceMessage m;
+  m.kind = MessageKind::kProbeResult;
+  m.at = at;
+  m.seq = seq;
+  m.healthy = healthy;
+  return m;
+}
+
+/// A queue whose server is slow enough that same-instant arrivals pile
+/// up: batch of 1, one virtual second per batch.
+IngressConfig slow_server(std::size_t capacity, std::size_t high,
+                          std::size_t low) {
+  IngressConfig c;
+  c.capacity = capacity;
+  c.high_water = high;
+  c.low_water = low;
+  c.max_batch = 1;
+  c.batch_overhead = 0.5;
+  c.per_message_cost = 0.5;
+  return c;
+}
+
+TEST(IngressQueue, OverflowDropsAreExplicitAndDeterministic) {
+  std::size_t dispatched = 0;
+  std::vector<bool> reject_overflow;
+  IngressQueue q(slow_server(/*capacity=*/4, /*high=*/3, /*low=*/1),
+                 [&](const std::vector<ServiceMessage>& batch, Seconds,
+                     Seconds) { dispatched += batch.size(); });
+  q.set_reject_hook([&](const ServiceMessage&, bool overflow) {
+    reject_overflow.push_back(overflow);
+  });
+
+  // Ten same-instant failure reports against a capacity-4 queue whose
+  // server takes 1s per message: the first is dispatched immediately
+  // (server idle at t=0), four are queued, five find the queue full.
+  for (std::uint64_t s = 1; s <= 10; ++s) q.offer(report_at(0.0, s));
+  EXPECT_EQ(q.stats().offered, 10u);
+  EXPECT_EQ(q.stats().accepted, 5u);
+  EXPECT_EQ(q.stats().dropped_overflow, 5u);
+  EXPECT_EQ(q.stats().peak_depth, 4u);
+  ASSERT_EQ(reject_overflow.size(), 5u);
+  for (bool overflow : reject_overflow) EXPECT_TRUE(overflow);
+
+  q.drain();
+  EXPECT_EQ(q.stats().processed, q.stats().accepted);
+  EXPECT_EQ(dispatched, 5u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(IngressQueue, BackpressureHysteresisShedsOnlyHealthyProbes) {
+  std::vector<std::pair<bool, Seconds>> edges;
+  IngressQueue q(slow_server(/*capacity=*/16, /*high=*/4, /*low=*/2),
+                 [](const std::vector<ServiceMessage>&, Seconds, Seconds) {});
+  q.set_backpressure_hook(
+      [&](bool asserted, Seconds at) { edges.emplace_back(asserted, at); });
+
+  // Build the queue to the high-water mark with failure reports (the
+  // first arrival is served immediately; occupancy then climbs 1..4).
+  for (std::uint64_t s = 1; s <= 5; ++s) q.offer(report_at(0.0, s));
+  ASSERT_TRUE(q.backpressure());
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_TRUE(edges[0].first);
+  EXPECT_EQ(edges[0].second, 0.0);
+
+  // Under backpressure: healthy probes are shed, sick probes and
+  // failure reports are still admitted.
+  q.offer(probe_at(0.0, 6, /*healthy=*/true));
+  EXPECT_EQ(q.stats().shed_probes, 1u);
+  q.offer(probe_at(0.0, 7, /*healthy=*/false));
+  q.offer(report_at(0.0, 8));
+  EXPECT_EQ(q.stats().accepted, 7u);
+  EXPECT_EQ(q.stats().shed_probes, 1u);
+
+  // Let the server work the queue down: by t=5 it has finished five
+  // messages (one per second), occupancy 6 -> 2 <= low_water, so the
+  // release edge fires mid-drain — and a healthy probe is admitted
+  // again.
+  q.offer(probe_at(5.0, 9, /*healthy=*/true));
+  ASSERT_FALSE(q.backpressure());
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_FALSE(edges[1].first);
+  EXPECT_EQ(q.stats().shed_probes, 1u);
+  EXPECT_EQ(q.stats().backpressure_engaged, 1u);
+  EXPECT_GT(q.stats().backpressure_time, 0.0);
+
+  q.drain();
+  EXPECT_EQ(q.stats().processed, q.stats().accepted);
+}
+
+TEST(IngressQueue, BatchesFormFromArrivedPrefixAndRespectCap) {
+  std::vector<std::size_t> batch_sizes;
+  std::vector<Seconds> batch_starts;
+  IngressConfig c;
+  c.capacity = 64;
+  c.high_water = 63;
+  c.low_water = 1;
+  c.max_batch = 3;
+  c.batch_overhead = 0.0;
+  c.per_message_cost = 1.0;
+  IngressQueue q(c, [&](const std::vector<ServiceMessage>& batch,
+                        Seconds start, Seconds) {
+    batch_sizes.push_back(batch.size());
+    batch_starts.push_back(start);
+  });
+
+  // Seven messages at t=0: the first batch starts at t=0 with only the
+  // queued prefix (1 message, offered one at a time); the rest wait for
+  // the server and then leave in max_batch groups.
+  for (std::uint64_t s = 1; s <= 7; ++s) q.offer(report_at(0.0, s));
+  q.drain();
+  ASSERT_EQ(batch_sizes.size(), 3u);
+  EXPECT_EQ(batch_sizes[0], 1u);  // server idle: dispatched on arrival
+  EXPECT_EQ(batch_sizes[1], 3u);  // formed while server busy, capped
+  EXPECT_EQ(batch_sizes[2], 3u);
+  EXPECT_EQ(batch_starts[0], 0.0);
+  EXPECT_EQ(batch_starts[1], 1.0);  // when the server freed up
+  EXPECT_EQ(batch_starts[2], 4.0);
+  EXPECT_EQ(q.stats().max_batch_seen, 3u);
+  EXPECT_EQ(q.stats().batches, 3u);
+}
+
+TEST(IngressQueue, RejectsUnsortedArrivals) {
+  IngressQueue q(slow_server(8, 7, 1),
+                 [](const std::vector<ServiceMessage>&, Seconds, Seconds) {});
+  q.offer(report_at(1.0, 5));
+  EXPECT_THROW(q.offer(report_at(0.5, 6)), ContractViolation);  // time back
+  EXPECT_THROW(q.offer(report_at(1.0, 5)), ContractViolation);  // seq tie
+}
+
+/// A small but representative stream: failures, resends, probes, and
+/// operator cadences over a k=6 fabric, time-compressed enough that
+/// queueing actually happens.
+std::vector<ServiceMessage> small_stream(const sharebackup::Fabric& fabric) {
+  fi::FaultPlanConfig pcfg;
+  pcfg.switch_failures = 6;
+  pcfg.link_failures = 9;
+  pcfg.bursts = 2;
+  pcfg.burst_size = 3;
+  const fi::FaultPlan plan = fi::FaultPlan::generate(fabric, pcfg, /*seed=*/7);
+  fi::ReportStreamConfig scfg;
+  scfg.repeats = 6;
+  scfg.resends = 2;
+  // Dense telemetry: backpressure windows around report bursts are
+  // short, so probes must be frequent enough that some land inside one
+  // (that is what the shed counter test pins).
+  scfg.background_probes = 512;
+  scfg.time_scale = 0.02;
+  return fi::build_report_stream(plan, scfg);
+}
+
+ServiceConfig burst_sized_service() {
+  ServiceConfig c;
+  // Watermarks sized below the stream's natural burst peak (~8 queued)
+  // so backpressure genuinely engages in a test-sized run.
+  c.ingress.high_water = 6;
+  c.ingress.low_water = 2;
+  return c;
+}
+
+struct PassOutput {
+  std::string fingerprint;
+  ServiceStats stats;
+  IngressStats ingress;
+};
+
+/// One full lifecycle against a fresh fabric/controller; threads <= 0
+/// runs inline.
+PassOutput run_pass(const std::vector<ServiceMessage>& stream, int threads) {
+  sharebackup::Fabric fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  control::Controller controller(fabric, control::ControllerConfig{});
+  controller.set_audit_limit(1000);
+  ControllerService service(fabric, controller, burst_sized_service());
+  if (threads <= 0) {
+    service.run_inline(stream);
+  } else {
+    std::vector<int> ids;
+    for (int p = 0; p < threads; ++p) ids.push_back(service.add_producer());
+    service.start();
+    std::vector<std::thread> workers;
+    for (int p = 0; p < threads; ++p) {
+      workers.emplace_back([&, p] {
+        for (std::size_t i = static_cast<std::size_t>(p); i < stream.size();
+             i += static_cast<std::size_t>(threads)) {
+          service.submit(ids[static_cast<std::size_t>(p)], stream[i]);
+        }
+        service.finish_producer(ids[static_cast<std::size_t>(p)]);
+      });
+    }
+    for (auto& w : workers) w.join();
+    service.drain_and_stop();
+  }
+  return {service.fingerprint(), service.stats(), service.ingress_stats()};
+}
+
+TEST(ControllerService, DrainProcessesEveryAcceptedMessageExactlyOnce) {
+  Log::set_level(LogLevel::kError);  // watchdog churn is expected here
+  sharebackup::Fabric fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  const auto stream = small_stream(fabric);
+  ASSERT_GT(stream.size(), 1000u);
+
+  const PassOutput out = run_pass(stream, /*threads=*/0);
+  // Exactly-once: everything admitted was dispatched, nothing remains.
+  EXPECT_EQ(out.ingress.processed, out.ingress.accepted);
+  EXPECT_EQ(out.ingress.offered, stream.size());
+  EXPECT_EQ(out.ingress.accepted + out.ingress.dropped_overflow +
+                out.ingress.shed_probes,
+            out.ingress.offered);
+  // The per-kind dispatch counts partition the processed total.
+  EXPECT_EQ(out.stats.node_reports + out.stats.link_reports +
+                out.stats.probe_results + out.stats.sick_probes +
+                out.stats.operator_commands,
+            out.ingress.processed);
+  EXPECT_EQ(out.stats.submitted, stream.size());
+}
+
+TEST(ControllerService, StatsBitIdenticalAcrossThreadCounts) {
+  Log::set_level(LogLevel::kError);
+  sharebackup::Fabric fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  const auto stream = small_stream(fabric);
+
+  const PassOutput inline_pass = run_pass(stream, 0);
+  for (int threads : {1, 4, 8}) {
+    const PassOutput threaded = run_pass(stream, threads);
+    EXPECT_EQ(threaded.fingerprint, inline_pass.fingerprint)
+        << "divergence at " << threads << " producer threads";
+  }
+}
+
+TEST(ControllerService, BackpressureEngagesUnderCompressedBursts) {
+  Log::set_level(LogLevel::kError);
+  sharebackup::Fabric fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  const auto stream = small_stream(fabric);
+  const PassOutput out = run_pass(stream, 0);
+  // The burst-sized watermarks must actually exercise: backpressure
+  // engaged, healthy probes were shed, and failure reports never were
+  // (sheds + drops stayed below the probe population).
+  EXPECT_GT(out.ingress.backpressure_engaged, 0u)
+      << "peak depth " << out.ingress.peak_depth;
+  EXPECT_GT(out.ingress.shed_probes, 0u);
+  EXPECT_EQ(out.ingress.dropped_overflow, 0u);
+  EXPECT_EQ(out.stats.node_reports + out.stats.link_reports,
+            [&] {
+              const auto b = fi::breakdown(stream);
+              return static_cast<std::uint64_t>(b.failure_reports);
+            }());
+}
+
+}  // namespace
+}  // namespace sbk::service

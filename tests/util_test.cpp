@@ -375,6 +375,53 @@ TEST(FlatKeyMap, RejectsReservedKey) {
                ContractViolation);
 }
 
+TEST(FlatKeyMap, RefReadsValueWhileGenerationUnchanged) {
+  util::FlatKeyMap<int> m;
+  auto ref = m.find_or_emplace_ref(7, [] { return 42; });
+  ASSERT_TRUE(ref.valid());
+  EXPECT_EQ(*ref, 42);
+  *ref = 43;  // writable through the ref
+  EXPECT_EQ(*m.find(7), 43);
+  // Insertions that do NOT trigger growth leave the ref usable (the
+  // initial table holds 16 slots; 2 entries stay under the 70% load
+  // threshold).
+  m.find_or_emplace(8, [] { return 0; });
+  EXPECT_EQ(m.generation(), 1u);  // only the initial 0 -> 16 growth
+  EXPECT_EQ(*ref, 43);
+}
+
+TEST(FlatKeyMap, RefThrowsAfterRehash) {
+  util::FlatKeyMap<int> m;
+  auto ref = m.find_or_emplace_ref(1, [] { return 10; });
+  const std::uint64_t gen = m.generation();
+  // Push past the 70% load factor of the initial 16-slot table so the
+  // map grows and relocates every value.
+  for (std::uint64_t k = 2; k <= 20; ++k) {
+    m.find_or_emplace(k, [] { return 0; });
+  }
+  ASSERT_GT(m.generation(), gen);
+  EXPECT_THROW((void)*ref, ContractViolation);
+  EXPECT_THROW((void)ref.get(), ContractViolation);
+  // A fresh ref to the same key works again.
+  auto fresh = m.find_ref(1);
+  ASSERT_TRUE(fresh.valid());
+  EXPECT_EQ(*fresh, 10);
+}
+
+TEST(FlatKeyMap, RefThrowsAfterClear) {
+  util::FlatKeyMap<int> m;
+  auto ref = m.find_or_emplace_ref(5, [] { return 99; });
+  m.clear();
+  EXPECT_THROW((void)*ref, ContractViolation);
+  EXPECT_FALSE(m.find_ref(5).valid());  // absent key -> invalid ref
+}
+
+TEST(FlatKeyMap, EmptyRefThrowsOnDereference) {
+  util::FlatKeyMap<int>::Ref ref;
+  EXPECT_FALSE(ref.valid());
+  EXPECT_THROW((void)*ref, ContractViolation);
+}
+
 TEST(Time, UnitHelpers) {
   EXPECT_DOUBLE_EQ(milliseconds(3), 0.003);
   EXPECT_DOUBLE_EQ(microseconds(40), 4e-5);

@@ -145,6 +145,10 @@ int cmd_service(const Options& opt) {
   std::vector<double> depth_samples;
   std::vector<double> latency_us;
   std::size_t overflow_drops = 0, probe_sheds = 0, drains = 0;
+  // Failover digest (replicated service only; all zero for the
+  // single-controller service).
+  std::size_t crashes = 0, repairs = 0, failovers = 0;
+  std::vector<double> headless_windows;
   // Backpressure edges come in (on, off) pairs in virtual-time order;
   // a trailing unmatched "on" is closed at the last service event.
   std::size_t bp_on = 0;
@@ -161,10 +165,14 @@ int cmd_service(const Options& opt) {
     } else if (e.phase == TracePhase::kCounter) {
       if (e.name == "queue_depth") depth_samples.push_back(e.value);
       if (e.name == "decision_latency_us") latency_us.push_back(e.value);
+      if (e.name == "headless_window_s") headless_windows.push_back(e.value);
     } else if (e.phase == TracePhase::kInstant) {
       if (e.name == "overflow_drop") ++overflow_drops;
       if (e.name == "probe_shed") ++probe_sheds;
       if (e.name == "drained") ++drains;
+      if (e.name == "controller_crash") ++crashes;
+      if (e.name == "controller_repair") ++repairs;
+      if (e.name == "failover") ++failovers;
       if (e.name == "backpressure_on") {
         ++bp_on;
         bp_open = true;
@@ -207,6 +215,20 @@ int cmd_service(const Options& opt) {
   std::printf("  overflow drops       %10zu\n", overflow_drops);
   std::printf("  probes shed          %10zu\n", probe_sheds);
   std::printf("  drain completions    %10zu\n", drains);
+  if (crashes + repairs + failovers + headless_windows.size() > 0) {
+    double headless_sum = 0.0, headless_max = 0.0;
+    for (double w : headless_windows) {
+      headless_sum += w;
+      headless_max = std::max(headless_max, w);
+    }
+    std::printf("  controller crashes   %10zu\n", crashes);
+    std::printf("  controller repairs   %10zu\n", repairs);
+    std::printf("  failovers            %10zu\n", failovers);
+    std::printf("  headless windows     %10zu  total %.3f virtual ms"
+                "  max %.3f ms\n",
+                headless_windows.size(), headless_sum * 1e3,
+                headless_max * 1e3);
+  }
   return 0;
 }
 

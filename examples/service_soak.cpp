@@ -6,6 +6,7 @@
 //
 //   service_soak [--threads=N] [--seed=S] [--k=K] [--backups=N]
 //                [--repeats=N] [--resends=N] [--time-scale=X] [--pace=X]
+//                [--replicas=N] [--scenario=NAME]
 //                [--min-reports=N] [--min-throughput=X] [--max-p99-ms=X]
 //                [--max-rss-mb=X] [--verify-threads] [--json=FILE]
 //                [--trace=FILE] [--metrics=FILE]
@@ -13,6 +14,12 @@
 // Knobs:
 //   --threads      producer threads feeding the service (0 = inline,
 //                  single-threaded; default 4)
+//   --replicas     controller replicas behind the service (0 = classic
+//                  single-controller service, the default; >= 1 runs the
+//                  ReplicatedControllerService with live failover)
+//   --scenario     scripted controller-cluster chaos woven into the
+//                  stream: none | primary-crash | crash-during-election |
+//                  total-death (requires --replicas >= 1)
 //   --time-scale   virtual-time compression of the stream (the
 //                  saturation knob; smaller = higher arrival rate
 //                  against the service's fixed virtual service rate)
@@ -25,7 +32,11 @@
 // Gates (exit 1 on violation): --min-reports on processed failure
 // reports (default 100000), --min-throughput on wall msgs/s,
 // --max-p99-ms on virtual p99 decision latency, --max-rss-mb on peak
-// RSS. A JSON summary goes to stdout (and --json=FILE).
+// RSS. With --replicas >= 1 three failover gates are always on: every
+// offered failure report processed (nothing lost across failovers), an
+// empty headless backlog after the drain, and every bounded headless
+// window within the cluster's election bound. A JSON summary goes to
+// stdout (and --json=FILE).
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -42,6 +53,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "service/controller_service.hpp"
+#include "service/replicated_service.hpp"
 #include "sharebackup/fabric.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
@@ -60,11 +72,24 @@ int usage(const std::string& error) {
       stderr,
       "usage: service_soak [--threads=N] [--seed=S] [--k=K] [--backups=N]\n"
       "                    [--repeats=N] [--resends=N] [--time-scale=X]\n"
-      "                    [--pace=X] [--min-reports=N]\n"
+      "                    [--pace=X] [--replicas=N] [--scenario=NAME]\n"
+      "                    [--min-reports=N]\n"
       "                    [--min-throughput=X] [--max-p99-ms=X]\n"
       "                    [--max-rss-mb=X] [--verify-threads]\n"
-      "                    [--json=FILE] [--trace=FILE] [--metrics=FILE]\n");
+      "                    [--json=FILE] [--trace=FILE] [--metrics=FILE]\n"
+      "  scenarios: none | primary-crash | crash-during-election |\n"
+      "             total-death\n");
   return 2;
+}
+
+std::optional<fi::ClusterScenario> parse_scenario(const std::string& name) {
+  if (name == "none") return fi::ClusterScenario::kNone;
+  if (name == "primary-crash") return fi::ClusterScenario::kPrimaryCrash;
+  if (name == "crash-during-election") {
+    return fi::ClusterScenario::kCrashDuringElection;
+  }
+  if (name == "total-death") return fi::ClusterScenario::kTotalDeath;
+  return std::nullopt;
 }
 
 struct PassResult {
@@ -77,25 +102,15 @@ struct PassResult {
   svc::ServiceStats stats;
   svc::IngressStats ingress;
   sbk::control::ControllerStats ctl;
+  std::size_t headless_backlog = 0;  ///< replicated mode only
+  double election_bound = 0.0;       ///< virtual s; 0 in single mode
 };
 
-/// One full service lifecycle against a fresh fabric + controller.
-PassResult run_pass(const std::vector<svc::ServiceMessage>& stream, int k,
-                    int backups, int threads, double pace,
-                    const svc::ServiceConfig& scfg,
-                    sbk::obs::MetricsRegistry* metrics,
-                    sbk::obs::FlightRecorder* recorder) {
-  sbk::sharebackup::Fabric fabric(sbk::sharebackup::FabricParams{
-      .fat_tree = {.k = k}, .backups_per_group = backups});
-  sbk::control::Controller controller(fabric, sbk::control::ControllerConfig{});
-  // Always-on service: the audit trail must not grow without bound.
-  controller.set_audit_limit(10000);
-  controller.attach_metrics(metrics);
-  controller.attach_recorder(recorder);
-  svc::ControllerService service(fabric, controller, scfg);
-  service.attach_metrics(metrics);
-  service.attach_recorder(recorder);
-
+/// Feeds the whole stream through the service (inline or via N producer
+/// threads, optionally wall-clock paced) and drains it.
+void feed(svc::ControllerService& service,
+          const std::vector<svc::ServiceMessage>& stream, int threads,
+          double pace) {
   if (threads <= 0) {
     service.run_inline(stream);
   } else {
@@ -129,33 +144,102 @@ PassResult run_pass(const std::vector<svc::ServiceMessage>& stream, int k,
     for (std::thread& t : producers) t.join();
     service.drain_and_stop();
   }
+}
 
+/// Renders a controller's deterministic counters for the fingerprint.
+void append_ctl(std::ostringstream& fp,
+                const sbk::control::ControllerStats& ctl) {
+  fp << "failovers=" << ctl.failovers << ",node=" << ctl.node_failures_handled
+     << ",link=" << ctl.link_failures_handled << ",diag=" << ctl.diagnoses_run
+     << ",exon=" << ctl.switches_exonerated
+     << ",faulty=" << ctl.switches_confirmed_faulty
+     << ",wd=" << ctl.watchdog_trips << ",retries=" << ctl.retries
+     << ",doa=" << ctl.doa_backups << ",degraded=" << ctl.degraded_reroutes
+     << ",requeued=" << ctl.requeued
+     << ",pool_exhausted=" << ctl.recoveries_failed_pool_exhausted;
+}
+
+/// One full service lifecycle against a fresh fabric. `replicas == 0`
+/// runs the classic single-controller service; `replicas >= 1` runs the
+/// replicated service with live cluster failover.
+PassResult run_pass(const std::vector<svc::ServiceMessage>& stream, int k,
+                    int backups, int threads, double pace,
+                    const svc::ServiceConfig& scfg, int replicas,
+                    double time_scale, sbk::obs::MetricsRegistry* metrics,
+                    sbk::obs::FlightRecorder* recorder) {
+  sbk::sharebackup::Fabric fabric(sbk::sharebackup::FabricParams{
+      .fat_tree = {.k = k}, .backups_per_group = backups});
   PassResult r;
-  r.stats = service.stats();
-  r.ingress = service.ingress_stats();
-  r.ctl = controller.stats();
-  r.wall_seconds = r.stats.wall_seconds;
-  r.throughput = r.wall_seconds > 0.0
-                     ? static_cast<double>(r.ingress.processed) /
-                           r.wall_seconds
-                     : 0.0;
-  if (!service.decision_latency().empty()) {
-    r.p50_ms = service.decision_latency().percentile(50.0) * 1e3;
-    r.p99_ms = service.decision_latency().percentile(99.0) * 1e3;
+  auto collect = [&r](svc::ControllerService& service) {
+    r.stats = service.stats();
+    r.ingress = service.ingress_stats();
+    r.wall_seconds = r.stats.wall_seconds;
+    r.throughput = r.wall_seconds > 0.0
+                       ? static_cast<double>(r.ingress.processed) /
+                             r.wall_seconds
+                       : 0.0;
+    if (!service.decision_latency().empty()) {
+      r.p50_ms = service.decision_latency().percentile(50.0) * 1e3;
+      r.p99_ms = service.decision_latency().percentile(99.0) * 1e3;
+    }
+  };
+
+  if (replicas >= 1) {
+    svc::ReplicatedServiceConfig rcfg;
+    rcfg.service = scfg;
+    rcfg.cluster.members = static_cast<std::size_t>(replicas);
+    // Cluster timings scale with the stream so the detection + election
+    // window is the same fraction of the soak at every --time-scale:
+    // plan-time heartbeat 10 ms / miss 3 / election 5 ms gives an
+    // election bound of 45 ms plan-time — exactly the FaultPlanConfig
+    // cluster_election_bound default the scripted scenarios aim inside.
+    rcfg.cluster.heartbeat_interval = 0.01 * time_scale;
+    rcfg.cluster.miss_threshold = 3;
+    rcfg.cluster.election_duration = 0.005 * time_scale;
+    // Always-on service: the audit trail must not grow without bound.
+    rcfg.audit_limit = 10000;
+    svc::ReplicatedControllerService service(fabric, rcfg);
+    for (std::size_t i = 0; i < service.replica_count(); ++i) {
+      service.replica(i).attach_metrics(metrics);
+      service.replica(i).attach_recorder(recorder);
+    }
+    service.attach_metrics(metrics);
+    service.attach_recorder(recorder);
+    feed(service, stream, threads, pace);
+    collect(service);
+    r.ctl = service.replica(service.acting_member()).stats();
+    r.headless_backlog = service.headless_backlog();
+    r.election_bound = service.election_bound();
+    // Fingerprint covers the service plus every replica — thread-count
+    // identity must hold across the whole cluster, not just the final
+    // primary.
+    std::ostringstream fp;
+    fp << service.fingerprint() << ";acting=" << service.acting_member()
+       << ";term=" << service.cluster().term();
+    for (std::size_t i = 0; i < service.replica_count(); ++i) {
+      fp << ";r" << i << ":seen=" << service.reports_seen(i) << ",";
+      append_ctl(fp, service.replica(i).stats());
+    }
+    r.fingerprint = fp.str();
+    return r;
   }
+
+  sbk::control::Controller controller(fabric, sbk::control::ControllerConfig{});
+  // Always-on service: the audit trail must not grow without bound.
+  controller.set_audit_limit(10000);
+  controller.attach_metrics(metrics);
+  controller.attach_recorder(recorder);
+  svc::ControllerService service(fabric, controller, scfg);
+  service.attach_metrics(metrics);
+  service.attach_recorder(recorder);
+  feed(service, stream, threads, pace);
+  collect(service);
+  r.ctl = controller.stats();
   // Fingerprint covers both the service's and the controller's
   // deterministic outputs — thread-count identity must hold end to end.
   std::ostringstream fp;
-  fp << service.fingerprint() << ";ctl:failovers=" << r.ctl.failovers
-     << ",node=" << r.ctl.node_failures_handled
-     << ",link=" << r.ctl.link_failures_handled
-     << ",diag=" << r.ctl.diagnoses_run
-     << ",exon=" << r.ctl.switches_exonerated
-     << ",faulty=" << r.ctl.switches_confirmed_faulty
-     << ",wd=" << r.ctl.watchdog_trips << ",retries=" << r.ctl.retries
-     << ",doa=" << r.ctl.doa_backups << ",degraded=" << r.ctl.degraded_reroutes
-     << ",requeued=" << r.ctl.requeued
-     << ",pool_exhausted=" << r.ctl.recoveries_failed_pool_exhausted;
+  fp << service.fingerprint() << ";ctl:";
+  append_ctl(fp, r.ctl);
   r.fingerprint = fp.str();
   return r;
 }
@@ -173,6 +257,8 @@ int main(int argc, char** argv) {
        {"resends", true},
        {"time-scale", true},
        {"pace", true},
+       {"replicas", true},
+       {"scenario", true},
        {"min-reports", true},
        {"min-throughput", true},
        {"max-p99-ms", true},
@@ -204,12 +290,13 @@ int main(int argc, char** argv) {
   const auto resends = int_flag("resends", 3);
   const auto time_scale = double_flag("time-scale", 0.02);
   const auto pace = double_flag("pace", 0.0);
+  const auto replicas = int_flag("replicas", 0);
   const auto min_reports = int_flag("min-reports", 100000);
   const auto min_throughput = double_flag("min-throughput", 0.0);
   const auto max_p99_ms = double_flag("max-p99-ms", 0.0);
   const auto max_rss_mb = double_flag("max-rss-mb", 0.0);
   if (!threads || !seed || !k || !backups || !repeats || !resends ||
-      !time_scale || !pace || !min_reports || !min_throughput ||
+      !time_scale || !pace || !replicas || !min_reports || !min_throughput ||
       !max_p99_ms || !max_rss_mb) {
     return usage("flag values must be numeric");
   }
@@ -217,6 +304,14 @@ int main(int argc, char** argv) {
   if (*threads < 0 || *repeats < 1 || *resends < 1 || *time_scale <= 0.0) {
     return usage("--threads >= 0, --repeats/--resends >= 1, "
                  "--time-scale > 0");
+  }
+  if (*replicas < 0) return usage("--replicas must be >= 0");
+  const std::string scenario_name =
+      std::string{args.value_of("scenario").value_or("none")};
+  const auto scenario = parse_scenario(scenario_name);
+  if (!scenario) return usage("unknown --scenario " + scenario_name);
+  if (*scenario != fi::ClusterScenario::kNone && *replicas < 1) {
+    return usage("--scenario=" + scenario_name + " requires --replicas >= 1");
   }
 
   // A denser-than-default plan: the soak wants a report torrent, not the
@@ -229,6 +324,10 @@ int main(int argc, char** argv) {
   pcfg.link_failures = 90;
   pcfg.bursts = 4;
   pcfg.burst_size = 3;
+  pcfg.cluster_scenario = *scenario;
+  if (*replicas >= 1) {
+    pcfg.cluster_members = static_cast<std::size_t>(*replicas);
+  }
   const fi::FaultPlan plan = fi::FaultPlan::generate(
       shape_fabric, pcfg, static_cast<std::uint64_t>(*seed));
 
@@ -243,8 +342,14 @@ int main(int argc, char** argv) {
   std::cout << "service_soak: " << mix.total << " messages ("
             << mix.failure_reports << " failure reports, "
             << mix.probe_results << " probes, " << mix.operator_commands
-            << " operator commands) over " << mix.span
-            << " virtual s, threads=" << *threads << "\n";
+            << " operator commands, " << mix.cluster_events
+            << " cluster events) over " << mix.span
+            << " virtual s, threads=" << *threads;
+  if (*replicas >= 1) {
+    std::cout << ", replicas=" << *replicas << ", scenario="
+              << scenario_name;
+  }
+  std::cout << "\n";
 
   // A 100k-report soak trips the watchdog hundreds of times by design;
   // keep its per-trip WARN lines out of the soak output.
@@ -262,7 +367,8 @@ int main(int argc, char** argv) {
   sbk::obs::FlightRecorder recorder(/*enabled=*/true);
   const PassResult r =
       run_pass(stream, static_cast<int>(*k), static_cast<int>(*backups),
-               static_cast<int>(*threads), *pace, scfg, &metrics, &recorder);
+               static_cast<int>(*threads), *pace, scfg,
+               static_cast<int>(*replicas), *time_scale, &metrics, &recorder);
   const double rss_mb = sbk::util::peak_rss_mb();
 
   const std::uint64_t failure_reports_processed =
@@ -273,7 +379,8 @@ int main(int argc, char** argv) {
       if (alt == *threads) continue;
       const PassResult v =
           run_pass(stream, static_cast<int>(*k), static_cast<int>(*backups),
-                   alt, /*pace=*/0.0, scfg, nullptr, nullptr);
+                   alt, /*pace=*/0.0, scfg, static_cast<int>(*replicas),
+                   *time_scale, nullptr, nullptr);
       const bool same = v.fingerprint == r.fingerprint;
       std::cout << "  verify threads=" << alt << (alt == 0 ? " (inline)" : "")
                 << ": " << (same ? "identical" : "MISMATCH") << "\n";
@@ -291,8 +398,19 @@ int main(int argc, char** argv) {
       *min_throughput <= 0.0 || r.throughput >= *min_throughput;
   const bool p99_ok = *max_p99_ms <= 0.0 || r.p99_ms <= *max_p99_ms;
   const bool rss_ok = *max_rss_mb <= 0.0 || rss_mb <= *max_rss_mb;
-  const bool pass =
-      reports_ok && throughput_ok && p99_ok && rss_ok && verify_ok;
+  // Failover gates (replicated mode): every offered failure report was
+  // processed by some primary (none lost to a crash), nothing is still
+  // waiting in the headless buffer, and every bounded headless window
+  // stayed inside the cluster's election bound.
+  const bool lost_ok =
+      *replicas < 1 ||
+      failure_reports_processed ==
+          static_cast<std::uint64_t>(mix.failure_reports);
+  const bool backlog_ok = *replicas < 1 || r.headless_backlog == 0;
+  const bool headless_ok =
+      *replicas < 1 || r.stats.max_headless_window <= r.election_bound + 1e-12;
+  const bool pass = reports_ok && throughput_ok && p99_ok && rss_ok &&
+                    verify_ok && lost_ok && backlog_ok && headless_ok;
 
   std::ostringstream json;
   json << "{\"messages\":" << mix.total
@@ -309,6 +427,17 @@ int main(int argc, char** argv) {
        << ",\"failovers\":" << r.ctl.failovers
        << ",\"degraded\":" << r.ctl.degraded_reroutes
        << ",\"watchdog_trips\":" << r.ctl.watchdog_trips
+       << ",\"replicas\":" << *replicas
+       << ",\"scenario\":\"" << scenario_name << "\""
+       << ",\"cluster_events\":" << r.stats.cluster_events
+       << ",\"leader_failovers\":" << r.stats.failovers
+       << ",\"stale_rejections\":" << r.stats.stale_rejections
+       << ",\"replayed_reports\":" << r.stats.replayed_reports
+       << ",\"total_death_windows\":" << r.stats.total_death_windows
+       << ",\"headless_seconds\":" << r.stats.headless_seconds
+       << ",\"max_headless_window_s\":" << r.stats.max_headless_window
+       << ",\"election_bound_s\":" << r.election_bound
+       << ",\"headless_backlog\":" << r.headless_backlog
        << ",\"wall_seconds\":" << r.wall_seconds
        << ",\"throughput_msgs_per_s\":" << r.throughput
        << ",\"decision_latency_p50_ms\":" << r.p50_ms
@@ -319,6 +448,9 @@ int main(int argc, char** argv) {
        << ",\"p99_ok\":" << (p99_ok ? "true" : "false")
        << ",\"rss_ok\":" << (rss_ok ? "true" : "false")
        << ",\"verify_ok\":" << (verify_ok ? "true" : "false")
+       << ",\"lost_ok\":" << (lost_ok ? "true" : "false")
+       << ",\"backlog_ok\":" << (backlog_ok ? "true" : "false")
+       << ",\"headless_ok\":" << (headless_ok ? "true" : "false")
        << ",\"pass\":" << (pass ? "true" : "false") << "}";
   std::cout << json.str() << "\n";
 
@@ -349,11 +481,14 @@ int main(int argc, char** argv) {
     }
   }
   if (!pass) {
-    std::fprintf(stderr, "service_soak: GATE FAILED%s%s%s%s%s\n",
+    std::fprintf(stderr, "service_soak: GATE FAILED%s%s%s%s%s%s%s%s\n",
                  reports_ok ? "" : " [min-reports]",
                  throughput_ok ? "" : " [min-throughput]",
                  p99_ok ? "" : " [max-p99-ms]", rss_ok ? "" : " [max-rss-mb]",
-                 verify_ok ? "" : " [verify-threads]");
+                 verify_ok ? "" : " [verify-threads]",
+                 lost_ok ? "" : " [failover-lost-reports]",
+                 backlog_ok ? "" : " [failover-headless-backlog]",
+                 headless_ok ? "" : " [failover-headless-bound]");
   }
   return pass ? 0 : 1;
 }

@@ -4,12 +4,12 @@
 #
 # Usage: scripts/check.sh [--tsan | --asan | --bench-smoke | --chaos-smoke |
 #        --trace-smoke | --baselines-smoke | --scale-smoke |
-#        --service-smoke] [build-dir]
+#        --service-smoke | --failover-smoke] [build-dir]
 #
 #   --tsan         Configure a ThreadSanitizer build (-DSBK_SANITIZE=thread,
 #                  default dir build-tsan) and run the concurrency-heavy
-#                  sweep test suite under it instead of the full harness
-#                  sweep.
+#                  sweep and service suites under it instead of the full
+#                  harness sweep.
 #   --asan         Configure an ASan+UBSan build
 #                  (-DSBK_SANITIZE=address,undefined, default dir
 #                  build-asan) and run the fault-injection and
@@ -45,6 +45,18 @@
 #                  bounds asserted, plus a cross-thread determinism
 #                  check (inline / 1 / 8 producer threads must produce
 #                  bit-identical fingerprints).
+#   --failover-smoke
+#                  Build examples/service_soak + sbk_trace (Release) and
+#                  run the replicated-service chaos soak across all three
+#                  scripted cluster scenarios (primary-crash,
+#                  crash-during-election, total-death): zero lost failure
+#                  reports across failovers, an empty headless backlog,
+#                  every bounded headless window inside the election
+#                  bound, and bit-identical fingerprints across
+#                  inline/1/8 producer threads. The primary-crash run's
+#                  trace is digested with `sbk_trace service` and must
+#                  show the failovers. Also runs (reduced) in the default
+#                  full-verification matrix.
 #   --trace-smoke  Build examples/failure_drill + sbk_trace, record the
 #                  drill into a flight-recorder trace, validate the
 #                  Perfetto trace_event JSON against a minimal schema,
@@ -81,6 +93,27 @@ print(f"trace-smoke: Perfetto JSON OK ({len(events)} events)")
 EOF
 }
 
+run_failover_smoke() {
+  local BUILD="$1" REPEATS="$2"
+  # The three scripted cluster scenarios; every run asserts the failover
+  # gates (nothing lost, empty headless backlog, bounded windows) and
+  # cross-thread fingerprint identity with crash messages in the stream.
+  local s
+  for s in primary-crash crash-during-election total-death; do
+    "$BUILD"/examples/service_soak --replicas=3 --scenario="$s" \
+      --repeats="$REPEATS" --min-reports=1000 --verify-threads \
+      --trace="$BUILD/failover_trace_$s.json" >/dev/null
+    echo "failover-smoke: scenario $s clean"
+  done
+  # The primary-crash trace must carry the failover story end to end.
+  local digest
+  digest="$("$BUILD"/examples/sbk_trace service \
+    "$BUILD/failover_trace_primary-crash.json")"
+  echo "$digest"
+  echo "$digest" | grep -q "failovers" \
+    || { echo "failover-smoke: no failover digest in trace" >&2; exit 1; }
+}
+
 TSAN=0
 ASAN=0
 BENCH_SMOKE=0
@@ -89,6 +122,7 @@ TRACE_SMOKE=0
 BASELINES_SMOKE=0
 SCALE_SMOKE=0
 SERVICE_SMOKE=0
+FAILOVER_SMOKE=0
 if [ "${1:-}" = "--tsan" ]; then
   TSAN=1
   shift
@@ -113,6 +147,18 @@ elif [ "${1:-}" = "--scale-smoke" ]; then
 elif [ "${1:-}" = "--service-smoke" ]; then
   SERVICE_SMOKE=1
   shift
+elif [ "${1:-}" = "--failover-smoke" ]; then
+  FAILOVER_SMOKE=1
+  shift
+fi
+
+if [ "$FAILOVER_SMOKE" = 1 ]; then
+  BUILD="${1:-build-bench}"
+  cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD" --target service_soak sbk_trace
+  run_failover_smoke "$BUILD" 30
+  echo "failover-smoke: replicated service survived all cluster scenarios"
+  exit 0
 fi
 
 if [ "$SERVICE_SMOKE" = 1 ]; then
@@ -235,12 +281,15 @@ fi
 if [ "$TSAN" = 1 ]; then
   BUILD="${1:-build-tsan}"
   cmake -B "$BUILD" -G Ninja -DSBK_SANITIZE=thread
-  cmake --build "$BUILD" --target sweep_test
+  cmake --build "$BUILD" --target sweep_test service_test
   # Run the sweep/thread-pool suite directly: it is the code that owns
   # all cross-thread state, and TSan halts with a non-zero exit on the
-  # first data race.
+  # first data race. The service suite adds the ingress-queue
+  # producer/consumer machinery and the replicated-service failover
+  # tests (multi-threaded submission across controller crashes).
   "$BUILD"/tests/sweep_test
-  echo "tsan: sweep_test clean"
+  "$BUILD"/tests/service_test
+  echo "tsan: sweep_test + service_test clean"
   exit 0
 fi
 
@@ -289,6 +338,12 @@ for inc, s in stages.items():
 print(f"trace-smoke: {len(stages)} incident(s), {len(rows)} spans, "
       "all monotone")
 EOF
+
+# Failover smoke (reduced): the replicated service must survive every
+# scripted cluster scenario without losing a report, and the trace must
+# digest the failovers. The standalone --failover-smoke mode runs the
+# same gates at Release scale.
+run_failover_smoke "$BUILD" 10
 
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] || continue

@@ -271,6 +271,47 @@ void Controller::retry_pending() {
   retrying_ = false;
 }
 
+void Controller::adopt_in_flight_from(Controller& dead) {
+  if (&dead == this) return;
+  const std::size_t adopted = dead.pending_nodes_.size() +
+                              dead.pending_links_.size() +
+                              dead.diagnosis_queue_.size();
+  // Parked recoveries survive the failover; the dedupe in
+  // park_node/park_link makes a double handoff (or a report the new
+  // primary already parked itself) harmless.
+  for (SwitchPosition pos : dead.pending_nodes_) park_node(pos);
+  for (net::LinkId link : dead.pending_links_) park_link(link);
+  dead.pending_nodes_.clear();
+  dead.pending_links_.clear();
+  // Offline-diagnosis jobs keep their queue positions and cutoff times;
+  // incident ids stay valid when both controllers share one tracer (the
+  // replicated service attaches the same observers to every replica).
+  for (PendingDiagnosis& job : dead.diagnosis_queue_) {
+    diagnosis_queue_.push_back(job);
+  }
+  dead.diagnosis_queue_.clear();
+  // A tripped watchdog is a cluster-wide operational fact: the circuit
+  // switch still needs human service no matter which controller leads.
+  // The report window merges so the burst that was building at the dead
+  // primary can still trip the watchdog here.
+  if (dead.watchdog_tripped_) watchdog_tripped_ = true;
+  recent_link_reports_.insert(recent_link_reports_.end(),
+                              dead.recent_link_reports_.begin(),
+                              dead.recent_link_reports_.end());
+  std::stable_sort(recent_link_reports_.begin(), recent_link_reports_.end(),
+                   [](const LinkReport& a, const LinkReport& b) {
+                     return a.at < b.at;
+                   });
+  dead.recent_link_reports_.clear();
+  dead.watchdog_tripped_ = false;
+  for (const auto& [uid, incident] : dead.incident_of_faulty_) {
+    incident_of_faulty_.emplace(uid, incident);
+  }
+  dead.incident_of_faulty_.clear();
+  audit("handoff", "adopted " + std::to_string(adopted) +
+                       " in-flight commands from failed primary");
+}
+
 void Controller::acknowledge_intervention() {
   watchdog_tripped_ = false;
   // Start the watchdog window fresh: the serviced circuit switch's old

@@ -206,6 +206,16 @@ class Controller {
     command_fault_ = std::move(hook);
   }
 
+  /// Deterministic state handoff at a cluster failover (§5.1): the new
+  /// primary adopts the dead primary's in-flight work — parked
+  /// recoveries, queued offline diagnoses, the tripped-watchdog flag
+  /// plus its link-report window, and the faulty-device incident map —
+  /// so no accepted failure report is lost across the transition and no
+  /// reconfiguration runs twice (commands are idempotent and
+  /// park_node/park_link deduplicate). The dead controller is left with
+  /// no in-flight state; it must not act again under its old term.
+  void adopt_in_flight_from(Controller& dead);
+
   // --- watchdog / status -------------------------------------------------------
   [[nodiscard]] bool human_intervention_required() const noexcept {
     return watchdog_tripped_;

@@ -109,12 +109,27 @@ void ControllerCluster::finish_election() {
 void ControllerCluster::fail_member(std::size_t id) {
   SBK_EXPECTS(id < alive_.size());
   alive_[id] = false;
+  // Mid-election deaths need no special casing: finish_election()
+  // re-reads alive_ at completion, so a dying candidate — even the
+  // would-be winner — is skipped for the highest surviving member, and
+  // a death that leaves nobody alive aborts the election without
+  // consuming a term. The heartbeat chain keeps ticking while anyone
+  // is alive, so a freshly elected primary that dies immediately is
+  // re-detected within miss_threshold intervals and the election
+  // restarts rather than deadlocking availability (regression tests:
+  // Cluster.*MidElection* in control_test.cpp).
   track_availability();
 }
 
 void ControllerCluster::repair_member(std::size_t id) {
   SBK_EXPECTS(id < alive_.size());
   alive_[id] = true;
+  // Reviving the member the (stale) primary_ pointer still names makes
+  // the cluster available again without an election — the primary came
+  // back before the misses gave up on it. The open unavailability
+  // window must close here, or the next transition charges the whole
+  // healthy span as downtime.
+  track_availability();
   // A repaired member rejoins as a follower and resumes heartbeating.
   // If the chain died with the cluster, restart it; the revived ticks
   // miss the (dead or absent) primary and call an election, which the

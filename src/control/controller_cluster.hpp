@@ -27,6 +27,16 @@ struct ClusterConfig {
   int miss_threshold = 3;
   /// Time to complete an election once started.
   Seconds election_duration = milliseconds(5);
+
+  /// Upper bound on one headless window that does not include total
+  /// cluster death: worst-case detection (a crash can land just after a
+  /// heartbeat, so miss_threshold + 1 intervals pass before the last
+  /// miss) plus the election itself. The replicated service asserts its
+  /// measured headless windows against this.
+  [[nodiscard]] Seconds election_bound() const noexcept {
+    return heartbeat_interval * static_cast<double>(miss_threshold + 1) +
+           election_duration;
+  }
 };
 
 class ControllerCluster {

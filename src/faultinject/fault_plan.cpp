@@ -130,13 +130,67 @@ FaultPlan FaultPlan::generate(const Fabric& fabric,
   }
   std::sort(plan.doa_spares.begin(), plan.doa_spares.end());
 
-  // Controller crash mid-recovery window, repaired a fixed delay later.
-  if (rng.bernoulli(config.controller_crash_prob)) {
-    ControllerCrashEvent ev;
-    ev.at = rng.uniform_real(0.05 * window, window);
-    ev.member = rng.uniform_index(16);  // mod member count at injection
-    ev.repair_at = ev.at + config.controller_repair_delay;
-    plan.controller_crashes.push_back(ev);
+  // Controller-cluster failure schedule. Scripted scenarios anchor to
+  // the first correlated burst so the crash lands mid-batch, between
+  // the burst's first reports and its retry sweeps; a plan without
+  // bursts anchors to the middle of the fault window.
+  Seconds anchor = 0.5 * window;
+  for (const LinkFailureEvent& ev : plan.link_failures) {
+    if (ev.burst) {
+      anchor = ev.at;
+      break;
+    }
+  }
+  switch (config.cluster_scenario) {
+    case ClusterScenario::kNone:
+      // Legacy: at most one probabilistic member crash.
+      if (rng.bernoulli(config.controller_crash_prob)) {
+        ControllerCrashEvent ev;
+        ev.at = rng.uniform_real(0.05 * window, window);
+        ev.member = rng.uniform_index(16);  // mod member count at injection
+        ev.repair_at = ev.at + config.controller_repair_delay;
+        plan.controller_crashes.push_back(ev);
+      }
+      break;
+    case ClusterScenario::kPrimaryCrash: {
+      ControllerCrashEvent ev;
+      ev.at = anchor;
+      ev.member = kPrimaryMember;
+      ev.repair_at = ev.at + config.controller_repair_delay;
+      plan.controller_crashes.push_back(ev);
+      break;
+    }
+    case ClusterScenario::kCrashDuringElection: {
+      ControllerCrashEvent first;
+      first.at = anchor;
+      first.member = kPrimaryMember;
+      first.repair_at = first.at + config.controller_repair_delay;
+      plan.controller_crashes.push_back(first);
+      // The second kill targets the acting member again — with no
+      // primary seated that resolves to the imminent election winner —
+      // and lands inside the detection+election window of the first.
+      ControllerCrashEvent second;
+      second.at = anchor + 0.6 * config.cluster_election_bound;
+      second.member = kPrimaryMember;
+      second.repair_at = first.repair_at;
+      plan.controller_crashes.push_back(second);
+      break;
+    }
+    case ClusterScenario::kTotalDeath: {
+      const std::size_t members = std::max<std::size_t>(
+          config.cluster_members, 1);
+      for (std::size_t i = 0; i < members; ++i) {
+        // Each kill resolves to the currently highest live member, so
+        // back-to-back kills walk the whole cluster into the ground;
+        // the repair of a kPrimaryMember event revives every casualty.
+        ControllerCrashEvent ev;
+        ev.at = anchor + static_cast<double>(i) * 1e-6;
+        ev.member = kPrimaryMember;
+        ev.repair_at = anchor + config.controller_repair_delay;
+        plan.controller_crashes.push_back(ev);
+      }
+      break;
+    }
   }
 
   return plan;
@@ -148,11 +202,20 @@ std::string FaultPlan::describe() const {
   for (const LinkFailureEvent& ev : link_failures) {
     if (ev.burst) ++burst_links;
   }
+  const char* scenario = "none";
+  switch (config.cluster_scenario) {
+    case ClusterScenario::kNone: break;
+    case ClusterScenario::kPrimaryCrash: scenario = "primary-crash"; break;
+    case ClusterScenario::kCrashDuringElection:
+      scenario = "crash-during-election";
+      break;
+    case ClusterScenario::kTotalDeath: scenario = "total-death"; break;
+  }
   os << "seed=" << seed << " switch_failures=" << switch_failures.size()
      << " link_failures=" << link_failures.size() << " (burst "
      << burst_links << ") doa_spares=" << doa_spares.size()
-     << " controller_crashes=" << controller_crashes.size()
-     << " settle_at=" << settle_at;
+     << " controller_crashes=" << controller_crashes.size() << " (scenario "
+     << scenario << ") settle_at=" << settle_at;
   return os.str();
 }
 

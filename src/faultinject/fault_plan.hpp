@@ -30,6 +30,31 @@
 
 namespace sbk::faultinject {
 
+/// Scripted controller-cluster failure shapes for the replicated
+/// service's chaos soak. Each scenario is anchored to the plan's first
+/// correlated burst (or the middle of the fault window when the plan
+/// has no bursts) so the crash lands where the service is busiest —
+/// mid-batch, between a burst's first report and its retry sweeps.
+enum class ClusterScenario : std::uint8_t {
+  /// Legacy behavior: at most one probabilistic member crash
+  /// (controller_crash_prob).
+  kNone,
+  /// Kill the acting primary once; repair it controller_repair_delay
+  /// later. Exercises detection, election, handoff, buffer replay.
+  kPrimaryCrash,
+  /// Kill the acting primary, then kill the imminent winner while the
+  /// resulting election is still in flight (inside the election bound).
+  kCrashDuringElection,
+  /// Kill every member back-to-back (headless with nobody to elect),
+  /// then revive the whole cluster controller_repair_delay later.
+  kTotalDeath,
+};
+
+/// ControllerCrashEvent::member sentinel: target whichever member
+/// currently acts (the stream builder maps it to
+/// service::kClusterPrimary — crash the primary / revive all).
+inline constexpr std::size_t kPrimaryMember = ~static_cast<std::size_t>(0);
+
 struct FaultPlanConfig {
   /// Simulated horizon; failures are injected in the leading
   /// injection_window fraction and the rest is settle time.
@@ -65,9 +90,20 @@ struct FaultPlanConfig {
 
   // --- controller cluster -------------------------------------------------
   /// Probability the plan includes a controller-member crash (paired
-  /// with a repair `controller_repair_delay` later).
+  /// with a repair `controller_repair_delay` later). Only consulted for
+  /// ClusterScenario::kNone; scripted scenarios generate their own
+  /// crash schedule.
   double controller_crash_prob = 0.5;
   Seconds controller_repair_delay = 0.2;
+  /// Scripted cluster-failure shape (see ClusterScenario).
+  ClusterScenario cluster_scenario = ClusterScenario::kNone;
+  /// Member count of the cluster the stream will be replayed against
+  /// (explicit member indices are reduced modulo this).
+  std::size_t cluster_members = 3;
+  /// The service cluster's ClusterConfig::election_bound() in *plan*
+  /// time (pre-time_scale): kCrashDuringElection aims its second kill
+  /// inside this window after the first.
+  Seconds cluster_election_bound = 0.045;
 
   // --- background services the injector simulates -------------------------
   /// Repair-crew tick: confirmed-faulty / out-of-service devices are

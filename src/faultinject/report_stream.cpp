@@ -94,6 +94,28 @@ std::vector<ServiceMessage> build_report_stream(
     cadence(config.watchdog_interval, OperatorOp::kAckWatchdog);
     cadence(config.diagnosis_interval, OperatorOp::kRunDiagnosis);
     cadence(config.retry_interval, OperatorOp::kRetryParked);
+
+    // Controller-cluster chaos: each planned crash becomes a crash
+    // message at its event time and a repair message at its repair
+    // time, every repeat — so failovers recur throughout the soak.
+    if (config.cluster_events) {
+      const std::size_t members =
+          std::max<std::size_t>(plan.config.cluster_members, 1);
+      for (const ControllerCrashEvent& ev : plan.controller_crashes) {
+        const std::uint32_t target =
+            ev.member == kPrimaryMember
+                ? service::kClusterPrimary
+                : static_cast<std::uint32_t>(ev.member % members);
+        ServiceMessage crash;
+        crash.kind = MessageKind::kControllerCrash;
+        crash.member = target;
+        emit(crash, base + ev.at);
+        ServiceMessage repair;
+        repair.kind = MessageKind::kControllerRepair;
+        repair.member = target;
+        emit(repair, base + ev.repair_at);
+      }
+    }
   }
 
   // Total admission order: arrival time, ties broken by generation
@@ -124,6 +146,10 @@ ReportStreamBreakdown breakdown(const std::vector<ServiceMessage>& stream) {
         break;
       case MessageKind::kOperatorCommand:
         ++b.operator_commands;
+        break;
+      case MessageKind::kControllerCrash:
+      case MessageKind::kControllerRepair:
+        ++b.cluster_events;
         break;
     }
   }

@@ -56,6 +56,12 @@ struct ReportStreamConfig {
   Seconds retry_interval = 0.25;      ///< kRetryParked
   /// Virtual-time compression factor applied to every timestamp.
   double time_scale = 1.0;
+  /// Emit the plan's controller crash/repair schedule as
+  /// kControllerCrash / kControllerRepair messages (one pair per event
+  /// per repeat). The single-controller service counts and ignores
+  /// them; the replicated service crashes for real. Disable to replay a
+  /// crash-bearing plan against a cluster-oblivious consumer.
+  bool cluster_events = true;
 };
 
 /// Message-mix accounting for a built stream.
@@ -66,6 +72,7 @@ struct ReportStreamBreakdown {
   std::size_t link_reports = 0;
   std::size_t probe_results = 0;  ///< healthy + sick
   std::size_t operator_commands = 0;
+  std::size_t cluster_events = 0;  ///< controller crashes + repairs
   /// Virtual span of the stream (last arrival time, scaled).
   Seconds span = 0.0;
 };

@@ -28,6 +28,8 @@ namespace {
     case MessageKind::kLinkFailureReport: return "link_failure_report";
     case MessageKind::kProbeResult: return "probe_result";
     case MessageKind::kOperatorCommand: return "operator_command";
+    case MessageKind::kControllerCrash: return "controller_crash";
+    case MessageKind::kControllerRepair: return "controller_repair";
   }
   return "unknown";
 }
@@ -255,6 +257,7 @@ void ControllerService::dispatch_batch(const std::vector<ServiceMessage>& batch,
   span.set_end(end);
   span.set_detail("size=" + std::to_string(batch.size()));
   controller_->set_time(start);
+  on_batch_begin(start);
   for (const ServiceMessage& msg : batch) {
     handle_message(msg, start);
     const Seconds latency = end - msg.at;
@@ -327,6 +330,14 @@ void ControllerService::handle_message(const ServiceMessage& msg,
       handle_operator(msg);
       break;
     }
+    case MessageKind::kControllerCrash:
+    case MessageKind::kControllerRepair: {
+      // The single-controller service has no cluster to crash: count the
+      // event (so the kind partition still sums to processed) and move
+      // on. ReplicatedControllerService overrides dispatch to act.
+      ++stats_.cluster_events;
+      break;
+    }
   }
 }
 
@@ -386,6 +397,7 @@ void ControllerService::final_sweep() {
   if (recorder_ != nullptr) {
     recorder_->instant("service", "drained", t);
   }
+  stats_.audit_dropped = controller_->audit_dropped();
 }
 
 void ControllerService::publish_metrics() {
@@ -412,6 +424,13 @@ void ControllerService::publish_metrics() {
   metrics_->counter("service.repairs_performed")
       .add(stats_.repairs_performed);
   metrics_->counter("service.watchdog_acks").add(stats_.watchdog_acks);
+  metrics_->counter("service.cluster_events").add(stats_.cluster_events);
+  metrics_->counter("service.failovers").add(stats_.failovers);
+  metrics_->counter("service.replayed_reports")
+      .add(stats_.replayed_reports);
+  metrics_->counter("service.stale_rejections")
+      .add(stats_.stale_rejections);
+  metrics_->gauge("service.headless_seconds").set(stats_.headless_seconds);
   metrics_->gauge("service.peak_queue_depth")
       .set(static_cast<double>(in.peak_depth));
   metrics_->gauge("service.max_batch")
@@ -425,11 +444,30 @@ void ControllerService::publish_metrics() {
   for (double s : ingress_.batch_sizes().samples()) bs.record(s);
 }
 
+std::string ServiceStats::fingerprint() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "submitted=" << submitted << ";node=" << node_reports
+     << ";link=" << link_reports << ";probe=" << probe_results
+     << ";sick=" << sick_probes << ";ops=" << operator_commands
+     << ";cluster=" << cluster_events << ";injected=" << failures_injected
+     << ";stale=" << stale_reports << ";repairs=" << repairs_performed
+     << ";acks=" << watchdog_acks << ";retries=" << retry_sweeps
+     << ";diag=" << diagnosis_runs << ";sweeps=" << final_sweep_rounds
+     << ";audit_dropped=" << audit_dropped << ";failovers=" << failovers
+     << ";replayed=" << replayed_reports
+     << ";rejected=" << stale_rejections
+     << ";dead_windows=" << total_death_windows
+     << ";headless=" << headless_seconds
+     << ";max_headless=" << max_headless_window;
+  return os.str();
+}
+
 std::string ControllerService::fingerprint() const {
   const IngressStats& in = ingress_.stats();
   std::ostringstream os;
   os << std::setprecision(17);
-  os << "submitted=" << stats_.submitted << ";offered=" << in.offered
+  os << stats_.fingerprint() << ";offered=" << in.offered
      << ";accepted=" << in.accepted
      << ";dropped=" << in.dropped_overflow << ";shed=" << in.shed_probes
      << ";processed=" << in.processed << ";batches=" << in.batches
@@ -438,17 +476,6 @@ std::string ControllerService::fingerprint() const {
      << ";bp_engaged=" << in.backpressure_engaged
      << ";bp_time=" << in.backpressure_time
      << ";last_end=" << in.last_batch_end
-     << ";node=" << stats_.node_reports << ";link=" << stats_.link_reports
-     << ";probe=" << stats_.probe_results
-     << ";sick=" << stats_.sick_probes
-     << ";ops=" << stats_.operator_commands
-     << ";injected=" << stats_.failures_injected
-     << ";stale=" << stats_.stale_reports
-     << ";repairs=" << stats_.repairs_performed
-     << ";acks=" << stats_.watchdog_acks
-     << ";retries=" << stats_.retry_sweeps
-     << ";diag=" << stats_.diagnosis_runs
-     << ";sweeps=" << stats_.final_sweep_rounds
      << ";lat_count=" << decision_latency_.count();
   if (!decision_latency_.empty()) {
     os << ";lat_sum=" << decision_latency_.sum()

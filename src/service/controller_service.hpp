@@ -92,6 +92,7 @@ struct ServiceStats {
   std::uint64_t probe_results = 0;   ///< healthy probes (telemetry)
   std::uint64_t sick_probes = 0;     ///< unhealthy probes -> re-reports
   std::uint64_t operator_commands = 0;
+  std::uint64_t cluster_events = 0;  ///< crash/repair messages dispatched
   // What dispatch did.
   std::uint64_t failures_injected = 0;  ///< first reports grounded
   std::uint64_t stale_reports = 0;      ///< element already healthy
@@ -100,9 +101,30 @@ struct ServiceStats {
   std::uint64_t retry_sweeps = 0;       ///< kRetryParked dispatched
   std::uint64_t diagnosis_runs = 0;     ///< jobs processed by kRunDiagnosis
   std::uint64_t final_sweep_rounds = 0;
+  /// Controller audit-trail entries shed by the bounded in-memory log
+  /// (summed across replicas in the replicated service).
+  std::uint64_t audit_dropped = 0;
+  // --- replicated-service failover accounting (all zero for the
+  // single-controller ControllerService) -------------------------------------
+  std::uint64_t failovers = 0;         ///< elections that seated a primary
+  std::uint64_t replayed_reports = 0;  ///< headless-buffered then replayed
+  std::uint64_t stale_rejections = 0;  ///< dispatches refused by term guard
+  std::uint64_t total_death_windows = 0;  ///< windows with no live member
+  /// Virtual seconds with no usable primary (sum / longest single
+  /// window, total-death windows excluded from the max — they are
+  /// unbounded by design until an operator repair arrives).
+  double headless_seconds = 0.0;
+  double max_headless_window = 0.0;
   /// Wall-clock seconds between start() and drain completion (or around
   /// run_inline). Nondeterministic; excluded from fingerprint().
   double wall_seconds = 0.0;
+
+  /// Canonical rendering of every deterministic counter above (including
+  /// watchdog_acks / retry_sweeps / audit_dropped and the failover
+  /// block). The service's thread-identity contract is checked against
+  /// this string, so a counter missing here is a counter the tests can
+  /// silently diverge on.
+  [[nodiscard]] std::string fingerprint() const;
 };
 
 class ControllerService {
@@ -112,7 +134,7 @@ class ControllerService {
                     ServiceConfig config = {});
   ControllerService(const ControllerService&) = delete;
   ControllerService& operator=(const ControllerService&) = delete;
-  ~ControllerService();
+  virtual ~ControllerService();
 
   /// Counters/gauges service.* and latency histograms
   /// service.decision_latency / service.batch_size. Pass nullptr to
@@ -170,6 +192,42 @@ class ControllerService {
   /// any producer count, threaded or inline — produce the same string.
   [[nodiscard]] std::string fingerprint() const;
 
+ protected:
+  // --- subclass surface (ReplicatedControllerService) ------------------------
+  /// Called at the top of every dispatched batch, after the acting
+  /// controller's clock moved to `start` but before any message is
+  /// handled. The replicated service advances its cluster simulation
+  /// here (elections that completed strictly before the batch seat a
+  /// new primary and replay the headless buffer).
+  virtual void on_batch_begin(Seconds start) { (void)start; }
+  /// Dispatches one message of a batch into the acting controller. The
+  /// base implementation drives `controller_`; the replicated service
+  /// wraps it with the term guard, headless buffering, and
+  /// crash/repair application. `start` is the batch start time.
+  virtual void handle_message(const ServiceMessage& msg, Seconds start);
+  /// Shutdown settle loop (see file header). The replicated service
+  /// first runs the cluster simulation to completion (buffered reports
+  /// replay under the final primary), then delegates here.
+  virtual void final_sweep();
+  virtual void publish_metrics();
+  void handle_operator(const ServiceMessage& msg);
+
+  sharebackup::Fabric* fabric_;
+  /// The acting controller. The base class points it at the single
+  /// controller for the service's whole life; the replicated service
+  /// re-targets it at every failover (only the elected primary's
+  /// dispatch touches the shared fabric).
+  control::Controller* controller_;
+  ServiceConfig config_;
+  IngressQueue ingress_;
+  /// Closed switch-device universe for kRepairAll (every position's
+  /// seed device plus every initial spare), captured at construction.
+  std::vector<sharebackup::DeviceUid> switch_devices_;
+  ServiceStats stats_;
+  Summary decision_latency_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+
  private:
   struct Producer {
     std::deque<ServiceMessage> staging;
@@ -184,19 +242,6 @@ class ControllerService {
   /// IngressQueue BatchFn: dispatches one batch into the controller.
   void dispatch_batch(const std::vector<ServiceMessage>& batch,
                       Seconds start, Seconds end);
-  void handle_message(const ServiceMessage& msg, Seconds start);
-  void handle_operator(const ServiceMessage& msg);
-  /// Shutdown settle loop (see file header).
-  void final_sweep();
-  void publish_metrics();
-
-  sharebackup::Fabric* fabric_;
-  control::Controller* controller_;
-  ServiceConfig config_;
-  IngressQueue ingress_;
-  /// Closed switch-device universe for kRepairAll (every position's
-  /// seed device plus every initial spare), captured at construction.
-  std::vector<sharebackup::DeviceUid> switch_devices_;
 
   std::mutex mu_;
   std::condition_variable cv_work_;   ///< producers -> loop
@@ -206,12 +251,7 @@ class ControllerService {
   bool started_ = false;
   bool stopped_ = false;
 
-  ServiceStats stats_;
-  Summary decision_latency_;
   double wall_start_us_ = 0.0;
-
-  obs::MetricsRegistry* metrics_ = nullptr;
-  obs::FlightRecorder* recorder_ = nullptr;
 };
 
 }  // namespace sbk::service

@@ -28,7 +28,21 @@ enum class MessageKind : std::uint8_t {
   kProbeResult,
   /// Repair-crew / NOC action (see OperatorOp).
   kOperatorCommand,
+  /// A controller-cluster member process died (replicated service;
+  /// `member` selects the victim — see kClusterPrimary). The
+  /// single-controller ControllerService counts and ignores these.
+  kControllerCrash,
+  /// A controller-cluster member was restarted by the operations crew
+  /// (`member` selects it; kClusterPrimary revives every dead member).
+  kControllerRepair,
 };
+
+/// Sentinel for ServiceMessage::member: "whichever member currently
+/// acts" — the elected primary if one exists, else the highest live
+/// member (the imminent election winner). Crash events target it to
+/// model an adversary always killing the controller that matters;
+/// repair events target it to revive every dead member at once.
+inline constexpr std::uint32_t kClusterPrimary = 0xFFFFFFFFu;
 
 enum class OperatorOp : std::uint8_t {
   /// Repair-crew tick: heal every out-of-service switch device and
@@ -67,6 +81,9 @@ struct ServiceMessage {
   /// (a re-report routed to link-failure handling).
   bool healthy = true;
   OperatorOp op = OperatorOp::kRetryParked;  ///< kOperatorCommand
+  /// kControllerCrash / kControllerRepair: cluster member index, or
+  /// kClusterPrimary (see its comment for crash vs. repair semantics).
+  std::uint32_t member = kClusterPrimary;
 };
 
 /// The total admission order of the service: arrival time, then

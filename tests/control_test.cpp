@@ -905,6 +905,111 @@ TEST(Cluster, SurvivesSequentialFailuresUntilLastMember) {
   EXPECT_FALSE(cluster.available());
 }
 
+// Regression suite for fail_member during an in-flight election
+// (replicated-service failover relies on these: a crash landing inside
+// the election window must restart / re-target the election, never
+// deadlock availability).
+
+TEST(Cluster, WinnerDiesMidElectionLowerMemberElected) {
+  sim::EventQueue q;
+  ClusterConfig cfg;
+  cfg.members = 3;
+  ControllerCluster cluster(q, cfg);
+  cluster.start(5.0);
+  std::vector<std::size_t> winners;
+  cluster.on_election([&](std::size_t p, std::size_t, Seconds) {
+    winners.push_back(p);
+  });
+  // Primary 2 dies; the election that follows would elect member 1 —
+  // kill member 1 inside the election window (misses take 3 ticks of
+  // 10 ms, the election 5 ms, so ~32 ms is mid-election).
+  q.schedule_at(0.5, [&] { cluster.fail_member(2); });
+  q.schedule_at(0.523, [&] {
+    EXPECT_TRUE(cluster.election_in_progress());
+    cluster.fail_member(1);
+  });
+  q.run();
+  // The election completes on time and skips the dead candidate.
+  ASSERT_EQ(winners.size(), 1u);
+  EXPECT_EQ(winners[0], 0u);
+  EXPECT_TRUE(cluster.available());
+  EXPECT_LE(cluster.downtime(), cfg.election_bound());
+}
+
+TEST(Cluster, TotalDeathMidElectionAbortsThenRepairReelects) {
+  sim::EventQueue q;
+  ClusterConfig cfg;
+  cfg.members = 3;
+  ControllerCluster cluster(q, cfg);
+  cluster.start(5.0);
+  std::vector<std::pair<std::size_t, std::size_t>> winners;  // (member, term)
+  cluster.on_election([&](std::size_t p, std::size_t t, Seconds) {
+    winners.emplace_back(p, t);
+  });
+  q.schedule_at(0.5, [&] { cluster.fail_member(2); });
+  // Every survivor dies mid-election: the election must abort without
+  // electing a ghost and without consuming a term.
+  q.schedule_at(0.523, [&] {
+    EXPECT_TRUE(cluster.election_in_progress());
+    cluster.fail_member(1);
+    cluster.fail_member(0);
+  });
+  q.schedule_at(1.0, [&] {
+    EXPECT_FALSE(cluster.available());
+    EXPECT_EQ(cluster.term(), 0u);
+    // Revival after total cluster death: the repaired member restarts
+    // the heartbeat chain, calls a fresh election, and wins it.
+    cluster.repair_member(0);
+  });
+  q.run();
+  ASSERT_EQ(winners.size(), 1u);
+  EXPECT_EQ(winners[0].first, 0u);
+  EXPECT_EQ(winners[0].second, 1u);
+  EXPECT_TRUE(cluster.available());
+}
+
+TEST(Cluster, MemberRepairedMidElectionCanWinIt) {
+  sim::EventQueue q;
+  ClusterConfig cfg;
+  cfg.members = 3;
+  ControllerCluster cluster(q, cfg);
+  cluster.start(5.0);
+  q.schedule_at(0.5, [&] { cluster.fail_member(2); });
+  // The dead ex-primary comes back inside the election window: it
+  // rejoins as a candidate and, holding the highest id, wins.
+  q.schedule_at(0.523, [&] {
+    EXPECT_TRUE(cluster.election_in_progress());
+    cluster.repair_member(2);
+  });
+  q.run();
+  EXPECT_EQ(cluster.primary(), std::optional<std::size_t>(2));
+  EXPECT_TRUE(cluster.available());
+}
+
+TEST(Cluster, PrimaryRepairedBeforeElectionClosesDowntimeWindow) {
+  sim::EventQueue q;
+  ClusterConfig cfg;
+  cfg.members = 3;
+  ControllerCluster cluster(q, cfg);
+  cluster.start(10.0);
+  // Primary 2 blips: dies at 0.5 and is repaired two heartbeats later,
+  // before the third miss starts an election. Availability returns at
+  // the repair instant with no election at all — the open downtime
+  // window must close there (the bug: repair_member never called
+  // track_availability, so a later outage charged the whole healthy
+  // span in between as downtime).
+  q.schedule_at(0.5, [&] { cluster.fail_member(2); });
+  q.schedule_at(0.515, [&] { cluster.repair_member(2); });
+  q.schedule_at(5.0, [&] { cluster.fail_member(2); });  // second outage
+  q.run();
+  EXPECT_TRUE(cluster.available());
+  EXPECT_EQ(cluster.term(), 1u);
+  // Downtime = blip (~25 ms) + detection/election of the second outage
+  // (~35 ms); the 4.5 healthy seconds in between must not be counted.
+  EXPECT_LT(cluster.downtime(), 0.1);
+  EXPECT_GT(cluster.downtime(), 0.025);
+}
+
 TEST(Cluster, RepairedMemberCanBeReelected) {
   sim::EventQueue q;
   ClusterConfig cfg;

@@ -6,12 +6,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "control/control_plane.hpp"
 #include "faultinject/chaos_injector.hpp"
 #include "faultinject/chaos_soak.hpp"
 #include "faultinject/fault_plan.hpp"
+#include "faultinject/report_stream.hpp"
+#include "service/message.hpp"
 #include "sim/event_queue.hpp"
+#include "util/assert.hpp"
 
 namespace sbk::faultinject {
 namespace {
@@ -85,6 +89,116 @@ TEST(FaultPlan, FailuresStayInsideFaultWindow) {
   EXPECT_TRUE(std::any_of(plan.link_failures.begin(),
                           plan.link_failures.end(),
                           [](const LinkFailureEvent& e) { return e.burst; }));
+}
+
+TEST(FaultPlan, ClusterScenariosProduceScriptedCrashSchedules) {
+  Fabric fabric(fp(4, 2));
+  FaultPlanConfig cfg;
+  cfg.cluster_members = 3;
+
+  cfg.cluster_scenario = ClusterScenario::kPrimaryCrash;
+  FaultPlan primary = FaultPlan::generate(fabric, cfg, 11);
+  ASSERT_EQ(primary.controller_crashes.size(), 1u);
+  EXPECT_EQ(primary.controller_crashes[0].member, kPrimaryMember);
+  EXPECT_DOUBLE_EQ(primary.controller_crashes[0].repair_at,
+                   primary.controller_crashes[0].at +
+                       cfg.controller_repair_delay);
+
+  cfg.cluster_scenario = ClusterScenario::kCrashDuringElection;
+  FaultPlan during = FaultPlan::generate(fabric, cfg, 11);
+  ASSERT_EQ(during.controller_crashes.size(), 2u);
+  // The second kill lands strictly inside the first's election bound.
+  EXPECT_GT(during.controller_crashes[1].at, during.controller_crashes[0].at);
+  EXPECT_LT(during.controller_crashes[1].at,
+            during.controller_crashes[0].at + cfg.cluster_election_bound);
+
+  cfg.cluster_scenario = ClusterScenario::kTotalDeath;
+  FaultPlan death = FaultPlan::generate(fabric, cfg, 11);
+  ASSERT_EQ(death.controller_crashes.size(), cfg.cluster_members);
+  for (const ControllerCrashEvent& ev : death.controller_crashes) {
+    EXPECT_EQ(ev.member, kPrimaryMember);
+    EXPECT_DOUBLE_EQ(ev.repair_at, death.controller_crashes[0].at +
+                                       cfg.controller_repair_delay);
+  }
+}
+
+// --- report-stream edge cases -----------------------------------------------
+
+TEST(ReportStream, ZeroRepeatsViolatesTheContract) {
+  Fabric fabric(fp(4, 1));
+  FaultPlan plan = FaultPlan::generate(fabric, FaultPlanConfig{}, 3);
+  ReportStreamConfig cfg;
+  cfg.repeats = 0;
+  EXPECT_THROW(build_report_stream(plan, cfg), ContractViolation);
+  cfg.repeats = 1;
+  cfg.time_scale = 0.0;  // and virtual time cannot stand still
+  EXPECT_THROW(build_report_stream(plan, cfg), ContractViolation);
+}
+
+TEST(ReportStream, ExtremeTimeScalesKeepTheScheduleWellFormed) {
+  Fabric fabric(fp(4, 1));
+  FaultPlanConfig pcfg;
+  pcfg.controller_crash_prob = 1.0;  // force a crash/repair pair
+  FaultPlan plan = FaultPlan::generate(fabric, pcfg, 3);
+  for (double scale : {1e-12, 1e12}) {
+    ReportStreamConfig cfg;
+    cfg.repeats = 2;
+    cfg.time_scale = scale;
+    const auto stream = build_report_stream(plan, cfg);
+    ASSERT_FALSE(stream.empty());
+    // Saturated or stretched, the admission order must stay intact:
+    // finite nonnegative times, nondecreasing, dense unique seqs.
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      EXPECT_TRUE(std::isfinite(stream[i].at));
+      EXPECT_GE(stream[i].at, 0.0);
+      EXPECT_EQ(stream[i].seq, i);
+      if (i > 0) {
+        EXPECT_GE(stream[i].at, stream[i - 1].at);
+      }
+    }
+    const auto b = breakdown(stream);
+    EXPECT_EQ(b.total, stream.size());
+    EXPECT_GT(b.cluster_events, 0u);
+  }
+}
+
+TEST(ReportStream, LeadingControllerCrashComesOutFirstAndMapsToPrimary) {
+  Fabric fabric(fp(4, 1));
+  // Hand-built plan whose very first event is the controller crash —
+  // before any failure report exists to warm the service up.
+  FaultPlan plan;
+  plan.config.horizon = 1.0;
+  plan.settle_at = 0.6;
+  ControllerCrashEvent ev;
+  ev.at = 0.0;
+  ev.member = kPrimaryMember;
+  ev.repair_at = 0.3;
+  plan.controller_crashes.push_back(ev);
+  SwitchFailureEvent sw;
+  sw.at = 0.1;
+  sw.node = fabric.fat_tree().all_switches()[0];
+  plan.switch_failures.push_back(sw);
+
+  ReportStreamConfig cfg;
+  cfg.background_probes = 0;  // keep the head of the stream bare
+  const auto stream = build_report_stream(plan, cfg);
+  ASSERT_GE(stream.size(), 4u);  // crash, reports, repair, cadences
+  EXPECT_EQ(stream[0].kind, service::MessageKind::kControllerCrash);
+  EXPECT_EQ(stream[0].at, 0.0);
+  EXPECT_EQ(stream[0].member, service::kClusterPrimary);
+  // The paired repair is present and later.
+  const auto repair = std::find_if(
+      stream.begin(), stream.end(), [](const service::ServiceMessage& m) {
+        return m.kind == service::MessageKind::kControllerRepair;
+      });
+  ASSERT_NE(repair, stream.end());
+  EXPECT_GT(repair->at, stream[0].at);
+  EXPECT_EQ(repair->member, service::kClusterPrimary);
+  // Disabling cluster events strips them (and only them).
+  cfg.cluster_events = false;
+  const auto bare = build_report_stream(plan, cfg);
+  EXPECT_EQ(bare.size(), stream.size() - 2);
+  EXPECT_EQ(breakdown(bare).cluster_events, 0u);
 }
 
 // --- command-channel faults -------------------------------------------------

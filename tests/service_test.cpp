@@ -9,11 +9,13 @@
 #include <vector>
 
 #include "control/controller.hpp"
+#include "control/controller_cluster.hpp"
 #include "faultinject/fault_plan.hpp"
 #include "faultinject/report_stream.hpp"
 #include "service/controller_service.hpp"
 #include "service/ingress_queue.hpp"
 #include "service/message.hpp"
+#include "service/replicated_service.hpp"
 #include "sharebackup/fabric.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
@@ -244,7 +246,7 @@ TEST(ControllerService, DrainProcessesEveryAcceptedMessageExactlyOnce) {
   // The per-kind dispatch counts partition the processed total.
   EXPECT_EQ(out.stats.node_reports + out.stats.link_reports +
                 out.stats.probe_results + out.stats.sick_probes +
-                out.stats.operator_commands,
+                out.stats.operator_commands + out.stats.cluster_events,
             out.ingress.processed);
   EXPECT_EQ(out.stats.submitted, stream.size());
 }
@@ -281,6 +283,287 @@ TEST(ControllerService, BackpressureEngagesUnderCompressedBursts) {
               const auto b = fi::breakdown(stream);
               return static_cast<std::uint64_t>(b.failure_reports);
             }());
+}
+
+// ---------------------------------------------------------------------------
+// ReplicatedControllerService: live controller-cluster failover.
+
+/// Cluster timings in *scaled* virtual time, matched to the streams'
+/// time_scale = 0.02: heartbeat 0.2 ms, 3 misses, 0.1 ms election —
+/// election_bound() = 0.9 ms, i.e. 45 ms of plan time (the
+/// FaultPlanConfig::cluster_election_bound default).
+ReplicatedServiceConfig replicated_config() {
+  ReplicatedServiceConfig c;
+  c.service = burst_sized_service();
+  c.cluster.members = 3;
+  c.cluster.heartbeat_interval = 0.0002;
+  c.cluster.miss_threshold = 3;
+  c.cluster.election_duration = 0.0001;
+  c.audit_limit = 1000;
+  return c;
+}
+
+std::vector<ServiceMessage> scenario_stream(const sharebackup::Fabric& fabric,
+                                            fi::ClusterScenario scenario) {
+  fi::FaultPlanConfig pcfg;
+  pcfg.switch_failures = 6;
+  pcfg.link_failures = 9;
+  pcfg.bursts = 2;
+  pcfg.burst_size = 3;
+  pcfg.cluster_scenario = scenario;
+  const fi::FaultPlan plan = fi::FaultPlan::generate(fabric, pcfg, /*seed=*/7);
+  fi::ReportStreamConfig scfg;
+  scfg.repeats = 6;
+  scfg.resends = 2;
+  scfg.background_probes = 512;
+  scfg.time_scale = 0.02;
+  return fi::build_report_stream(plan, scfg);
+}
+
+struct ReplicatedPassOutput {
+  std::string fingerprint;
+  ServiceStats stats;
+  IngressStats ingress;
+  std::size_t backlog = 0;
+  std::size_t term = 0;
+  Seconds bound = 0.0;
+};
+
+ReplicatedPassOutput run_replicated_pass(
+    const std::vector<ServiceMessage>& stream, int threads) {
+  sharebackup::Fabric fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  ReplicatedControllerService service(fabric, replicated_config());
+  if (threads <= 0) {
+    service.run_inline(stream);
+  } else {
+    std::vector<int> ids;
+    for (int p = 0; p < threads; ++p) ids.push_back(service.add_producer());
+    service.start();
+    std::vector<std::thread> workers;
+    for (int p = 0; p < threads; ++p) {
+      workers.emplace_back([&, p] {
+        for (std::size_t i = static_cast<std::size_t>(p); i < stream.size();
+             i += static_cast<std::size_t>(threads)) {
+          service.submit(ids[static_cast<std::size_t>(p)], stream[i]);
+        }
+        service.finish_producer(ids[static_cast<std::size_t>(p)]);
+      });
+    }
+    for (auto& w : workers) w.join();
+    service.drain_and_stop();
+  }
+  return {service.fingerprint(),     service.stats(),
+          service.ingress_stats(),   service.headless_backlog(),
+          service.cluster().term(),  service.election_bound()};
+}
+
+/// Zero lost accepted reports, headless bound, and the kind partition —
+/// the tentpole's end-of-run invariants — for one scenario stream.
+void expect_failover_invariants(const std::vector<ServiceMessage>& stream,
+                                const ReplicatedPassOutput& out) {
+  EXPECT_EQ(out.ingress.processed, out.ingress.accepted);
+  // Every dispatched message is counted exactly once by kind; the
+  // headless backlog is empty because every scenario revives the
+  // cluster before the stream ends.
+  EXPECT_EQ(out.backlog, 0u);
+  EXPECT_EQ(out.stats.node_reports + out.stats.link_reports +
+                out.stats.probe_results + out.stats.sick_probes +
+                out.stats.operator_commands + out.stats.cluster_events,
+            out.ingress.processed);
+  // Failure reports are never shed or dropped, so none may be lost to a
+  // failover either: the dispatch counts equal the stream's population.
+  const auto b = fi::breakdown(stream);
+  EXPECT_EQ(out.stats.node_reports, b.node_reports);
+  EXPECT_EQ(out.stats.link_reports, b.link_reports);
+  EXPECT_EQ(out.stats.operator_commands, b.operator_commands);
+  EXPECT_EQ(out.stats.cluster_events, b.cluster_events);
+  // Bounded headless windows respect the configured election bound.
+  EXPECT_LE(out.stats.max_headless_window, out.bound + 1e-12)
+      << "headless window exceeded the election bound";
+}
+
+TEST(ReplicatedService, PrimaryCrashFailsOverReplaysAndStaysBounded) {
+  Log::set_level(LogLevel::kError);
+  sharebackup::Fabric fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  const auto stream =
+      scenario_stream(fabric, fi::ClusterScenario::kPrimaryCrash);
+  const ReplicatedPassOutput out = run_replicated_pass(stream, 0);
+  expect_failover_invariants(stream, out);
+  // One crash per repeat: every repeat fails over and replays what
+  // buffered during its headless window.
+  EXPECT_GE(out.stats.failovers, 6u);
+  EXPECT_GT(out.stats.replayed_reports, 0u);
+  EXPECT_GT(out.stats.headless_seconds, 0.0);
+  EXPECT_EQ(out.stats.total_death_windows, 0u);
+  EXPECT_GE(out.term, 6u);
+}
+
+TEST(ReplicatedService, CrashDuringElectionStillSeatsAPrimary) {
+  Log::set_level(LogLevel::kError);
+  sharebackup::Fabric fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  const auto stream =
+      scenario_stream(fabric, fi::ClusterScenario::kCrashDuringElection);
+  const ReplicatedPassOutput out = run_replicated_pass(stream, 0);
+  expect_failover_invariants(stream, out);
+  // Two kills per repeat (primary, then the imminent winner): the
+  // surviving member is elected anyway and the stream drains.
+  EXPECT_GE(out.stats.failovers, 6u);
+  EXPECT_GT(out.stats.replayed_reports, 0u);
+}
+
+TEST(ReplicatedService, TotalClusterDeathRevivalLosesNothing) {
+  Log::set_level(LogLevel::kError);
+  sharebackup::Fabric fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  const auto stream =
+      scenario_stream(fabric, fi::ClusterScenario::kTotalDeath);
+  const ReplicatedPassOutput out = run_replicated_pass(stream, 0);
+  expect_failover_invariants(stream, out);
+  // Every repeat walks the whole cluster into the ground; the windows
+  // are excused from the bound but everything buffered replays after
+  // the revival.
+  EXPECT_GE(out.stats.total_death_windows, 6u);
+  EXPECT_GT(out.stats.replayed_reports, 0u);
+  EXPECT_GT(out.stats.headless_seconds, 0.0);
+}
+
+TEST(ReplicatedService, FingerprintBitIdenticalAcrossThreadCounts) {
+  Log::set_level(LogLevel::kError);
+  sharebackup::Fabric fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  for (fi::ClusterScenario scenario :
+       {fi::ClusterScenario::kPrimaryCrash,
+        fi::ClusterScenario::kCrashDuringElection,
+        fi::ClusterScenario::kTotalDeath}) {
+    const auto stream = scenario_stream(fabric, scenario);
+    const ReplicatedPassOutput inline_pass = run_replicated_pass(stream, 0);
+    for (int threads : {1, 4, 8}) {
+      const ReplicatedPassOutput threaded =
+          run_replicated_pass(stream, threads);
+      EXPECT_EQ(threaded.fingerprint, inline_pass.fingerprint)
+          << "divergence at " << threads << " producer threads, scenario "
+          << static_cast<int>(scenario);
+    }
+  }
+}
+
+TEST(ReplicatedService, MidBatchCrashTermGuardRejectsThenReplays) {
+  Log::set_level(LogLevel::kError);
+  sharebackup::Fabric fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  const net::NodeId victim_a =
+      fabric.node_at({topo::Layer::kEdge, 0, 0});
+  const net::NodeId victim_b =
+      fabric.node_at({topo::Layer::kEdge, 1, 0});
+
+  // One warmup report at t=0 occupies the server (batch overhead +
+  // message cost = 70 us), so the crash and the two reports behind it
+  // all land in the *same* second batch — the mid-batch case.
+  std::vector<ServiceMessage> stream;
+  ServiceMessage warm;
+  warm.kind = MessageKind::kNodeFailureReport;
+  warm.node = victim_a;
+  warm.inject = true;
+  warm.at = 0.0;
+  stream.push_back(warm);
+  ServiceMessage crash;
+  crash.kind = MessageKind::kControllerCrash;
+  crash.member = kClusterPrimary;
+  crash.at = 10e-6;
+  stream.push_back(crash);
+  ServiceMessage report;
+  report.kind = MessageKind::kNodeFailureReport;
+  report.node = victim_b;
+  report.inject = true;
+  report.at = 20e-6;
+  stream.push_back(report);
+  ServiceMessage resend = report;
+  resend.inject = false;
+  resend.at = 30e-6;
+  stream.push_back(resend);
+  for (std::size_t i = 0; i < stream.size(); ++i) stream[i].seq = i;
+
+  sharebackup::Fabric pass_fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  ReplicatedControllerService service(pass_fabric, replicated_config());
+  service.run_inline(stream);
+
+  const ServiceStats& stats = service.stats();
+  // The lease captured at batch start died mid-batch: both reports
+  // behind the crash were refused by the term guard, buffered, and
+  // replayed once the election seated member 1.
+  EXPECT_EQ(stats.cluster_events, 1u);
+  EXPECT_EQ(stats.stale_rejections, 2u);
+  EXPECT_EQ(stats.replayed_reports, 2u);
+  EXPECT_EQ(stats.failovers, 1u);
+  EXPECT_EQ(stats.node_reports, 3u);
+  EXPECT_EQ(service.acting_member(), 1u);
+  EXPECT_EQ(service.cluster().term(), 1u);
+  EXPECT_EQ(service.headless_backlog(), 0u);
+  // The headless window (crash dispatch -> election) obeys the bound.
+  EXPECT_GT(stats.headless_seconds, 0.0);
+  EXPECT_LE(stats.max_headless_window, service.election_bound() + 1e-12);
+  // Both grounded failures were actually recovered by the cluster.
+  EXPECT_FALSE(pass_fabric.network().node_failed(victim_a));
+  EXPECT_FALSE(pass_fabric.network().node_failed(victim_b));
+}
+
+TEST(ReplicatedService, PrimaryBlipRepairReplaysWithoutFailover) {
+  Log::set_level(LogLevel::kError);
+  sharebackup::Fabric fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  const net::NodeId victim = fabric.node_at({topo::Layer::kEdge, 2, 1});
+
+  // Crash the primary and repair it within the same batch, with one
+  // report in between: the stale primary blips back before any misses
+  // accrue, so the buffer replays into the *same* controller and no
+  // election happens.
+  std::vector<ServiceMessage> stream;
+  ServiceMessage warm;
+  warm.kind = MessageKind::kProbeResult;
+  warm.healthy = true;
+  warm.link = net::LinkId{0};
+  warm.at = 0.0;
+  stream.push_back(warm);
+  ServiceMessage crash;
+  crash.kind = MessageKind::kControllerCrash;
+  crash.member = kClusterPrimary;
+  crash.at = 10e-6;
+  stream.push_back(crash);
+  ServiceMessage report;
+  report.kind = MessageKind::kNodeFailureReport;
+  report.node = victim;
+  report.inject = true;
+  report.at = 20e-6;
+  stream.push_back(report);
+  ServiceMessage repair;
+  repair.kind = MessageKind::kControllerRepair;
+  repair.member = kClusterPrimary;
+  repair.at = 30e-6;
+  stream.push_back(repair);
+  for (std::size_t i = 0; i < stream.size(); ++i) stream[i].seq = i;
+
+  sharebackup::Fabric pass_fabric(
+      sharebackup::FabricParams{.fat_tree = {.k = 6}, .backups_per_group = 2});
+  ReplicatedControllerService service(pass_fabric, replicated_config());
+  service.run_inline(stream);
+
+  const ServiceStats& stats = service.stats();
+  EXPECT_EQ(stats.cluster_events, 2u);
+  EXPECT_EQ(stats.stale_rejections, 1u);
+  EXPECT_EQ(stats.replayed_reports, 1u);
+  EXPECT_EQ(stats.failovers, 0u);  // same member, leadership intact
+  EXPECT_EQ(service.cluster().term(), 0u);
+  EXPECT_EQ(service.acting_member(), 2u);
+  EXPECT_EQ(service.headless_backlog(), 0u);
+  // Crash and repair dispatched at the same batch start: the headless
+  // window exists (the report in between was buffered) but has zero
+  // width in virtual time.
+  EXPECT_EQ(stats.headless_seconds, 0.0);
+  EXPECT_FALSE(pass_fabric.network().node_failed(victim));
 }
 
 }  // namespace

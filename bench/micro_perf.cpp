@@ -3,11 +3,15 @@
 // failover, offline diagnosis, table lookups, and whole fluid-sim runs.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "control/controller.hpp"
 #include "control/diagnosis.hpp"
 #include "faultinject/fault_plan.hpp"
 #include "faultinject/report_stream.hpp"
 #include "obs/flight_recorder.hpp"
+#include "obs/slo/health_snapshot.hpp"
+#include "obs/slo/log_histogram.hpp"
 #include "obs/timeseries.hpp"
 #include "pktsim/packet_sim.hpp"
 #include "routing/ecmp.hpp"
@@ -284,6 +288,85 @@ void BM_ServiceIngest(benchmark::State& state) {
                           static_cast<std::int64_t>(stream.size()));
 }
 BENCHMARK(BM_ServiceIngest);
+
+void BM_ServiceIngestSloEnabled(benchmark::State& state) {
+  // BM_ServiceIngest with the live SLO engine on: streaming histogram
+  // records, burn-rate window advances at batch boundaries, and health
+  // snapshots on the virtual-time cadence. bench.sh gates this against
+  // BM_ServiceIngest — a disabled engine costs one branch per message,
+  // and the enabled engine must stay within the ingest noise floor.
+  Log::set_level(LogLevel::kError);
+  sharebackup::FabricParams p;
+  p.fat_tree.k = 6;
+  p.backups_per_group = 2;
+  sharebackup::Fabric plan_fabric(p);
+  faultinject::FaultPlanConfig pcfg;
+  pcfg.switch_failures = 6;
+  pcfg.link_failures = 9;
+  const faultinject::FaultPlan plan =
+      faultinject::FaultPlan::generate(plan_fabric, pcfg, /*seed=*/11);
+  faultinject::ReportStreamConfig scfg;
+  scfg.repeats = 3;
+  scfg.time_scale = 0.02;
+  const std::vector<service::ServiceMessage> stream =
+      faultinject::build_report_stream(plan, scfg);
+  service::ServiceConfig svc_cfg;
+  svc_cfg.slo.enabled = true;
+  for (auto _ : state) {
+    sharebackup::Fabric fabric(p);
+    control::Controller controller(fabric, control::ControllerConfig{});
+    controller.set_audit_limit(1000);
+    service::ControllerService svc(fabric, controller, svc_cfg);
+    svc.run_inline(stream);
+    benchmark::DoNotOptimize(svc.stats().submitted);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(stream.size()));
+}
+BENCHMARK(BM_ServiceIngestSloEnabled);
+
+void BM_LogHistogramRecord(benchmark::State& state) {
+  // The SLO engine's hot-path primitive: O(1) frexp bucketing into a
+  // fixed array. Pre-drawn latencies so the rng is out of the loop.
+  Rng rng(17);
+  std::vector<double> values(4096);
+  for (double& v : values) v = rng.lognormal(-6.0, 1.2);
+  obs::slo::LogHistogram hist;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    hist.record(values[i++ & 4095]);
+    benchmark::DoNotOptimize(hist);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LogHistogramRecord);
+
+void BM_HealthSnapshot(benchmark::State& state) {
+  // Cost of cutting one health snapshot from a populated histogram
+  // (four quantile queries walk the bucket array) plus its JSON
+  // rendering — the per-interval cost of the snapshot timeline.
+  Rng rng(23);
+  obs::slo::LogHistogram hist;
+  for (int i = 0; i < 100000; ++i) hist.record(rng.lognormal(-6.0, 1.2));
+  for (auto _ : state) {
+    obs::slo::HealthSnapshot snap;
+    snap.at = 1.0;
+    snap.processed = hist.count();
+    obs::slo::HealthHistogramStat hs;
+    hs.name = "decision_latency";
+    hs.count = hist.count();
+    hs.p50 = hist.quantile(0.5);
+    hs.p99 = hist.quantile(0.99);
+    hs.p999 = hist.quantile(0.999);
+    hs.max = hist.max();
+    snap.histograms.push_back(hs);
+    std::ostringstream os;
+    obs::slo::write_health_json(os, snap);
+    benchmark::DoNotOptimize(os);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HealthSnapshot);
 
 void BM_CombinedTableLookup(benchmark::State& state) {
   routing::TwoLevelTableBuilder builder(64);

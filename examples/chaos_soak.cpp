@@ -14,6 +14,12 @@
 // Perfetto track per scenario index) viewable in chrome://tracing or
 // ui.perfetto.dev, and implies per-scenario telemetry sampling;
 // --telemetry additionally writes the merged time-series CSV.
+//
+// --slo evaluates a recovery-latency SLO per scenario (paper target:
+// sub-millisecond recovery) with burn-rate alerting, prints the merged
+// attainment/alert totals, and --health=FILE dumps the end-state
+// health snapshots as a JSON array. --slo is exclusive with --trace /
+// --telemetry (the soak overloads are separate).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -30,7 +36,8 @@ int usage(const std::string& error) {
   std::fprintf(stderr,
                "usage: chaos_soak [scenarios] [master_seed] [k] [backups]"
                " [threads]\n"
-               "                  [--trace=out.json] [--telemetry=out.csv]\n");
+               "                  [--trace=out.json] [--telemetry=out.csv]\n"
+               "                  [--slo] [--health=out.json]\n");
   return 2;
 }
 
@@ -38,13 +45,17 @@ int usage(const std::string& error) {
 
 int main(int argc, char** argv) {
   const sbk::cli::ParseResult args = sbk::cli::parse_args(
-      argc, argv, {{"trace", true}, {"telemetry", true}},
+      argc, argv,
+      {{"trace", true}, {"telemetry", true}, {"slo", false},
+       {"health", true}},
       /*max_positional=*/5);
   if (!args.ok()) return usage(args.error);
 
   sbk::faultinject::ChaosSoakConfig cfg;
   const std::string trace_path = args.value_of("trace").value_or("");
   const std::string telemetry_path = args.value_of("telemetry").value_or("");
+  const bool slo = args.has("slo") || args.has("health");
+  const std::string health_path = args.value_of("health").value_or("");
   auto arg = [&args](std::size_t i, long long fallback,
                      std::optional<long long>& slot) {
     if (args.positional.size() <= i) { slot = fallback; return; }
@@ -65,6 +76,10 @@ int main(int argc, char** argv) {
   cfg.backups_per_group = static_cast<int>(*backups);
   cfg.threads = static_cast<std::size_t>(*threads);
   cfg.obs.trace = !trace_path.empty() || !telemetry_path.empty();
+  cfg.obs.slo = slo;
+  if (cfg.obs.trace && cfg.obs.slo) {
+    return usage("--slo/--health cannot be combined with --trace/--telemetry");
+  }
 
   std::cout << "running " << cfg.scenarios << " chaos scenarios (seed "
             << cfg.master_seed << ", k=" << cfg.k << ", n="
@@ -97,6 +112,29 @@ int main(int argc, char** argv) {
       }
       std::cout << "wrote " << telemetry.rows() << " telemetry rows to "
                 << telemetry_path << "\n";
+    }
+  } else if (cfg.obs.slo) {
+    sbk::obs::slo::SloMonitor monitor = sbk::faultinject::make_chaos_slo(cfg);
+    sbk::obs::slo::HealthLog health;
+    report = sbk::faultinject::run_chaos_soak(cfg, monitor, health);
+    std::cout << "slo: recovery_latency p99 < "
+              << cfg.obs.recovery_latency_bound * 1e3 << " ms-equivalent"
+              << " (budget " << cfg.obs.recovery_budget << "): attainment "
+              << monitor.attainment(0) << " over "
+              << monitor.good_total(0) + monitor.bad_total(0)
+              << " recoveries, " << monitor.breach_count(0) << " breaches, "
+              << monitor.clear_count(0) << " clears, "
+              << monitor.alerts().size() << " alert events\n";
+    if (!health_path.empty()) {
+      std::ofstream out(health_path);
+      health.write_json(out);
+      if (!out.good()) {
+        std::cerr << "failed to write health snapshots to " << health_path
+                  << "\n";
+        return 2;
+      }
+      std::cout << "wrote " << health.size() << " health snapshots to "
+                << health_path << "\n";
     }
   } else {
     report = sbk::faultinject::run_chaos_soak(cfg);

@@ -3,6 +3,7 @@
 //   sbk_trace summary   trace.json [--top=N]
 //   sbk_trace service   trace.json
 //   sbk_trace incidents trace.json [--telemetry=t.csv] [--window=seconds]
+//   sbk_trace slo       trace.json
 //   sbk_trace check     trace.json [--timeline=timeline.csv]
 //
 // `summary` aggregates spans by (category, name) and prints the top
@@ -21,6 +22,12 @@
 // moved in a window around the incident — the paper's
 // utilization-dips-then-restores picture, per incident.
 //
+// `slo` digests the "slo" category an SloMonitor records: the burn-rate
+// alert timeline (every slo_breach/slo_clear instant with its burn
+// rates and any linked recovery incidents, per track) and the final
+// per-objective attainment from the slo_attainment instants the
+// monitor's finish() emits.
+//
 // `check` validates the file: it must parse as trace_event JSON (the
 // loader enforces the schema), recovery spans must be monotone within
 // each incident, and with --timeline every RecoveryTracer CSV row must
@@ -30,10 +37,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -63,6 +72,7 @@ int usage(const std::string& error = "") {
                "       sbk_trace service   <trace.json>\n"
                "       sbk_trace incidents <trace.json> [--telemetry=t.csv]"
                " [--window=seconds]\n"
+               "       sbk_trace slo       <trace.json>\n"
                "       sbk_trace check     <trace.json>"
                " [--timeline=timeline.csv]\n");
   return 2;
@@ -71,7 +81,41 @@ int usage(const std::string& error = "") {
 std::vector<TraceEvent> load(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open " + path);
-  return sbk::obs::load_trace_json(in);
+  // Distinguish the two common half-written exports up front: a
+  // zero-byte file (the writer died before flushing anything) and a
+  // file cut off mid-JSON. The parser's raw byte-offset error means
+  // little without this context.
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  if (text.find_first_not_of(" \t\r\n") == std::string::npos) {
+    throw std::runtime_error(
+        path + " is empty - not a trace export (was the recorder enabled"
+               " and the writer flushed?)");
+  }
+  std::istringstream stream(text);
+  try {
+    return sbk::obs::load_trace_json(stream);
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": truncated or malformed trace: " +
+                             e.what());
+  }
+}
+
+/// Pulls `key=<value>` out of a ';'-separated detail string ("" when
+/// absent).
+std::string detail_field(const std::string& detail, const std::string& key) {
+  const std::string needle = key + "=";
+  std::size_t pos = 0;
+  while (pos < detail.size()) {
+    std::size_t end = detail.find(';', pos);
+    if (end == std::string::npos) end = detail.size();
+    if (detail.compare(pos, needle.size(), needle) == 0) {
+      return detail.substr(pos + needle.size(), end - pos - needle.size());
+    }
+    pos = end + 1;
+  }
+  return "";
 }
 
 // --- summary -----------------------------------------------------------------
@@ -359,6 +403,80 @@ int cmd_incidents(const Options& opt) {
   return 0;
 }
 
+// --- slo ---------------------------------------------------------------------
+
+int cmd_slo(const Options& opt) {
+  std::vector<TraceEvent> events = load(opt.trace_path);
+  // Alert timeline: breach/clear instants in (track, time) order — the
+  // recorder already merges scenarios in scenario order, so a stable
+  // sort by track keeps each track's virtual-time ordering intact.
+  std::vector<const TraceEvent*> alerts;
+  std::vector<const TraceEvent*> attainments;
+  for (const TraceEvent& e : events) {
+    if (e.category != "slo" || e.phase != TracePhase::kInstant) continue;
+    if (e.name == "slo_breach" || e.name == "slo_clear") {
+      alerts.push_back(&e);
+    } else if (e.name == "slo_attainment") {
+      attainments.push_back(&e);
+    }
+  }
+  if (alerts.empty() && attainments.empty()) {
+    std::printf("no \"slo\" events in %s (was the SLO engine enabled?)\n",
+                opt.trace_path.c_str());
+    return 1;
+  }
+  std::stable_sort(alerts.begin(), alerts.end(),
+                   [](const TraceEvent* a, const TraceEvent* b) {
+                     return a->track < b->track;
+                   });
+
+  std::printf("%zu burn-rate alert(s)\n", alerts.size());
+  for (const TraceEvent* e : alerts) {
+    const std::string objective = detail_field(e->detail, "objective");
+    const std::string burn_long = detail_field(e->detail, "burn_long");
+    const std::string burn_short = detail_field(e->detail, "burn_short");
+    const std::string incidents = detail_field(e->detail, "incidents");
+    std::printf("  [track %3u] %-10s %-24s at %.6fs  burn long %s short %s",
+                e->track, e->name == "slo_breach" ? "BREACH" : "clear",
+                objective.c_str(), e->ts, burn_long.c_str(),
+                burn_short.c_str());
+    if (!incidents.empty()) {
+      std::printf("  incidents %s", incidents.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // Per-objective attainment: one slo_attainment instant per objective
+  // per run; aggregate good/bad across tracks so a sweep digests to one
+  // row per objective.
+  struct Attain {
+    double good = 0.0, bad = 0.0;
+    double breaches = 0.0, clears = 0.0;
+    std::size_t runs = 0;
+  };
+  std::map<std::string, Attain> per_objective;
+  for (const TraceEvent* e : attainments) {
+    Attain& a = per_objective[detail_field(e->detail, "objective")];
+    a.good += std::atof(detail_field(e->detail, "good").c_str());
+    a.bad += std::atof(detail_field(e->detail, "bad").c_str());
+    a.breaches += std::atof(detail_field(e->detail, "breaches").c_str());
+    a.clears += std::atof(detail_field(e->detail, "clears").c_str());
+    ++a.runs;
+  }
+  if (!per_objective.empty()) {
+    std::printf("\nper-objective attainment:\n");
+    std::printf("  %-24s %12s %12s %12s %10s %10s\n", "objective", "good",
+                "bad", "attainment", "breaches", "clears");
+    for (const auto& [name, a] : per_objective) {
+      const double total = a.good + a.bad;
+      std::printf("  %-24s %12.0f %12.0f %12.6f %10.0f %10.0f\n",
+                  name.c_str(), a.good, a.bad,
+                  total > 0.0 ? a.good / total : 1.0, a.breaches, a.clears);
+    }
+  }
+  return 0;
+}
+
 // --- check -------------------------------------------------------------------
 
 struct TimelineRow {
@@ -493,6 +611,7 @@ int main(int argc, char** argv) {
     if (opt.command == "summary") return cmd_summary(opt);
     if (opt.command == "service") return cmd_service(opt);
     if (opt.command == "incidents") return cmd_incidents(opt);
+    if (opt.command == "slo") return cmd_slo(opt);
     if (opt.command == "check") return cmd_check(opt);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "sbk_trace: %s\n", e.what());

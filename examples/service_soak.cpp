@@ -10,6 +10,7 @@
 //                [--min-reports=N] [--min-throughput=X] [--max-p99-ms=X]
 //                [--max-rss-mb=X] [--verify-threads] [--json=FILE]
 //                [--trace=FILE] [--metrics=FILE]
+//                [--slo] [--health=FILE]
 //
 // Knobs:
 //   --threads      producer threads feeding the service (0 = inline,
@@ -26,8 +27,19 @@
 //   --pace         wall-clock pacing in virtual-seconds-per-wall-second
 //                  (0 = replay flat out; this knob never changes
 //                  virtual-time outcomes, only the wall-clock feed rate)
-//   --verify-threads  re-runs the soak with 1 and 8 producer threads and
-//                  fails unless all fingerprints are bit-identical
+//   --verify-threads  re-runs the soak with inline/1/4/8 producer
+//                  threads and fails unless all fingerprints (service,
+//                  controllers, SLO alert timeline, health-snapshot log)
+//                  are bit-identical
+//   --slo          turns on the live SLO engine (streaming latency
+//                  histograms, burn-rate alerting, periodic health
+//                  snapshots) and three alerting gates: zero burn alerts
+//                  in a healthy run (--scenario=none or single-
+//                  controller), an availability breach within one SLO
+//                  window of every scripted controller crash, and every
+//                  breach cleared by the drain
+//   --health=FILE  writes the final health snapshot in Prometheus text
+//                  exposition format (implies --slo)
 //
 // Gates (exit 1 on violation): --min-reports on processed failure
 // reports (default 100000), --min-throughput on wall msgs/s,
@@ -77,6 +89,7 @@ int usage(const std::string& error) {
       "                    [--min-throughput=X] [--max-p99-ms=X]\n"
       "                    [--max-rss-mb=X] [--verify-threads]\n"
       "                    [--json=FILE] [--trace=FILE] [--metrics=FILE]\n"
+      "                    [--slo] [--health=FILE]\n"
       "  scenarios: none | primary-crash | crash-during-election |\n"
       "             total-death\n");
   return 2;
@@ -104,6 +117,15 @@ struct PassResult {
   sbk::control::ControllerStats ctl;
   std::size_t headless_backlog = 0;  ///< replicated mode only
   double election_bound = 0.0;       ///< virtual s; 0 in single mode
+  // SLO engine outputs (populated only with --slo).
+  std::vector<sbk::obs::slo::SloAlert> alerts;
+  std::uint64_t slo_breaches = 0;
+  std::uint64_t slo_clears = 0;
+  bool slo_still_breached = false;
+  double availability_attainment = 1.0;
+  double loss_attainment = 1.0;
+  std::size_t health_snapshots = 0;
+  std::string health_prom;  ///< final snapshot, Prometheus exposition
 };
 
 /// Feeds the whole stream through the service (inline or via N producer
@@ -170,7 +192,7 @@ PassResult run_pass(const std::vector<svc::ServiceMessage>& stream, int k,
   sbk::sharebackup::Fabric fabric(sbk::sharebackup::FabricParams{
       .fat_tree = {.k = k}, .backups_per_group = backups});
   PassResult r;
-  auto collect = [&r](svc::ControllerService& service) {
+  auto collect = [&r, &scfg](svc::ControllerService& service) {
     r.stats = service.stats();
     r.ingress = service.ingress_stats();
     r.wall_seconds = r.stats.wall_seconds;
@@ -181,6 +203,22 @@ PassResult run_pass(const std::vector<svc::ServiceMessage>& stream, int k,
     if (!service.decision_latency().empty()) {
       r.p50_ms = service.decision_latency().percentile(50.0) * 1e3;
       r.p99_ms = service.decision_latency().percentile(99.0) * 1e3;
+    }
+    if (scfg.slo.enabled) {
+      const sbk::obs::slo::SloMonitor& mon = service.slo_monitor();
+      r.alerts = mon.alerts();
+      for (std::size_t i = 0; i < mon.objective_count(); ++i) {
+        r.slo_breaches += mon.breach_count(i);
+        r.slo_clears += mon.clear_count(i);
+        r.slo_still_breached = r.slo_still_breached || mon.breached(i);
+      }
+      r.availability_attainment =
+          mon.attainment(svc::ControllerService::kSloAvailability);
+      r.loss_attainment = mon.attainment(svc::ControllerService::kSloLoss);
+      r.health_snapshots = service.health_log().size();
+      std::ostringstream prom;
+      service.write_health_prometheus(prom);
+      r.health_prom = prom.str();
     }
   };
 
@@ -266,7 +304,9 @@ int main(int argc, char** argv) {
        {"verify-threads", false},
        {"json", true},
        {"trace", true},
-       {"metrics", true}},
+       {"metrics", true},
+       {"slo", false},
+       {"health", true}},
       /*max_positional=*/0);
   if (!args.ok()) return usage(args.error);
 
@@ -363,6 +403,8 @@ int main(int argc, char** argv) {
   // at the default time scale).
   scfg.ingress.high_water = 160;
   scfg.ingress.low_water = 64;
+  const bool slo = args.has("slo") || args.has("health");
+  scfg.slo.enabled = slo;
   sbk::obs::MetricsRegistry metrics(/*enabled=*/true);
   sbk::obs::FlightRecorder recorder(/*enabled=*/true);
   const PassResult r =
@@ -375,7 +417,7 @@ int main(int argc, char** argv) {
       r.stats.node_reports + r.stats.link_reports;
   bool verify_ok = true;
   if (args.has("verify-threads")) {
-    for (int alt : {0, 1, 8}) {
+    for (int alt : {0, 1, 4, 8}) {
       if (alt == *threads) continue;
       const PassResult v =
           run_pass(stream, static_cast<int>(*k), static_cast<int>(*backups),
@@ -409,8 +451,51 @@ int main(int argc, char** argv) {
   const bool backlog_ok = *replicas < 1 || r.headless_backlog == 0;
   const bool headless_ok =
       *replicas < 1 || r.stats.max_headless_window <= r.election_bound + 1e-12;
+
+  // SLO alerting gates (--slo). Quiet: a run whose cluster never loses
+  // a member (single-controller mode, or no crash in the stream) must
+  // raise zero burn alerts. Detect: every scripted controller crash
+  // must be answered by an availability breach within one SLO window of
+  // the crash, or land inside a breach episode that is already open.
+  // Clear: every breach must have cleared by the drain.
+  bool slo_quiet_ok = true, slo_detect_ok = true, slo_clear_ok = true;
+  if (slo) {
+    std::vector<sbk::Seconds> crash_times;
+    for (const svc::ServiceMessage& msg : stream) {
+      if (msg.kind == svc::MessageKind::kControllerCrash) {
+        crash_times.push_back(msg.at);
+      }
+    }
+    if (*replicas < 1 || crash_times.empty()) {
+      slo_quiet_ok = r.slo_breaches == 0;
+    }
+    if (*replicas >= 1 && *scenario != fi::ClusterScenario::kNone) {
+      std::vector<std::pair<sbk::Seconds, bool>> avail;
+      for (const sbk::obs::slo::SloAlert& a : r.alerts) {
+        if (a.objective == svc::ControllerService::kSloAvailability) {
+          avail.emplace_back(a.at, a.breach);
+        }
+      }
+      for (const sbk::Seconds t : crash_times) {
+        bool open = false, detected = false;
+        for (const auto& [at, breach] : avail) {
+          if (at <= t) {
+            open = breach;
+            continue;
+          }
+          if (at > t + scfg.slo.window) break;
+          if (breach) detected = true;
+        }
+        if (!open && !detected) slo_detect_ok = false;
+      }
+    }
+    slo_clear_ok =
+        !r.slo_still_breached && r.slo_clears == r.slo_breaches;
+  }
+
   const bool pass = reports_ok && throughput_ok && p99_ok && rss_ok &&
-                    verify_ok && lost_ok && backlog_ok && headless_ok;
+                    verify_ok && lost_ok && backlog_ok && headless_ok &&
+                    slo_quiet_ok && slo_detect_ok && slo_clear_ok;
 
   std::ostringstream json;
   json << "{\"messages\":" << mix.total
@@ -443,6 +528,12 @@ int main(int argc, char** argv) {
        << ",\"decision_latency_p50_ms\":" << r.p50_ms
        << ",\"decision_latency_p99_ms\":" << r.p99_ms
        << ",\"peak_rss_mb\":" << rss_mb
+       << ",\"slo\":" << (slo ? "true" : "false")
+       << ",\"slo_breaches\":" << r.slo_breaches
+       << ",\"slo_clears\":" << r.slo_clears
+       << ",\"slo_availability_attainment\":" << r.availability_attainment
+       << ",\"slo_loss_attainment\":" << r.loss_attainment
+       << ",\"health_snapshots\":" << r.health_snapshots
        << ",\"reports_ok\":" << (reports_ok ? "true" : "false")
        << ",\"throughput_ok\":" << (throughput_ok ? "true" : "false")
        << ",\"p99_ok\":" << (p99_ok ? "true" : "false")
@@ -451,6 +542,9 @@ int main(int argc, char** argv) {
        << ",\"lost_ok\":" << (lost_ok ? "true" : "false")
        << ",\"backlog_ok\":" << (backlog_ok ? "true" : "false")
        << ",\"headless_ok\":" << (headless_ok ? "true" : "false")
+       << ",\"slo_quiet_ok\":" << (slo_quiet_ok ? "true" : "false")
+       << ",\"slo_detect_ok\":" << (slo_detect_ok ? "true" : "false")
+       << ",\"slo_clear_ok\":" << (slo_clear_ok ? "true" : "false")
        << ",\"pass\":" << (pass ? "true" : "false") << "}";
   std::cout << json.str() << "\n";
 
@@ -480,15 +574,28 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (const auto path = args.value_of("health")) {
+    std::ofstream out(std::string{*path});
+    out << r.health_prom;
+    if (!out.good()) {
+      std::cerr << "failed to write " << *path << "\n";
+      return 2;
+    }
+    std::cout << "wrote final health snapshot (" << r.health_snapshots
+              << " taken) to " << *path << "\n";
+  }
   if (!pass) {
-    std::fprintf(stderr, "service_soak: GATE FAILED%s%s%s%s%s%s%s%s\n",
+    std::fprintf(stderr, "service_soak: GATE FAILED%s%s%s%s%s%s%s%s%s%s%s\n",
                  reports_ok ? "" : " [min-reports]",
                  throughput_ok ? "" : " [min-throughput]",
                  p99_ok ? "" : " [max-p99-ms]", rss_ok ? "" : " [max-rss-mb]",
                  verify_ok ? "" : " [verify-threads]",
                  lost_ok ? "" : " [failover-lost-reports]",
                  backlog_ok ? "" : " [failover-headless-backlog]",
-                 headless_ok ? "" : " [failover-headless-bound]");
+                 headless_ok ? "" : " [failover-headless-bound]",
+                 slo_quiet_ok ? "" : " [slo-false-alert]",
+                 slo_detect_ok ? "" : " [slo-crash-undetected]",
+                 slo_clear_ok ? "" : " [slo-breach-stuck]");
   }
   return pass ? 0 : 1;
 }

@@ -155,6 +155,32 @@ if ratio > 1.0 + tol:
     sys.exit(1)
 EOF
 
+# SLO-engine overhead gate: the full service-ingest workload with the
+# live SLO engine enabled (streaming histogram per message, burn-rate
+# windows at batch boundaries, periodic health snapshots) must stay
+# within the regression tolerance of the engine-off run. A disabled
+# engine costs one branch per message (the flight-recorder gate style),
+# so the engine-off run doubles as the zero-overhead reference.
+python3 - "$TOL" BENCH_micro.json.new <<'EOF' || STATUS=$?
+import json, sys
+
+tol = float(sys.argv[1])
+with open(sys.argv[2]) as f:
+    fresh = {b["name"]: b for b in json.load(f)["benchmarks"]}
+ref = fresh.get("BM_ServiceIngest")
+slo = fresh.get("BM_ServiceIngestSloEnabled")
+if ref is None or slo is None:
+    print("bench.sh: slo-overhead pair not present; skipping gate")
+    sys.exit(0)
+ratio = slo["real_time"] / ref["real_time"] if ref["real_time"] else 1.0
+print(f"bench.sh: slo-enabled ingest {ratio:.2f}x of engine-off run "
+      f"(tolerance {1.0 + tol:.2f}x)")
+if ratio > 1.0 + tol:
+    print("bench.sh: live SLO engine adds measurable ingest overhead",
+          file=sys.stderr)
+    sys.exit(1)
+EOF
+
 # Peak-RSS footprint gate: the k=48 failure storm must stay inside the
 # committed memory and wall-time budgets (see check.sh --scale-smoke for
 # the budget rationale). A/B identity is skipped here — it is a

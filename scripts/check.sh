@@ -4,7 +4,7 @@
 #
 # Usage: scripts/check.sh [--tsan | --asan | --bench-smoke | --chaos-smoke |
 #        --trace-smoke | --baselines-smoke | --scale-smoke |
-#        --service-smoke | --failover-smoke] [build-dir]
+#        --service-smoke | --failover-smoke | --slo-smoke] [build-dir]
 #
 #   --tsan         Configure a ThreadSanitizer build (-DSBK_SANITIZE=thread,
 #                  default dir build-tsan) and run the concurrency-heavy
@@ -57,6 +57,17 @@
 #                  trace is digested with `sbk_trace service` and must
 #                  show the failovers. Also runs (reduced) in the default
 #                  full-verification matrix.
+#   --slo-smoke    Build examples/service_soak + sbk_trace (Release) and
+#                  run the live SLO engine gates: a healthy run must
+#                  raise zero burn-rate alerts and emit a health
+#                  snapshot whose Prometheus text exposition passes a
+#                  dependency-free validator; a scripted primary-crash
+#                  run must breach the availability objective within one
+#                  window of every cluster crash, clear every breach,
+#                  stay bit-identical across inline/1/4/8 producers, and
+#                  its trace must digest through `sbk_trace slo`. Also
+#                  runs (reduced) in the default full-verification
+#                  matrix.
 #   --trace-smoke  Build examples/failure_drill + sbk_trace, record the
 #                  drill into a flight-recorder trace, validate the
 #                  Perfetto trace_event JSON against a minimal schema,
@@ -114,6 +125,82 @@ run_failover_smoke() {
     || { echo "failover-smoke: no failover digest in trace" >&2; exit 1; }
 }
 
+run_slo_smoke() {
+  local BUILD="$1" REPEATS="$2"
+  # Healthy single-controller run: the live engine must stay quiet (the
+  # soak itself exits non-zero on a false burn alert via slo_quiet_ok)
+  # and the final health snapshot must be a well-formed Prometheus text
+  # exposition — validated below without any client library.
+  "$BUILD"/examples/service_soak --slo --health="$BUILD/health.prom" \
+    >/dev/null
+  python3 - "$BUILD/health.prom" <<'EOF'
+import re, sys
+
+name_re = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+label_re = re.compile(
+    r'\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+    r'(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\}$')
+types = {}
+samples = 0
+with open(sys.argv[1]) as f:
+    for lineno, raw in enumerate(f, 1):
+        line = raw.rstrip("\n")
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            assert len(parts) == 4 and name_re.match(parts[2]), \
+                f"line {lineno}: malformed HELP: {line}"
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            assert len(parts) == 4 and name_re.match(parts[2]), \
+                f"line {lineno}: malformed TYPE: {line}"
+            assert parts[3] in ("counter", "gauge", "histogram", "summary",
+                                "untyped"), \
+                f"line {lineno}: unknown type {parts[3]}"
+            assert parts[2] not in types, \
+                f"line {lineno}: duplicate TYPE for {parts[2]}"
+            types[parts[2]] = parts[3]
+            continue
+        assert not line.startswith("#"), f"line {lineno}: stray comment"
+        body, _, value = line.rpartition(" ")
+        float(value)  # raises on a malformed sample value
+        name, brace, labels = body.partition("{")
+        assert name_re.match(name), f"line {lineno}: bad metric name {name}"
+        if brace:
+            assert label_re.match(brace + labels), \
+                f"line {lineno}: malformed labels: {line}"
+        family = name
+        for t, suffix in (("counter", "_total"), ("counter", "_count")):
+            if types.get(family) is None and family.endswith(suffix):
+                family = family[: -len(suffix)]
+        assert name in types or family in types, \
+            f"line {lineno}: sample {name} has no TYPE declaration"
+        samples += 1
+assert types and samples, "exposition is empty"
+assert any(t == "counter" for t in types.values()), "no counters exposed"
+assert any(n.startswith("sbk_slo_") for n in types), "no sbk_slo_* families"
+print(f"slo-smoke: Prometheus exposition OK "
+      f"({len(types)} families, {samples} samples)")
+EOF
+  # Scripted failover: the soak's own gates assert a breach within one
+  # window of every scripted cluster crash (slo_detect_ok), that every
+  # breach clears (slo_clear_ok), and — with --verify-threads — that the
+  # alert timeline and snapshot log are bit-identical across inline and
+  # 1/4/8 producer threads. The trace must digest through `sbk_trace
+  # slo` with at least one BREACH row.
+  "$BUILD"/examples/service_soak --replicas=3 --scenario=primary-crash \
+    --repeats="$REPEATS" --min-reports=1000 --slo --verify-threads \
+    --trace="$BUILD/slo_trace.json" >/dev/null
+  local digest
+  digest="$("$BUILD"/examples/sbk_trace slo "$BUILD/slo_trace.json")"
+  echo "$digest" | grep -q "BREACH" \
+    || { echo "slo-smoke: no breach rows in slo digest" >&2; exit 1; }
+  echo "slo-smoke: alert timeline digested ($(
+    echo "$digest" | grep -c "BREACH") breach rows)"
+}
+
 TSAN=0
 ASAN=0
 BENCH_SMOKE=0
@@ -123,6 +210,7 @@ BASELINES_SMOKE=0
 SCALE_SMOKE=0
 SERVICE_SMOKE=0
 FAILOVER_SMOKE=0
+SLO_SMOKE=0
 if [ "${1:-}" = "--tsan" ]; then
   TSAN=1
   shift
@@ -150,6 +238,19 @@ elif [ "${1:-}" = "--service-smoke" ]; then
 elif [ "${1:-}" = "--failover-smoke" ]; then
   FAILOVER_SMOKE=1
   shift
+elif [ "${1:-}" = "--slo-smoke" ]; then
+  SLO_SMOKE=1
+  shift
+fi
+
+if [ "$SLO_SMOKE" = 1 ]; then
+  BUILD="${1:-build-bench}"
+  cmake -B "$BUILD" -G Ninja -DCMAKE_BUILD_TYPE=Release
+  cmake --build "$BUILD" --target service_soak sbk_trace
+  run_slo_smoke "$BUILD" 30
+  echo "slo-smoke: live SLO engine quiet when healthy, alerting on" \
+    "scripted crashes, thread-invariant"
+  exit 0
 fi
 
 if [ "$FAILOVER_SMOKE" = 1 ]; then
@@ -344,6 +445,11 @@ EOF
 # digest the failovers. The standalone --failover-smoke mode runs the
 # same gates at Release scale.
 run_failover_smoke "$BUILD" 10
+
+# SLO smoke (reduced): the live engine must stay quiet on a healthy run,
+# alert on scripted crashes, and expose a valid Prometheus snapshot. The
+# standalone --slo-smoke mode runs the same gates at Release scale.
+run_slo_smoke "$BUILD" 10
 
 for b in "$BUILD"/bench/*; do
   [ -x "$b" ] || continue

@@ -1,16 +1,19 @@
 #include "faultinject/chaos_soak.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <sstream>
 
 #include "control/control_plane.hpp"
 #include "net/path.hpp"
 #include "obs/recovery_tracer.hpp"
+#include "obs/slo/log_histogram.hpp"
 #include "routing/backup_rules.hpp"
 #include "routing/global_reroute.hpp"
 #include "routing/spider.hpp"
 #include "sharebackup/fabric.hpp"
 #include "sim/event_queue.hpp"
+#include "util/assert.hpp"
 #include "util/rng.hpp"
 
 namespace sbk::faultinject {
@@ -84,6 +87,16 @@ ChaosScenarioResult run_chaos_scenario(const ChaosSoakConfig& config,
                                        const sweep::ScenarioSpec& spec,
                                        obs::FlightRecorder* recorder,
                                        obs::TelemetrySampler* sampler) {
+  return run_chaos_scenario(config, spec, recorder, sampler, nullptr,
+                            nullptr);
+}
+
+ChaosScenarioResult run_chaos_scenario(const ChaosSoakConfig& config,
+                                       const sweep::ScenarioSpec& spec,
+                                       obs::FlightRecorder* recorder,
+                                       obs::TelemetrySampler* sampler,
+                                       obs::slo::SloMonitor* slo,
+                                       obs::slo::HealthLog* health) {
   ChaosScenarioResult result;
   result.seed = spec.seed;
 
@@ -163,6 +176,43 @@ ChaosScenarioResult run_chaos_scenario(const ChaosSoakConfig& config,
 
   if (recorder != nullptr) export_recovery_spans(tracer, *recorder);
 
+  obs::slo::LogHistogram recovery_hist;
+  if (slo != nullptr) {
+    slo->attach_recorder(recorder);
+    slo->attach_tracer(&tracer);
+    // Feed closed incidents in recovery order (not injection order):
+    // window records must arrive with non-decreasing timestamps for the
+    // step binning to be exact. The (recovered_at, id) sort is a total
+    // order over the deterministic incident list, so the alert timeline
+    // is a pure function of the scenario seed.
+    struct Closed {
+      Seconds recovered_at;
+      std::size_t id;
+      Seconds latency;
+    };
+    std::vector<Closed> closed;
+    for (const obs::RecoveryIncident& inc : tracer.incidents()) {
+      if (!inc.closed) continue;
+      closed.push_back(
+          {inc.recovered_at, inc.id, inc.recovered_at - inc.injected_at});
+    }
+    std::sort(closed.begin(), closed.end(),
+              [](const Closed& a, const Closed& b) {
+                return a.recovered_at != b.recovered_at
+                           ? a.recovered_at < b.recovered_at
+                           : a.id < b.id;
+              });
+    for (const Closed& c : closed) {
+      recovery_hist.record(c.latency);
+      slo->record_latency(0, c.recovered_at, c.latency);
+    }
+    slo->finish(config.plan.horizon);
+    result.slo_breaches = slo->breach_count(0);
+    result.slo_clears = slo->clear_count(0);
+    slo->attach_recorder(nullptr);
+    slo->attach_tracer(nullptr);
+  }
+
   result.failures_injected = injector.stats().switch_failures_injected +
                              injector.stats().link_failures_injected;
   const control::ControllerStats& cs = plane.controller().stats();
@@ -176,6 +226,42 @@ ChaosScenarioResult run_chaos_scenario(const ChaosSoakConfig& config,
 
   if (config.reachability_probes > 0) {
     race_reachability(config, spec, fabric, result);
+  }
+
+  if (health != nullptr && slo != nullptr) {
+    // One end-state snapshot per scenario: fabric spare pool and link
+    // liveness after every recovery landed, plus the recovery-latency
+    // distribution and objective attainment.
+    obs::slo::HealthSnapshot snap;
+    snap.at = config.plan.horizon;
+    snap.processed = recovery_hist.count();
+    snap.spare_pool = fabric.total_spares();
+    const double links = static_cast<double>(fabric.network().link_count());
+    snap.live_link_frac =
+        links > 0.0 ? 1.0 - static_cast<double>(
+                                fabric.network().failed_link_count()) /
+                                links
+                    : 1.0;
+    obs::slo::HealthHistogramStat hs;
+    hs.name = "recovery_latency";
+    hs.count = recovery_hist.count();
+    hs.p50 = recovery_hist.quantile(0.5);
+    hs.p99 = recovery_hist.quantile(0.99);
+    hs.p999 = recovery_hist.quantile(0.999);
+    hs.max = recovery_hist.max();
+    snap.histograms.push_back(std::move(hs));
+    for (std::size_t i = 0; i < slo->objective_count(); ++i) {
+      obs::slo::HealthObjectiveStat os;
+      os.name = slo->objective(i).name;
+      os.good = slo->good_total(i);
+      os.bad = slo->bad_total(i);
+      os.breaches = slo->breach_count(i);
+      os.clears = slo->clear_count(i);
+      os.attainment = slo->attainment(i);
+      os.breached = slo->breached(i);
+      snap.objectives.push_back(std::move(os));
+    }
+    health->add(std::move(snap));
   }
   return result;
 }
@@ -212,6 +298,39 @@ ChaosSoakReport run_chaos_soak(const ChaosSoakConfig& config,
         return run_chaos_scenario(config, s, &rec, &sampler);
       },
       opts);
+  return report;
+}
+
+obs::slo::SloMonitor make_chaos_slo(const ChaosSoakConfig& config) {
+  obs::slo::SloMonitor slo;
+  obs::slo::SloObjectiveConfig oc;
+  oc.name = "recovery_latency";
+  oc.kind = obs::slo::ObjectiveKind::kLatency;
+  oc.threshold = config.obs.recovery_latency_bound;
+  oc.budget = config.obs.recovery_budget;
+  oc.window = config.obs.slo_window;
+  oc.min_events = config.obs.slo_min_events;
+  const std::size_t idx = slo.add_objective(std::move(oc));
+  SBK_ASSERT_MSG(idx == 0, "recovery_latency must be objective 0");
+  (void)idx;
+  return slo;
+}
+
+ChaosSoakReport run_chaos_soak(const ChaosSoakConfig& config,
+                               obs::slo::SloMonitor& slo,
+                               obs::slo::HealthLog& health) {
+  if (!config.obs.slo) return run_chaos_soak(config);
+  sweep::SweepConfig sc;
+  sc.master_seed = config.master_seed;
+  sc.threads = config.threads;
+  sweep::SweepRunner runner(sc);
+  ChaosSoakReport report;
+  report.scenarios = runner.run_with_slo(
+      config.scenarios, slo, health,
+      [&config](const sweep::ScenarioSpec& s, obs::slo::SloMonitor& mon,
+                obs::slo::HealthLog& log) {
+        return run_chaos_scenario(config, s, nullptr, nullptr, &mon, &log);
+      });
   return report;
 }
 

@@ -60,6 +60,21 @@ struct ChaosSoakConfig {
     std::size_t trace_capacity = obs::FlightRecorder::kDefaultCapacity;
     /// Telemetry sampling cadence in sim seconds.
     Seconds telemetry_interval = milliseconds(10);
+    /// SLO engine: when true the SLO soak overload evaluates a
+    /// recovery-latency objective per scenario (recovered_at -
+    /// injected_at per closed incident, judged against the bound in
+    /// virtual time) and takes one end-state health snapshot.
+    bool slo = false;
+    /// Bound on recovered_at - injected_at per incident. The paper's
+    /// sub-millisecond target covers the failover span alone; a chaos
+    /// incident closes only after the scheduled offline diagnosis
+    /// (diagnosis_delay, default 25ms) and any command retries, so the
+    /// default bound covers that modeled pipeline with the budget
+    /// tolerating the retry tail.
+    Seconds recovery_latency_bound = milliseconds(50);
+    double recovery_budget = 0.05;
+    Seconds slo_window = 0.25;
+    std::uint64_t slo_min_events = 5;
   };
   ChaosObsConfig obs;
 };
@@ -84,6 +99,10 @@ struct ChaosScenarioResult {
   std::size_t unreachable_global_reroute = 0;
   std::size_t unreachable_spider = 0;
   std::size_t unreachable_backup_rules = 0;
+  /// SLO overload only: burn-rate alerts raised/cleared by this
+  /// scenario's recovery-latency objective.
+  std::size_t slo_breaches = 0;
+  std::size_t slo_clears = 0;
 };
 
 struct ChaosSoakReport {
@@ -125,5 +144,36 @@ struct ChaosSoakReport {
 [[nodiscard]] ChaosSoakReport run_chaos_soak(const ChaosSoakConfig& config,
                                              obs::FlightRecorder& trace,
                                              obs::TelemetryTable& telemetry);
+
+/// Prototype SloMonitor for a chaos soak: one "recovery_latency"
+/// objective (index 0) built from config.obs — the object handed to
+/// SweepRunner::run_with_slo, whose per-scenario clones judge each
+/// closed incident's recovered_at - injected_at against the bound.
+[[nodiscard]] obs::slo::SloMonitor make_chaos_slo(
+    const ChaosSoakConfig& config);
+
+/// SLO variant of the single-scenario runner: on top of the traced
+/// behaviour (either observability pointer may still be null), feeds
+/// `slo` every closed incident's recovery latency in recovery order,
+/// finishes the monitor at the plan horizon, and — when `health` is
+/// non-null — appends one end-state health snapshot (spare pool,
+/// live-link fraction, recovery-latency histogram, objective
+/// attainment). `slo` must come from make_chaos_slo (directly or via
+/// clone_config); breach instants land in `recorder` when present.
+[[nodiscard]] ChaosScenarioResult run_chaos_scenario(
+    const ChaosSoakConfig& config, const sweep::ScenarioSpec& spec,
+    obs::FlightRecorder* recorder, obs::TelemetrySampler* sampler,
+    obs::slo::SloMonitor* slo, obs::slo::HealthLog* health);
+
+/// SLO soak built on SweepRunner::run_with_slo: per-scenario monitors
+/// and health logs merged into `slo`/`health` in scenario order with
+/// the scenario index as the track, so the combined alert timeline and
+/// snapshot log are bit-identical at any thread count. `slo` should be
+/// make_chaos_slo(config); requires config.obs.slo (with it false the
+/// soak runs exactly like the plain overload and the outputs stay
+/// empty).
+[[nodiscard]] ChaosSoakReport run_chaos_soak(const ChaosSoakConfig& config,
+                                             obs::slo::SloMonitor& slo,
+                                             obs::slo::HealthLog& health);
 
 }  // namespace sbk::faultinject

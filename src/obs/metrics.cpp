@@ -38,14 +38,44 @@ const T* find(std::string_view name, const std::deque<T>& items,
 
 Histogram LatencyHistogram::histogram(std::size_t bins) const {
   SBK_EXPECTS(bins >= 1);
-  SBK_EXPECTS_MSG(!summary_.empty(),
-                  "histogram view requires at least one sample");
-  double lo = summary_.min();
-  double hi = summary_.max();
+  SBK_EXPECTS_MSG(!empty(), "histogram view requires at least one sample");
+  double lo = min_;
+  double hi = max_;
   if (hi <= lo) hi = lo + 1.0;  // degenerate range: one occupied bucket
   Histogram h(lo, hi, bins);
   for (double x : summary_.samples()) h.add(x);
   return h;
+}
+
+std::size_t LatencyHistogram::memory_bytes() const noexcept {
+  return summary_.samples().capacity() * sizeof(double);
+}
+
+void LatencyHistogram::set_sample_cap(std::size_t cap) {
+  SBK_EXPECTS(cap >= 2);
+  cap_ = cap;
+  while (summary_.count() >= cap_) compact();
+}
+
+void LatencyHistogram::compact() {
+  const std::vector<double>& src = summary_.samples();
+  Summary halved;
+  for (std::size_t i = 0; i < src.size(); i += 2) halved.add(src[i]);
+  summary_ = std::move(halved);
+  stride_ *= 2;
+}
+
+void LatencyHistogram::merge_from(const LatencyHistogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  summary_.merge(other.summary_);
+  // Keep the slower of the two decimation schedules so a merged
+  // instrument never retains more densely than either source did.
+  if (other.stride_ > stride_) stride_ = other.stride_;
+  while (summary_.count() >= cap_) compact();
 }
 
 Counter& MetricsRegistry::counter(std::string_view name) {
@@ -79,14 +109,13 @@ const LatencyHistogram* MetricsRegistry::find_latency(
 void MetricsRegistry::merge(const MetricsRegistry& other) {
   if (!enabled_) return;
   for (std::size_t i = 0; i < other.counter_names_.size(); ++i) {
-    counter(other.counter_names_[i]).value_ += other.counters_[i].value_;
+    counter(other.counter_names_[i]).add(other.counters_[i].value_);
   }
   for (std::size_t i = 0; i < other.gauge_names_.size(); ++i) {
     gauge(other.gauge_names_[i]).value_ = other.gauges_[i].value_;
   }
   for (std::size_t i = 0; i < other.latency_names_.size(); ++i) {
-    latency(other.latency_names_[i])
-        .summary_.merge(other.latencies_[i].summary_);
+    latency(other.latency_names_[i]).merge_from(other.latencies_[i]);
   }
 }
 
@@ -104,16 +133,17 @@ void MetricsRegistry::write_csv(std::ostream& out) const {
              CsvWriter::num(gauges_[i].value()), "", "", "", "", ""});
   }
   for (std::size_t i = 0; i < latency_names_.size(); ++i) {
-    const Summary& s = latencies_[i].summary();
-    if (s.empty()) {
+    const LatencyHistogram& l = latencies_[i];
+    if (l.empty()) {
       csv.row({"latency", latency_names_[i], "0", "", "", "", "", "", ""});
       continue;
     }
-    csv.row({"latency", latency_names_[i], CsvWriter::num(s.count()),
-             CsvWriter::num(s.sum()), CsvWriter::num(s.mean()),
-             CsvWriter::num(s.min()), CsvWriter::num(s.max()),
-             CsvWriter::num(s.percentile(50.0)),
-             CsvWriter::num(s.percentile(99.0))});
+    csv.row({"latency", latency_names_[i],
+             CsvWriter::num(static_cast<std::size_t>(l.count())),
+             CsvWriter::num(l.sum()), CsvWriter::num(l.mean()),
+             CsvWriter::num(l.min()), CsvWriter::num(l.max()),
+             CsvWriter::num(l.percentile(50.0)),
+             CsvWriter::num(l.percentile(99.0))});
   }
 }
 
@@ -133,16 +163,16 @@ void MetricsRegistry::write_json(std::ostream& out) const {
   out << "},\"latencies\":{";
   for (std::size_t i = 0; i < latency_names_.size(); ++i) {
     if (i > 0) out << ",";
-    const Summary& s = latencies_[i].summary();
+    const LatencyHistogram& l = latencies_[i];
     out << "\"" << json_escape(latency_names_[i]) << "\":{\"count\":"
-        << s.count();
-    if (!s.empty()) {
-      out << ",\"sum\":" << CsvWriter::num(s.sum())
-          << ",\"mean\":" << CsvWriter::num(s.mean())
-          << ",\"min\":" << CsvWriter::num(s.min())
-          << ",\"max\":" << CsvWriter::num(s.max())
-          << ",\"p50\":" << CsvWriter::num(s.percentile(50.0))
-          << ",\"p99\":" << CsvWriter::num(s.percentile(99.0));
+        << l.count();
+    if (!l.empty()) {
+      out << ",\"sum\":" << CsvWriter::num(l.sum())
+          << ",\"mean\":" << CsvWriter::num(l.mean())
+          << ",\"min\":" << CsvWriter::num(l.min())
+          << ",\"max\":" << CsvWriter::num(l.max())
+          << ",\"p50\":" << CsvWriter::num(l.percentile(50.0))
+          << ",\"p99\":" << CsvWriter::num(l.percentile(99.0));
     }
     out << "}";
   }

@@ -8,9 +8,12 @@
 //      order, and merge() walks the other registry in that order, so
 //      merging per-scenario registries in scenario order yields the same
 //      registry regardless of how many sweep workers produced them.
-//   3. Reuse of the existing stats substrate — latency instruments are
-//      util/stats.hpp Summary accumulators (percentile queries, merge in
-//      insertion order) with an on-demand fixed-width Histogram view.
+//   3. Bounded memory — latency instruments keep exact count/sum/min/max
+//      scalars plus a capped, deterministically decimated sample
+//      reservoir (util/stats.hpp Summary) for percentile queries and the
+//      on-demand fixed-width Histogram view. Hot paths that need tighter
+//      bounds and exact mergeable quantiles use obs/slo/LogHistogram
+//      instead.
 //
 // Registries are neither copyable nor movable: instruments hand out
 // stable references into the registry, so its address must not change.
@@ -33,11 +36,17 @@ namespace sbk::obs {
 
 class MetricsRegistry;
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. Saturates at uint64 max
+/// instead of wrapping: a counter that has been incremented past the
+/// representable range pins there (still monotone) rather than
+/// silently restarting from a small value.
 class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
-    if (*enabled_) value_ += n;
+    if (*enabled_) {
+      const std::uint64_t next = value_ + n;
+      value_ = next < value_ ? ~std::uint64_t{0} : next;
+    }
   }
   [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
 
@@ -63,14 +72,60 @@ class Gauge {
   double value_ = 0.0;
 };
 
-/// Latency (or any duration) distribution backed by a Summary; a bucketed
-/// Histogram view is materialized on demand from the retained samples.
+/// Latency (or any duration) distribution. count/sum/min/max are exact
+/// scalars; percentile queries run over a bounded, deterministically
+/// decimated sample reservoir: every stride-th sample is retained, and
+/// when the reservoir reaches the cap it is halved (every other
+/// retained sample kept) and the stride doubled. Memory is therefore
+/// bounded at `sample_cap` doubles no matter how many samples arrive,
+/// while small recordings (below the cap) keep every sample and answer
+/// percentiles exactly. The decimation schedule depends only on the
+/// record sequence, never on wall time, so merged registries stay
+/// bit-identical across thread counts.
 class LatencyHistogram {
  public:
+  /// Default reservoir bound (doubles retained, 64 KB).
+  static constexpr std::size_t kDefaultSampleCap = 8192;
+
   void record(Seconds s) {
-    if (*enabled_) summary_.add(s);
+    if (!*enabled_) return;
+    if (count_ == 0 || s < min_) min_ = s;
+    if (count_ == 0 || s > max_) max_ = s;
+    ++count_;
+    sum_ += s;
+    if (tick_ == 0) {
+      summary_.add(s);
+      if (summary_.count() >= cap_) compact();
+    }
+    if (++tick_ >= stride_) tick_ = 0;
   }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+  }
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  /// Percentile over the retained reservoir (exact below the cap).
+  [[nodiscard]] double percentile(double p) const {
+    return summary_.percentile(p);
+  }
+
+  /// The retained reservoir. NOTE: once decimation has kicked in its
+  /// count is smaller than count() — use the exact accessors above for
+  /// totals, the reservoir only answers distribution-shape queries.
   [[nodiscard]] const Summary& summary() const noexcept { return summary_; }
+  /// Current decimation stride (1 until the cap is first reached).
+  [[nodiscard]] std::uint64_t stride() const noexcept { return stride_; }
+  /// Bytes held by the reservoir (retained samples only; a percentile
+  /// query transiently materializes a sorted copy of the same size).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+  /// Adjusts the reservoir bound (>= 2); compacts immediately if the
+  /// retained set already exceeds it.
+  void set_sample_cap(std::size_t cap);
+
   /// Fixed-width histogram over the recorded range (see util/stats.hpp).
   /// Requires at least one recorded sample and bins >= 1.
   [[nodiscard]] Histogram histogram(std::size_t bins = 10) const;
@@ -79,8 +134,18 @@ class LatencyHistogram {
   friend class MetricsRegistry;
   explicit LatencyHistogram(const bool* enabled) noexcept
       : enabled_(enabled) {}
+  void compact();
+  void merge_from(const LatencyHistogram& other);
+
   const bool* enabled_;
   Summary summary_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::uint64_t stride_ = 1;
+  std::uint64_t tick_ = 0;
+  std::size_t cap_ = kDefaultSampleCap;
 };
 
 /// Insertion-ordered collection of named instruments. Lookup by name

@@ -1,0 +1,124 @@
+#include "obs/slo/log_histogram.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sbk::obs::slo {
+
+std::uint32_t LogHistogram::bucket_of(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // zero, negatives, NaN -> underflow bucket
+  int exp = 0;
+  const double m = std::frexp(v, &exp);  // v = m * 2^exp, m in [0.5, 1)
+  if (exp <= kFloorExp) return 0;
+  if (exp > kCeilExp) return kBucketCount - 1;
+  // m in [0.5, 1) maps linearly onto the octave's kSubBuckets cells.
+  const auto sub = static_cast<std::uint32_t>((m - 0.5) * 2.0 * kSubBuckets);
+  const auto octave = static_cast<std::uint32_t>(exp - 1 - kFloorExp);
+  return 1 + octave * kSubBuckets + (sub < kSubBuckets ? sub : kSubBuckets - 1);
+}
+
+double LogHistogram::bucket_lower(std::uint32_t idx) noexcept {
+  if (idx == 0) return 0.0;
+  const std::uint32_t octave = (idx - 1) / kSubBuckets;
+  const std::uint32_t sub = (idx - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets,
+                    kFloorExp + static_cast<int>(octave));
+}
+
+double LogHistogram::bucket_upper(std::uint32_t idx) noexcept {
+  if (idx == 0) return std::ldexp(1.0, kFloorExp + 1);  // == bucket_lower(1)
+  if (idx >= kBucketCount - 1) return std::ldexp(1.0, kCeilExp + 1);
+  return bucket_lower(idx + 1);
+}
+
+double LogHistogram::bucket_representative(std::uint32_t idx) noexcept {
+  if (idx == 0) return 0.0;
+  return std::sqrt(bucket_lower(idx) * bucket_upper(idx));
+}
+
+void LogHistogram::ensure_buckets() {
+  if (counts_.empty()) counts_.assign(kBucketCount, 0);
+}
+
+void LogHistogram::record_n(double v, std::uint64_t n) noexcept {
+  if (n == 0) return;
+  ensure_buckets();
+  counts_[bucket_of(v)] += n;
+  if (count_ == 0 || v < min_) min_ = v;
+  if (count_ == 0 || v > max_) max_ = v;
+  count_ += n;
+}
+
+double LogHistogram::mean() const noexcept {
+  if (count_ == 0) return 0.0;
+  double acc = 0.0;
+  for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] != 0) {
+      acc += static_cast<double>(counts_[i]) * bucket_representative(i);
+    }
+  }
+  return acc / static_cast<double>(count_);
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (count_ == 0) return 0.0;
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
+  // Rank of the requested sample, 1-based; ceil without FP drift.
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_) + (1.0 - 1e-12));
+  std::uint64_t seen = 0;
+  for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) {
+      double rep = bucket_representative(i);
+      if (rep < min_) rep = min_;
+      if (rep > max_) rep = max_;
+      return rep;
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.count_ == 0) return;
+  ensure_buckets();
+  for (std::uint32_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+}
+
+void LogHistogram::clear() noexcept {
+  counts_.clear();
+  count_ = 0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+std::string LogHistogram::fingerprint() const {
+  std::uint64_t hash = 14695981039346656037ull;  // FNV-1a offset basis
+  auto mix = [&hash](std::uint64_t x) {
+    for (int b = 0; b < 8; ++b) {
+      hash ^= (x >> (8 * b)) & 0xFFu;
+      hash *= 1099511628211ull;
+    }
+  };
+  for_each_bucket([&](std::uint32_t idx, std::uint64_t n) {
+    mix(idx);
+    mix(n);
+  });
+  std::ostringstream os;
+  os << std::setprecision(17);
+  os << "n=" << count_ << ";min=" << min() << ";max=" << max()
+     << ";p50=" << quantile(0.50) << ";p99=" << quantile(0.99)
+     << ";p999=" << quantile(0.999) << ";h=" << std::hex << hash;
+  return os.str();
+}
+
+}  // namespace sbk::obs::slo

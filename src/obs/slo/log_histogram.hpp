@@ -1,0 +1,114 @@
+// HDR-style log-bucketed streaming histogram (the SLO engine's latency
+// substrate). Where util::Summary buffers every sample and sorts on
+// demand, LogHistogram decomposes a value into (octave, sub-bucket) via
+// frexp and increments a fixed-size count array:
+//
+//   * record() is O(1), allocation-free after the first sample, and
+//     noexcept — safe on the service hot path.
+//   * Memory is bounded at kBucketCount uint64 counts (~16 KB) no
+//     matter how many samples arrive.
+//   * merge() adds bucket counts element-wise and folds count/min/max —
+//     every piece of state is an exact associative/commutative fold, so
+//     merging per-scenario histograms in any grouping yields the same
+//     histogram. There is deliberately NO stored floating-point sum
+//     (double addition is not associative); mean() is derived from the
+//     bucket counts instead.
+//   * quantile() walks the cumulative counts and returns the bucket's
+//     geometric midpoint clamped to [min, max] — relative error is
+//     bounded by the sub-bucket width (2^-kSubBucketBits ~ 3%), and the
+//     answer is a pure function of the bucket counts, so it is
+//     bit-identical across producer-thread counts.
+//
+// Values are non-negative seconds. Anything below ~0.47 ns (including
+// zero and negatives, which are clamped) lands in the underflow bucket;
+// anything at or above 2^32 s saturates into the top bucket. min()/
+// max() always report the exact observed extremes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sbk::obs::slo {
+
+class LogHistogram {
+ public:
+  /// Sub-bucket resolution: 2^5 = 32 linear sub-buckets per octave,
+  /// i.e. quantiles are exact to within ~3.1% relative error.
+  static constexpr int kSubBucketBits = 5;
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+  /// Smallest distinguishable magnitude: 2^kFloorExp seconds (~0.47 ns).
+  /// frexp exponents below this collapse into the underflow bucket 0.
+  static constexpr int kFloorExp = -31;
+  /// Largest tracked exponent: values >= 2^32 s saturate into the top
+  /// bucket (no virtual-time span in this repo comes anywhere close).
+  static constexpr int kCeilExp = 32;
+  static constexpr std::uint32_t kOctaves =
+      static_cast<std::uint32_t>(kCeilExp - kFloorExp);
+  static constexpr std::uint32_t kBucketCount = 1 + kOctaves * kSubBuckets;
+
+  void record(double v) noexcept { record_n(v, 1); }
+  void record_n(double v, std::uint64_t n) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Exact observed extremes (0 when empty).
+  [[nodiscard]] double min() const noexcept { return count_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return count_ ? max_ : 0.0; }
+  /// Bucket-derived mean: sum(count_b * representative_b) / count. Exact
+  /// to the sub-bucket width; a pure function of the counts, so it
+  /// survives merge() unchanged regardless of merge grouping.
+  [[nodiscard]] double mean() const noexcept;
+
+  /// q in [0, 1]. Returns the representative of the bucket holding the
+  /// ceil(q * count)-th sample (rank order), clamped to [min, max].
+  /// quantile(0) == min(), quantile(1) == max(), both exact.
+  [[nodiscard]] double quantile(double q) const noexcept;
+  [[nodiscard]] double percentile(double p) const noexcept {
+    return quantile(p / 100.0);
+  }
+
+  /// Exact element-wise fold of the other histogram's state.
+  void merge(const LogHistogram& other);
+  void clear() noexcept;
+
+  /// Bytes held by the bucket array (0 until the first record — empty
+  /// histograms in wide registries cost nothing).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return counts_.capacity() * sizeof(std::uint64_t);
+  }
+
+  /// Canonical rendering: count, exact min/max, p50/p99/p999, and an
+  /// FNV-1a hash over the (bucket, count) pairs. Two histograms with
+  /// identical bucket state fingerprint identically.
+  [[nodiscard]] std::string fingerprint() const;
+
+  // --- bucket geometry (exposed for exporters and tests) ---------------------
+  [[nodiscard]] static std::uint32_t bucket_of(double v) noexcept;
+  /// Inclusive lower bound of bucket `idx` (bucket 0 starts at 0).
+  [[nodiscard]] static double bucket_lower(std::uint32_t idx) noexcept;
+  /// Exclusive upper bound of bucket `idx`.
+  [[nodiscard]] static double bucket_upper(std::uint32_t idx) noexcept;
+  /// Deterministic representative value: the geometric midpoint of the
+  /// bucket bounds (the lower bound for the underflow bucket).
+  [[nodiscard]] static double bucket_representative(std::uint32_t idx) noexcept;
+
+  /// Visits (bucket index, count) for every non-empty bucket in index
+  /// order. `fn` is invoked as fn(std::uint32_t, std::uint64_t).
+  template <typename Fn>
+  void for_each_bucket(Fn&& fn) const {
+    for (std::uint32_t i = 0; i < counts_.size(); ++i) {
+      if (counts_[i] != 0) fn(i, counts_[i]);
+    }
+  }
+
+ private:
+  void ensure_buckets();
+
+  std::vector<std::uint64_t> counts_;  ///< empty until the first record
+  std::uint64_t count_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace sbk::obs::slo

@@ -1,0 +1,254 @@
+#include "obs/slo/slo_monitor.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace sbk::obs::slo {
+
+namespace {
+
+[[nodiscard]] double burn_rate(std::uint64_t good, std::uint64_t bad,
+                               double budget) noexcept {
+  const std::uint64_t total = good + bad;
+  if (total == 0) return 0.0;
+  const double frac = static_cast<double>(bad) / static_cast<double>(total);
+  return frac / budget;
+}
+
+}  // namespace
+
+std::size_t SloMonitor::add_objective(SloObjectiveConfig cfg) {
+  SBK_EXPECTS(!cfg.name.empty());
+  SBK_EXPECTS(cfg.budget > 0.0);
+  SBK_EXPECTS(cfg.window > 0.0);
+  SBK_EXPECTS(cfg.steps >= 1);
+  SBK_EXPECTS(cfg.short_steps >= 1 && cfg.short_steps <= cfg.steps);
+  SBK_EXPECTS(cfg.burn_factor > 0.0);
+  SBK_EXPECTS(cfg.clear_factor > 0.0);
+  Objective o;
+  o.step_len = cfg.window / static_cast<double>(cfg.steps);
+  o.ring.assign(cfg.steps, StepCell{});
+  o.cfg = std::move(cfg);
+  objectives_.push_back(std::move(o));
+  return objectives_.size() - 1;
+}
+
+SloMonitor::Objective& SloMonitor::open_step(std::size_t obj, Seconds at) {
+  SBK_EXPECTS(obj < objectives_.size());
+  Objective& o = objectives_[obj];
+  const auto step = static_cast<std::int64_t>(std::floor(at / o.step_len));
+  if (o.cur_step == kNoStep) {
+    o.cur_step = step;
+  } else if (step > o.cur_step) {
+    roll_to(obj, step);
+  }
+  // Timestamps at or before the open step (replays stamped at a seat
+  // time inside the current batch) fold into the open cell.
+  return o;
+}
+
+void SloMonitor::roll_to(std::size_t idx, std::int64_t target_step) {
+  Objective& o = objectives_[idx];
+  const auto steps = static_cast<std::int64_t>(o.cfg.steps);
+  // Beyond steps+1 boundaries with no new events the ring is empty and
+  // the alert state is settled (a pending clear fires within
+  // short_steps+1 empty boundaries), so further evaluations are no-ops:
+  // evaluate the first steps+1, then jump. This keeps long idle gaps
+  // O(steps) while producing the exact alert sequence full iteration
+  // would.
+  std::int64_t bounded = target_step;
+  const bool jump = target_step - o.cur_step > steps + 1;
+  if (jump) bounded = o.cur_step + steps + 1;
+  while (o.cur_step < bounded) {
+    evaluate_boundary(idx, o.cur_step);
+    ++o.cur_step;
+    StepCell& cell =
+        o.ring[static_cast<std::size_t>(o.cur_step % steps)];
+    o.win_good -= cell.good;
+    o.win_bad -= cell.bad;
+    cell = StepCell{};
+  }
+  if (jump) o.cur_step = target_step;  // ring is known-empty here
+}
+
+void SloMonitor::record_good(std::size_t obj, Seconds at, std::uint64_t n) {
+  if (n == 0) return;
+  Objective& o = open_step(obj, at);
+  o.ring[static_cast<std::size_t>(o.cur_step %
+                                  static_cast<std::int64_t>(o.cfg.steps))]
+      .good += n;
+  o.win_good += n;
+  o.total_good += n;
+}
+
+void SloMonitor::record_bad(std::size_t obj, Seconds at, std::uint64_t n) {
+  if (n == 0) return;
+  Objective& o = open_step(obj, at);
+  o.ring[static_cast<std::size_t>(o.cur_step %
+                                  static_cast<std::int64_t>(o.cfg.steps))]
+      .bad += n;
+  o.win_bad += n;
+  o.total_bad += n;
+}
+
+void SloMonitor::record_latency(std::size_t obj, Seconds at, Seconds value) {
+  SBK_EXPECTS(obj < objectives_.size());
+  SBK_EXPECTS(objectives_[obj].cfg.kind == ObjectiveKind::kLatency);
+  if (value > objectives_[obj].cfg.threshold) {
+    record_bad(obj, at);
+  } else {
+    record_good(obj, at);
+  }
+}
+
+void SloMonitor::advance_to(Seconds at) {
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    Objective& o = objectives_[i];
+    if (o.cur_step == kNoStep) continue;  // no events yet: nothing to evaluate
+    const auto step = static_cast<std::int64_t>(std::floor(at / o.step_len));
+    if (step > o.cur_step) roll_to(i, step);
+  }
+}
+
+void SloMonitor::finish(Seconds at) {
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    Objective& o = objectives_[i];
+    advance_to(at + o.cfg.window + o.step_len);
+    if (recorder_ != nullptr) {
+      std::ostringstream detail;
+      detail << std::setprecision(17) << "objective=" << o.cfg.name
+             << ";good=" << o.total_good << ";bad=" << o.total_bad
+             << ";attainment=" << attainment(i)
+             << ";breaches=" << o.breach_count
+             << ";clears=" << o.clear_count;
+      recorder_->instant("slo", "slo_attainment", at, detail.str());
+    }
+  }
+}
+
+void SloMonitor::evaluate_boundary(std::size_t idx, std::int64_t closed_step) {
+  Objective& o = objectives_[idx];
+  const SloObjectiveConfig& cfg = o.cfg;
+  const Seconds at = static_cast<double>(closed_step + 1) * o.step_len;
+  std::uint64_t short_good = 0;
+  std::uint64_t short_bad = 0;
+  for (std::uint32_t i = 0; i < cfg.short_steps; ++i) {
+    const std::int64_t s = closed_step - static_cast<std::int64_t>(i);
+    if (s < 0) break;
+    const StepCell& cell =
+        o.ring[static_cast<std::size_t>(s % static_cast<std::int64_t>(cfg.steps))];
+    short_good += cell.good;
+    short_bad += cell.bad;
+  }
+  const double burn_long = burn_rate(o.win_good, o.win_bad, cfg.budget);
+  const double burn_short = burn_rate(short_good, short_bad, cfg.budget);
+
+  bool fire = false;
+  bool breach = false;
+  if (!o.breached) {
+    if (o.win_good + o.win_bad >= cfg.min_events &&
+        burn_long >= cfg.burn_factor && burn_short >= cfg.burn_factor) {
+      fire = true;
+      breach = true;
+      o.breached = true;
+      ++o.breach_count;
+    }
+  } else if (burn_short < cfg.clear_factor) {
+    fire = true;
+    o.breached = false;
+    ++o.clear_count;
+  }
+  if (!fire) return;
+
+  SloAlert alert;
+  alert.objective = idx;
+  alert.breach = breach;
+  alert.at = at;
+  alert.burn_long = burn_long;
+  alert.burn_short = burn_short;
+  if (breach && tracer_ != nullptr) {
+    alert.incidents = overlapping_incidents(at - cfg.window, at);
+  }
+  if (recorder_ != nullptr) {
+    std::ostringstream detail;
+    detail << std::setprecision(6) << "objective=" << cfg.name
+           << ";burn_long=" << burn_long << ";burn_short=" << burn_short;
+    if (!alert.incidents.empty()) {
+      detail << ";incidents=";
+      for (std::size_t i = 0; i < alert.incidents.size(); ++i) {
+        if (i != 0) detail << '+';
+        detail << alert.incidents[i];
+      }
+    }
+    recorder_->instant("slo", breach ? "slo_breach" : "slo_clear", at,
+                       detail.str());
+  }
+  alerts_.push_back(std::move(alert));
+}
+
+std::vector<std::size_t> SloMonitor::overlapping_incidents(
+    Seconds window_start, Seconds window_end) const {
+  std::vector<std::size_t> ids;
+  for (const RecoveryIncident& inc : tracer_->incidents()) {
+    if (inc.injected_at > window_end) continue;
+    if (inc.closed && inc.recovered_at < window_start) continue;
+    ids.push_back(inc.id);
+  }
+  return ids;
+}
+
+double SloMonitor::attainment(std::size_t obj) const {
+  const Objective& o = objectives_[obj];
+  const std::uint64_t total = o.total_good + o.total_bad;
+  if (total == 0) return 1.0;
+  return static_cast<double>(o.total_good) / static_cast<double>(total);
+}
+
+SloMonitor SloMonitor::clone_config() const {
+  SloMonitor fresh;
+  for (const Objective& o : objectives_) fresh.add_objective(o.cfg);
+  return fresh;
+}
+
+void SloMonitor::merge(const SloMonitor& other, std::uint32_t track) {
+  SBK_EXPECTS_MSG(objectives_.size() == other.objectives_.size(),
+                  "SloMonitor::merge requires identical objective sets");
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    Objective& mine = objectives_[i];
+    const Objective& theirs = other.objectives_[i];
+    SBK_EXPECTS_MSG(mine.cfg.name == theirs.cfg.name,
+                    "SloMonitor::merge requires identical objective sets");
+    mine.total_good += theirs.total_good;
+    mine.total_bad += theirs.total_bad;
+    mine.breach_count += theirs.breach_count;
+    mine.clear_count += theirs.clear_count;
+    mine.breached = mine.breached || theirs.breached;
+  }
+  for (const SloAlert& alert : other.alerts_) {
+    alerts_.push_back(alert);
+    alerts_.back().track = track;
+  }
+}
+
+std::string SloMonitor::fingerprint() const {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < objectives_.size(); ++i) {
+    const Objective& o = objectives_[i];
+    os << o.cfg.name << ":good=" << o.total_good << ",bad=" << o.total_bad
+       << ",breaches=" << o.breach_count << ",clears=" << o.clear_count
+       << ",open=" << (o.breached ? 1 : 0) << ";";
+  }
+  os << "alerts=" << alerts_.size();
+  for (const SloAlert& a : alerts_) {
+    os << ";" << a.track << ":" << a.objective << ":"
+       << (a.breach ? 'B' : 'C') << "@" << a.at << "/" << a.burn_long << "/"
+       << a.burn_short;
+  }
+  return os.str();
+}
+
+}  // namespace sbk::obs::slo

@@ -1,0 +1,190 @@
+// Windowed SLO objectives with Google-SRE-style multi-window burn-rate
+// alerting, evaluated deterministically in *virtual* time.
+//
+// Model: each objective divides virtual time into fixed steps of
+// window/steps seconds. Events (good/bad, or latency samples judged
+// against a threshold) are binned into the step containing their
+// timestamp; the long window is the last `steps` steps and the short
+// window the last `short_steps`. Error-budget burn over a window is
+//
+//     burn = (bad / (good + bad)) / budget
+//
+// i.e. burn 1.0 consumes the budget exactly at the sustainable rate. A
+// breach fires at the first step boundary where BOTH windows burn at
+// >= burn_factor (the long window filters blips, the short window
+// guarantees the alert is still firing now); it clears at the first
+// boundary where the short window's burn drops below clear_factor
+// (fast clear: the short window drains quickly once the cause stops).
+// A minimum event count in the long window guards against tiny-sample
+// noise ("1 bad out of 3" is not an outage).
+//
+// Determinism: windows advance ONLY to step boundaries at or before a
+// timestamp the caller hands in (records auto-advance; the service also
+// advances at batch boundaries), so every evaluation instant and every
+// alert is a pure function of the virtual-time event schedule — never
+// of wall clocks, producer threads, or batching pace. Alert timelines
+// are therefore bit-identical across inline/1/4/8 producers, and
+// merge(other, track) concatenates per-scenario timelines in scenario
+// order for the same property across sweep workers.
+//
+// Breaches are emitted as flight-recorder instants (category "slo",
+// names "slo_breach"/"slo_clear") and annotated with the ids of
+// RecoveryTracer incidents overlapping the long window, when a tracer
+// is attached.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/recovery_tracer.hpp"
+#include "util/time.hpp"
+
+namespace sbk::obs::slo {
+
+enum class ObjectiveKind : std::uint8_t {
+  kRate,     ///< explicit good/bad events; budget bounds the bad fraction
+  kLatency,  ///< samples; bad = sample > threshold (a quantile objective:
+             ///< "p99 < threshold" == "fraction above threshold <= 1%")
+};
+
+struct SloObjectiveConfig {
+  std::string name;
+  ObjectiveKind kind = ObjectiveKind::kRate;
+  /// Latency bound in seconds (kLatency only).
+  double threshold = 0.0;
+  /// Allowed long-run bad fraction (e.g. 0.01 for a p99 objective,
+  /// 1e-4 for a loss-rate objective).
+  double budget = 1e-3;
+  /// Long-window span in virtual seconds, divided into `steps` cells.
+  Seconds window = 10.0;
+  std::uint32_t steps = 10;
+  /// Short window = this many trailing steps (must be <= steps).
+  std::uint32_t short_steps = 2;
+  /// Breach when burn_long AND burn_short >= burn_factor.
+  double burn_factor = 2.0;
+  /// Clear when burn_short < clear_factor.
+  double clear_factor = 1.0;
+  /// Long window must hold at least this many events to breach.
+  std::uint64_t min_events = 20;
+};
+
+struct SloAlert {
+  std::uint32_t track = 0;  ///< scenario index, assigned by merge()
+  std::size_t objective = 0;
+  bool breach = false;  ///< true = slo_breach, false = slo_clear
+  Seconds at = 0.0;     ///< step-boundary virtual time
+  double burn_long = 0.0;
+  double burn_short = 0.0;
+  /// RecoveryTracer incident ids overlapping the long window (breach
+  /// alerts only, and only when a tracer is attached).
+  std::vector<std::size_t> incidents;
+};
+
+class SloMonitor {
+ public:
+  SloMonitor() = default;
+
+  /// Declares an objective; returns its index. Objectives must be added
+  /// before the first record/advance.
+  std::size_t add_objective(SloObjectiveConfig cfg);
+  [[nodiscard]] std::size_t objective_count() const noexcept {
+    return objectives_.size();
+  }
+  [[nodiscard]] const SloObjectiveConfig& objective(std::size_t i) const {
+    return objectives_[i].cfg;
+  }
+
+  /// Breach/clear instants are recorded here (category "slo"). The
+  /// recorder must outlive the monitor; nullptr detaches.
+  void attach_recorder(FlightRecorder* recorder) noexcept {
+    recorder_ = recorder;
+  }
+  /// Incident linking source. The tracer must outlive the monitor.
+  void attach_tracer(const RecoveryTracer* tracer) noexcept {
+    tracer_ = tracer;
+  }
+
+  // --- recording (auto-advances the objective's window to `at`) --------------
+  void record_good(std::size_t obj, Seconds at, std::uint64_t n = 1);
+  void record_bad(std::size_t obj, Seconds at, std::uint64_t n = 1);
+  /// kLatency objectives: judges `value` against the threshold.
+  void record_latency(std::size_t obj, Seconds at, Seconds value);
+
+  /// Evaluates every step boundary at or before `at` for all
+  /// objectives. Call at batch boundaries so quiet periods still clear.
+  void advance_to(Seconds at);
+  /// Final flush: advances one full long window past `at` so pending
+  /// clears fire, then emits one "slo_attainment" instant per objective.
+  void finish(Seconds at);
+
+  // --- results ---------------------------------------------------------------
+  [[nodiscard]] const std::vector<SloAlert>& alerts() const noexcept {
+    return alerts_;
+  }
+  [[nodiscard]] std::uint64_t breach_count(std::size_t obj) const {
+    return objectives_[obj].breach_count;
+  }
+  [[nodiscard]] std::uint64_t clear_count(std::size_t obj) const {
+    return objectives_[obj].clear_count;
+  }
+  [[nodiscard]] bool breached(std::size_t obj) const {
+    return objectives_[obj].breached;
+  }
+  [[nodiscard]] std::uint64_t good_total(std::size_t obj) const {
+    return objectives_[obj].total_good;
+  }
+  [[nodiscard]] std::uint64_t bad_total(std::size_t obj) const {
+    return objectives_[obj].total_bad;
+  }
+  /// Fraction of events that met the objective (1.0 when no events).
+  [[nodiscard]] double attainment(std::size_t obj) const;
+
+  /// A configuration-only copy: same objectives, zeroed state. This is
+  /// how SweepRunner stamps out per-scenario monitors from a prototype.
+  [[nodiscard]] SloMonitor clone_config() const;
+  /// Scenario-ordered merge: appends the other monitor's alert timeline
+  /// with `track` set and folds its per-objective totals. Objectives are
+  /// matched by index and must agree by name (asserted). The merged
+  /// monitor is an aggregate — its windows are not advanced further.
+  void merge(const SloMonitor& other, std::uint32_t track);
+
+  /// Canonical rendering of the alert timeline + per-objective totals.
+  [[nodiscard]] std::string fingerprint() const;
+
+ private:
+  static constexpr std::int64_t kNoStep = -1;
+
+  struct StepCell {
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+  };
+
+  struct Objective {
+    SloObjectiveConfig cfg;
+    Seconds step_len = 0.0;
+    std::vector<StepCell> ring;  ///< cfg.steps cells, indexed step % steps
+    std::int64_t cur_step = kNoStep;  ///< absolute index of the open step
+    std::uint64_t win_good = 0;  ///< long-window (== ring) totals
+    std::uint64_t win_bad = 0;
+    bool breached = false;
+    std::uint64_t total_good = 0;
+    std::uint64_t total_bad = 0;
+    std::uint64_t breach_count = 0;
+    std::uint64_t clear_count = 0;
+  };
+
+  Objective& open_step(std::size_t obj, Seconds at);
+  void roll_to(std::size_t idx, std::int64_t target_step);
+  void evaluate_boundary(std::size_t idx, std::int64_t closed_step);
+  [[nodiscard]] std::vector<std::size_t> overlapping_incidents(
+      Seconds window_start, Seconds window_end) const;
+
+  std::vector<Objective> objectives_;
+  std::vector<SloAlert> alerts_;
+  FlightRecorder* recorder_ = nullptr;
+  const RecoveryTracer* tracer_ = nullptr;
+};
+
+}  // namespace sbk::obs::slo

@@ -1,6 +1,7 @@
 #include "service/controller_service.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <iomanip>
 #include <limits>
 #include <sstream>
@@ -65,7 +66,41 @@ ControllerService::ControllerService(sharebackup::Fabric& fabric,
     }
   }
 
+  if (config_.slo.enabled) {
+    const ServiceSloConfig& s = config_.slo;
+    SBK_EXPECTS(s.snapshot_interval > 0.0);
+    obs::slo::SloObjectiveConfig decision;
+    decision.name = "decision_latency";
+    decision.kind = obs::slo::ObjectiveKind::kLatency;
+    decision.threshold = s.decision_latency_bound;
+    decision.budget = s.decision_budget;
+    obs::slo::SloObjectiveConfig availability;
+    availability.name = "service_availability";
+    availability.budget = s.availability_budget;
+    obs::slo::SloObjectiveConfig loss;
+    loss.name = "report_loss";
+    loss.budget = s.loss_budget;
+    for (obs::slo::SloObjectiveConfig* cfg :
+         {&decision, &availability, &loss}) {
+      cfg->window = s.window;
+      cfg->steps = s.steps;
+      cfg->short_steps = s.short_steps;
+      cfg->burn_factor = s.burn_factor;
+      cfg->clear_factor = s.clear_factor;
+      cfg->min_events = s.min_events;
+    }
+    const std::size_t d = slo_monitor_.add_objective(decision);
+    const std::size_t a = slo_monitor_.add_objective(availability);
+    const std::size_t l = slo_monitor_.add_objective(loss);
+    SBK_ASSERT(d == kSloDecision && a == kSloAvailability && l == kSloLoss);
+    slo_enabled_ = true;
+    next_snapshot_ = s.snapshot_interval;
+  }
+
   ingress_.set_reject_hook([this](const ServiceMessage& msg, bool overflow) {
+    if (slo_enabled_ && overflow) {
+      slo_monitor_.record_bad(kSloLoss, msg.at);
+    }
     if (recorder_ == nullptr) return;
     recorder_->instant("service", overflow ? "overflow_drop" : "probe_shed",
                        msg.at, kind_name(msg.kind));
@@ -230,6 +265,7 @@ void ControllerService::drain_and_stop() {
       (obs::FlightRecorder::wall_now_us() - wall_start_us_) / 1e6;
   SBK_ASSERT_MSG(ingress_.stats().processed == ingress_.stats().accepted,
                  "drain left accepted-but-unprocessed reports behind");
+  slo_finish();
   publish_metrics();
 }
 
@@ -248,6 +284,7 @@ void ControllerService::run_inline(const std::vector<ServiceMessage>& stream) {
       (obs::FlightRecorder::wall_now_us() - wall_start) / 1e6;
   SBK_ASSERT_MSG(ingress_.stats().processed == ingress_.stats().accepted,
                  "drain left accepted-but-unprocessed reports behind");
+  slo_finish();
   publish_metrics();
 }
 
@@ -258,10 +295,15 @@ void ControllerService::dispatch_batch(const std::vector<ServiceMessage>& batch,
   span.set_detail("size=" + std::to_string(batch.size()));
   controller_->set_time(start);
   on_batch_begin(start);
+  if (slo_enabled_) slo_on_batch(start);
   for (const ServiceMessage& msg : batch) {
     handle_message(msg, start);
     const Seconds latency = end - msg.at;
-    decision_latency_.add(latency);
+    decision_latency_.record(latency);
+    if (slo_enabled_) {
+      slo_monitor_.record_latency(kSloDecision, end, latency);
+      slo_monitor_.record_good(kSloLoss, end);
+    }
     if (recorder_ != nullptr && config_.latency_sample_every > 0 &&
         decision_latency_.count() % config_.latency_sample_every == 0) {
       recorder_->counter("service", "decision_latency_us", end,
@@ -275,11 +317,12 @@ void ControllerService::dispatch_batch(const std::vector<ServiceMessage>& batch,
 }
 
 void ControllerService::handle_message(const ServiceMessage& msg,
-                                       Seconds /*start*/) {
+                                       Seconds start) {
   net::Network& net = fabric_->network();
   switch (msg.kind) {
     case MessageKind::kNodeFailureReport: {
       ++stats_.node_reports;
+      slo_note_availability(true, start);
       if (msg.inject && !net.node_failed(msg.node)) {
         // First report of this failure instance: ground it.
         net.fail_node(msg.node);
@@ -295,6 +338,7 @@ void ControllerService::handle_message(const ServiceMessage& msg,
     }
     case MessageKind::kLinkFailureReport: {
       ++stats_.link_reports;
+      slo_note_availability(true, start);
       if (msg.inject) {
         const net::Link& l = net.link(msg.link);
         if (!net.link_failed(msg.link) && !net.node_failed(l.a) &&
@@ -320,6 +364,7 @@ void ControllerService::handle_message(const ServiceMessage& msg,
         ++stats_.probe_results;  // pure telemetry
       } else {
         ++stats_.sick_probes;
+        slo_note_availability(true, start);
         if (!net.link_failed(msg.link)) ++stats_.stale_reports;
         controller_->on_link_failure(msg.link);
       }
@@ -327,6 +372,7 @@ void ControllerService::handle_message(const ServiceMessage& msg,
     }
     case MessageKind::kOperatorCommand: {
       ++stats_.operator_commands;
+      slo_note_availability(true, start);
       handle_operator(msg);
       break;
     }
@@ -400,6 +446,84 @@ void ControllerService::final_sweep() {
   stats_.audit_dropped = controller_->audit_dropped();
 }
 
+void ControllerService::slo_on_batch(Seconds start) {
+  slo_monitor_.advance_to(start);
+  if (start < next_snapshot_) return;
+  obs::slo::HealthSnapshot snap;
+  snap.sequence = snapshot_seq_++;
+  snap.at = start;
+  fill_health(snap);
+  health_.add(std::move(snap));
+  // One sample per crossing, however many multiples a quiet gap spans.
+  const double k = std::floor(start / config_.slo.snapshot_interval);
+  next_snapshot_ = (k + 1.0) * config_.slo.snapshot_interval;
+}
+
+void ControllerService::slo_finish() {
+  if (!slo_enabled_) return;
+  const Seconds end = ingress_.stats().last_batch_end;
+  slo_monitor_.finish(end);
+  obs::slo::HealthSnapshot snap;
+  snap.sequence = snapshot_seq_++;
+  snap.at = end;
+  fill_health(snap);
+  health_.add(std::move(snap));
+}
+
+void ControllerService::fill_health(obs::slo::HealthSnapshot& snap) const {
+  const IngressStats& in = ingress_.stats();
+  snap.queue_depth = ingress_.depth();
+  snap.backpressure = ingress_.backpressure();
+  snap.accepted = in.accepted;
+  snap.processed = in.processed;
+  snap.dropped_overflow = in.dropped_overflow;
+  snap.shed_probes = in.shed_probes;
+  snap.batches = in.batches;
+  snap.spare_pool = fabric_->total_spares();
+  const net::Network& net = fabric_->network();
+  snap.live_link_frac =
+      net.link_count() == 0
+          ? 1.0
+          : 1.0 - static_cast<double>(net.failed_link_count()) /
+                      static_cast<double>(net.link_count());
+  obs::slo::HealthHistogramStat lat;
+  lat.name = "decision_latency";
+  lat.count = decision_latency_.count();
+  lat.p50 = decision_latency_.quantile(0.5);
+  lat.p99 = decision_latency_.quantile(0.99);
+  lat.p999 = decision_latency_.quantile(0.999);
+  lat.max = decision_latency_.max();
+  snap.histograms.push_back(std::move(lat));
+  for (std::size_t i = 0; i < slo_monitor_.objective_count(); ++i) {
+    obs::slo::HealthObjectiveStat o;
+    o.name = slo_monitor_.objective(i).name;
+    o.good = slo_monitor_.good_total(i);
+    o.bad = slo_monitor_.bad_total(i);
+    o.breaches = slo_monitor_.breach_count(i);
+    o.clears = slo_monitor_.clear_count(i);
+    o.attainment = slo_monitor_.attainment(i);
+    o.breached = slo_monitor_.breached(i);
+    snap.objectives.push_back(std::move(o));
+  }
+}
+
+obs::slo::HealthSnapshot ControllerService::health_snapshot() const {
+  obs::slo::HealthSnapshot snap;
+  snap.sequence = snapshot_seq_;
+  snap.at = ingress_.stats().last_batch_end;
+  fill_health(snap);
+  return snap;
+}
+
+void ControllerService::write_health_json(std::ostream& os) const {
+  obs::slo::write_health_json(os, health_snapshot());
+  os << "\n";
+}
+
+void ControllerService::write_health_prometheus(std::ostream& os) const {
+  obs::slo::write_health_prometheus(os, health_snapshot());
+}
+
 void ControllerService::publish_metrics() {
   if (metrics_ == nullptr) return;
   const IngressStats& in = ingress_.stats();
@@ -438,10 +562,31 @@ void ControllerService::publish_metrics() {
   metrics_->gauge("service.backpressure_time_s").set(in.backpressure_time);
   metrics_->gauge("service.final_sweep_rounds")
       .set(static_cast<double>(stats_.final_sweep_rounds));
-  obs::LatencyHistogram& lat = metrics_->latency("service.decision_latency");
-  for (double s : decision_latency_.samples()) lat.record(s);
+  metrics_->counter("service.decision_latency_count")
+      .add(decision_latency_.count());
+  metrics_->gauge("service.decision_latency_p50_s")
+      .set(decision_latency_.quantile(0.5));
+  metrics_->gauge("service.decision_latency_p99_s")
+      .set(decision_latency_.quantile(0.99));
+  metrics_->gauge("service.decision_latency_p999_s")
+      .set(decision_latency_.quantile(0.999));
+  metrics_->gauge("service.decision_latency_max_s")
+      .set(decision_latency_.max());
   obs::LatencyHistogram& bs = metrics_->latency("service.batch_size");
   for (double s : ingress_.batch_sizes().samples()) bs.record(s);
+  if (slo_enabled_) {
+    std::uint64_t breaches = 0;
+    std::uint64_t clears = 0;
+    for (std::size_t i = 0; i < slo_monitor_.objective_count(); ++i) {
+      breaches += slo_monitor_.breach_count(i);
+      clears += slo_monitor_.clear_count(i);
+      metrics_->gauge("slo.attainment." + slo_monitor_.objective(i).name)
+          .set(slo_monitor_.attainment(i));
+    }
+    metrics_->counter("slo.breaches").add(breaches);
+    metrics_->counter("slo.clears").add(clears);
+    metrics_->counter("slo.snapshots").add(health_.size());
+  }
 }
 
 std::string ServiceStats::fingerprint() const {
@@ -476,13 +621,10 @@ std::string ControllerService::fingerprint() const {
      << ";bp_engaged=" << in.backpressure_engaged
      << ";bp_time=" << in.backpressure_time
      << ";last_end=" << in.last_batch_end
-     << ";lat_count=" << decision_latency_.count();
-  if (!decision_latency_.empty()) {
-    os << ";lat_sum=" << decision_latency_.sum()
-       << ";lat_min=" << decision_latency_.min()
-       << ";lat_max=" << decision_latency_.max()
-       << ";lat_p50=" << decision_latency_.percentile(50.0)
-       << ";lat_p99=" << decision_latency_.percentile(99.0);
+     << ";lat={" << decision_latency_.fingerprint() << "}";
+  if (slo_enabled_) {
+    os << ";slo={" << slo_monitor_.fingerprint() << "};health={"
+       << health_.fingerprint() << "}";
   }
   return os.str();
 }

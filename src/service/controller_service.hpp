@@ -56,6 +56,10 @@
 #include "control/controller.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/recovery_tracer.hpp"
+#include "obs/slo/health_snapshot.hpp"
+#include "obs/slo/log_histogram.hpp"
+#include "obs/slo/slo_monitor.hpp"
 #include "service/ingress_queue.hpp"
 #include "service/message.hpp"
 #include "sharebackup/fabric.hpp"
@@ -64,15 +68,49 @@
 
 namespace sbk::service {
 
+/// Live SLO engine configuration (obs/slo wired into the service loop).
+/// Disabled by default: the only hot-path cost of a disabled engine is
+/// one branch per message (the same gate style as the flight recorder).
+struct ServiceSloConfig {
+  bool enabled = false;
+  /// Virtual-time spacing of health snapshots; each sample is taken at
+  /// the first batch boundary at or after a multiple of the interval
+  /// (plus one final sample at drain), so the snapshot timeline is a
+  /// pure function of the message schedule.
+  Seconds snapshot_interval = 0.25;
+  /// decision_latency objective: "p-(1-budget) of decision latencies
+  /// (arrival -> batch end) stays under the bound".
+  Seconds decision_latency_bound = 0.05;
+  double decision_budget = 0.02;
+  /// service_availability objective: a failure-relevant message handled
+  /// by a usable primary is good; one buffered headless (or refused by
+  /// the term guard) is bad. The single-controller service never
+  /// records a bad event.
+  double availability_budget = 1e-3;
+  /// report_loss objective: ingress overflow drops vs. processed
+  /// messages (deliberate probe shedding is not loss).
+  double loss_budget = 1e-4;
+  /// Shared burn-window geometry (see obs/slo/slo_monitor.hpp).
+  Seconds window = 0.05;
+  std::uint32_t steps = 10;
+  std::uint32_t short_steps = 2;
+  double burn_factor = 4.0;
+  double clear_factor = 1.0;
+  std::uint64_t min_events = 20;
+};
+
 struct ServiceConfig {
   IngressConfig ingress;
+  /// Live SLO engine: streaming objectives, burn-rate alerts, health
+  /// snapshots.
+  ServiceSloConfig slo;
   /// Per-producer staging bound; submit() blocks when full (this is the
   /// wall-clock backpressure path — it bounds memory but never changes
   /// virtual-time outcomes).
   std::size_t staging_capacity = 1024;
   /// Every Nth processed message also records its decision latency into
   /// the flight recorder as a counter sample (all messages feed the
-  /// deterministic Summary regardless).
+  /// deterministic streaming histogram regardless).
   std::size_t latency_sample_every = 64;
   /// Shutdown settle: virtual-time step between rounds (a watchdog
   /// window must be able to slide past the last report burst) and the
@@ -143,10 +181,18 @@ class ControllerService {
     metrics_ = metrics;
   }
   /// Batch spans, backpressure/overflow instants, and sampled
-  /// queue-depth counters under category "service". Pass nullptr to
-  /// detach; the recorder must outlive the service.
+  /// queue-depth counters under category "service"; SLO breach/clear
+  /// instants under category "slo". Pass nullptr to detach; the
+  /// recorder must outlive the service.
   void attach_recorder(obs::FlightRecorder* recorder) noexcept {
     recorder_ = recorder;
+    slo_monitor_.attach_recorder(recorder);
+  }
+  /// Incident source for SLO breach annotation: each slo_breach alert
+  /// lists the RecoveryTracer incidents overlapping its long window.
+  /// The tracer must outlive the service; nullptr detaches.
+  void attach_tracer(const obs::RecoveryTracer* tracer) noexcept {
+    slo_monitor_.attach_tracer(tracer);
   }
 
   // --- threaded mode ---------------------------------------------------------
@@ -180,17 +226,44 @@ class ControllerService {
   [[nodiscard]] const IngressStats& ingress_stats() const noexcept {
     return ingress_.stats();
   }
-  /// Virtual-time decision-latency distribution (arrival -> batch end).
-  [[nodiscard]] const Summary& decision_latency() const noexcept {
+  /// Virtual-time decision-latency distribution (arrival -> batch end),
+  /// a bounded streaming histogram (O(1) record, exact merge).
+  [[nodiscard]] const obs::slo::LogHistogram& decision_latency()
+      const noexcept {
     return decision_latency_;
   }
   [[nodiscard]] const Summary& batch_sizes() const noexcept {
     return ingress_.batch_sizes();
   }
   /// One line summarizing every deterministic output (service stats,
-  /// ingress stats, latency distribution). Two runs of the same stream —
-  /// any producer count, threaded or inline — produce the same string.
+  /// ingress stats, latency distribution, and — when the SLO engine is
+  /// enabled — the alert timeline and snapshot log). Two runs of the
+  /// same stream — any producer count, threaded or inline — produce the
+  /// same string.
   [[nodiscard]] std::string fingerprint() const;
+
+  // --- SLO engine ------------------------------------------------------------
+  /// Objectives, burn state, and the alert timeline (empty unless
+  /// config.slo.enabled).
+  [[nodiscard]] const obs::slo::SloMonitor& slo_monitor() const noexcept {
+    return slo_monitor_;
+  }
+  /// Periodic health snapshots taken at batch boundaries.
+  [[nodiscard]] const obs::slo::HealthLog& health_log() const noexcept {
+    return health_;
+  }
+  /// Pull hook: a fresh snapshot of the current service state (stamped
+  /// at the last batch end). Works whether or not the SLO engine is
+  /// enabled — objectives/histogram quantiles are simply absent/empty
+  /// when it is off.
+  [[nodiscard]] obs::slo::HealthSnapshot health_snapshot() const;
+  void write_health_json(std::ostream& os) const;
+  void write_health_prometheus(std::ostream& os) const;
+
+  /// Objective indices within slo_monitor() (fixed by construction).
+  static constexpr std::size_t kSloDecision = 0;
+  static constexpr std::size_t kSloAvailability = 1;
+  static constexpr std::size_t kSloLoss = 2;
 
  protected:
   // --- subclass surface (ReplicatedControllerService) ------------------------
@@ -210,7 +283,28 @@ class ControllerService {
   /// replay under the final primary), then delegates here.
   virtual void final_sweep();
   virtual void publish_metrics();
+  /// Fills one health snapshot from current state. The base fills the
+  /// ingress/fabric/histogram/objective sections; the replicated
+  /// service extends it with cluster state.
+  virtual void fill_health(obs::slo::HealthSnapshot& snap) const;
   void handle_operator(const ServiceMessage& msg);
+
+  // --- SLO recording hooks (single-branch no-ops while disabled) -------------
+  /// Availability outcome of one failure-relevant message: true when a
+  /// usable primary handled it, false when it was buffered headless or
+  /// refused by the term guard.
+  void slo_note_availability(bool ok, Seconds at) {
+    if (slo_enabled_) {
+      slo_monitor_.record_bad(kSloAvailability, at, ok ? 0 : 1);
+      slo_monitor_.record_good(kSloAvailability, at, ok ? 1 : 0);
+    }
+  }
+  /// Takes the periodic snapshot when a batch boundary crosses the next
+  /// snapshot multiple, and advances the burn windows through quiet
+  /// gaps.
+  void slo_on_batch(Seconds start);
+  /// Final monitor flush + closing snapshot (called once after drain).
+  void slo_finish();
 
   sharebackup::Fabric* fabric_;
   /// The acting controller. The base class points it at the single
@@ -224,9 +318,15 @@ class ControllerService {
   /// seed device plus every initial spare), captured at construction.
   std::vector<sharebackup::DeviceUid> switch_devices_;
   ServiceStats stats_;
-  Summary decision_latency_;
+  obs::slo::LogHistogram decision_latency_;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
+  /// Mirrors config_.slo.enabled — the one branch disabled SLO costs.
+  bool slo_enabled_ = false;
+  obs::slo::SloMonitor slo_monitor_;
+  obs::slo::HealthLog health_;
+  Seconds next_snapshot_ = 0.0;
+  std::uint64_t snapshot_seq_ = 0;
 
  private:
   struct Producer {

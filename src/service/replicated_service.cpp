@@ -86,6 +86,7 @@ void ReplicatedControllerService::handle_message(const ServiceMessage& msg,
       ++stats_.stale_rejections;
     }
     open_headless_window(start);
+    slo_note_availability(false, start);
     buffer_.push_back(msg);
     return;
   }
@@ -259,6 +260,17 @@ void ReplicatedControllerService::final_sweep() {
   // end: close the (total-death) window at the settle horizon so
   // headless_seconds accounts for it.
   close_headless_window(settle);
+}
+
+void ReplicatedControllerService::fill_health(
+    obs::slo::HealthSnapshot& snap) const {
+  ControllerService::fill_health(snap);
+  snap.replicated = true;
+  snap.cluster_term = cluster_.term();
+  snap.acting_member = static_cast<int>(acting_);
+  snap.cluster_available = cluster_.available();
+  snap.headless_backlog = buffer_.size();
+  snap.headless_seconds = stats_.headless_seconds;
 }
 
 void ReplicatedControllerService::publish_metrics() {

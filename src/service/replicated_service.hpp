@@ -141,6 +141,7 @@ class ReplicatedControllerService : private detail::ReplicaBank,
   void handle_message(const ServiceMessage& msg, Seconds start) override;
   void final_sweep() override;
   void publish_metrics() override;
+  void fill_health(obs::slo::HealthSnapshot& snap) const override;
 
  private:
   struct Lease {

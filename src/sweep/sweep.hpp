@@ -22,6 +22,8 @@
 
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo/health_snapshot.hpp"
+#include "obs/slo/slo_monitor.hpp"
 #include "obs/timeseries.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -164,6 +166,38 @@ class SweepRunner {
                          return fn(spec, locals[spec.index]);
                        });
     for (const obs::MetricsRegistry& local : locals) merged.merge(local);
+    return results;
+  }
+
+  /// SLO sweep: each scenario gets a private SloMonitor (stamped from
+  /// `merged`'s objective configuration) and HealthLog. After the sweep
+  /// the per-scenario alert timelines and snapshot logs are merged into
+  /// `merged`/`health` in scenario order with the scenario index as the
+  /// track — so the combined alert timeline and snapshot log are
+  /// bit-identical at any thread count.
+  /// fn: (const ScenarioSpec&, obs::slo::SloMonitor&,
+  ///      obs::slo::HealthLog&) -> R.
+  template <typename Fn>
+  auto run_with_slo(std::size_t scenario_count, obs::slo::SloMonitor& merged,
+                    obs::slo::HealthLog& health, Fn&& fn)
+      -> std::vector<std::invoke_result_t<Fn&, const ScenarioSpec&,
+                                          obs::slo::SloMonitor&,
+                                          obs::slo::HealthLog&>> {
+    std::deque<obs::slo::SloMonitor> monitors;
+    std::deque<obs::slo::HealthLog> logs;
+    for (std::size_t i = 0; i < scenario_count; ++i) {
+      monitors.push_back(merged.clone_config());
+      logs.emplace_back();
+    }
+    auto results = run(scenario_count,
+                       [&fn, &monitors, &logs](const ScenarioSpec& spec) {
+                         return fn(spec, monitors[spec.index],
+                                   logs[spec.index]);
+                       });
+    for (std::size_t i = 0; i < scenario_count; ++i) {
+      merged.merge(monitors[i], static_cast<std::uint32_t>(i));
+      health.append(logs[i], static_cast<std::uint32_t>(i));
+    }
     return results;
   }
 

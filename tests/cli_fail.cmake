@@ -1,0 +1,28 @@
+# Runtime-failure CLI test driver: runs ${EXE} with ${ARGS} and fails
+# unless the tool exits non-zero AND prints the diagnostic substring
+# ${MATCH} (unlike cli_reject.cmake, which demands a usage message —
+# runtime failures such as an empty or truncated input file must explain
+# what is wrong with the file, not reprint the flag syntax). Invoked via
+# `cmake -DEXE=... -DARGS=... -DMATCH=... -P cli_fail.cmake`.
+if(NOT DEFINED EXE)
+  message(FATAL_ERROR "cli_fail.cmake needs -DEXE=<binary>")
+endif()
+if(NOT DEFINED MATCH)
+  message(FATAL_ERROR "cli_fail.cmake needs -DMATCH=<expected substring>")
+endif()
+execute_process(
+  COMMAND ${EXE} ${ARGS}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  message(FATAL_ERROR
+    "expected a non-zero exit for args [${ARGS}], got success.\n"
+    "stdout: ${out}\nstderr: ${err}")
+endif()
+string(FIND "${out}${err}" "${MATCH}" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR
+    "failed on args [${ARGS}] without the expected diagnostic "
+    "\"${MATCH}\".\nstdout: ${out}\nstderr: ${err}")
+endif()
